@@ -1,0 +1,173 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Takeaway #3 pruning** — search time over the 34-candidate raw space
+//!   vs the 22-candidate pruned space (quality is asserted equal-or-near in
+//!   the companion test below the bench functions).
+//! * **Memory quantization granularity** — the §3.3 "large memory
+//!   granularity" knob trading search time for fidelity.
+//! * **Pipeline partitioner** — the load-balancing guideline used for
+//!   stage cuts.
+//! * **Communication-group pool** — warm pool lookups vs cold group
+//!   construction (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galvatron_cluster::collectives::all_reduce;
+use galvatron_cluster::{
+    rtx_titan_node, CollectiveAlgorithm, CommGroupPool, Link, LinkClass, GIB, MIB,
+};
+use galvatron_core::{GalvatronOptimizer, OptimizerConfig, PipelinePartitioner};
+use galvatron_model::PaperModel;
+use std::hint::black_box;
+
+fn bench_takeaway3(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = PaperModel::SwinHuge32.spec();
+    let mut group = c.benchmark_group("ablation/takeaway3");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, takeaway3) in [("pruned_22", true), ("raw_34", false)] {
+        let optimizer = GalvatronOptimizer::new(OptimizerConfig {
+            takeaway3,
+            max_batch: 32,
+            ..OptimizerConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                optimizer
+                    .optimize(black_box(&model), &topology, 12 * GIB)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_granularity(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = PaperModel::BertHuge32.spec();
+    let mut group = c.benchmark_group("ablation/memory_granularity_mib");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for granularity_mib in [8u64, 16, 64, 256] {
+        let optimizer = GalvatronOptimizer::new(OptimizerConfig {
+            memory_granularity: granularity_mib * MIB,
+            max_batch: 32,
+            ..OptimizerConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity_mib),
+            &optimizer,
+            |b, optimizer| {
+                b.iter(|| {
+                    optimizer
+                        .optimize(black_box(&model), &topology, 16 * GIB)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = PaperModel::SwinHuge48.spec();
+    let mut group = c.benchmark_group("ablation/partitioner");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, partitioner) in [
+        ("by_flops", PipelinePartitioner::ByFlops),
+        ("by_params", PipelinePartitioner::ByParams),
+        ("by_activation", PipelinePartitioner::ByActivation),
+        ("by_layer_count", PipelinePartitioner::ByLayerCount),
+    ] {
+        let optimizer = GalvatronOptimizer::new(OptimizerConfig {
+            partitioner,
+            max_batch: 32,
+            ..OptimizerConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                optimizer
+                    .optimize(black_box(&model), &topology, 12 * GIB)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_pool(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let groups: Vec<Vec<usize>> = (0..100usize)
+        .filter_map(|i| {
+            let stride = 1usize << (i % 3);
+            let size = 2usize << (i % 2);
+            let span = stride * (size - 1);
+            if span >= 8 {
+                return None; // would not fit the 8-device node
+            }
+            let base = i % (8 - span);
+            Some((0..size).map(|k| base + k * stride).collect())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation/comm_group_pool");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("cold_construction", |b| {
+        b.iter(|| {
+            // A fresh pool every time: every lookup constructs.
+            let pool = CommGroupPool::new(topology.clone());
+            for g in &groups {
+                black_box(pool.get_or_create(g.clone()).unwrap());
+            }
+        })
+    });
+    group.bench_function("warm_pool", |b| {
+        let pool = CommGroupPool::new(topology.clone());
+        pool.precreate_all().unwrap();
+        b.iter(|| {
+            for g in &groups {
+                black_box(pool.get_or_create(g.clone()).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_collective_algorithm(c: &mut Criterion) {
+    // Not a speed benchmark of the formula (it's nanoseconds) but a record
+    // of the modelled crossover: the reports include the computed times so
+    // the ring/tree trade-off is visible in the Criterion output.
+    let link = Link::of_class(LinkClass::InfiniBand100);
+    let mut group = c.benchmark_group("ablation/collective_algorithm");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, payload) in [("4KiB", 4 * 1024u64), ("64MiB", 64 * MIB), ("1GiB", GIB)] {
+        let op = all_reduce(64, payload, link);
+        group.bench_function(format!("ring/{name}"), |b| {
+            b.iter(|| std::hint::black_box(op.time_with(CollectiveAlgorithm::Ring)))
+        });
+        group.bench_function(format!("tree/{name}"), |b| {
+            b.iter(|| std::hint::black_box(op.time_with(CollectiveAlgorithm::Tree)))
+        });
+        group.bench_function(format!("auto/{name}"), |b| {
+            b.iter(|| std::hint::black_box(op.auto_time()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_takeaway3,
+    bench_memory_granularity,
+    bench_partitioner,
+    bench_group_pool,
+    bench_collective_algorithm
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the cost estimator: how cheap is `c(l, s)`,
+//! `O(l, s)`, `R(l, s_i, s_j)` and a whole-plan estimate? These bound the
+//! planner's constant factors (Figure 4 depends on them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_estimator::{CostEstimator, EstimatorConfig};
+use galvatron_model::PaperModel;
+use galvatron_strategy::{DecisionTreeBuilder, IntraStageStrategy, Paradigm, ParallelPlan};
+use std::hint::black_box;
+
+fn bench_layer_cost(c: &mut Criterion) {
+    let estimator = CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default());
+    let model = PaperModel::BertHuge32.spec();
+    let layer = &model.layers[5];
+    let set = DecisionTreeBuilder::new(8).strategies();
+
+    c.bench_function("estimator/layer_cost_single", |b| {
+        let strategy = &set.strategies()[0];
+        b.iter(|| {
+            estimator
+                .layer_cost(black_box(layer), model.dtype, strategy, 32, 0)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("estimator/layer_cost_all_22_candidates", |b| {
+        b.iter(|| {
+            for s in set.iter() {
+                black_box(estimator.layer_cost(layer, model.dtype, s, 32, 0).unwrap());
+            }
+        })
+    });
+
+    c.bench_function("estimator/layer_memory", |b| {
+        let strategy = &set.strategies()[0];
+        b.iter(|| estimator.layer_memory(black_box(layer), model.dtype, strategy, 32))
+    });
+
+    c.bench_function("estimator/transformation_cost", |b| {
+        let a = &set.strategies()[1];
+        let s = &set.strategies()[2];
+        b.iter(|| {
+            estimator
+                .transformation_cost(black_box(layer), model.dtype, a, s, 32, 0)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_plan_cost(c: &mut Criterion) {
+    let estimator = CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default());
+    let model = PaperModel::VitHuge32.spec();
+    let plan = ParallelPlan::uniform(
+        "bench",
+        model.n_layers(),
+        8,
+        IntraStageStrategy::pure(Paradigm::ShardedData, 8).unwrap(),
+        64,
+    );
+    c.bench_function("estimator/plan_cost_34_layers", |b| {
+        b.iter(|| estimator.plan_cost(black_box(&model), &plan).unwrap())
+    });
+    c.bench_function("estimator/plan_fits", |b| {
+        b.iter(|| {
+            estimator
+                .plan_fits(black_box(&model), &plan, 16 * GIB)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_layer_cost, bench_plan_cost);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Simulator micro-benchmarks: graph construction and execution rates for
+//! representative plan shapes. The Table-1/3/4 harness runs hundreds of
+//! simulations; these benches keep that tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use galvatron_cluster::rtx_titan_node;
+use galvatron_core::PipelinePartitioner;
+use galvatron_model::{ModelSpec, PaperModel};
+use galvatron_sim::{builder::build_iteration_graph, Simulator, SimulatorConfig};
+use galvatron_strategy::{IntraStageStrategy, Paradigm, ParallelPlan, StagePlan};
+use std::hint::black_box;
+
+fn dp_plan(model: &ModelSpec, batch: usize) -> ParallelPlan {
+    ParallelPlan::uniform(
+        "dp8",
+        model.n_layers(),
+        8,
+        IntraStageStrategy::pure(Paradigm::Data, 8).unwrap(),
+        batch,
+    )
+}
+
+fn pp_plan(model: &ModelSpec, batch: usize, micro_batches: usize) -> ParallelPlan {
+    let bounds = PipelinePartitioner::ByLayerCount.partition(model, 8);
+    let stages = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, end))| StagePlan {
+            layer_start: start,
+            layer_end: end,
+            device_base: i,
+            device_count: 1,
+            layer_strategies: vec![IntraStageStrategy::single_device(); end - start],
+        })
+        .collect();
+    ParallelPlan {
+        origin: "pp8".into(),
+        global_batch: batch,
+        micro_batches,
+        schedule: Default::default(),
+        stages,
+    }
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let config = SimulatorConfig::default();
+    let model = PaperModel::BertHuge32.spec();
+    let plans = [
+        ("dp8_b32", dp_plan(&model, 32)),
+        ("pp8_b32_m8", pp_plan(&model, 32, 8)),
+        ("pp8_b64_m32", pp_plan(&model, 64, 32)),
+    ];
+    let mut group = c.benchmark_group("sim/build_graph");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, plan) in &plans {
+        group.bench_function(*name, |b| {
+            b.iter(|| build_iteration_graph(black_box(&model), plan, &topology, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = PaperModel::BertHuge32.spec();
+    let plans = [
+        ("dp8_b32", dp_plan(&model, 32)),
+        ("pp8_b32_m8", pp_plan(&model, 32, 8)),
+        ("pp8_b64_m32", pp_plan(&model, 64, 32)),
+    ];
+    let mut group = c.benchmark_group("sim/execute");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, plan) in &plans {
+        let sim = Simulator::new(topology.clone(), SimulatorConfig::default());
+        let tasks = sim.execute(&model, plan).unwrap().task_count;
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {
+            b.iter(|| sim.execute(black_box(&model), plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_traced_execution(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = PaperModel::VitHuge32.spec();
+    let plan = pp_plan(&model, 64, 16);
+    let sim = Simulator::new(topology, SimulatorConfig::default());
+    c.bench_function("sim/execute_traced_pp8", |b| {
+        b.iter(|| sim.execute_traced(black_box(&model), &plan).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_execution,
+    bench_traced_execution
+);
+criterion_main!(benches);

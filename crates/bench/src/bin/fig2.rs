@@ -1,0 +1,60 @@
+//! Regenerates Figure 2: the decision trees for 8 GPUs under each PP degree
+//! and the candidate hybrid strategies they denote — 34 in total, 22 after
+//! *Takeaway #3* prunes the DP⋅SDP mixtures.
+
+use galvatron_bench::render::write_json;
+use galvatron_strategy::tree::total_candidates_across_pp;
+use galvatron_strategy::DecisionTreeBuilder;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PpBlock {
+    pp_degree: usize,
+    leaves: usize,
+    raw_candidates: usize,
+    pruned_candidates: usize,
+    strategies: Vec<String>,
+}
+
+fn main() {
+    let n = 8usize;
+    let mut blocks = Vec::new();
+    let mut pp = 1usize;
+    while pp <= n {
+        let leaves = n / pp;
+        let raw = DecisionTreeBuilder::new(leaves)
+            .with_takeaway3(false)
+            .strategies();
+        let pruned = DecisionTreeBuilder::new(leaves).strategies();
+        println!(
+            "=== {pp}-way PP → trees with {leaves} leaves: {} candidates \
+             ({} before Takeaway #3) ===",
+            pruned.len(),
+            raw.len()
+        );
+        for tree in DecisionTreeBuilder::new(leaves).trees() {
+            for line in tree.render().lines() {
+                println!("    {line}");
+            }
+        }
+        blocks.push(PpBlock {
+            pp_degree: pp,
+            leaves,
+            raw_candidates: raw.len(),
+            pruned_candidates: pruned.len(),
+            strategies: pruned.iter().map(|s| s.label()).collect(),
+        });
+        pp *= 2;
+    }
+
+    let raw_total = total_candidates_across_pp(n, false);
+    let pruned_total = total_candidates_across_pp(n, true);
+    println!(
+        "\ntotal: {raw_total} candidate hybrid strategies across all trees, \
+         {pruned_total} after Takeaway #3 (paper: 34 → 22)"
+    );
+    assert_eq!((raw_total, pruned_total), (34, 22));
+
+    let path = write_json("fig2", &blocks).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 2: statistics of the evaluated models, with the
+//! paper's reported values alongside.
+
+use galvatron_bench::render::write_json;
+use galvatron_model::{ModelStats, PaperModel};
+
+fn main() {
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}",
+        "Model", "Layers", "Params", "paper", "Δ%", "Act/sample", "paper", "Δ%"
+    );
+    let mut rows = Vec::new();
+    for m in PaperModel::ALL {
+        let stats = ModelStats::of(&m.spec());
+        let p_params = m.paper_param_count() as f64 / 1e6;
+        let p_act = m.paper_activation_mb();
+        let d_params = 100.0 * (stats.params_millions() / p_params - 1.0);
+        let d_act = 100.0 * (stats.activation_mb() / p_act - 1.0);
+        println!(
+            "{:<14} {:>10} {:>11.1}M {:>11.1}M {:>+7.2} {:>12.2}MB {:>12.2}MB {:>+7.2}",
+            m.name(),
+            stats.transformer_layers,
+            stats.params_millions(),
+            p_params,
+            d_params,
+            stats.activation_mb(),
+            p_act,
+            d_act
+        );
+        rows.push(stats);
+    }
+    let path = write_json("table2", &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! The benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Binaries (`cargo run -p galvatron-bench --release --bin <name>`):
+//!
+//! * `table1` — 8-GPU end-to-end comparison (4 memory budgets × 8 models ×
+//!   8 strategies),
+//! * `table2` — model statistics,
+//! * `table3` — 16-GPU comparison, `table4` — 64-GPU comparison,
+//! * `fig3`  — estimation error with/without overlap-slowdown modeling,
+//! * `fig4`  — search-time scaling (layers × memory; strategy-space size),
+//! * `fig5`  — the optimal plans for BERT-Huge-32 / Swin-Huge-32 at
+//!   8 GB / 12 GB.
+//!
+//! Each binary prints the table and writes machine-readable JSON under
+//! `results/`. Where the paper reports numbers, [`paper`] embeds them so
+//! the binaries can print paper-vs-measured agreement statistics
+//! (EXPERIMENTS.md is generated from these).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod paper;
+pub mod render;
+
+pub use harness::{evaluate_cell, evaluate_table, CellResult, TableSpec};
+pub use render::{render_cells, write_json};

@@ -1,0 +1,290 @@
+//! Communication groups and the pre-constructed group pool (§4 of the paper).
+//!
+//! Creating an NCCL communicator is expensive (hundreds of milliseconds), so
+//! Galvatron "maintains a global communication group pool which is created in
+//! advance and contains all groups that might be used". [`CommGroupPool`]
+//! reproduces that behaviour: groups are interned once, handed out as cheap
+//! [`GroupId`]s, and creation/hit statistics are tracked so the pool's value
+//! can be measured.
+
+use crate::collectives::{CollectiveKind, CollectiveOp};
+use crate::link::Link;
+use crate::topology::{ClusterError, ClusterTopology, DeviceId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Opaque handle to an interned communication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub(crate) u32);
+
+/// A set of devices that communicate collectively, plus its cached
+/// bottleneck link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommGroup {
+    devices: Vec<DeviceId>,
+    bottleneck: Link,
+}
+
+impl CommGroup {
+    /// Build a group over `devices` (sorted and deduplicated internally).
+    pub fn new(
+        topology: &ClusterTopology,
+        mut devices: Vec<DeviceId>,
+    ) -> Result<Self, ClusterError> {
+        devices.sort_unstable();
+        devices.dedup();
+        let bottleneck = topology.bottleneck_link(&devices)?;
+        Ok(CommGroup {
+            devices,
+            bottleneck,
+        })
+    }
+
+    /// The member devices, sorted ascending.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the group is empty (never true for constructed groups).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The bottleneck link collectives over this group pay.
+    pub fn bottleneck(&self) -> Link {
+        self.bottleneck
+    }
+
+    /// Cost of running `kind` with `payload_bytes` over this group.
+    pub fn collective(&self, kind: CollectiveKind, payload_bytes: u64) -> CollectiveOp {
+        CollectiveOp {
+            kind,
+            group_size: self.devices.len(),
+            payload_bytes,
+            link: self.bottleneck,
+        }
+    }
+}
+
+/// Pool statistics: how often group construction was avoided.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Groups constructed (cache misses).
+    pub created: u64,
+    /// Lookups served from the pool (cache hits).
+    pub hits: u64,
+}
+
+/// The global communication-group pool.
+///
+/// Thread-safe: plan evaluation sweeps run groups lookups from worker
+/// threads (the bench harness parallelises table generation).
+///
+/// `Debug` prints the pool statistics rather than its contents.
+///
+/// ```
+/// use galvatron_cluster::{rtx_titan_node, CommGroupPool};
+///
+/// let pool = CommGroupPool::new(rtx_titan_node(8));
+/// pool.precreate_all().unwrap();
+/// let a = pool.get_or_create(vec![0, 2, 4, 6]).unwrap();
+/// let b = pool.get_or_create(vec![6, 4, 2, 0]).unwrap();
+/// assert_eq!(a, b); // interned once, order-insensitive
+/// assert!(pool.stats().hits >= 2);
+/// ```
+pub struct CommGroupPool {
+    topology: ClusterTopology,
+    groups: Mutex<PoolState>,
+    hits: AtomicU64,
+}
+
+struct PoolState {
+    by_devices: HashMap<Vec<DeviceId>, GroupId>,
+    storage: Vec<CommGroup>,
+}
+
+impl std::fmt::Debug for CommGroupPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CommGroupPool")
+            .field("created", &stats.created)
+            .field("hits", &stats.hits)
+            .finish()
+    }
+}
+
+impl CommGroupPool {
+    /// An empty pool over `topology`.
+    pub fn new(topology: ClusterTopology) -> Self {
+        CommGroupPool {
+            topology,
+            groups: Mutex::new(PoolState {
+                by_devices: HashMap::new(),
+                storage: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The topology the pool serves.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Intern (or fetch) the group over `devices`.
+    pub fn get_or_create(&self, mut devices: Vec<DeviceId>) -> Result<GroupId, ClusterError> {
+        devices.sort_unstable();
+        devices.dedup();
+        let mut state = self.groups.lock();
+        if let Some(&id) = state.by_devices.get(&devices) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(id);
+        }
+        let group = CommGroup::new(&self.topology, devices.clone())?;
+        let id = GroupId(u32::try_from(state.storage.len()).expect("pool overflow"));
+        state.storage.push(group);
+        state.by_devices.insert(devices, id);
+        Ok(id)
+    }
+
+    /// Resolve a handle to a cloned group descriptor.
+    pub fn resolve(&self, id: GroupId) -> Option<CommGroup> {
+        self.groups.lock().storage.get(id.0 as usize).cloned()
+    }
+
+    /// Pre-create every contiguous power-of-two-strided group that hybrid
+    /// strategies over this topology can reference — the "created in
+    /// advance, contains all groups that might be used" pool of §4.
+    ///
+    /// For each power-of-two group size `g` and stride `s` (both dividing
+    /// `n`), the devices `{base + i·s | i < g}` form a group; these are
+    /// exactly the process groups a nested (DP/SDP/TP) axis decomposition
+    /// induces on ranks `0..n`.
+    pub fn precreate_all(&self) -> Result<usize, ClusterError> {
+        let n = self.topology.n_devices();
+        let mut created = 0usize;
+        let mut g = 2usize;
+        while g <= n {
+            let mut s = 1usize;
+            while s * g <= n {
+                // Bases iterate over the complement of the (size, stride) grid.
+                for block in (0..n).step_by(s * g) {
+                    for offset in 0..s {
+                        let base = block + offset;
+                        let devices: Vec<DeviceId> = (0..g).map(|i| base + i * s).collect();
+                        let before = self.stats().created;
+                        self.get_or_create(devices)?;
+                        if self.stats().created > before {
+                            created += 1;
+                        }
+                    }
+                }
+                s *= 2;
+            }
+            g *= 2;
+        }
+        Ok(created)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.groups.lock().storage.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+    use crate::topology::GpuSpec;
+
+    fn pool8() -> CommGroupPool {
+        let topo = ClusterTopology::flat(GpuSpec::rtx_titan(), 8, LinkClass::Pcie3.into()).unwrap();
+        CommGroupPool::new(topo)
+    }
+
+    #[test]
+    fn interning_dedupes_and_counts_hits() {
+        let pool = pool8();
+        let a = pool.get_or_create(vec![0, 1, 2, 3]).unwrap();
+        let b = pool.get_or_create(vec![3, 2, 1, 0]).unwrap();
+        assert_eq!(a, b);
+        let stats = pool.stats();
+        assert_eq!(stats.created, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let pool = pool8();
+        let id = pool.get_or_create(vec![4, 6]).unwrap();
+        let group = pool.resolve(id).unwrap();
+        assert_eq!(group.devices(), &[4, 6]);
+        assert_eq!(group.len(), 2);
+        assert!(pool.resolve(GroupId(99)).is_none());
+    }
+
+    #[test]
+    fn precreate_covers_strided_power_of_two_groups() {
+        let pool = pool8();
+        let created = pool.precreate_all().unwrap();
+        assert!(created > 0);
+        // Any strided group a strategy can form is now a hit, not a miss.
+        let before = pool.stats().created;
+        for (size, stride) in [(2usize, 1usize), (2, 2), (2, 4), (4, 1), (4, 2), (8, 1)] {
+            for base in 0..stride {
+                let devices: Vec<DeviceId> = (0..size).map(|i| base + i * stride).collect();
+                pool.get_or_create(devices).unwrap();
+            }
+        }
+        assert_eq!(pool.stats().created, before, "no new groups constructed");
+    }
+
+    #[test]
+    fn group_bottleneck_feeds_collective_cost() {
+        let topo = ClusterTopology::new(
+            GpuSpec::rtx_titan(),
+            16,
+            vec![
+                crate::topology::TopologyLevel {
+                    group_size: 8,
+                    link: LinkClass::Pcie3.into(),
+                },
+                crate::topology::TopologyLevel {
+                    group_size: 16,
+                    link: LinkClass::InfiniBand100.into(),
+                },
+            ],
+        )
+        .unwrap();
+        let intra = CommGroup::new(&topo, vec![0, 1, 2, 3]).unwrap();
+        let cross = CommGroup::new(&topo, vec![0, 8]).unwrap();
+        assert_eq!(intra.bottleneck().class, LinkClass::Pcie3);
+        assert_eq!(cross.bottleneck().class, LinkClass::InfiniBand100);
+        let op = cross.collective(CollectiveKind::AllReduce, crate::MIB);
+        assert_eq!(op.group_size, 2);
+        assert_eq!(op.link.class, LinkClass::InfiniBand100);
+    }
+
+    #[test]
+    fn degenerate_groups_are_rejected() {
+        let pool = pool8();
+        assert!(matches!(
+            pool.get_or_create(vec![3]),
+            Err(ClusterError::DegenerateGroup)
+        ));
+        assert!(matches!(
+            pool.get_or_create(vec![0, 99]),
+            Err(ClusterError::UnknownDevice(99))
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Interconnect link classes and their effective bandwidth/latency.
+
+use serde::{Deserialize, Serialize};
+
+/// The class of a physical interconnect between devices.
+///
+/// Classes are ordered from fastest to slowest; the ordering matters for the
+/// paper's *Takeaway #1* (apply pipeline parallelism across the slowest
+/// links first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// NVIDIA NVLink (intra-node, e.g. A100 servers).
+    NvLink,
+    /// PCI Express 4.0 x16 (intra-node).
+    Pcie4,
+    /// PCI Express 3.0 x16 (intra-node; the paper's RTX TITAN testbed).
+    Pcie3,
+    /// 100 Gb/s InfiniBand (inter-node; the paper's 16- and 64-GPU testbeds).
+    InfiniBand100,
+    /// Intel QPI/UPI socket interconnect (the paper lists it as a slow
+    /// inter-island link).
+    Qpi,
+    /// Commodity datacenter Ethernet (inter-node fallback).
+    Ethernet25,
+}
+
+impl LinkClass {
+    /// Effective (sustained, not theoretical) bus bandwidth in bytes/second.
+    ///
+    /// These are ring-collective *bus* bandwidths — the `B` in
+    /// `2(n-1)/n · V / B` — calibrated to commonly measured NCCL numbers
+    /// rather than line rates: PCIe 3.0 x16 sustains ~5 GB/s for 8-GPU rings
+    /// on one shared root complex, 100 Gb IB ~10 GB/s, NVLink 3 ~200 GB/s.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            LinkClass::NvLink => 200.0e9,
+            LinkClass::Pcie4 => 12.0e9,
+            LinkClass::Pcie3 => 4.8e9,
+            LinkClass::InfiniBand100 => 10.0e9,
+            LinkClass::Qpi => 8.0e9,
+            LinkClass::Ethernet25 => 2.5e9,
+        }
+    }
+
+    /// Per-hop message latency in seconds (the α term of the α–β model).
+    pub fn latency(self) -> f64 {
+        match self {
+            LinkClass::NvLink => 3.0e-6,
+            LinkClass::Pcie4 => 6.0e-6,
+            LinkClass::Pcie3 => 8.0e-6,
+            LinkClass::InfiniBand100 => 12.0e-6,
+            LinkClass::Qpi => 5.0e-6,
+            LinkClass::Ethernet25 => 30.0e-6,
+        }
+    }
+
+    /// Whether the link is an intra-node ("island-internal") interconnect.
+    pub fn is_intra_node(self) -> bool {
+        matches!(
+            self,
+            LinkClass::NvLink | LinkClass::Pcie4 | LinkClass::Pcie3 | LinkClass::Qpi
+        )
+    }
+}
+
+/// A concrete link: a class plus (possibly overridden) bandwidth and latency.
+///
+/// Presets start from the class defaults; custom topologies (heterogeneous
+/// environments, the paper's §6 future work) may override either number.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// The interconnect class.
+    pub class: LinkClass,
+    /// Effective bus bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Per-hop latency, seconds.
+    pub latency: f64,
+}
+
+impl Link {
+    /// A link with the class's default calibration.
+    pub fn of_class(class: LinkClass) -> Self {
+        Link {
+            class,
+            bandwidth: class.bandwidth(),
+            latency: class.latency(),
+        }
+    }
+
+    /// A link with an overridden bandwidth (bytes/second).
+    pub fn with_bandwidth(class: LinkClass, bandwidth: f64) -> Self {
+        Link {
+            class,
+            bandwidth,
+            latency: class.latency(),
+        }
+    }
+
+    /// Time to move `bytes` point-to-point over this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+impl From<LinkClass> for Link {
+    fn from(class: LinkClass) -> Self {
+        Link::of_class(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_is_fast_to_slow_for_intra_vs_inter() {
+        // NVLink is the fastest, Ethernet the slowest.
+        assert!(LinkClass::NvLink.bandwidth() > LinkClass::Pcie4.bandwidth());
+        assert!(LinkClass::Pcie4.bandwidth() > LinkClass::Pcie3.bandwidth());
+        assert!(LinkClass::InfiniBand100.bandwidth() > LinkClass::Ethernet25.bandwidth());
+    }
+
+    #[test]
+    fn intra_node_classification() {
+        assert!(LinkClass::NvLink.is_intra_node());
+        assert!(LinkClass::Pcie3.is_intra_node());
+        assert!(!LinkClass::InfiniBand100.is_intra_node());
+        assert!(!LinkClass::Ethernet25.is_intra_node());
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let link = Link::of_class(LinkClass::Pcie3);
+        assert!(link.transfer_time(0) > 0.0);
+        let t1 = link.transfer_time(1 << 20);
+        let t2 = link.transfer_time(1 << 21);
+        assert!(t2 > t1);
+        // Doubling the payload roughly doubles the β term.
+        let beta1 = t1 - link.latency;
+        let beta2 = t2 - link.latency;
+        assert!((beta2 / beta1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_override_is_respected() {
+        let link = Link::with_bandwidth(LinkClass::Ethernet25, 5.0e9);
+        assert_eq!(link.bandwidth, 5.0e9);
+        assert_eq!(link.latency, LinkClass::Ethernet25.latency());
+    }
+}

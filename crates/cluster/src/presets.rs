@@ -1,0 +1,131 @@
+//! The paper's three evaluation testbeds, pre-calibrated.
+
+use crate::link::{Link, LinkClass};
+use crate::topology::{ClusterTopology, GpuSpec, TopologyLevel};
+
+/// Which of the paper's evaluation environments a topology models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestbedPreset {
+    /// §5.2 (Table 1): a single node with 8 RTX TITAN GPUs on PCIe 3.0.
+    RtxTitan8,
+    /// §5.6 (Table 3): two such nodes joined by 100 Gb InfiniBand (16 GPUs).
+    RtxTitan16,
+    /// §5.6 (Table 4): 8 nodes × 8 A100 with NVLink, 100 Gb InfiniBand (64 GPUs).
+    A100x64,
+}
+
+impl TestbedPreset {
+    /// Materialise the preset's topology.
+    pub fn topology(self) -> ClusterTopology {
+        match self {
+            TestbedPreset::RtxTitan8 => rtx_titan_node(8),
+            TestbedPreset::RtxTitan16 => rtx_titan_nodes(2, 8),
+            TestbedPreset::A100x64 => a100_cluster(8, 8),
+        }
+    }
+
+    /// Total device count.
+    pub fn n_devices(self) -> usize {
+        match self {
+            TestbedPreset::RtxTitan8 => 8,
+            TestbedPreset::RtxTitan16 => 16,
+            TestbedPreset::A100x64 => 64,
+        }
+    }
+}
+
+/// A single RTX TITAN node with `n` GPUs behind PCIe 3.0 (the Table 1 box
+/// when `n = 8`). `n` must be a power of two ≥ 2.
+pub fn rtx_titan_node(n: usize) -> ClusterTopology {
+    assert!(n.is_power_of_two() && n >= 2, "need a power-of-two node");
+    ClusterTopology::flat(GpuSpec::rtx_titan(), n, Link::of_class(LinkClass::Pcie3))
+        .expect("preset topology is valid")
+}
+
+/// `nodes` RTX TITAN servers of `per_node` GPUs each, joined by 100 Gb
+/// InfiniBand (the Table 3 testbed is `rtx_titan_nodes(2, 8)`).
+pub fn rtx_titan_nodes(nodes: usize, per_node: usize) -> ClusterTopology {
+    assert!(nodes >= 2 && nodes.is_power_of_two());
+    assert!(per_node >= 2 && per_node.is_power_of_two());
+    ClusterTopology::new(
+        GpuSpec::rtx_titan(),
+        nodes * per_node,
+        vec![
+            TopologyLevel {
+                group_size: per_node,
+                link: Link::of_class(LinkClass::Pcie3),
+            },
+            TopologyLevel {
+                group_size: nodes * per_node,
+                link: Link::of_class(LinkClass::InfiniBand100),
+            },
+        ],
+    )
+    .expect("preset topology is valid")
+}
+
+/// `nodes` A100 servers of `per_node` NVLink-connected GPUs each, joined by
+/// 100 Gb InfiniBand (the Table 4 cluster is `a100_cluster(8, 8)`).
+pub fn a100_cluster(nodes: usize, per_node: usize) -> ClusterTopology {
+    assert!(nodes >= 2 && nodes.is_power_of_two());
+    assert!(per_node >= 2 && per_node.is_power_of_two());
+    ClusterTopology::new(
+        GpuSpec::a100(),
+        nodes * per_node,
+        vec![
+            TopologyLevel {
+                group_size: per_node,
+                link: Link::of_class(LinkClass::NvLink),
+            },
+            TopologyLevel {
+                group_size: nodes * per_node,
+                link: Link::of_class(LinkClass::InfiniBand100),
+            },
+        ],
+    )
+    .expect("preset topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_device_counts() {
+        assert_eq!(TestbedPreset::RtxTitan8.topology().n_devices(), 8);
+        assert_eq!(TestbedPreset::RtxTitan16.topology().n_devices(), 16);
+        assert_eq!(TestbedPreset::A100x64.topology().n_devices(), 64);
+        for p in [
+            TestbedPreset::RtxTitan8,
+            TestbedPreset::RtxTitan16,
+            TestbedPreset::A100x64,
+        ] {
+            assert_eq!(p.topology().n_devices(), p.n_devices());
+        }
+    }
+
+    #[test]
+    fn a100_islands_are_nvlinked() {
+        let t = TestbedPreset::A100x64.topology();
+        assert_eq!(t.island_size(), 8);
+        assert_eq!(t.link_between(0, 7).unwrap().class, LinkClass::NvLink);
+        assert_eq!(
+            t.link_between(0, 8).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+    }
+
+    #[test]
+    fn a100_is_faster_than_titan() {
+        let titan = GpuSpec::rtx_titan();
+        let a100 = GpuSpec::a100();
+        assert!(a100.sustained_flops > 3.0 * titan.sustained_flops);
+        assert!(a100.memory_bytes > titan.memory_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn odd_node_sizes_panic() {
+        rtx_titan_node(6);
+    }
+}

@@ -1,0 +1,432 @@
+//! Hierarchical cluster topology: devices, islands and the links between them.
+
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a device (GPU) in the cluster. Devices are numbered
+/// `0..n` such that consecutive ids share the fastest links — the same
+/// convention NCCL ranks follow in practice.
+pub type DeviceId = usize;
+
+/// Specification of one GPU class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name ("RTX TITAN", "A100-SXM4-40GB", ...).
+    pub name: String,
+    /// Physical device memory in bytes. Experiments additionally impose a
+    /// *budget* below this (the paper's 8/12/16/20 GB columns).
+    pub memory_bytes: u64,
+    /// Sustained dense-GEMM throughput in FLOP/s (peak × achievable
+    /// efficiency); what a profiled per-sample time is derived from.
+    pub sustained_flops: f64,
+    /// Framework overhead resident on every device (CUDA context, NCCL
+    /// buffers, allocator slack) in bytes; subtracted from any budget.
+    pub framework_overhead_bytes: u64,
+}
+
+impl GpuSpec {
+    /// The paper's main testbed device: NVIDIA RTX TITAN, 24 GB, ~16.3
+    /// TFLOP/s fp32 peak at ~36% sustained end-to-end training efficiency
+    /// (calibrated against Table 1's pure-strategy rows).
+    pub fn rtx_titan() -> Self {
+        GpuSpec {
+            name: "RTX TITAN".to_string(),
+            memory_bytes: 24 * crate::GIB,
+            sustained_flops: 16.3e12 * 0.36,
+            framework_overhead_bytes: 900 * crate::MIB,
+        }
+    }
+
+    /// The 64-GPU testbed device: NVIDIA A100 (TF32 tensor-core training,
+    /// ~156 TFLOP/s peak at ~40% sustained).
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100".to_string(),
+            memory_bytes: 40 * crate::GIB,
+            sustained_flops: 156.0e12 * 0.40,
+            framework_overhead_bytes: 1200 * crate::MIB,
+        }
+    }
+}
+
+/// One level of the topology hierarchy.
+///
+/// A level groups `group_size` devices (cumulative, counted in devices — not
+/// in sub-groups) behind a shared [`Link`]. Levels are ordered innermost
+/// first; `group_size` must strictly increase and each level's size must be
+/// a multiple of the previous one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyLevel {
+    /// Number of devices in one group at this level.
+    pub group_size: usize,
+    /// The interconnect joining devices of this level that are *not* already
+    /// joined by an inner level.
+    pub link: Link,
+}
+
+/// Errors constructing or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The topology has no levels.
+    EmptyTopology,
+    /// Level sizes must strictly increase and divide evenly.
+    InvalidLevelSizes {
+        /// The offending level index.
+        level: usize,
+    },
+    /// The outermost level size must equal the device count.
+    SizeMismatch {
+        /// Devices covered by the outermost level.
+        covered: usize,
+        /// Devices declared.
+        declared: usize,
+    },
+    /// A device id that is out of range.
+    UnknownDevice(DeviceId),
+    /// A communication group with fewer than two members.
+    DegenerateGroup,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyTopology => write!(f, "topology has no levels"),
+            ClusterError::InvalidLevelSizes { level } => {
+                write!(f, "level {level} does not nest inside its successor")
+            }
+            ClusterError::SizeMismatch { covered, declared } => write!(
+                f,
+                "outermost level covers {covered} devices but {declared} were declared"
+            ),
+            ClusterError::UnknownDevice(d) => write!(f, "device {d} is out of range"),
+            ClusterError::DegenerateGroup => {
+                write!(f, "communication groups need at least two members")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A homogeneous, hierarchical cluster of GPUs.
+///
+/// The hierarchy captures the paper's "device islands": consecutive device
+/// ids share inner (fast) levels, and communication between far-apart ids
+/// pays the outer (slow) links. A flat 8-GPU PCIe box is one level; the
+/// 2×8 testbed is `[(8, PCIe3), (16, InfiniBand)]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    gpu: GpuSpec,
+    n_devices: usize,
+    levels: Vec<TopologyLevel>,
+    /// Per-device specs for heterogeneous clusters (the paper's §6 future
+    /// work); `None` means every device is `gpu`.
+    #[serde(default)]
+    device_specs: Option<Vec<GpuSpec>>,
+}
+
+impl ClusterTopology {
+    /// Build a topology from the innermost-first level list.
+    pub fn new(
+        gpu: GpuSpec,
+        n_devices: usize,
+        levels: Vec<TopologyLevel>,
+    ) -> Result<Self, ClusterError> {
+        if levels.is_empty() {
+            return Err(ClusterError::EmptyTopology);
+        }
+        let mut prev = 1usize;
+        for (i, level) in levels.iter().enumerate() {
+            if level.group_size <= prev || level.group_size % prev != 0 {
+                return Err(ClusterError::InvalidLevelSizes { level: i });
+            }
+            prev = level.group_size;
+        }
+        if prev != n_devices {
+            return Err(ClusterError::SizeMismatch {
+                covered: prev,
+                declared: n_devices,
+            });
+        }
+        Ok(ClusterTopology {
+            gpu,
+            n_devices,
+            levels,
+            device_specs: None,
+        })
+    }
+
+    /// Build a **heterogeneous** topology: one [`GpuSpec`] per device (the
+    /// paper's §6 "heterogeneous environments" future work). Device order
+    /// follows the id convention: consecutive ids share the fastest links.
+    pub fn heterogeneous(
+        specs: Vec<GpuSpec>,
+        levels: Vec<TopologyLevel>,
+    ) -> Result<Self, ClusterError> {
+        let n = specs.len();
+        let primary = specs.first().cloned().ok_or(ClusterError::EmptyTopology)?;
+        let mut topo = ClusterTopology::new(primary, n, levels)?;
+        topo.device_specs = Some(specs);
+        Ok(topo)
+    }
+
+    /// Whether per-device specs differ.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.device_specs
+            .as_ref()
+            .is_some_and(|specs| specs.iter().any(|s| s != &self.gpu))
+    }
+
+    /// The spec of one device.
+    pub fn gpu_of(&self, device: DeviceId) -> Result<&GpuSpec, ClusterError> {
+        if device >= self.n_devices {
+            return Err(ClusterError::UnknownDevice(device));
+        }
+        Ok(match &self.device_specs {
+            Some(specs) => &specs[device],
+            None => &self.gpu,
+        })
+    }
+
+    /// Sustained FLOP/s that gates a lock-step group of devices
+    /// `base..base + count`: the slowest member (data/tensor-parallel
+    /// partners wait for each other every layer).
+    pub fn group_sustained_flops(&self, base: DeviceId, count: usize) -> Result<f64, ClusterError> {
+        if base + count > self.n_devices || count == 0 {
+            return Err(ClusterError::UnknownDevice(base + count.max(1) - 1));
+        }
+        Ok(match &self.device_specs {
+            Some(specs) => specs[base..base + count]
+                .iter()
+                .map(|s| s.sustained_flops)
+                .fold(f64::INFINITY, f64::min),
+            None => self.gpu.sustained_flops,
+        })
+    }
+
+    /// A single-level (flat) topology: `n` devices behind one link.
+    pub fn flat(gpu: GpuSpec, n_devices: usize, link: Link) -> Result<Self, ClusterError> {
+        ClusterTopology::new(
+            gpu,
+            n_devices,
+            vec![TopologyLevel {
+                group_size: n_devices,
+                link,
+            }],
+        )
+    }
+
+    /// Number of devices in the cluster.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// The GPU specification (homogeneous cluster).
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The level list, innermost first.
+    pub fn levels(&self) -> &[TopologyLevel] {
+        &self.levels
+    }
+
+    /// The link used between devices `a` and `b`: the innermost level whose
+    /// groups contain both.
+    pub fn link_between(&self, a: DeviceId, b: DeviceId) -> Result<Link, ClusterError> {
+        if a >= self.n_devices {
+            return Err(ClusterError::UnknownDevice(a));
+        }
+        if b >= self.n_devices {
+            return Err(ClusterError::UnknownDevice(b));
+        }
+        for level in &self.levels {
+            if a / level.group_size == b / level.group_size {
+                return Ok(level.link);
+            }
+        }
+        // Unreachable: the outermost level covers all devices.
+        Ok(self.levels.last().expect("non-empty levels").link)
+    }
+
+    /// The bottleneck link of a device set: the slowest pairwise link.
+    /// Ring collectives over the set are rate-limited by this link.
+    pub fn bottleneck_link(&self, devices: &[DeviceId]) -> Result<Link, ClusterError> {
+        if devices.len() < 2 {
+            return Err(ClusterError::DegenerateGroup);
+        }
+        let min = devices.iter().copied().min().expect("non-empty");
+        let max = devices.iter().copied().max().expect("non-empty");
+        // With nested power-of-two levels, the bottleneck between any pair
+        // equals the level spanned by the extremes.
+        self.link_between(min, max)
+    }
+
+    /// Size of the innermost "island" (devices joined by intra-node links).
+    /// This is the granularity *Takeaway #1* places pipeline cuts around.
+    pub fn island_size(&self) -> usize {
+        self.levels
+            .iter()
+            .take_while(|l| l.link.class.is_intra_node())
+            .map(|l| l.group_size)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Enumerate the contiguous device group of `size` devices starting at
+    /// `start` (convenience for strategy axis → device mapping).
+    pub fn contiguous_group(
+        &self,
+        start: DeviceId,
+        size: usize,
+    ) -> Result<Vec<DeviceId>, ClusterError> {
+        if start + size > self.n_devices {
+            return Err(ClusterError::UnknownDevice(start + size - 1));
+        }
+        Ok((start..start + size).collect())
+    }
+
+    /// The per-device memory budget remaining after framework overhead, given
+    /// an experiment budget `budget_bytes` (e.g. 8 GiB). Returns zero if the
+    /// overhead exceeds the budget. Heterogeneous clusters use the largest
+    /// overhead (the budget must hold everywhere).
+    pub fn usable_budget(&self, budget_bytes: u64) -> u64 {
+        let overhead = match &self.device_specs {
+            Some(specs) => specs
+                .iter()
+                .map(|s| s.framework_overhead_bytes)
+                .max()
+                .unwrap_or(self.gpu.framework_overhead_bytes),
+            None => self.gpu.framework_overhead_bytes,
+        };
+        budget_bytes.saturating_sub(overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    fn two_nodes() -> ClusterTopology {
+        ClusterTopology::new(
+            GpuSpec::rtx_titan(),
+            16,
+            vec![
+                TopologyLevel {
+                    group_size: 8,
+                    link: Link::of_class(LinkClass::Pcie3),
+                },
+                TopologyLevel {
+                    group_size: 16,
+                    link: Link::of_class(LinkClass::InfiniBand100),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_topology_links_everyone_equally() {
+        let t = ClusterTopology::flat(GpuSpec::rtx_titan(), 8, LinkClass::Pcie3.into()).unwrap();
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(t.link_between(a, b).unwrap().class, LinkClass::Pcie3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_lookup_picks_innermost_common_level() {
+        let t = two_nodes();
+        assert_eq!(t.link_between(0, 7).unwrap().class, LinkClass::Pcie3);
+        assert_eq!(t.link_between(8, 15).unwrap().class, LinkClass::Pcie3);
+        assert_eq!(
+            t.link_between(0, 8).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+        assert_eq!(
+            t.link_between(7, 8).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+    }
+
+    #[test]
+    fn bottleneck_of_cross_node_group_is_the_slow_link() {
+        let t = two_nodes();
+        let group: Vec<DeviceId> = (0..16).collect();
+        assert_eq!(
+            t.bottleneck_link(&group).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+        let inner: Vec<DeviceId> = (0..8).collect();
+        assert_eq!(t.bottleneck_link(&inner).unwrap().class, LinkClass::Pcie3);
+    }
+
+    #[test]
+    fn island_size_reflects_intra_node_levels() {
+        let t = two_nodes();
+        assert_eq!(t.island_size(), 8);
+        let flat = ClusterTopology::flat(GpuSpec::rtx_titan(), 8, LinkClass::Pcie3.into()).unwrap();
+        assert_eq!(flat.island_size(), 8);
+    }
+
+    #[test]
+    fn invalid_levels_are_rejected() {
+        let gpu = GpuSpec::rtx_titan();
+        assert_eq!(
+            ClusterTopology::new(gpu.clone(), 8, vec![]),
+            Err(ClusterError::EmptyTopology)
+        );
+        // Non-nesting sizes.
+        let bad = ClusterTopology::new(
+            gpu.clone(),
+            12,
+            vec![
+                TopologyLevel {
+                    group_size: 8,
+                    link: LinkClass::Pcie3.into(),
+                },
+                TopologyLevel {
+                    group_size: 12,
+                    link: LinkClass::InfiniBand100.into(),
+                },
+            ],
+        );
+        assert!(matches!(bad, Err(ClusterError::InvalidLevelSizes { .. })));
+        // Outer level not covering all devices.
+        let short = ClusterTopology::new(
+            gpu,
+            16,
+            vec![TopologyLevel {
+                group_size: 8,
+                link: LinkClass::Pcie3.into(),
+            }],
+        );
+        assert!(matches!(short, Err(ClusterError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn out_of_range_devices_error() {
+        let t = two_nodes();
+        assert_eq!(t.link_between(0, 16), Err(ClusterError::UnknownDevice(16)));
+        assert_eq!(
+            t.bottleneck_link(&[0]).unwrap_err(),
+            ClusterError::DegenerateGroup
+        );
+    }
+
+    #[test]
+    fn usable_budget_subtracts_overhead() {
+        let t = two_nodes();
+        let budget = 8 * crate::GIB;
+        assert_eq!(
+            t.usable_budget(budget),
+            budget - t.gpu().framework_overhead_bytes
+        );
+        assert_eq!(t.usable_budget(100), 0);
+    }
+}

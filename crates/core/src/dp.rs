@@ -1,0 +1,492 @@
+//! The dynamic-programming search of Eq. 1.
+//!
+//! For one pipeline stage of `L` layers under a per-device budget `E`,
+//! choose a strategy `S_j ∈ S` per layer minimising
+//!
+//! ```text
+//! C(L, E) = min over Sj { C(L−1, E − O(L, Sj)) + c(L, Sj) + R(L, Si, Sj) }
+//! ```
+//!
+//! The DP state is `(layer, quantized remaining memory, strategy of the
+//! previous layer)` — the paper's formulation plus the explicit previous-
+//! strategy coordinate the transformation term `R` requires, giving
+//! `O(L·E·|S|²)` time (the paper quotes `O(L·E·|S|)`, folding the `R`
+//! minimisation into the candidate scan).
+//!
+//! Memory is quantized to a configurable granularity (the paper's "using
+//! large memory granularity" knob from the complexity analysis). ZeRO-3
+//! gather transients are handled with a *reserve*: the worst single-layer
+//! transient any candidate could incur is pre-subtracted from the budget,
+//! keeping `O(·)` additive so the optimal-substructure argument of §3.3
+//! holds unchanged.
+
+use galvatron_cluster::{ClusterError, DeviceId};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use galvatron_strategy::{IntraStageStrategy, StrategySet};
+use std::ops::Range;
+
+/// Outcome of a per-stage search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpResult {
+    /// Minimum stage execution time for the whole batch, seconds.
+    pub cost: f64,
+    /// The chosen strategy per layer (in stage order).
+    pub strategies: Vec<IntraStageStrategy>,
+    /// Persistent memory of the chosen assignment, bytes per device
+    /// (quantized accounting).
+    pub memory_bytes: u64,
+}
+
+/// Run Eq. 1 for `model.layers[layer_range]` on the device group starting
+/// at `base_device`, with candidates `set`, a whole-stage batch of
+/// `stage_batch` samples, a *usable* per-device budget (framework overhead
+/// already subtracted) and memory `granularity` in bytes.
+///
+/// Returns `Ok(None)` when no assignment fits the budget (the paper's `∞`).
+#[allow(clippy::too_many_arguments)]
+pub fn dp_search(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+) -> Result<Option<DpResult>, ClusterError> {
+    dp_search_with_micro_batches(
+        estimator,
+        model,
+        layer_range,
+        base_device,
+        set,
+        stage_batch,
+        usable_budget,
+        granularity,
+        1,
+        stage_batch,
+    )
+}
+
+/// [`dp_search`] with per-layer costs priced for a stage running
+/// `micro_batches` micro-batches — ZeRO-3 collectives repeat per
+/// micro-batch, which changes which strategies win inside deep pipelines —
+/// and activation memory charged for `act_stash_batch` samples (the whole
+/// batch under GPipe; the in-flight window under 1F1B).
+#[allow(clippy::too_many_arguments)]
+pub fn dp_search_with_micro_batches(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+) -> Result<Option<DpResult>, ClusterError> {
+    assert!(granularity > 0);
+    let layers: Vec<usize> = layer_range.collect();
+    let n_layers = layers.len();
+    let n_strats = set.len();
+    if n_layers == 0 || n_strats == 0 {
+        return Ok(Some(DpResult {
+            cost: 0.0,
+            strategies: Vec::new(),
+            memory_bytes: 0,
+        }));
+    }
+
+    // Per-layer, per-strategy cost and quantized memory; plus the transient
+    // reserve (see module docs).
+    let mut cost = vec![vec![0.0f64; n_strats]; n_layers];
+    let mut mem_units = vec![vec![0u32; n_strats]; n_layers];
+    let mut reserve = 0u64;
+    let micro = (stage_batch / micro_batches.max(1) as u64).max(1);
+    for (li, &l) in layers.iter().enumerate() {
+        let layer = &model.layers[l];
+        for (si, s) in set.iter().enumerate() {
+            let c = estimator.layer_cost(layer, model.dtype, s, micro, base_device)?;
+            cost[li][si] = c.total_with_micro_batches(estimator.config(), micro_batches);
+            let m = estimator.layer_memory(layer, model.dtype, s, act_stash_batch);
+            mem_units[li][si] =
+                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+            reserve = reserve.max(m.transient);
+        }
+    }
+    // ZeRO-3 prefetch keeps up to two layers' unsharded parameters resident.
+    let budget_units = usable_budget.saturating_sub(2 * reserve) / granularity;
+    let e_max = usize::try_from(budget_units)
+        .unwrap_or(usize::MAX)
+        .min(1 << 22);
+
+    // Transformation costs between consecutive layers: r[li][s_prev][s_next].
+    let mut r = vec![vec![vec![0.0f64; n_strats]; n_strats]; n_layers];
+    for (li, &l) in layers.iter().enumerate().skip(1) {
+        let prev_layer = &model.layers[l - 1];
+        for (pi, p) in set.iter().enumerate() {
+            for (si, s) in set.iter().enumerate() {
+                r[li][pi][si] = estimator.transformation_cost(
+                    prev_layer,
+                    model.dtype,
+                    p,
+                    s,
+                    stage_batch,
+                    base_device,
+                )?;
+            }
+        }
+    }
+
+    // dp[e][s]: min time of the processed prefix using at most `e` memory
+    // units, last layer on strategy `s`. Backpointers for reconstruction.
+    const INF: f64 = f64::INFINITY;
+    let width = e_max + 1;
+    let mut dp = vec![INF; width * n_strats];
+    let mut choice: Vec<u8> = vec![u8::MAX; n_layers * width * n_strats];
+    debug_assert!(n_strats <= u8::MAX as usize);
+
+    // Layer 0.
+    for si in 0..n_strats {
+        let need = mem_units[0][si] as usize;
+        if need <= e_max {
+            for e in need..=e_max {
+                let v = cost[0][si];
+                if v < dp[e * n_strats + si] {
+                    dp[e * n_strats + si] = v;
+                }
+            }
+        }
+    }
+
+    let mut next = vec![INF; width * n_strats];
+    for li in 1..n_layers {
+        next.iter_mut().for_each(|v| *v = INF);
+        for si in 0..n_strats {
+            let need = mem_units[li][si] as usize;
+            if need > e_max {
+                continue;
+            }
+            for e in need..=e_max {
+                let rem = e - need;
+                let mut best = INF;
+                let mut best_prev = u8::MAX;
+                for pi in 0..n_strats {
+                    let prior = dp[rem * n_strats + pi];
+                    if prior.is_finite() {
+                        let total = prior + r[li][pi][si];
+                        if total < best {
+                            best = total;
+                            best_prev = pi as u8;
+                        }
+                    }
+                }
+                if best.is_finite() {
+                    let v = best + cost[li][si];
+                    let slot = e * n_strats + si;
+                    if v < next[slot] {
+                        next[slot] = v;
+                        choice[(li * width + e) * n_strats + si] = best_prev;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut dp, &mut next);
+    }
+
+    // Pick the best terminal state.
+    let mut best = INF;
+    let mut best_s = usize::MAX;
+    for si in 0..n_strats {
+        let v = dp[e_max * n_strats + si];
+        if v < best {
+            best = v;
+            best_s = si;
+        }
+    }
+    if !best.is_finite() {
+        return Ok(None);
+    }
+
+    // Reconstruct: walk back choosing, at each layer, the recorded parent at
+    // the smallest `e` achieving the optimum. Because dp uses "at most e"
+    // semantics, the terminal state at e_max is reachable along a path whose
+    // per-layer memory draws sum to ≤ e_max; recompute the draw as we go.
+    let mut strategies_rev = Vec::with_capacity(n_layers);
+    let mut si = best_s;
+    let mut e = e_max;
+    for li in (0..n_layers).rev() {
+        strategies_rev.push(set.strategies()[si].clone());
+        if li == 0 {
+            break;
+        }
+        let need = mem_units[li][si] as usize;
+        let parent = choice[(li * width + e) * n_strats + si];
+        debug_assert_ne!(parent, u8::MAX, "backpointer missing");
+        e -= need;
+        si = parent as usize;
+    }
+    strategies_rev.reverse();
+
+    // Quantized persistent memory of the chosen assignment.
+    let mut mem_total_units = 0u64;
+    for (li, s) in strategies_rev.iter().enumerate() {
+        let idx = set
+            .strategies()
+            .iter()
+            .position(|x| x == s)
+            .expect("strategy from set");
+        mem_total_units += mem_units[li][idx] as u64;
+    }
+
+    Ok(Some(DpResult {
+        cost: best,
+        strategies: strategies_rev,
+        memory_bytes: mem_total_units * granularity + 2 * reserve,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::{rtx_titan_node, GIB, MIB};
+    use galvatron_estimator::EstimatorConfig;
+    use galvatron_model::{BertConfig, PaperModel};
+    use galvatron_strategy::DecisionTreeBuilder;
+
+    fn estimator() -> CostEstimator {
+        CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default())
+    }
+
+    fn tiny_bert(layers: usize) -> ModelSpec {
+        BertConfig {
+            layers,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("tiny")
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let out = dp_search(
+            &est,
+            &model,
+            0..model.n_layers(),
+            0,
+            &set,
+            8,
+            64 * MIB,
+            32 * MIB,
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn generous_budget_finds_a_plan() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let out = dp_search(
+            &est,
+            &model,
+            0..model.n_layers(),
+            0,
+            &set,
+            8,
+            20 * GIB,
+            32 * MIB,
+        )
+        .unwrap()
+        .expect("feasible");
+        assert_eq!(out.strategies.len(), model.n_layers());
+        assert!(out.cost > 0.0 && out.cost.is_finite());
+        assert!(out.memory_bytes <= 20 * GIB);
+        for s in &out.strategies {
+            assert_eq!(s.total_degree(), 8);
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_never_run_faster() {
+        let est = estimator();
+        let model = tiny_bert(6);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let mut prev_cost = f64::INFINITY;
+        for budget in [4 * GIB, 8 * GIB, 16 * GIB, 23 * GIB] {
+            if let Some(out) = dp_search(
+                &est,
+                &model,
+                0..model.n_layers(),
+                0,
+                &set,
+                16,
+                budget,
+                32 * MIB,
+            )
+            .unwrap()
+            {
+                assert!(
+                    out.cost <= prev_cost + 1e-12,
+                    "budget {budget}: {} > {prev_cost}",
+                    out.cost
+                );
+                prev_cost = out.cost;
+            }
+        }
+        assert!(prev_cost.is_finite(), "largest budget must be feasible");
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Exhaustive check of the optimal-substructure implementation: every
+        // assignment of 3 layers × |S| strategies, same quantized
+        // accounting.
+        let est = estimator();
+        let model = tiny_bert(1); // embed + enc + head = 3 layers
+        let set = DecisionTreeBuilder::new(4).strategies();
+        let batch = 8u64;
+        let granularity = 64 * MIB;
+        for budget in [2 * GIB, 4 * GIB, 8 * GIB, 16 * GIB] {
+            let dp_out = dp_search(
+                &est,
+                &model,
+                0..model.n_layers(),
+                0,
+                &set,
+                batch,
+                budget,
+                granularity,
+            )
+            .unwrap();
+
+            // Brute force with identical quantization and reserve.
+            let mut reserve = 0u64;
+            for l in &model.layers {
+                for s in set.iter() {
+                    reserve = reserve.max(est.layer_memory(l, model.dtype, s, batch).transient);
+                }
+            }
+            let budget_units = budget.saturating_sub(2 * reserve) / granularity;
+            let mut best: Option<f64> = None;
+            let n = set.len();
+            let l_count = model.n_layers();
+            let mut assignment = vec![0usize; l_count];
+            loop {
+                // Evaluate.
+                let mut mem_units = 0u64;
+                let mut time = 0.0;
+                let mut ok = true;
+                for (li, &si) in assignment.iter().enumerate() {
+                    let layer = &model.layers[li];
+                    let s = &set.strategies()[si];
+                    let m = est.layer_memory(layer, model.dtype, s, batch);
+                    mem_units += m.persistent().div_ceil(granularity);
+                    let c = est.layer_cost(layer, model.dtype, s, batch, 0).unwrap();
+                    time += c.total(est.config());
+                    if li > 0 {
+                        time += est
+                            .transformation_cost(
+                                &model.layers[li - 1],
+                                model.dtype,
+                                &set.strategies()[assignment[li - 1]],
+                                s,
+                                batch,
+                                0,
+                            )
+                            .unwrap();
+                    }
+                    if mem_units > budget_units {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    best = Some(best.map_or(time, |b: f64| b.min(time)));
+                }
+                // Next assignment.
+                let mut i = 0;
+                loop {
+                    if i == l_count {
+                        break;
+                    }
+                    assignment[i] += 1;
+                    if assignment[i] < n {
+                        break;
+                    }
+                    assignment[i] = 0;
+                    i += 1;
+                }
+                if i == l_count {
+                    break;
+                }
+            }
+
+            match (dp_out, best) {
+                (Some(dp), Some(bf)) => {
+                    assert!(
+                        (dp.cost - bf).abs() < 1e-9 * bf.max(1.0),
+                        "budget {budget}: dp {} vs brute force {bf}",
+                        dp.cost
+                    );
+                }
+                (None, None) => {}
+                (dp, bf) => panic!("feasibility mismatch at {budget}: dp={dp:?} bf={bf:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn swin_prefers_dp_shallow_and_tp_deep_under_pressure() {
+        // §5.5 / Figure 5: Swin's shallow layers (big activations, few
+        // params) prefer data parallel; deep layers (many params) prefer
+        // tensor/sharded parallel when memory is tight.
+        let est = estimator();
+        let model = PaperModel::SwinHuge32.spec();
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let usable = est.topology().usable_budget(8 * GIB);
+        let out = dp_search(
+            &est,
+            &model,
+            0..model.n_layers(),
+            0,
+            &set,
+            32,
+            usable,
+            32 * MIB,
+        )
+        .unwrap()
+        .expect("8 GiB is feasible for Swin at batch 32");
+        let first_enc = model
+            .layers
+            .iter()
+            .position(|l| l.is_transformer_layer())
+            .unwrap();
+        let last_enc = model.n_layers()
+            - 1
+            - model
+                .layers
+                .iter()
+                .rev()
+                .position(|l| l.is_transformer_layer())
+                .unwrap();
+        let shallow = &out.strategies[first_enc];
+        let deep = &out.strategies[last_enc];
+        assert!(
+            shallow.data_degree() >= deep.data_degree(),
+            "shallow {shallow} vs deep {deep}"
+        );
+        assert!(
+            deep.tp() >= shallow.tp(),
+            "shallow {shallow} vs deep {deep}"
+        );
+    }
+}

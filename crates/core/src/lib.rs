@@ -1,0 +1,27 @@
+//! The Galvatron planner: Eq. 1 dynamic-programming search and the
+//! Algorithm 1 optimization workflow (§3.3 of the paper).
+//!
+//! Given a model, a cluster and a per-device memory budget `E`, the planner
+//!
+//! 1. sweeps candidate global batch sizes `B` (Algorithm 1 line 2),
+//! 2. for each power-of-two pipeline degree `P` partitions the model into
+//!    `P` balanced stages and the devices into `P` equal contiguous groups
+//!    (*Takeaway #1* places the cuts across the slowest links because stage
+//!    groups are contiguous and islands are contiguous),
+//! 3. builds the per-group candidate strategy set from the decision trees
+//!    of §3.2,
+//! 4. runs the dynamic program of Eq. 1 per stage to pick one hybrid
+//!    strategy per layer minimising stage time under the budget,
+//! 5. tunes the GPipe micro-batch count, and
+//! 6. keeps the `(B, P, plan)` with the highest estimated throughput,
+//!    stopping once no strategy fits the budget at the current batch.
+
+#![warn(missing_docs)]
+
+pub mod dp;
+pub mod optimizer;
+pub mod partition;
+
+pub use dp::{dp_search, dp_search_with_micro_batches, DpResult};
+pub use optimizer::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, SearchStats};
+pub use partition::PipelinePartitioner;

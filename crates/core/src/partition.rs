@@ -1,0 +1,235 @@
+//! Pipeline stage partitioning.
+//!
+//! §3.3: "we support several load balancing guidelines for PP partitioning,
+//! such as the number of layers/parameters, the maximum memory usage and the
+//! execution time." Each guideline assigns a weight per layer; the partition
+//! minimises the maximum stage weight over contiguous splits (the classic
+//! linear-partition problem, solved exactly by DP).
+
+use galvatron_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// The load-balancing guideline used to cut the model into stages.
+///
+/// ```
+/// use galvatron_core::PipelinePartitioner;
+/// use galvatron_model::PaperModel;
+///
+/// let model = PaperModel::BertHuge32.spec();
+/// let stages = PipelinePartitioner::ByFlops.partition(&model, 4);
+/// assert_eq!(stages.len(), 4);
+/// assert_eq!(stages[0].0, 0);
+/// assert_eq!(stages[3].1, model.n_layers());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PipelinePartitioner {
+    /// Equal layer counts (GPipe's default).
+    ByLayerCount,
+    /// Balance parameter bytes (even model-state memory).
+    ByParams,
+    /// Balance activation bytes (even activation memory).
+    ByActivation,
+    /// Balance forward FLOPs (even execution time) — Galvatron's default.
+    #[default]
+    ByFlops,
+}
+
+impl PipelinePartitioner {
+    /// The per-layer weight this guideline balances.
+    pub fn layer_weight(self, model: &ModelSpec, layer: usize) -> f64 {
+        let l = &model.layers[layer];
+        match self {
+            PipelinePartitioner::ByLayerCount => 1.0,
+            PipelinePartitioner::ByParams => l.param_bytes(model.dtype) as f64,
+            PipelinePartitioner::ByActivation => l.activation_bytes_per_sample(model.dtype) as f64,
+            PipelinePartitioner::ByFlops => l.forward_flops_per_sample(),
+        }
+    }
+
+    /// Split `model` into `stages` contiguous, non-empty layer ranges
+    /// minimising the maximum stage weight. Returns the stage boundaries as
+    /// `(start, end)` pairs covering `0..n_layers`.
+    ///
+    /// Panics if `stages` is zero or exceeds the layer count.
+    pub fn partition(self, model: &ModelSpec, stages: usize) -> Vec<(usize, usize)> {
+        self.partition_with_capacities(model, stages, None)
+    }
+
+    /// [`PipelinePartitioner::partition`] with per-stage *capacities*
+    /// (relative processing speeds): stage `k`'s load is
+    /// `weight / capacities[k]`, so faster devices receive more layers —
+    /// the heterogeneous-cluster extension of §6. `None` (or uniform
+    /// capacities) reduces to the homogeneous split.
+    pub fn partition_with_capacities(
+        self,
+        model: &ModelSpec,
+        stages: usize,
+        capacities: Option<&[f64]>,
+    ) -> Vec<(usize, usize)> {
+        let n = model.n_layers();
+        assert!(stages >= 1 && stages <= n, "need 1..=n_layers stages");
+        if let Some(caps) = capacities {
+            assert_eq!(caps.len(), stages, "one capacity per stage");
+            assert!(caps.iter().all(|&c| c > 0.0), "capacities must be positive");
+        }
+        if stages == 1 {
+            return vec![(0, n)];
+        }
+        let cap = |k: usize| capacities.map_or(1.0, |c| c[k]);
+        let weights: Vec<f64> = (0..n).map(|l| self.layer_weight(model, l)).collect();
+        let mut prefix = vec![0.0f64; n + 1];
+        for (i, w) in weights.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + w;
+        }
+        let range = |a: usize, b: usize| prefix[b] - prefix[a];
+
+        // dp[k][i] = minimal max-stage-load splitting the first i layers
+        // into k stages; cut[k][i] = position of the last cut.
+        let mut dp = vec![vec![f64::INFINITY; n + 1]; stages + 1];
+        let mut cut = vec![vec![0usize; n + 1]; stages + 1];
+        for (i, slot) in dp[1].iter_mut().enumerate().skip(1) {
+            *slot = range(0, i) / cap(0);
+        }
+        for k in 2..=stages {
+            for i in k..=n {
+                for j in (k - 1)..i {
+                    let candidate = dp[k - 1][j].max(range(j, i) / cap(k - 1));
+                    if candidate < dp[k][i] {
+                        dp[k][i] = candidate;
+                        cut[k][i] = j;
+                    }
+                }
+            }
+        }
+
+        let mut bounds = Vec::with_capacity(stages);
+        let mut end = n;
+        for k in (1..=stages).rev() {
+            let start = if k == 1 { 0 } else { cut[k][end] };
+            bounds.push((start, end));
+            end = start;
+        }
+        bounds.reverse();
+        debug_assert_eq!(bounds[0].0, 0);
+        debug_assert_eq!(bounds[stages - 1].1, n);
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_model::PaperModel;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_stage_is_everything() {
+        let model = PaperModel::BertHuge32.spec();
+        assert_eq!(
+            PipelinePartitioner::ByFlops.partition(&model, 1),
+            vec![(0, model.n_layers())]
+        );
+    }
+
+    #[test]
+    fn by_layer_count_is_nearly_even() {
+        let model = PaperModel::BertHuge32.spec(); // 34 planning units
+        let parts = PipelinePartitioner::ByLayerCount.partition(&model, 4);
+        assert_eq!(parts.len(), 4);
+        for (a, b) in &parts {
+            let len = b - a;
+            assert!((8..=9).contains(&len), "{parts:?}");
+        }
+    }
+
+    #[test]
+    fn partitions_tile_the_model() {
+        let model = PaperModel::SwinHuge32.spec();
+        for p in [1usize, 2, 4, 8] {
+            for kind in [
+                PipelinePartitioner::ByLayerCount,
+                PipelinePartitioner::ByParams,
+                PipelinePartitioner::ByActivation,
+                PipelinePartitioner::ByFlops,
+            ] {
+                let parts = kind.partition(&model, p);
+                assert_eq!(parts.len(), p);
+                let mut next = 0;
+                for (a, b) in parts {
+                    assert_eq!(a, next);
+                    assert!(b > a, "empty stage");
+                    next = b;
+                }
+                assert_eq!(next, model.n_layers());
+            }
+        }
+    }
+
+    #[test]
+    fn by_params_balances_swins_skewed_stages() {
+        // Swin's parameters concentrate in deep layers; a parameter-balanced
+        // 2-way cut must place far more than half the layers in stage 0.
+        let model = PaperModel::SwinHuge32.spec();
+        let parts = PipelinePartitioner::ByParams.partition(&model, 2);
+        let (a, b) = (parts[0], parts[1]);
+        assert!(a.1 - a.0 > b.1 - b.0, "{parts:?}");
+        let w = |r: (usize, usize)| -> f64 {
+            (r.0..r.1)
+                .map(|l| PipelinePartitioner::ByParams.layer_weight(&model, l))
+                .sum()
+        };
+        let (wa, wb) = (w(a), w(b));
+        assert!((wa / wb - 1.0).abs() < 0.5, "wa {wa} wb {wb}");
+    }
+
+    #[test]
+    fn dp_partition_is_optimal_for_max_weight() {
+        // Compare against exhaustive cut enumeration on a small model.
+        let model = galvatron_model::BertConfig {
+            layers: 6,
+            hidden: 256,
+            heads: 4,
+            seq: 128,
+            vocab: 1000,
+        }
+        .build("small");
+        let n = model.n_layers();
+        let kind = PipelinePartitioner::ByFlops;
+        let weights: Vec<f64> = (0..n).map(|l| kind.layer_weight(&model, l)).collect();
+        let stage_w = |a: usize, b: usize| weights[a..b].iter().sum::<f64>();
+
+        let parts = kind.partition(&model, 3);
+        let dp_max = parts
+            .iter()
+            .map(|&(a, b)| stage_w(a, b))
+            .fold(0.0f64, f64::max);
+
+        let mut best = f64::INFINITY;
+        for c1 in 1..n - 1 {
+            for c2 in c1 + 1..n {
+                let m = stage_w(0, c1).max(stage_w(c1, c2)).max(stage_w(c2, n));
+                best = best.min(m);
+            }
+        }
+        assert!((dp_max - best).abs() < 1e-9 * best);
+    }
+
+    proptest! {
+        #[test]
+        fn more_stages_never_increase_the_bottleneck(p in 1usize..5) {
+            let model = PaperModel::VitHuge32.spec();
+            let kind = PipelinePartitioner::ByFlops;
+            let weights: Vec<f64> =
+                (0..model.n_layers()).map(|l| kind.layer_weight(&model, l)).collect();
+            let max_of = |parts: &[(usize, usize)]| {
+                parts
+                    .iter()
+                    .map(|&(a, b)| weights[a..b].iter().sum::<f64>())
+                    .fold(0.0f64, f64::max)
+            };
+            let coarse = kind.partition(&model, p);
+            let fine = kind.partition(&model, p * 2);
+            prop_assert!(max_of(&fine) <= max_of(&coarse) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Calibration: fitting the cost model's constants from measurements.
+//!
+//! §3.4: "Existing approaches mainly adopt two techniques for the
+//! estimation, including profiling and simulating. In Galvatron, we take
+//! advantages from both sides." The analytic formulas need three constants —
+//! sustained FLOP/s, effective link bandwidth (+latency), and the overlap
+//! slowdown α — and this module recovers each from observations of real (or
+//! simulated) executions:
+//!
+//! * [`fit_rate`] — sustained FLOP/s from `(flops, seconds)` pairs,
+//! * [`fit_link`] — `(bandwidth, latency)` from `(bytes-on-wire, seconds)`
+//!   pairs via ordinary least squares,
+//! * [`fit_alpha`] — the contention factor from
+//!   `(compute, comm, overlapped-wall-time)` triples using the closed form
+//!   `T = max + (α−1)·min`.
+//!
+//! The round-trip — profile a simulator built with known constants, fit,
+//! recover them — is asserted in `tests/calibration.rs`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted link: effective bandwidth and per-operation latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedLink {
+    /// Bytes per second.
+    pub bandwidth: f64,
+    /// Seconds of fixed overhead per operation.
+    pub latency: f64,
+}
+
+/// Least-squares slope through the origin: the sustained processing rate
+/// `r` such that `seconds ≈ flops / r`. Returns `None` for degenerate
+/// inputs (no samples, all-zero work).
+pub fn fit_rate(samples: &[(f64, f64)]) -> Option<f64> {
+    let sum_ff: f64 = samples.iter().map(|(f, _)| f * f).sum();
+    let sum_fs: f64 = samples.iter().map(|(f, s)| f * s).sum();
+    if sum_ff <= 0.0 || sum_fs <= 0.0 || sum_ff.is_nan() || sum_fs.is_nan() {
+        return None;
+    }
+    Some(sum_ff / sum_fs)
+}
+
+/// Ordinary least squares `seconds = latency + bytes / bandwidth`.
+/// Returns `None` when the inputs cannot identify a slope (fewer than two
+/// distinct byte counts) or produce a non-physical fit.
+pub fn fit_link(samples: &[(f64, f64)]) -> Option<FittedLink> {
+    let n = samples.len() as f64;
+    if samples.len() < 2 {
+        return None;
+    }
+    let mean_x: f64 = samples.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y: f64 = samples.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = samples
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    if slope <= 0.0 {
+        return None;
+    }
+    let intercept = (mean_y - slope * mean_x).max(0.0);
+    Some(FittedLink {
+        bandwidth: 1.0 / slope,
+        latency: intercept,
+    })
+}
+
+/// Recover the overlap slowdown α from `(compute, comm, wall)` triples using
+/// `wall = max(c, m) + (α − 1)·min(c, m)`. Samples whose `min` is tiny carry
+/// no signal and are skipped. Returns `None` if nothing identifiable
+/// remains; results are clamped to `α ≥ 1`.
+pub fn fit_alpha(samples: &[(f64, f64, f64)]) -> Option<f64> {
+    let mut weights = 0.0f64;
+    let mut weighted = 0.0f64;
+    for &(c, m, wall) in samples {
+        let min = c.min(m);
+        let max = c.max(m);
+        if min <= 1e-9 * max {
+            continue;
+        }
+        let alpha = 1.0 + (wall - max) / min;
+        // Weight by the overlap share: bigger overlaps identify α better.
+        weights += min;
+        weighted += alpha.max(1.0) * min;
+    }
+    if weights <= 0.0 {
+        return None;
+    }
+    Some(weighted / weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_fit_recovers_exact_data() {
+        let rate = 5.0e12;
+        let samples: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let flops = i as f64 * 1e12;
+                (flops, flops / rate)
+            })
+            .collect();
+        let fitted = fit_rate(&samples).unwrap();
+        assert!((fitted / rate - 1.0).abs() < 1e-12);
+        assert_eq!(fit_rate(&[]), None);
+        assert_eq!(fit_rate(&[(0.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn link_fit_recovers_bandwidth_and_latency() {
+        let bw = 4.8e9;
+        let lat = 25e-6;
+        let samples: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let bytes = i as f64 * 8e6;
+                (bytes, lat + bytes / bw)
+            })
+            .collect();
+        let fitted = fit_link(&samples).unwrap();
+        assert!((fitted.bandwidth / bw - 1.0).abs() < 1e-9);
+        assert!((fitted.latency - lat).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(fit_link(&[(1.0, 1.0)]), None);
+        assert_eq!(fit_link(&[(1.0, 1.0), (1.0, 2.0)]), None);
+    }
+
+    #[test]
+    fn alpha_fit_recovers_the_contention_factor() {
+        let alpha = 1.3;
+        let samples: Vec<(f64, f64, f64)> = [(2.0, 2.0), (3.0, 1.0), (0.5, 4.0)]
+            .iter()
+            .map(|&(c, m): &(f64, f64)| (c, m, c.max(m) + (alpha - 1.0) * c.min(m)))
+            .collect();
+        let fitted = fit_alpha(&samples).unwrap();
+        assert!((fitted - alpha).abs() < 1e-12);
+        // Zero-overlap samples are uninformative.
+        assert_eq!(fit_alpha(&[(1.0, 0.0, 1.0)]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_fit_is_robust_to_symmetric_noise(rate_t in 1.0f64..100.0, seed in 0u64..100) {
+            let rate = rate_t * 1e11;
+            // Deterministic pseudo-noise, symmetric around 1.
+            let samples: Vec<(f64, f64)> = (1..=32).map(|i| {
+                let flops = i as f64 * 1e11;
+                let jitter = 1.0 + 0.02 * (((i as u64 * 2654435761 + seed) % 200) as f64 / 100.0 - 1.0);
+                (flops, flops / rate * jitter)
+            }).collect();
+            let fitted = fit_rate(&samples).unwrap();
+            prop_assert!((fitted / rate - 1.0).abs() < 0.05);
+        }
+
+        #[test]
+        fn alpha_fit_stays_at_least_one(c in 0.1f64..10.0, m in 0.1f64..10.0) {
+            // Even if the wall time is (unphysically) below max, the fit
+            // clamps at no-contention.
+            let fitted = fit_alpha(&[(c, m, 0.5 * c.max(m))]).unwrap();
+            prop_assert!(fitted >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! GPipe pipeline timing: bubbles and micro-batch tuning.
+//!
+//! For `P` stages whose *whole-batch* costs are `C_i`, split into `m`
+//! micro-batches of per-stage time `C_i / m`, the GPipe makespan is
+//!
+//! ```text
+//! T(m) = Σᵢ Cᵢ/m + (m − 1) · maxᵢ Cᵢ/m
+//! ```
+//!
+//! — exact for a linear pipeline of identical micro-batch chains: the first
+//! micro-batch ripples through every stage (`Σ Cᵢ/m`), then the bottleneck
+//! stage streams the remaining `m − 1`. `m = 1` recovers the sequential sum,
+//! `m → ∞` converges to the bottleneck-stage batch cost. The `(P−1)/m`
+//! bubble fraction the paper tunes away appears for uniform stages.
+
+/// GPipe iteration time for whole-batch stage costs `stage_costs` with
+/// `micro_batches` micro-batches. A single stage ignores `micro_batches`.
+pub fn gpipe_iteration_time(stage_costs: &[f64], micro_batches: usize) -> f64 {
+    assert!(!stage_costs.is_empty(), "at least one stage");
+    assert!(micro_batches >= 1, "at least one micro-batch");
+    if stage_costs.len() == 1 {
+        return stage_costs[0];
+    }
+    let m = micro_batches as f64;
+    let sum: f64 = stage_costs.iter().sum();
+    let max = stage_costs.iter().cloned().fold(0.0f64, f64::max);
+    sum / m + (m - 1.0) * max / m
+}
+
+/// Choose the micro-batch count minimising pipeline time plus per-micro
+/// overhead (the paper "manually tune[s] the number of micro-batches to
+/// minimize the bubbles", §5.1 — we search instead).
+///
+/// Candidates are powers of two `m` such that the micro-batch
+/// `global_batch / m` stays divisible by `data_degree` (every data-parallel
+/// group still gets whole samples). Returns `(m, time)`.
+pub fn optimal_micro_batches(
+    stage_costs: &[f64],
+    global_batch: usize,
+    data_degree: usize,
+    per_micro_overhead: f64,
+) -> (usize, f64) {
+    assert!(global_batch >= 1);
+    assert!(data_degree >= 1);
+    let stages = stage_costs.len();
+    if stages == 1 {
+        return (1, gpipe_iteration_time(stage_costs, 1));
+    }
+    let mut best = (1usize, f64::INFINITY);
+    let mut m = 1usize;
+    while m <= global_batch {
+        if global_batch.is_multiple_of(m) && (global_batch / m).is_multiple_of(data_degree) {
+            let time = gpipe_iteration_time(stage_costs, m)
+                + per_micro_overhead * m as f64 * stages as f64;
+            if time < best.1 {
+                best = (m, time);
+            }
+        }
+        m *= 2;
+    }
+    debug_assert!(best.1.is_finite(), "no feasible micro-batch count");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_micro_batch_is_sequential() {
+        let costs = [1.0, 2.0, 0.5, 1.5];
+        assert!((gpipe_iteration_time(&costs, 1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_stages_match_the_classic_bubble_formula() {
+        // T = (m + P − 1)/m · C with C the per-stage batch cost.
+        let p = 4;
+        let c = 2.0;
+        let costs = vec![c; p];
+        for m in [1usize, 2, 4, 8, 16] {
+            let t = gpipe_iteration_time(&costs, m);
+            let expected = (m + p - 1) as f64 / m as f64 * c;
+            assert!((t - expected).abs() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn many_micro_batches_approach_the_bottleneck() {
+        let costs = [1.0, 4.0, 2.0];
+        let t = gpipe_iteration_time(&costs, 1 << 20);
+        assert!((t - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_stage_is_unaffected() {
+        assert_eq!(gpipe_iteration_time(&[3.0], 16), 3.0);
+    }
+
+    #[test]
+    fn tuning_trades_bubble_against_overhead() {
+        let costs = vec![1.0; 4];
+        // Free micro-batches → as many as the batch allows.
+        let (m_free, _) = optimal_micro_batches(&costs, 64, 1, 0.0);
+        assert_eq!(m_free, 64);
+        // Expensive micro-batches → few.
+        let (m_pricey, _) = optimal_micro_batches(&costs, 64, 1, 0.5);
+        assert!(m_pricey < 8);
+    }
+
+    #[test]
+    fn data_degree_limits_micro_batching() {
+        let costs = vec![1.0; 2];
+        // batch 32, each micro must still split 8 ways → m ≤ 4.
+        let (m, _) = optimal_micro_batches(&costs, 32, 8, 0.0);
+        assert!(m <= 4);
+        assert_eq!((32 / m) % 8, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn time_decreases_then_makespan_is_bounded(
+            p in 2usize..6, c in 0.1f64..10.0, m in 1usize..64
+        ) {
+            let costs = vec![c; p];
+            let t = gpipe_iteration_time(&costs, m);
+            // Bounded between bottleneck cost and sequential sum.
+            prop_assert!(t <= c * p as f64 + 1e-9);
+            prop_assert!(t >= c - 1e-9);
+        }
+
+        #[test]
+        fn more_micro_batches_never_hurt_without_overhead(
+            costs in prop::collection::vec(0.1f64..5.0, 2..6), k in 0u32..6
+        ) {
+            let m = 1usize << k;
+            let t1 = gpipe_iteration_time(&costs, m);
+            let t2 = gpipe_iteration_time(&costs, m * 2);
+            prop_assert!(t2 <= t1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Collectives over *virtual devices*: each rank's buffer is a [`Matrix`];
+//! the primitives implement the NCCL semantics the cost models price.
+
+use crate::matrix::Matrix;
+
+/// All-reduce (sum): every rank ends with the elementwise sum.
+pub fn all_reduce(buffers: &mut [Matrix]) {
+    let n = buffers.len();
+    if n <= 1 {
+        return;
+    }
+    let mut sum = buffers[0].clone();
+    for b in &buffers[1..] {
+        sum.add_assign(b);
+    }
+    for b in buffers.iter_mut() {
+        *b = sum.clone();
+    }
+}
+
+/// All-gather along rows: every rank ends with the vertical concatenation
+/// of all ranks' shards (rank order).
+pub fn all_gather_rows(shards: &[Matrix]) -> Matrix {
+    Matrix::concat_rows(shards)
+}
+
+/// Reduce-scatter along rows: sum all ranks' full-size buffers, then hand
+/// rank `i` the `i`-th row block.
+pub fn reduce_scatter_rows(buffers: &[Matrix]) -> Vec<Matrix> {
+    let n = buffers.len();
+    let mut sum = buffers[0].clone();
+    for b in &buffers[1..] {
+        sum.add_assign(b);
+    }
+    assert_eq!(sum.rows() % n, 0, "rows must divide the group");
+    let chunk = sum.rows() / n;
+    (0..n).map(|i| sum.row_slice(i * chunk, chunk)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_is_the_sum_everywhere() {
+        let mut bufs = vec![
+            Matrix::from_rows(&[&[1.0, 2.0]]),
+            Matrix::from_rows(&[&[10.0, 20.0]]),
+            Matrix::from_rows(&[&[100.0, 200.0]]),
+        ];
+        all_reduce(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b.data(), &[111.0, 222.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_preserves_rank_order() {
+        let shards = vec![Matrix::from_rows(&[&[1.0]]), Matrix::from_rows(&[&[2.0]])];
+        assert_eq!(all_gather_rows(&shards).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_is_allreduce_then_slice() {
+        let bufs = vec![Matrix::random(4, 3, 1), Matrix::random(4, 3, 2)];
+        let mut reduced = bufs.clone();
+        all_reduce(&mut reduced);
+        let scattered = reduce_scatter_rows(&bufs);
+        assert_eq!(scattered.len(), 2);
+        for (i, shard) in scattered.iter().enumerate() {
+            assert!(shard.max_abs_diff(&reduced[0].row_slice(i * 2, 2)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gather_of_scatter_is_the_reduction() {
+        // The Takeaway-#3 identity, numerically: all-gather ∘ reduce-scatter
+        // = all-reduce.
+        let bufs = vec![Matrix::random(6, 2, 3), Matrix::random(6, 2, 4)];
+        let mut reduced = bufs.clone();
+        all_reduce(&mut reduced);
+        let gathered = all_gather_rows(&reduce_scatter_rows(&bufs));
+        assert!(gathered.max_abs_diff(&reduced[0]) < 1e-6);
+    }
+}

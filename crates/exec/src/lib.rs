@@ -1,0 +1,33 @@
+//! A numeric **reference executor** for Galvatron's hybrid parallelism.
+//!
+//! The planner and simulator reason about parallel strategies through cost
+//! models; this crate closes the loop on *correctness*: it actually executes
+//! a small model under any hybrid strategy — data sharding, ZeRO-3 parameter
+//! sharding with all-gathers, Megatron column/row tensor parallelism with
+//! activation all-reduces, pipeline stages with micro-batches, and
+//! Slice-Gather redistribution between layers with different strategies —
+//! on a set of *virtual devices* (plain CPU buffers), and verifies that the
+//! resulting loss and gradients are numerically identical to single-device
+//! execution.
+//!
+//! This is the property real systems guarantee by construction ("inserts
+//! communication operations (e.g., All-Reduce) to guarantee consistent
+//! results", §2.2 on Megatron) and the reason a Galvatron plan is free to
+//! pick any strategy per layer: they are all semantically equivalent.
+//!
+//! The model is a stack of Megatron-style MLP blocks
+//! (`Y = relu(X·W₁)·W₂`) — exactly the computation whose column/row split
+//! defines tensor parallelism — with a quadratic loss, trained in f32 on
+//! matrices small enough for exhaustive comparison.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod matrix;
+pub mod mlp;
+pub mod parallel;
+
+pub use collectives::{all_gather_rows, all_reduce, reduce_scatter_rows};
+pub use matrix::Matrix;
+pub use mlp::{MlpModel, MlpTrace};
+pub use parallel::{execute_parallel, execute_serial, ExecError, ExecutionResult};

@@ -1,0 +1,286 @@
+//! A minimal dense f32 matrix — just enough linear algebra for the
+//! reference executor (row-major, no BLAS, no SIMD heroics).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A seeded uniform(-0.5, 0.5) matrix (deterministic initialisation).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+        }
+    }
+
+    /// Build from a nested slice (tests).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise addition in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x.max(0.0)).collect(),
+        }
+    }
+
+    /// Elementwise product with the ReLU mask of `pre` (backward of ReLU).
+    pub fn relu_backward(&self, pre: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (pre.rows, pre.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&pre.data)
+                .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// A contiguous block of rows `[start, start + len)`.
+    pub fn row_slice(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.rows);
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        }
+    }
+
+    /// A contiguous block of columns `[start, start + len)`.
+    pub fn col_slice(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.cols);
+        let mut out = Matrix::zeros(self.rows, len);
+        for i in 0..self.rows {
+            out.data[i * len..(i + 1) * len]
+                .copy_from_slice(&self.data[i * self.cols + start..i * self.cols + start + len]);
+        }
+        out
+    }
+
+    /// Stack matrices vertically (equal column counts).
+    pub fn concat_rows(parts: &[Matrix]) -> Matrix {
+        let cols = parts.first().expect("at least one part").cols;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols);
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Stack matrices horizontally (equal row counts).
+    pub fn concat_cols(parts: &[Matrix]) -> Matrix {
+        let rows = parts.first().expect("at least one part").rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut offset = 0;
+        for p in parts {
+            assert_eq!(p.rows, rows);
+            for i in 0..rows {
+                out.data[i * cols + offset..i * cols + offset + p.cols]
+                    .copy_from_slice(&p.data[i * p.cols..(i + 1) * p.cols]);
+            }
+            offset += p.cols;
+        }
+        out
+    }
+
+    /// Frobenius norm squared.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// Largest absolute elementwise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::random(3, 5, 42);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn relu_and_backward_mask_agree() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0], &[0.5, -3.0]]);
+        let y = x.relu();
+        assert_eq!(y.data(), &[0.0, 2.0, 0.5, 0.0]);
+        let g = Matrix::from_rows(&[&[10.0, 10.0], &[10.0, 10.0]]);
+        let gx = g.relu_backward(&x);
+        assert_eq!(gx.data(), &[0.0, 10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn slicing_and_concat_invert() {
+        let a = Matrix::random(6, 4, 7);
+        let top = a.row_slice(0, 3);
+        let bottom = a.row_slice(3, 3);
+        assert_eq!(Matrix::concat_rows(&[top, bottom]), a);
+        let left = a.col_slice(0, 2);
+        let right = a.col_slice(2, 2);
+        assert_eq!(Matrix::concat_cols(&[left, right]), a);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut a = Matrix::zeros(2, 3);
+        a[(1, 2)] = 5.0;
+        assert_eq!(a.data()[5], 5.0);
+        assert_eq!(a[(1, 2)], 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_row_blocks(seed in 0u64..1000) {
+            // (A stacked) · B == stack(A_i · B): the algebra behind data
+            // parallelism.
+            let a = Matrix::random(8, 6, seed);
+            let b = Matrix::random(6, 5, seed + 1);
+            let whole = a.matmul(&b);
+            let parts: Vec<Matrix> = (0..4)
+                .map(|i| a.row_slice(i * 2, 2).matmul(&b))
+                .collect();
+            prop_assert!(whole.max_abs_diff(&Matrix::concat_rows(&parts)) < 1e-6);
+        }
+
+        #[test]
+        fn matmul_sums_over_col_blocks(seed in 0u64..1000) {
+            // A · B == Σ A[:, k-block] · B[k-block, :]: the algebra behind
+            // row-parallel tensor parallelism (the all-reduce).
+            let a = Matrix::random(4, 8, seed);
+            let b = Matrix::random(8, 3, seed + 1);
+            let whole = a.matmul(&b);
+            let mut sum = Matrix::zeros(4, 3);
+            for k in 0..4 {
+                let part = a.col_slice(k * 2, 2).matmul(&b.row_slice(k * 2, 2));
+                sum.add_assign(&part);
+            }
+            prop_assert!(whole.max_abs_diff(&sum) < 1e-5);
+        }
+    }
+}

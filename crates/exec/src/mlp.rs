@@ -1,0 +1,146 @@
+//! The reference model: a stack of Megatron-style MLP blocks,
+//! `Yₗ = relu(Xₗ · W₁ₗ) · W₂ₗ`, with quadratic loss `½‖Y_L‖²`.
+//!
+//! This is deliberately the block whose column/row decomposition *defines*
+//! tensor parallelism in Megatron-LM, so every paradigm's sharding rule has
+//! a crisp meaning on it.
+
+use crate::matrix::Matrix;
+
+/// The model: per-layer weight pairs. Width is uniform (`dim → hidden → dim`)
+/// so any two layers can be chained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpModel {
+    /// Per-layer `(W₁: dim×hidden, W₂: hidden×dim)`.
+    pub layers: Vec<(Matrix, Matrix)>,
+    /// Feature width.
+    pub dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl MlpModel {
+    /// A seeded random model.
+    pub fn random(n_layers: usize, dim: usize, hidden: usize, seed: u64) -> Self {
+        let layers = (0..n_layers)
+            .map(|l| {
+                (
+                    Matrix::random(dim, hidden, seed.wrapping_add(2 * l as u64)),
+                    Matrix::random(hidden, dim, seed.wrapping_add(2 * l as u64 + 1)),
+                )
+            })
+            .collect();
+        MlpModel {
+            layers,
+            dim,
+            hidden,
+        }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Stashed forward state of one layer (what backward needs).
+#[derive(Debug, Clone)]
+pub struct MlpTrace {
+    /// The layer input.
+    pub input: Matrix,
+    /// Pre-activation (`X·W₁`).
+    pub pre: Matrix,
+    /// Post-activation (`relu(pre)`).
+    pub act: Matrix,
+}
+
+/// Forward one layer, returning the output and the stash.
+pub fn forward_layer(w1: &Matrix, w2: &Matrix, x: &Matrix) -> (Matrix, MlpTrace) {
+    let pre = x.matmul(w1);
+    let act = pre.relu();
+    let y = act.matmul(w2);
+    (
+        y,
+        MlpTrace {
+            input: x.clone(),
+            pre,
+            act,
+        },
+    )
+}
+
+/// Backward one layer: given `dY`, return `(dX, dW₁, dW₂)`.
+pub fn backward_layer(
+    w1: &Matrix,
+    w2: &Matrix,
+    trace: &MlpTrace,
+    dy: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let dw2 = trace.act.transpose().matmul(dy);
+    let dact = dy.matmul(&w2.transpose());
+    let dpre = dact.relu_backward(&trace.pre);
+    let dw1 = trace.input.transpose().matmul(&dpre);
+    let dx = dpre.matmul(&w1.transpose());
+    (dx, dw1, dw2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of the analytic gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let dim = 3;
+        let hidden = 4;
+        let w1 = Matrix::random(dim, hidden, 11);
+        let w2 = Matrix::random(hidden, dim, 12);
+        let x = Matrix::random(2, dim, 13);
+
+        let loss = |w1: &Matrix, w2: &Matrix| -> f64 {
+            let (y, _) = forward_layer(w1, w2, &x);
+            0.5 * y.norm_sq()
+        };
+        let (y, trace) = forward_layer(&w1, &w2, &x);
+        // dL/dY = Y for the quadratic loss.
+        let (_, dw1, dw2) = backward_layer(&w1, &w2, &trace, &y);
+
+        let eps = 1e-3f32;
+        for (r, c) in [(0usize, 0usize), (1, 2), (2, 3)] {
+            let mut w1p = w1.clone();
+            w1p[(r, c)] += eps;
+            let mut w1m = w1.clone();
+            w1m[(r, c)] -= eps;
+            let numeric = (loss(&w1p, &w2) - loss(&w1m, &w2)) / (2.0 * eps as f64);
+            let analytic = dw1[(r, c)] as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + analytic.abs()),
+                "dW1[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for (r, c) in [(0usize, 0usize), (3, 1)] {
+            let mut w2p = w2.clone();
+            w2p[(r, c)] += eps;
+            let mut w2m = w2.clone();
+            w2m[(r, c)] -= eps;
+            let numeric = (loss(&w1, &w2p) - loss(&w1, &w2m)) / (2.0 * eps as f64);
+            let analytic = dw2[(r, c)] as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + analytic.abs()),
+                "dW2[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_shapes_chain() {
+        let model = MlpModel::random(3, 4, 6, 1);
+        let x = Matrix::random(5, 4, 2);
+        let mut h = x;
+        for (w1, w2) in &model.layers {
+            let (y, _) = forward_layer(w1, w2, &h);
+            assert_eq!((y.rows(), y.cols()), (5, 4));
+            h = y;
+        }
+    }
+}

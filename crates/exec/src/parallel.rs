@@ -1,0 +1,387 @@
+//! Hybrid-parallel execution on virtual devices, and the serial reference.
+//!
+//! The executor honours a [`ParallelPlan`]'s *semantics* — who holds which
+//! parameter shard, which batch rows, which collectives run where — while
+//! running everything in one address space. Scheduling (streams, overlap)
+//! is the simulator's job; here only the numbers matter, and the contract
+//! is: **any valid plan computes the same loss and gradients as one
+//! device**.
+//!
+//! Sharding rules per paradigm (Megatron MLP conventions):
+//! * **DP / SDP** split the batch rows `dp·sdp` ways; gradients are summed
+//!   across the data group (all-reduce for DP; reduce-scatter + all-gather
+//!   for SDP, which is the same sum).
+//! * **SDP** additionally stores each parameter row-sharded across its
+//!   group and must all-gather it before use.
+//! * **TP** column-splits `W₁` and row-splits `W₂`; each partial block
+//!   output is summed with an all-reduce across the TP group, forward and
+//!   backward.
+//! * **PP** runs stages in sequence per micro-batch, handing the boundary
+//!   activation over; gradients accumulate across micro-batches.
+//! * Between adjacent layers with different strategies the activation is
+//!   redistributed (Slice-Gather): realised here as gather-to-full then
+//!   re-slice, which is exactly the data movement the planner prices.
+
+use crate::collectives::{all_gather_rows, all_reduce, reduce_scatter_rows};
+use crate::matrix::Matrix;
+use crate::mlp::{backward_layer, forward_layer, MlpModel, MlpTrace};
+use galvatron_strategy::{ParallelPlan, PlanError};
+use std::fmt;
+
+/// Errors from the reference executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan does not match the model/devices.
+    InvalidPlan(PlanError),
+    /// The input batch does not match the plan's global batch.
+    BatchMismatch {
+        /// Rows provided.
+        got: usize,
+        /// Rows the plan expects.
+        expected: usize,
+    },
+    /// A tensor dimension does not divide by a sharding degree.
+    IndivisibleDim {
+        /// What was being split ("batch", "hidden", "w1 rows", ...).
+        what: &'static str,
+        /// The dimension size.
+        size: usize,
+        /// The degree it must divide by.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            ExecError::BatchMismatch { got, expected } => {
+                write!(f, "batch is {got} rows but the plan expects {expected}")
+            }
+            ExecError::IndivisibleDim { what, size, degree } => {
+                write!(f, "{what} of size {size} does not divide by {degree}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Loss, gradients and output of one training step (no optimizer update —
+/// gradient equivalence is the property under test).
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// `½ Σ ‖Y_L‖²` over the whole batch.
+    pub loss: f64,
+    /// Per-layer `(dW₁, dW₂)`, full (unsharded) for comparison.
+    pub grads: Vec<(Matrix, Matrix)>,
+    /// The final layer's output for the whole batch.
+    pub output: Matrix,
+}
+
+/// Single-device reference execution.
+pub fn execute_serial(model: &MlpModel, x: &Matrix) -> ExecutionResult {
+    let mut h = x.clone();
+    let mut traces: Vec<MlpTrace> = Vec::with_capacity(model.n_layers());
+    for (w1, w2) in &model.layers {
+        let (y, trace) = forward_layer(w1, w2, &h);
+        traces.push(trace);
+        h = y;
+    }
+    let output = h;
+    let loss = 0.5 * output.norm_sq();
+
+    let mut dy = output.clone();
+    let mut grads = vec![(Matrix::zeros(0, 0), Matrix::zeros(0, 0)); model.n_layers()];
+    for (l, (w1, w2)) in model.layers.iter().enumerate().rev() {
+        let (dx, dw1, dw2) = backward_layer(w1, w2, &traces[l], &dy);
+        grads[l] = (dw1, dw2);
+        dy = dx;
+    }
+    ExecutionResult {
+        loss,
+        grads,
+        output,
+    }
+}
+
+fn check_div(what: &'static str, size: usize, degree: usize) -> Result<(), ExecError> {
+    if degree == 0 || !size.is_multiple_of(degree) {
+        return Err(ExecError::IndivisibleDim { what, size, degree });
+    }
+    Ok(())
+}
+
+/// Per-(data-shard, tp-shard) forward stash of one layer for one micro-batch.
+struct ShardTrace {
+    traces: Vec<Vec<MlpTrace>>, // [data][tp]
+}
+
+/// Execute `plan` over `model` with input `x` on virtual devices.
+///
+/// ```
+/// use galvatron_exec::{execute_parallel, execute_serial, Matrix, MlpModel};
+/// use galvatron_strategy::{IntraStageStrategy, ParallelPlan, Paradigm};
+///
+/// let model = MlpModel::random(2, 4, 8, 1);
+/// let x = Matrix::random(8, 4, 2);
+/// let plan = ParallelPlan::uniform(
+///     "TP4", model.n_layers(), 4,
+///     IntraStageStrategy::pure(Paradigm::Tensor, 4).unwrap(), 8,
+/// );
+/// let serial = execute_serial(&model, &x);
+/// let parallel = execute_parallel(&model, &plan, &x).unwrap();
+/// assert!((serial.loss - parallel.loss).abs() < 1e-6 * serial.loss);
+/// ```
+pub fn execute_parallel(
+    model: &MlpModel,
+    plan: &ParallelPlan,
+    x: &Matrix,
+) -> Result<ExecutionResult, ExecError> {
+    let n_devices: usize = plan.stages.iter().map(|s| s.device_count).sum();
+    plan.validate(model.n_layers(), n_devices)
+        .map_err(ExecError::InvalidPlan)?;
+    if x.rows() != plan.global_batch {
+        return Err(ExecError::BatchMismatch {
+            got: x.rows(),
+            expected: plan.global_batch,
+        });
+    }
+    let micro = plan.micro_batch_size();
+
+    let mut grads: Vec<(Matrix, Matrix)> = model
+        .layers
+        .iter()
+        .map(|_| {
+            (
+                Matrix::zeros(model.dim, model.hidden),
+                Matrix::zeros(model.hidden, model.dim),
+            )
+        })
+        .collect();
+    let mut loss = 0.0f64;
+    let mut outputs = Vec::with_capacity(plan.micro_batches);
+
+    for k in 0..plan.micro_batches {
+        let x_micro = x.row_slice(k * micro, micro);
+
+        // ---- forward: stages in order, stashing shard traces -------------
+        let mut h = x_micro;
+        let mut stashes: Vec<ShardTrace> = Vec::with_capacity(model.n_layers());
+        for stage in &plan.stages {
+            for (offset, l) in (stage.layer_start..stage.layer_end).enumerate() {
+                let strategy = &stage.layer_strategies[offset];
+                let (w1, w2) = &model.layers[l];
+                let data = strategy.data_degree();
+                let tp = strategy.tp();
+                let sdp = strategy.sdp();
+                check_div("micro-batch", h.rows(), data)?;
+                check_div("hidden", model.hidden, tp)?;
+                let rows_per = h.rows() / data;
+                let hid_per = model.hidden / tp;
+
+                let mut y_parts: Vec<Matrix> = Vec::with_capacity(data);
+                let mut traces = Vec::with_capacity(data);
+                for d in 0..data {
+                    // Slice-Gather: this data shard's rows of the incoming
+                    // activation.
+                    let x_d = h.row_slice(d * rows_per, rows_per);
+                    let mut partials: Vec<Matrix> = Vec::with_capacity(tp);
+                    let mut tp_traces = Vec::with_capacity(tp);
+                    for t in 0..tp {
+                        // TP shards of the weights.
+                        let w1_t = w1.col_slice(t * hid_per, hid_per);
+                        let w2_t = w2.row_slice(t * hid_per, hid_per);
+                        // ZeRO-3: the shard is stored row-scattered across
+                        // the SDP group and all-gathered before use.
+                        let (w1_t, w2_t) = if sdp > 1 {
+                            check_div("w1 rows", w1_t.rows(), sdp)?;
+                            check_div("w2 rows", w2_t.rows(), sdp)?;
+                            let w1_rows = w1_t.rows() / sdp;
+                            let w2_rows = w2_t.rows() / sdp;
+                            let w1_shards: Vec<Matrix> = (0..sdp)
+                                .map(|z| w1_t.row_slice(z * w1_rows, w1_rows))
+                                .collect();
+                            let w2_shards: Vec<Matrix> = (0..sdp)
+                                .map(|z| w2_t.row_slice(z * w2_rows, w2_rows))
+                                .collect();
+                            (all_gather_rows(&w1_shards), all_gather_rows(&w2_shards))
+                        } else {
+                            (w1_t, w2_t)
+                        };
+                        let (y_partial, trace) = forward_layer(&w1_t, &w2_t, &x_d);
+                        partials.push(y_partial);
+                        tp_traces.push(trace);
+                    }
+                    // Megatron forward all-reduce over the TP group.
+                    all_reduce(&mut partials);
+                    y_parts.push(partials.into_iter().next().expect("tp >= 1"));
+                    traces.push(tp_traces);
+                }
+                h = Matrix::concat_rows(&y_parts);
+                stashes.push(ShardTrace { traces });
+            }
+            // Stage boundary: the full micro activation moves to the next
+            // stage's devices (point-to-point in the simulator).
+        }
+        loss += 0.5 * h.norm_sq();
+        let mut dy = h.clone();
+        outputs.push(h);
+
+        // ---- backward: stages and layers reversed -------------------------
+        for stage in plan.stages.iter().rev() {
+            for (offset, l) in (stage.layer_start..stage.layer_end).enumerate().rev() {
+                let strategy = &stage.layer_strategies[offset];
+                let (w1, w2) = &model.layers[l];
+                let data = strategy.data_degree();
+                let tp = strategy.tp();
+                let sdp = strategy.sdp();
+                let rows_per = dy.rows() / data;
+                let hid_per = model.hidden / tp;
+                let stash = &stashes[l];
+
+                let mut dx_parts = Vec::with_capacity(data);
+                // dW shards per (tp, data): grads sum across the data group.
+                let mut dw1_td: Vec<Vec<Matrix>> = vec![Vec::with_capacity(data); tp];
+                let mut dw2_td: Vec<Vec<Matrix>> = vec![Vec::with_capacity(data); tp];
+                for d in 0..data {
+                    let dy_d = dy.row_slice(d * rows_per, rows_per);
+                    let mut dx_partials = Vec::with_capacity(tp);
+                    for t in 0..tp {
+                        let w1_t = w1.col_slice(t * hid_per, hid_per);
+                        let w2_t = w2.row_slice(t * hid_per, hid_per);
+                        let (dx_partial, dw1_t, dw2_t) =
+                            backward_layer(&w1_t, &w2_t, &stash.traces[d][t], &dy_d);
+                        dx_partials.push(dx_partial);
+                        dw1_td[t].push(dw1_t);
+                        dw2_td[t].push(dw2_t);
+                    }
+                    // Backward all-reduce over the TP group.
+                    all_reduce(&mut dx_partials);
+                    dx_parts.push(dx_partials.into_iter().next().expect("tp >= 1"));
+                }
+                dy = Matrix::concat_rows(&dx_parts);
+
+                // Gradient synchronisation across the data group: DP uses an
+                // all-reduce; ZeRO-3 a reduce-scatter (each rank keeps its
+                // shard) — gathered back here for comparison. Both equal the
+                // sum.
+                let mut dw1_full_parts = Vec::with_capacity(tp);
+                let mut dw2_full_parts = Vec::with_capacity(tp);
+                for t in 0..tp {
+                    let (dw1_t, dw2_t) = if sdp > 1 && data > 1 {
+                        (
+                            all_gather_rows(&reduce_scatter_rows(&dw1_td[t])),
+                            all_gather_rows(&reduce_scatter_rows(&dw2_td[t])),
+                        )
+                    } else {
+                        let mut bufs1 = dw1_td[t].clone();
+                        all_reduce(&mut bufs1);
+                        let mut bufs2 = dw2_td[t].clone();
+                        all_reduce(&mut bufs2);
+                        (
+                            bufs1.into_iter().next().expect("data >= 1"),
+                            bufs2.into_iter().next().expect("data >= 1"),
+                        )
+                    };
+                    dw1_full_parts.push(dw1_t);
+                    dw2_full_parts.push(dw2_t);
+                }
+                // Reassemble the full gradient from TP shards and
+                // accumulate across micro-batches.
+                grads[l].0.add_assign(&Matrix::concat_cols(&dw1_full_parts));
+                grads[l].1.add_assign(&Matrix::concat_rows(&dw2_full_parts));
+            }
+        }
+    }
+
+    Ok(ExecutionResult {
+        loss,
+        grads,
+        output: Matrix::concat_rows(&outputs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_strategy::{IntraStageStrategy, Paradigm, ParallelPlan};
+
+    fn assert_equivalent(serial: &ExecutionResult, parallel: &ExecutionResult, label: &str) {
+        let loss_err = (serial.loss - parallel.loss).abs() / serial.loss.max(1e-9);
+        assert!(loss_err < 1e-4, "{label}: loss err {loss_err}");
+        assert!(
+            serial.output.max_abs_diff(&parallel.output) < 1e-3,
+            "{label}: outputs differ"
+        );
+        for (l, ((s1, s2), (p1, p2))) in serial.grads.iter().zip(&parallel.grads).enumerate() {
+            assert!(
+                s1.max_abs_diff(p1) < 1e-2,
+                "{label}: layer {l} dW1 differs by {}",
+                s1.max_abs_diff(p1)
+            );
+            assert!(
+                s2.max_abs_diff(p2) < 1e-2,
+                "{label}: layer {l} dW2 differs by {}",
+                s2.max_abs_diff(p2)
+            );
+        }
+    }
+
+    #[test]
+    fn every_pure_paradigm_matches_serial() {
+        let model = MlpModel::random(3, 8, 16, 9);
+        let x = Matrix::random(8, 8, 10);
+        let serial = execute_serial(&model, &x);
+        for paradigm in [Paradigm::Data, Paradigm::ShardedData, Paradigm::Tensor] {
+            let plan = ParallelPlan::uniform(
+                format!("{paradigm}"),
+                model.n_layers(),
+                4,
+                IntraStageStrategy::pure(paradigm, 4).unwrap(),
+                8,
+            );
+            let parallel = execute_parallel(&model, &plan, &x).unwrap();
+            assert_equivalent(&serial, &parallel, paradigm.code());
+        }
+    }
+
+    #[test]
+    fn batch_mismatch_is_reported() {
+        let model = MlpModel::random(1, 4, 4, 1);
+        let plan = ParallelPlan::uniform(
+            "dp",
+            1,
+            2,
+            IntraStageStrategy::pure(Paradigm::Data, 2).unwrap(),
+            8,
+        );
+        let x = Matrix::random(6, 4, 2);
+        let err = execute_parallel(&model, &plan, &x).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::BatchMismatch {
+                got: 6,
+                expected: 8
+            }
+        );
+    }
+
+    #[test]
+    fn indivisible_hidden_is_reported() {
+        let model = MlpModel::random(1, 4, 6, 1); // hidden 6, tp 4 won't divide
+        let plan = ParallelPlan::uniform(
+            "tp",
+            1,
+            4,
+            IntraStageStrategy::pure(Paradigm::Tensor, 4).unwrap(),
+            4,
+        );
+        let x = Matrix::random(4, 4, 2);
+        let err = execute_parallel(&model, &plan, &x).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::IndivisibleDim { what: "hidden", .. }
+        ));
+    }
+}

@@ -1,0 +1,11 @@
+fn main() {
+    for m in galvatron_model::PaperModel::ALL {
+        let s = m.spec();
+        println!("{:<14} params {:>8.1}M (paper {:>8.1}M, {:+.2}%)  act {:>9.2}MB (paper {:>9.2}MB, {:+.2}%)",
+            m.name(),
+            s.total_param_count() as f64/1e6, m.paper_param_count() as f64/1e6,
+            100.0*(s.total_param_count() as f64/m.paper_param_count() as f64 - 1.0),
+            s.activation_bytes_per_sample() as f64/(1<<20) as f64, m.paper_activation_mb(),
+            100.0*((s.activation_bytes_per_sample() as f64/(1<<20) as f64)/m.paper_activation_mb() - 1.0));
+    }
+}

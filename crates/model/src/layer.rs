@@ -1,0 +1,667 @@
+//! Per-layer parameter, activation, FLOP and communication-volume accounting.
+//!
+//! The accounting follows the standard Megatron-LM decomposition (Korthikanti
+//! et al.) at fp32, which reproduces the paper's Table 2 numbers: one encoder
+//! layer stashes `68·s·h` bytes of sequence-linear activations plus
+//! `10·a·s²` bytes of attention-quadratic state when attention dropout is on
+//! (NLP models) or `4·a·s²` (just the softmax output) when it is off (the
+//! common ViT/Swin configuration). Checked against Table 2: BERT-Huge-32
+//! evaluates to 3 146 MB/sample vs. the paper's 3 149.39 MB.
+
+use crate::tensor::DType;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one (self- or cross-) attention block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttentionGeometry {
+    /// Query sequence length.
+    pub q_len: u64,
+    /// Key/value sequence length (equals `q_len` for self-attention).
+    pub kv_len: u64,
+    /// Number of attention heads.
+    pub heads: u64,
+    /// Local-attention window (Swin): each query attends to `window` keys.
+    /// `None` means full attention.
+    pub window: Option<u64>,
+}
+
+impl AttentionGeometry {
+    /// Self-attention over `seq` tokens.
+    pub fn self_attn(seq: u64, heads: u64) -> Self {
+        AttentionGeometry {
+            q_len: seq,
+            kv_len: seq,
+            heads,
+            window: None,
+        }
+    }
+
+    /// Windowed self-attention (Swin-style shifted windows).
+    pub fn windowed(seq: u64, heads: u64, window: u64) -> Self {
+        AttentionGeometry {
+            q_len: seq,
+            kv_len: seq,
+            heads,
+            window: Some(window),
+        }
+    }
+
+    /// Cross-attention from `q_len` decoder tokens over `kv_len` encoder ones.
+    pub fn cross(q_len: u64, kv_len: u64, heads: u64) -> Self {
+        AttentionGeometry {
+            q_len,
+            kv_len,
+            heads,
+            window: None,
+        }
+    }
+
+    /// Elements of one `heads × q × kv` score tensor (windowed attention only
+    /// materialises the in-window scores).
+    pub fn score_elements(&self) -> u64 {
+        let kv_eff = self.window.unwrap_or(self.kv_len).min(self.kv_len);
+        self.heads * self.q_len * kv_eff
+    }
+
+    /// FLOPs of the two score matmuls (`QKᵀ` and `scores·V`) for hidden
+    /// width `h`: `4 · q · kv_eff · h`.
+    pub fn score_flops(&self, hidden: u64) -> f64 {
+        let kv_eff = self.window.unwrap_or(self.kv_len).min(self.kv_len) as f64;
+        4.0 * self.q_len as f64 * kv_eff * hidden as f64
+    }
+}
+
+/// The kinds of layers the zoo composes models from.
+///
+/// Galvatron's planner assigns one parallelism strategy per layer, so every
+/// entry here — including embeddings and heads — is a planning unit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Token + learned-position embedding with post-LN (BERT/T5/GPT input).
+    Embedding {
+        /// Vocabulary size.
+        vocab: u64,
+        /// Sequence length.
+        seq: u64,
+        /// Hidden width.
+        hidden: u64,
+    },
+    /// Convolutional patchification + position embedding (ViT/Swin input).
+    PatchEmbed {
+        /// Input channels (3 for RGB).
+        in_channels: u64,
+        /// Square patch side in pixels.
+        patch: u64,
+        /// Number of output tokens (patches, + CLS where applicable).
+        seq: u64,
+        /// Hidden width.
+        hidden: u64,
+    },
+    /// A standard pre/post-LN Transformer encoder layer
+    /// (self-attention + MLP).
+    Encoder {
+        /// Sequence length.
+        seq: u64,
+        /// Hidden width.
+        hidden: u64,
+        /// Attention heads.
+        heads: u64,
+        /// MLP inner width (usually `4·hidden`).
+        ffn: u64,
+        /// Swin-style attention window (None = full attention).
+        window: Option<u64>,
+        /// Whether attention-probability dropout states are stashed
+        /// (true for the NLP models, false for ViT/Swin).
+        attn_dropout: bool,
+        /// Gated (SwiGLU-style) feed-forward: a third `h×ffn` projection
+        /// whose output multiplies the activation (LLaMA-family models).
+        gated_ffn: bool,
+    },
+    /// A Transformer decoder layer: self-attention + cross-attention + MLP.
+    Decoder {
+        /// Target (decoder) sequence length.
+        seq: u64,
+        /// Source (encoder memory) sequence length for cross-attention.
+        src_seq: u64,
+        /// Hidden width.
+        hidden: u64,
+        /// Attention heads.
+        heads: u64,
+        /// MLP inner width.
+        ffn: u64,
+        /// Whether attention-probability dropout states are stashed.
+        attn_dropout: bool,
+    },
+    /// Swin patch merging: 2×2 neighbourhoods concatenated and projected,
+    /// halving the resolution and doubling the width.
+    PatchMerging {
+        /// Input tokens.
+        in_seq: u64,
+        /// Input width (output width is `2·in_hidden`).
+        in_hidden: u64,
+    },
+    /// Output head: classifier (`positions = 1`, pooled CLS) or per-position
+    /// language-model head (`positions = seq`).
+    Head {
+        /// Input width.
+        hidden: u64,
+        /// Output classes / vocabulary size.
+        classes: u64,
+        /// How many positions produce logits.
+        positions: u64,
+        /// Whether a BERT-style dense transform precedes the projection.
+        with_transform: bool,
+        /// Whether the projection matrix is weight-tied to the input
+        /// embedding (BERT/T5/GPT); tied weights are counted once, at the
+        /// embedding.
+        tied: bool,
+    },
+}
+
+/// A fully-specified layer: a kind plus a display name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Display name ("enc.17", "embed", ...). Stable within a model.
+    pub name: String,
+    /// The layer geometry.
+    pub kind: LayerKind,
+}
+
+/// fp32 byte coefficients of the Megatron activation decomposition
+/// (per `s·h` token-feature element).
+const ENC_LINEAR_COEFF: f64 = 68.0;
+const DEC_LINEAR_COEFF: f64 = 94.0; // + cross-attn (22) + third LN (4)
+/// fp32 bytes per score element with attention dropout: softmax output (4) +
+/// dropped probabilities (4) + mask accounted at fp32 width (2) — the
+/// Megatron `5as/h` fp16 term doubled.
+const QUAD_COEFF_DROPOUT: f64 = 10.0;
+/// Without attention dropout only the softmax output is stashed.
+const QUAD_COEFF_PLAIN: f64 = 4.0;
+/// Of the 68 `s·h`-linear bytes, 20 are TP-replicated (LN and block inputs,
+/// residual dropout masks — Megatron's `10·sbh` fp16 term doubled).
+const ENC_REPLICATED_COEFF: f64 = 20.0;
+const DEC_REPLICATED_COEFF: f64 = 26.0;
+
+impl LayerSpec {
+    /// Construct with a name.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> u64 {
+        match &self.kind {
+            LayerKind::Embedding { vocab, seq, hidden } => {
+                vocab * hidden + seq * hidden + 2 * hidden
+            }
+            LayerKind::PatchEmbed {
+                in_channels,
+                patch,
+                seq,
+                hidden,
+            } => in_channels * patch * patch * hidden + hidden + seq * hidden,
+            LayerKind::Encoder {
+                hidden,
+                ffn,
+                gated_ffn,
+                ..
+            } => {
+                let attn = 4 * hidden * hidden + 4 * hidden;
+                let mlp_mats = if *gated_ffn { 3 } else { 2 };
+                let mlp = mlp_mats * hidden * ffn + hidden + ffn;
+                let ln = 4 * hidden;
+                attn + mlp + ln
+            }
+            LayerKind::Decoder { hidden, ffn, .. } => {
+                let self_attn = 4 * hidden * hidden + 4 * hidden;
+                let cross_attn = 4 * hidden * hidden + 4 * hidden;
+                let mlp = 2 * hidden * ffn + hidden + ffn;
+                let ln = 6 * hidden;
+                self_attn + cross_attn + mlp + ln
+            }
+            LayerKind::PatchMerging { in_hidden, .. } => {
+                // Linear 4h → 2h plus LN over the concatenated 4h features.
+                8 * in_hidden * in_hidden + 2 * in_hidden + 8 * in_hidden
+            }
+            LayerKind::Head {
+                hidden,
+                classes,
+                with_transform,
+                tied,
+                ..
+            } => {
+                let proj = if *tied {
+                    *classes
+                } else {
+                    hidden * classes + classes
+                };
+                let transform = if *with_transform {
+                    hidden * hidden + 3 * hidden
+                } else {
+                    0
+                };
+                proj + transform
+            }
+        }
+    }
+
+    /// Parameter bytes at `dtype`.
+    pub fn param_bytes(&self, dtype: DType) -> u64 {
+        self.param_count() * dtype.size_bytes()
+    }
+
+    /// Forward FLOPs for one sample. Backward is modelled as `2×` forward
+    /// (§3.4: "the backward computation is usually twice of the forward").
+    pub fn forward_flops_per_sample(&self) -> f64 {
+        match &self.kind {
+            LayerKind::Embedding { seq, hidden, .. } => {
+                // Lookup + position add + LN: memory-bound; count 8·s·h.
+                8.0 * (*seq as f64) * (*hidden as f64)
+            }
+            LayerKind::PatchEmbed {
+                in_channels,
+                patch,
+                seq,
+                hidden,
+            } => 2.0 * (*seq as f64) * (*in_channels * patch * patch) as f64 * (*hidden as f64),
+            LayerKind::Encoder {
+                seq,
+                hidden,
+                heads,
+                ffn,
+                window,
+                gated_ffn,
+                ..
+            } => {
+                let s = *seq as f64;
+                let h = *hidden as f64;
+                let f = *ffn as f64;
+                let attn_geo = match window {
+                    Some(w) => AttentionGeometry::windowed(*seq, *heads, *w),
+                    None => AttentionGeometry::self_attn(*seq, *heads),
+                };
+                let mlp_matmuls = if *gated_ffn { 6.0 } else { 4.0 };
+                // qkv (6sh²) + scores + output proj (2sh²) + MLP
+                8.0 * s * h * h + attn_geo.score_flops(*hidden) + mlp_matmuls * s * h * f
+            }
+            LayerKind::Decoder {
+                seq,
+                src_seq,
+                hidden,
+                heads,
+                ffn,
+                ..
+            } => {
+                let s = *seq as f64;
+                let h = *hidden as f64;
+                let f = *ffn as f64;
+                let self_geo = AttentionGeometry::self_attn(*seq, *heads);
+                let cross_geo = AttentionGeometry::cross(*seq, *src_seq, *heads);
+                // self qkv+proj (8sh²) + cross q+proj (4sh²) + cross kv
+                // (4·src·h²) + scores + MLP.
+                8.0 * s * h * h
+                    + 4.0 * s * h * h
+                    + 4.0 * (*src_seq as f64) * h * h
+                    + self_geo.score_flops(*hidden)
+                    + cross_geo.score_flops(*hidden)
+                    + 4.0 * s * h * f
+            }
+            LayerKind::PatchMerging { in_seq, in_hidden } => {
+                // (s/4) tokens × (4h → 2h) linear.
+                let s_out = (*in_seq / 4) as f64;
+                2.0 * s_out * (4 * in_hidden) as f64 * (2 * in_hidden) as f64
+            }
+            LayerKind::Head {
+                hidden,
+                classes,
+                positions,
+                with_transform,
+                ..
+            } => {
+                let base = 2.0 * (*positions as f64) * (*hidden as f64) * (*classes as f64);
+                let transform = if *with_transform {
+                    2.0 * (*positions as f64) * (*hidden as f64) * (*hidden as f64)
+                } else {
+                    0.0
+                };
+                base + transform
+            }
+        }
+    }
+
+    /// Activation bytes stashed for backward, per sample, when the layer is
+    /// *not* tensor-parallel. See the module docs for the decomposition.
+    pub fn activation_bytes_per_sample(&self, dtype: DType) -> u64 {
+        let (replicated, shardable) = self.activation_split_bytes(dtype);
+        replicated + shardable
+    }
+
+    /// Activation bytes per sample split into (TP-replicated, TP-shardable)
+    /// components: under `t`-way tensor parallelism the stash per device is
+    /// `replicated + shardable / t`.
+    pub fn activation_split_bytes(&self, dtype: DType) -> (u64, u64) {
+        // Coefficients are calibrated at fp32; other dtypes scale the float
+        // parts proportionally.
+        let scale = dtype.size_bytes() as f64 / 4.0;
+        let (repl, shard) = match &self.kind {
+            LayerKind::Embedding { seq, hidden, .. } => {
+                // Output (4sh) + ids (8s) + LN input (4sh); all replicated
+                // under vocab-parallel TP (output is all-reduced).
+                let sh = (*seq * *hidden) as f64;
+                (8.0 * sh + 8.0 * *seq as f64, 0.0)
+            }
+            LayerKind::PatchEmbed {
+                in_channels,
+                patch,
+                seq,
+                hidden,
+            } => {
+                let sh = (*seq * *hidden) as f64;
+                let input = (*in_channels * patch * patch * *seq) as f64;
+                (4.0 * sh + 4.0 * input, 0.0)
+            }
+            LayerKind::Encoder {
+                seq,
+                hidden,
+                heads,
+                window,
+                attn_dropout,
+                ffn,
+                gated_ffn,
+                ..
+            } => {
+                let sh = (*seq * *hidden) as f64;
+                let geo = match window {
+                    Some(w) => AttentionGeometry::windowed(*seq, *heads, *w),
+                    None => AttentionGeometry::self_attn(*seq, *heads),
+                };
+                let quad_coeff = if *attn_dropout {
+                    QUAD_COEFF_DROPOUT
+                } else {
+                    QUAD_COEFF_PLAIN
+                };
+                // The 68·s·h linear stash assumes ffn = 4h; scale the MLP
+                // share (8·s·f of it) for other widths. Gated FFNs stash one
+                // extra s·f activation (the gate output).
+                let mut mlp_adjust = 8.0 * (*seq as f64) * (*ffn as f64 - 4.0 * *hidden as f64);
+                if *gated_ffn {
+                    mlp_adjust += 4.0 * (*seq * *ffn) as f64;
+                }
+                let linear = ENC_LINEAR_COEFF * sh + mlp_adjust;
+                let repl = ENC_REPLICATED_COEFF * sh;
+                let quad = quad_coeff * geo.score_elements() as f64;
+                (repl, (linear - repl).max(0.0) + quad)
+            }
+            LayerKind::Decoder {
+                seq,
+                src_seq,
+                hidden,
+                heads,
+                ffn,
+                attn_dropout,
+            } => {
+                let sh = (*seq * *hidden) as f64;
+                let quad_coeff = if *attn_dropout {
+                    QUAD_COEFF_DROPOUT
+                } else {
+                    QUAD_COEFF_PLAIN
+                };
+                let self_geo = AttentionGeometry::self_attn(*seq, *heads);
+                let cross_geo = AttentionGeometry::cross(*seq, *src_seq, *heads);
+                let mlp_adjust = 8.0 * (*seq as f64) * (*ffn as f64 - 4.0 * *hidden as f64);
+                let linear = DEC_LINEAR_COEFF * sh + mlp_adjust;
+                let repl = DEC_REPLICATED_COEFF * sh;
+                let quad =
+                    quad_coeff * (self_geo.score_elements() + cross_geo.score_elements()) as f64;
+                (repl, (linear - repl).max(0.0) + quad)
+            }
+            LayerKind::PatchMerging { in_seq, in_hidden } => {
+                // Input (4·s·h) + output (4·(s/4)·2h = 2·s·h).
+                let sh = (*in_seq * *in_hidden) as f64;
+                (2.0 * sh, 4.0 * sh)
+            }
+            LayerKind::Head {
+                hidden,
+                classes,
+                positions,
+                with_transform,
+                ..
+            } => {
+                let input = 4.0 * (*positions * *hidden) as f64;
+                let logits = 4.0 * (*positions * *classes) as f64;
+                let transform = if *with_transform {
+                    8.0 * (*positions * *hidden) as f64
+                } else {
+                    0.0
+                };
+                // Logits shard under vocab-parallel TP.
+                (input + transform, logits)
+            }
+        };
+        (
+            (repl * scale).round() as u64,
+            (shard * scale).round() as u64,
+        )
+    }
+
+    /// Activation bytes per sample per device under `tp`-way tensor
+    /// parallelism ("TP has some additional replications of the activations",
+    /// §3.1.1 — the replicated component does not shrink).
+    pub fn activation_bytes_tp(&self, dtype: DType, tp: u64) -> u64 {
+        let (replicated, shardable) = self.activation_split_bytes(dtype);
+        replicated + shardable / tp.max(1)
+    }
+
+    /// Number of all-reduce synchronisations Megatron-style TP inserts in the
+    /// *forward* pass of this layer (the backward pass mirrors them).
+    pub fn tp_allreduces_per_pass(&self) -> u32 {
+        match &self.kind {
+            LayerKind::Encoder { .. } => 2,      // after attention, after MLP
+            LayerKind::Decoder { .. } => 3,      // + after cross-attention
+            LayerKind::Embedding { .. } => 1,    // vocab-parallel gather
+            LayerKind::PatchEmbed { .. } => 0,   // replicated conv
+            LayerKind::PatchMerging { .. } => 1, // row-parallel linear
+            LayerKind::Head { .. } => 1,         // vocab-parallel logits
+        }
+    }
+
+    /// Bytes of the layer's output for one sample (the payload of PP
+    /// boundary transfers, TP all-reduces and Slice-Gather transformations).
+    pub fn output_bytes_per_sample(&self, dtype: DType) -> u64 {
+        let elems = match &self.kind {
+            LayerKind::Embedding { seq, hidden, .. } => seq * hidden,
+            LayerKind::PatchEmbed { seq, hidden, .. } => seq * hidden,
+            LayerKind::Encoder { seq, hidden, .. } => seq * hidden,
+            LayerKind::Decoder { seq, hidden, .. } => seq * hidden,
+            LayerKind::PatchMerging { in_seq, in_hidden } => (in_seq / 4) * (2 * in_hidden),
+            LayerKind::Head {
+                classes, positions, ..
+            } => positions * classes,
+        };
+        elems * dtype.size_bytes()
+    }
+
+    /// Whether this is a Transformer compute layer (the paper's "Layer Num"
+    /// column counts only these).
+    pub fn is_transformer_layer(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Encoder { .. } | LayerKind::Decoder { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bert_huge_layer() -> LayerSpec {
+        LayerSpec::new(
+            "enc",
+            LayerKind::Encoder {
+                seq: 512,
+                hidden: 1280,
+                heads: 20,
+                ffn: 4 * 1280,
+                window: None,
+                attn_dropout: true,
+                gated_ffn: false,
+            },
+        )
+    }
+
+    #[test]
+    fn bert_huge_layer_params_match_12h_squared() {
+        let l = bert_huge_layer();
+        let h = 1280u64;
+        let expected = 12 * h * h + 13 * h;
+        assert_eq!(l.param_count(), expected);
+    }
+
+    #[test]
+    fn bert_huge_layer_activation_matches_megatron_decomposition() {
+        // 68·s·h + 10·a·s² bytes at fp32 — the Table 2 calibration point.
+        let l = bert_huge_layer();
+        let expected = 68 * 512 * 1280 + 10 * 20 * 512 * 512;
+        assert_eq!(l.activation_bytes_per_sample(DType::F32), expected);
+        // fp16 halves it.
+        assert_eq!(l.activation_bytes_per_sample(DType::F16), expected / 2);
+    }
+
+    #[test]
+    fn disabling_attn_dropout_shrinks_only_the_quadratic_term() {
+        let with = bert_huge_layer();
+        let without = LayerSpec::new(
+            "enc",
+            LayerKind::Encoder {
+                seq: 512,
+                hidden: 1280,
+                heads: 20,
+                ffn: 4 * 1280,
+                window: None,
+                attn_dropout: false,
+                gated_ffn: false,
+            },
+        );
+        let delta = with.activation_bytes_per_sample(DType::F32)
+            - without.activation_bytes_per_sample(DType::F32);
+        assert_eq!(delta, (10 - 4) * 20 * 512 * 512);
+    }
+
+    #[test]
+    fn windowed_attention_is_linear_in_seq() {
+        let full = AttentionGeometry::self_attn(3136, 10);
+        let windowed = AttentionGeometry::windowed(3136, 10, 49);
+        assert_eq!(full.score_elements(), 10 * 3136 * 3136);
+        assert_eq!(windowed.score_elements(), 10 * 3136 * 49);
+        assert!(windowed.score_flops(320) < full.score_flops(320));
+    }
+
+    #[test]
+    fn decoder_costs_exceed_encoder_costs() {
+        let enc = bert_huge_layer();
+        let dec = LayerSpec::new(
+            "dec",
+            LayerKind::Decoder {
+                seq: 512,
+                src_seq: 512,
+                hidden: 1280,
+                heads: 20,
+                ffn: 4 * 1280,
+                attn_dropout: true,
+            },
+        );
+        assert!(dec.param_count() > enc.param_count());
+        assert!(
+            dec.activation_bytes_per_sample(DType::F32)
+                > enc.activation_bytes_per_sample(DType::F32)
+        );
+        assert!(dec.forward_flops_per_sample() > enc.forward_flops_per_sample());
+        assert_eq!(dec.tp_allreduces_per_pass(), 3);
+    }
+
+    #[test]
+    fn tp_shards_only_the_shardable_part() {
+        let l = bert_huge_layer();
+        let (repl, shard) = l.activation_split_bytes(DType::F32);
+        assert_eq!(repl, 20 * 512 * 1280);
+        let tp8 = l.activation_bytes_tp(DType::F32, 8);
+        assert_eq!(tp8, repl + shard / 8);
+        // TP can never shrink the stash below the replicated floor.
+        assert!(l.activation_bytes_tp(DType::F32, 1_000_000) >= repl);
+    }
+
+    #[test]
+    fn head_logits_dominate_lm_heads() {
+        let lm = LayerSpec::new(
+            "mlm",
+            LayerKind::Head {
+                hidden: 1280,
+                classes: 30522,
+                positions: 512,
+                with_transform: true,
+                tied: true,
+            },
+        );
+        let cls = LayerSpec::new(
+            "cls",
+            LayerKind::Head {
+                hidden: 1280,
+                classes: 1000,
+                positions: 1,
+                with_transform: false,
+                tied: false,
+            },
+        );
+        assert!(lm.activation_bytes_per_sample(DType::F32) > 60 * (1 << 20));
+        assert!(cls.activation_bytes_per_sample(DType::F32) < (1 << 20));
+    }
+
+    #[test]
+    fn patch_merging_halves_tokens_and_doubles_width() {
+        let pm = LayerSpec::new(
+            "merge",
+            LayerKind::PatchMerging {
+                in_seq: 3136,
+                in_hidden: 320,
+            },
+        );
+        assert_eq!(
+            pm.output_bytes_per_sample(DType::F32),
+            (3136 / 4) * (2 * 320) * 4
+        );
+        assert_eq!(pm.param_count(), 8 * 320 * 320 + 2 * 320 + 8 * 320);
+    }
+
+    proptest! {
+        #[test]
+        fn accounting_is_monotone_in_hidden(
+            h1 in prop::sample::select(vec![256u64, 512, 1024]),
+        ) {
+            let mk = |h: u64| LayerSpec::new("e", LayerKind::Encoder {
+                seq: 128, hidden: h, heads: h / 64, ffn: 4 * h,
+                window: None, attn_dropout: true, gated_ffn: false,
+            });
+            let small = mk(h1);
+            let big = mk(h1 * 2);
+            prop_assert!(big.param_count() > small.param_count());
+            prop_assert!(big.forward_flops_per_sample() > small.forward_flops_per_sample());
+            prop_assert!(
+                big.activation_bytes_per_sample(DType::F32)
+                    > small.activation_bytes_per_sample(DType::F32)
+            );
+        }
+
+        #[test]
+        fn tp_stash_is_monotone_nonincreasing(tp in 1u64..64) {
+            let l = bert_huge_layer();
+            let a = l.activation_bytes_tp(DType::F32, tp);
+            let b = l.activation_bytes_tp(DType::F32, tp + 1);
+            prop_assert!(b <= a);
+        }
+    }
+}

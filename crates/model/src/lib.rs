@@ -1,0 +1,32 @@
+//! Transformer workload models: layer-level parameter, activation and FLOP
+//! accounting, plus the model zoo the Galvatron paper evaluates.
+//!
+//! Galvatron treats a model as "a sequence of `L` layers" (§3.1.1); its
+//! planner needs, per layer, exactly four quantities:
+//!
+//! 1. parameter bytes (→ DP/SDP/TP memory and gradient-sync volume),
+//! 2. activation bytes stashed per sample (→ memory under a strategy),
+//! 3. forward FLOPs per sample (→ compute time; backward = 2× forward, §3.4),
+//! 4. boundary output bytes per sample (→ PP transfers and Slice-Gather).
+//!
+//! We derive all four analytically with the standard Megatron-LM activation
+//! decomposition in fp32 (the paper trains fp32 on RTX TITANs; our derivation
+//! reproduces Table 2's BERT numbers to <0.1%). The zoo builds the paper's
+//! ten configurations (Table 2) plus a decoder-only GPT family as an
+//! extension.
+
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod stats;
+pub mod tensor;
+pub mod workload;
+pub mod zoo;
+
+pub use layer::{AttentionGeometry, LayerKind, LayerSpec};
+pub use stats::ModelStats;
+pub use tensor::{DType, TensorShape};
+pub use workload::{SyntheticBatch, SyntheticDataset, WorkloadKind};
+pub use zoo::{
+    BertConfig, GptConfig, LlamaConfig, ModelSpec, PaperModel, SwinConfig, T5Config, VitConfig,
+};

@@ -1,0 +1,76 @@
+//! Model statistics — the generator behind Table 2.
+
+use crate::zoo::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a model, as reported in Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model display name.
+    pub name: String,
+    /// Transformer layer count ("Layer Num").
+    pub transformer_layers: usize,
+    /// Total planning units (incl. embeddings/heads).
+    pub planning_units: usize,
+    /// Total trainable parameters.
+    pub param_count: u64,
+    /// Parameter bytes at model precision.
+    pub param_bytes: u64,
+    /// Stashed activation bytes per sample.
+    pub activation_bytes_per_sample: u64,
+    /// Forward FLOPs per sample.
+    pub forward_flops_per_sample: f64,
+}
+
+impl ModelStats {
+    /// Compute statistics for a model.
+    pub fn of(model: &ModelSpec) -> Self {
+        ModelStats {
+            name: model.name.clone(),
+            transformer_layers: model.transformer_layer_count(),
+            planning_units: model.n_layers(),
+            param_count: model.total_param_count(),
+            param_bytes: model.total_param_bytes(),
+            activation_bytes_per_sample: model.activation_bytes_per_sample(),
+            forward_flops_per_sample: model.forward_flops_per_sample(),
+        }
+    }
+
+    /// Parameters in millions (Table 2 prints "672M").
+    pub fn params_millions(&self) -> f64 {
+        self.param_count as f64 / 1e6
+    }
+
+    /// Activation size in decimal MB (Table 2 prints "3149.39MB").
+    pub fn activation_mb(&self) -> f64 {
+        self.activation_bytes_per_sample as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::PaperModel;
+
+    #[test]
+    fn stats_are_consistent_with_the_spec() {
+        let spec = PaperModel::VitHuge32.spec();
+        let stats = ModelStats::of(&spec);
+        assert_eq!(stats.param_count, spec.total_param_count());
+        assert_eq!(
+            stats.activation_bytes_per_sample,
+            spec.activation_bytes_per_sample()
+        );
+        assert_eq!(stats.transformer_layers, 32);
+        assert!(stats.planning_units > stats.transformer_layers);
+        assert!(stats.params_millions() > 600.0);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let stats = ModelStats::of(&PaperModel::SwinHuge32.spec());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ModelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

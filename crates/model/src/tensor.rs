@@ -1,0 +1,174 @@
+//! Minimal tensor metadata: shapes and element types.
+//!
+//! Galvatron's cost estimator "uses the shape of a tensor and its data type
+//! to calculate its memory" (§3.4) — it never materialises values, so this is
+//! all the tensor machinery the planner needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (the paper's training precision).
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// Byte masks (dropout masks, attention masks).
+    U8,
+    /// 64-bit token indices.
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::U8 => 1,
+            DType::I64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::U8 => "u8",
+            DType::I64 => "i64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dense tensor shape (row-major, leading batch dimension by convention).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    dims: Vec<u64>,
+}
+
+impl TensorShape {
+    /// Build from a dimension list. Zero-sized dimensions are allowed (an
+    /// empty tensor) but an empty *list* is a scalar of one element.
+    pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        TensorShape { dims: dims.into() }
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Bytes occupied at `dtype`.
+    pub fn bytes(&self, dtype: DType) -> u64 {
+        self.num_elements() * dtype.size_bytes()
+    }
+
+    /// Shape with one dimension divided by `parts` (tensor-parallel split).
+    /// Panics if the dimension does not divide evenly — strategies guarantee
+    /// power-of-two degrees over power-of-two model dims.
+    pub fn split_dim(&self, dim: usize, parts: u64) -> TensorShape {
+        assert!(
+            self.dims[dim].is_multiple_of(parts),
+            "dim {dim} of {self} not divisible by {parts}"
+        );
+        let mut dims = self.dims.clone();
+        dims[dim] /= parts;
+        TensorShape { dims }
+    }
+
+    /// Shape with the batch (leading) dimension replaced.
+    pub fn with_batch(&self, batch: u64) -> TensorShape {
+        let mut dims = self.dims.clone();
+        if dims.is_empty() {
+            dims.push(batch);
+        } else {
+            dims[0] = batch;
+        }
+        TensorShape { dims }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bytes_accounts_for_dtype() {
+        let s = TensorShape::new(vec![8, 512, 1280]);
+        assert_eq!(s.num_elements(), 8 * 512 * 1280);
+        assert_eq!(s.bytes(DType::F32), 8 * 512 * 1280 * 4);
+        assert_eq!(s.bytes(DType::F16), 8 * 512 * 1280 * 2);
+        assert_eq!(s.bytes(DType::U8), 8 * 512 * 1280);
+    }
+
+    #[test]
+    fn split_dim_divides() {
+        let s = TensorShape::new(vec![8, 512, 1280]);
+        let t = s.split_dim(2, 4);
+        assert_eq!(t.dims(), &[8, 512, 320]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn split_dim_rejects_uneven() {
+        TensorShape::new(vec![8, 3]).split_dim(1, 2);
+    }
+
+    #[test]
+    fn with_batch_replaces_leading_dim() {
+        let s = TensorShape::new(vec![8, 512]);
+        assert_eq!(s.with_batch(32).dims(), &[32, 512]);
+        assert_eq!(
+            TensorShape::new(Vec::<u64>::new()).with_batch(4).dims(),
+            &[4]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = TensorShape::new(vec![2, 3]);
+        assert_eq!(s.to_string(), "[2×3]");
+    }
+
+    proptest! {
+        #[test]
+        fn split_then_scale_preserves_elements(
+            a in 1u64..64, b in 1u64..64, parts in prop::sample::select(vec![1u64, 2, 4, 8])
+        ) {
+            let s = TensorShape::new(vec![a, b * parts]);
+            let t = s.split_dim(1, parts);
+            prop_assert_eq!(t.num_elements() * parts, s.num_elements());
+        }
+    }
+}

@@ -1,0 +1,857 @@
+//! The model zoo: every configuration of the paper's Table 2 plus a
+//! decoder-only GPT family as an extension.
+
+use crate::layer::{LayerKind, LayerSpec};
+use crate::tensor::DType;
+use serde::{Deserialize, Serialize};
+
+/// A Transformer model as Galvatron sees it: an ordered sequence of layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name ("BERT-Huge-32", ...).
+    pub name: String,
+    /// Training precision (the paper trains fp32).
+    pub dtype: DType,
+    /// The layer sequence, input to output.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Total trainable parameters.
+    pub fn total_param_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Total parameter bytes at the model dtype.
+    pub fn total_param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes(self.dtype)).sum()
+    }
+
+    /// Total stashed activation bytes for one sample (Table 2's
+    /// "Acti. Size/sample" column).
+    pub fn activation_bytes_per_sample(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.activation_bytes_per_sample(self.dtype))
+            .sum()
+    }
+
+    /// Total forward FLOPs for one sample.
+    pub fn forward_flops_per_sample(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.forward_flops_per_sample())
+            .sum()
+    }
+
+    /// Number of Transformer (encoder/decoder) layers — the paper's
+    /// "Layer Num" column.
+    pub fn transformer_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.is_transformer_layer())
+            .count()
+    }
+
+    /// Total planning units (includes embeddings, merging layers, heads).
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The same model at a different training precision. Halving the float
+    /// width halves parameter/gradient/activation bytes and communication
+    /// payloads throughout the stack (pair with
+    /// `optimizer_bytes_per_param = 12` in the estimator/simulator configs
+    /// for mixed-precision Adam: fp32 master + m + v).
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+}
+
+/// BERT-style encoder-only model configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Encoder layer count.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// WordPiece vocabulary.
+    pub vocab: u64,
+}
+
+impl BertConfig {
+    /// Build the layer sequence.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        let mut layers = Vec::with_capacity(self.layers + 2);
+        layers.push(LayerSpec::new(
+            "embed",
+            LayerKind::Embedding {
+                vocab: self.vocab,
+                seq: self.seq,
+                hidden: self.hidden,
+            },
+        ));
+        for i in 0..self.layers {
+            layers.push(LayerSpec::new(
+                format!("enc.{i}"),
+                LayerKind::Encoder {
+                    seq: self.seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: 4 * self.hidden,
+                    window: None,
+                    attn_dropout: true,
+                    gated_ffn: false,
+                },
+            ));
+        }
+        layers.push(LayerSpec::new(
+            "mlm_head",
+            LayerKind::Head {
+                hidden: self.hidden,
+                classes: self.vocab,
+                positions: self.seq,
+                with_transform: true,
+                tied: true,
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// Decoder-only GPT-style configuration (extension beyond the paper's zoo).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GptConfig {
+    /// Decoder layer count.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Context length.
+    pub seq: u64,
+    /// BPE vocabulary.
+    pub vocab: u64,
+}
+
+impl GptConfig {
+    /// Build the layer sequence. Causal self-attention has the same shape
+    /// accounting as bidirectional (masked entries are still materialised in
+    /// a dense implementation), so GPT layers reuse the encoder accounting.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        let mut layers = Vec::with_capacity(self.layers + 2);
+        layers.push(LayerSpec::new(
+            "embed",
+            LayerKind::Embedding {
+                vocab: self.vocab,
+                seq: self.seq,
+                hidden: self.hidden,
+            },
+        ));
+        for i in 0..self.layers {
+            layers.push(LayerSpec::new(
+                format!("dec.{i}"),
+                LayerKind::Encoder {
+                    seq: self.seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: 4 * self.hidden,
+                    window: None,
+                    attn_dropout: true,
+                    gated_ffn: false,
+                },
+            ));
+        }
+        layers.push(LayerSpec::new(
+            "lm_head",
+            LayerKind::Head {
+                hidden: self.hidden,
+                classes: self.vocab,
+                positions: self.seq,
+                with_transform: false,
+                tied: true,
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// LLaMA-style decoder-only configuration: gated (SwiGLU) feed-forward
+/// with a non-`4h` inner width, long context — zoo breadth beyond the
+/// paper's families.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlamaConfig {
+    /// Decoder layer count.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Gated feed-forward inner width (e.g. 11008 for 7B).
+    pub ffn: u64,
+    /// Context length.
+    pub seq: u64,
+    /// SentencePiece vocabulary.
+    pub vocab: u64,
+}
+
+impl LlamaConfig {
+    /// The 6.7B-parameter configuration.
+    pub fn llama_7b() -> Self {
+        LlamaConfig {
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            ffn: 11008,
+            seq: 2048,
+            vocab: 32000,
+        }
+    }
+
+    /// Build the layer sequence.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        let mut layers = Vec::with_capacity(self.layers + 2);
+        layers.push(LayerSpec::new(
+            "embed",
+            LayerKind::Embedding {
+                vocab: self.vocab,
+                seq: self.seq,
+                hidden: self.hidden,
+            },
+        ));
+        for i in 0..self.layers {
+            layers.push(LayerSpec::new(
+                format!("dec.{i}"),
+                LayerKind::Encoder {
+                    seq: self.seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: self.ffn,
+                    window: None,
+                    attn_dropout: false, // LLaMA trains without attn dropout
+                    gated_ffn: true,
+                },
+            ));
+        }
+        layers.push(LayerSpec::new(
+            "lm_head",
+            LayerKind::Head {
+                hidden: self.hidden,
+                classes: self.vocab,
+                positions: self.seq,
+                with_transform: false,
+                tied: false, // LLaMA does not tie the output projection
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// ViT configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VitConfig {
+    /// Encoder layer count.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Square input image side in pixels.
+    pub image: u64,
+    /// Square patch side in pixels.
+    pub patch: u64,
+    /// Classifier classes.
+    pub classes: u64,
+}
+
+impl VitConfig {
+    /// Tokens = patches + CLS.
+    pub fn seq(&self) -> u64 {
+        (self.image / self.patch) * (self.image / self.patch) + 1
+    }
+
+    /// Build the layer sequence.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        let seq = self.seq();
+        let mut layers = Vec::with_capacity(self.layers + 2);
+        layers.push(LayerSpec::new(
+            "patch_embed",
+            LayerKind::PatchEmbed {
+                in_channels: 3,
+                patch: self.patch,
+                seq,
+                hidden: self.hidden,
+            },
+        ));
+        for i in 0..self.layers {
+            layers.push(LayerSpec::new(
+                format!("enc.{i}"),
+                LayerKind::Encoder {
+                    seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: 4 * self.hidden,
+                    window: None,
+                    attn_dropout: false,
+                    gated_ffn: false,
+                },
+            ));
+        }
+        layers.push(LayerSpec::new(
+            "cls_head",
+            LayerKind::Head {
+                hidden: self.hidden,
+                classes: self.classes,
+                positions: 1,
+                with_transform: false,
+                tied: false,
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// T5-style encoder-decoder configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct T5Config {
+    /// Encoder layer count.
+    pub enc_layers: usize,
+    /// Decoder layer count.
+    pub dec_layers: usize,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Feed-forward inner width.
+    pub ffn: u64,
+    /// Source/target sequence length.
+    pub seq: u64,
+    /// SentencePiece vocabulary.
+    pub vocab: u64,
+}
+
+impl T5Config {
+    /// Build the layer sequence: embedding, encoders, decoders, LM head.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        let mut layers = Vec::with_capacity(self.enc_layers + self.dec_layers + 2);
+        layers.push(LayerSpec::new(
+            "embed",
+            LayerKind::Embedding {
+                vocab: self.vocab,
+                seq: self.seq,
+                hidden: self.hidden,
+            },
+        ));
+        for i in 0..self.enc_layers {
+            layers.push(LayerSpec::new(
+                format!("enc.{i}"),
+                LayerKind::Encoder {
+                    seq: self.seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: self.ffn,
+                    window: None,
+                    attn_dropout: true,
+                    gated_ffn: false,
+                },
+            ));
+        }
+        for i in 0..self.dec_layers {
+            layers.push(LayerSpec::new(
+                format!("dec.{i}"),
+                LayerKind::Decoder {
+                    seq: self.seq,
+                    src_seq: self.seq,
+                    hidden: self.hidden,
+                    heads: self.heads,
+                    ffn: self.ffn,
+                    attn_dropout: true,
+                },
+            ));
+        }
+        layers.push(LayerSpec::new(
+            "lm_head",
+            LayerKind::Head {
+                hidden: self.hidden,
+                classes: self.vocab,
+                positions: self.seq,
+                with_transform: false,
+                tied: true,
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// Swin Transformer configuration (hierarchical, multi-stage — §2.1:
+/// "such multi-scale architectures also [bring] uneven computation and
+/// memory across layers").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwinConfig {
+    /// Layers per stage (the paper's "2/2/26/2" notation).
+    pub depths: Vec<usize>,
+    /// Hidden width per stage.
+    pub hiddens: Vec<u64>,
+    /// Attention heads per stage.
+    pub heads: Vec<u64>,
+    /// Square input image side.
+    pub image: u64,
+    /// Initial patch side (4 for standard Swin).
+    pub patch: u64,
+    /// Window size in *tokens* (7×7 = 49 for standard Swin).
+    pub window: u64,
+    /// Classifier classes.
+    pub classes: u64,
+}
+
+impl SwinConfig {
+    /// Build the layer sequence: patch embed, then per stage its encoder
+    /// layers, with a patch-merging layer between stages, then the head.
+    pub fn build(&self, name: &str) -> ModelSpec {
+        assert_eq!(self.depths.len(), self.hiddens.len());
+        assert_eq!(self.depths.len(), self.heads.len());
+        let mut layers = Vec::new();
+        let side0 = self.image / self.patch;
+        layers.push(LayerSpec::new(
+            "patch_embed",
+            LayerKind::PatchEmbed {
+                in_channels: 3,
+                patch: self.patch,
+                seq: side0 * side0,
+                hidden: self.hiddens[0],
+            },
+        ));
+        for (stage, ((&depth, &hidden), &heads)) in self
+            .depths
+            .iter()
+            .zip(&self.hiddens)
+            .zip(&self.heads)
+            .enumerate()
+        {
+            let side = side0 >> stage;
+            let seq = side * side;
+            if stage > 0 {
+                layers.push(LayerSpec::new(
+                    format!("merge.{stage}"),
+                    LayerKind::PatchMerging {
+                        in_seq: (side * 2) * (side * 2),
+                        in_hidden: self.hiddens[stage - 1],
+                    },
+                ));
+            }
+            for i in 0..depth {
+                layers.push(LayerSpec::new(
+                    format!("s{stage}.enc.{i}"),
+                    LayerKind::Encoder {
+                        seq,
+                        hidden,
+                        heads,
+                        ffn: 4 * hidden,
+                        window: Some(self.window.min(seq)),
+                        attn_dropout: false,
+                        gated_ffn: false,
+                    },
+                ));
+            }
+        }
+        let last_hidden = *self.hiddens.last().expect("at least one stage");
+        layers.push(LayerSpec::new(
+            "cls_head",
+            LayerKind::Head {
+                hidden: last_hidden,
+                classes: self.classes,
+                positions: 1,
+                with_transform: false,
+                tied: false,
+            },
+        ));
+        ModelSpec {
+            name: name.to_string(),
+            dtype: DType::F32,
+            layers,
+        }
+    }
+}
+
+/// The ten evaluated configurations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum PaperModel {
+    BertHuge32,
+    BertHuge48,
+    BertXHuge,
+    VitHuge32,
+    VitHuge48,
+    VitXHuge,
+    T5Large32,
+    T5Large48,
+    SwinHuge32,
+    SwinHuge48,
+}
+
+impl PaperModel {
+    /// All ten configurations, in Table 2 order.
+    pub const ALL: [PaperModel; 10] = [
+        PaperModel::BertHuge32,
+        PaperModel::BertHuge48,
+        PaperModel::BertXHuge,
+        PaperModel::VitHuge32,
+        PaperModel::VitHuge48,
+        PaperModel::VitXHuge,
+        PaperModel::T5Large32,
+        PaperModel::T5Large48,
+        PaperModel::SwinHuge32,
+        PaperModel::SwinHuge48,
+    ];
+
+    /// The eight models of the 8-GPU evaluation (Table 1).
+    pub const TABLE1: [PaperModel; 8] = [
+        PaperModel::BertHuge32,
+        PaperModel::BertHuge48,
+        PaperModel::VitHuge32,
+        PaperModel::VitHuge48,
+        PaperModel::T5Large32,
+        PaperModel::T5Large48,
+        PaperModel::SwinHuge32,
+        PaperModel::SwinHuge48,
+    ];
+
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperModel::BertHuge32 => "BERT-Huge-32",
+            PaperModel::BertHuge48 => "BERT-Huge-48",
+            PaperModel::BertXHuge => "BERT-xHuge",
+            PaperModel::VitHuge32 => "ViT-Huge-32",
+            PaperModel::VitHuge48 => "ViT-Huge-48",
+            PaperModel::VitXHuge => "ViT-xHuge",
+            PaperModel::T5Large32 => "T5-Large-32",
+            PaperModel::T5Large48 => "T5-Large-48",
+            PaperModel::SwinHuge32 => "Swin-Huge-32",
+            PaperModel::SwinHuge48 => "Swin-Huge-48",
+        }
+    }
+
+    /// Build the model.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            PaperModel::BertHuge32 => BertConfig {
+                layers: 32,
+                hidden: 1280,
+                heads: 20,
+                seq: 512,
+                vocab: 30522,
+            }
+            .build(self.name()),
+            PaperModel::BertHuge48 => BertConfig {
+                layers: 48,
+                hidden: 1280,
+                heads: 20,
+                seq: 512,
+                vocab: 30522,
+            }
+            .build(self.name()),
+            PaperModel::BertXHuge => BertConfig {
+                layers: 128,
+                hidden: 2560,
+                heads: 40,
+                seq: 512,
+                vocab: 30522,
+            }
+            .build(self.name()),
+            PaperModel::VitHuge32 => VitConfig {
+                layers: 32,
+                hidden: 1280,
+                heads: 16,
+                image: 224,
+                patch: 16,
+                classes: 1000,
+            }
+            .build(self.name()),
+            PaperModel::VitHuge48 => VitConfig {
+                layers: 48,
+                hidden: 1280,
+                heads: 16,
+                image: 224,
+                patch: 16,
+                classes: 1000,
+            }
+            .build(self.name()),
+            PaperModel::VitXHuge => VitConfig {
+                layers: 128,
+                hidden: 2560,
+                heads: 40,
+                image: 224,
+                patch: 16,
+                classes: 1000,
+            }
+            .build(self.name()),
+            PaperModel::T5Large32 => T5Config {
+                enc_layers: 16,
+                dec_layers: 16,
+                hidden: 1024,
+                heads: 16,
+                ffn: 4096,
+                seq: 512,
+                vocab: 32128,
+            }
+            .build(self.name()),
+            PaperModel::T5Large48 => T5Config {
+                enc_layers: 24,
+                dec_layers: 24,
+                hidden: 1024,
+                heads: 16,
+                ffn: 4096,
+                seq: 512,
+                vocab: 32128,
+            }
+            .build(self.name()),
+            PaperModel::SwinHuge32 => SwinConfig {
+                depths: vec![2, 2, 26, 2],
+                hiddens: vec![320, 640, 1280, 2560],
+                heads: vec![10, 20, 40, 80],
+                image: 224,
+                patch: 4,
+                window: 49,
+                classes: 1000,
+            }
+            .build(self.name()),
+            PaperModel::SwinHuge48 => SwinConfig {
+                depths: vec![2, 2, 42, 2],
+                hiddens: vec![320, 640, 1280, 2560],
+                heads: vec![10, 20, 40, 80],
+                image: 224,
+                patch: 4,
+                window: 49,
+                classes: 1000,
+            }
+            .build(self.name()),
+        }
+    }
+
+    /// Table 2 reference parameter count.
+    pub fn paper_param_count(self) -> u64 {
+        match self {
+            PaperModel::BertHuge32 => 672_000_000,
+            PaperModel::BertHuge48 => 987_000_000,
+            PaperModel::BertXHuge => 10_200_000_000,
+            PaperModel::VitHuge32 => 632_000_000,
+            PaperModel::VitHuge48 => 947_000_000,
+            PaperModel::VitXHuge => 10_100_000_000,
+            PaperModel::T5Large32 => 502_000_000,
+            PaperModel::T5Large48 => 737_000_000,
+            PaperModel::SwinHuge32 => 701_000_000,
+            PaperModel::SwinHuge48 => 1_016_000_000,
+        }
+    }
+
+    /// Table 2 reference activation size per sample, in MB.
+    pub fn paper_activation_mb(self) -> f64 {
+        match self {
+            PaperModel::BertHuge32 => 3149.39,
+            PaperModel::BertHuge48 => 4657.51,
+            PaperModel::BertXHuge => 24210.05,
+            PaperModel::VitHuge32 => 646.5,
+            PaperModel::VitHuge48 => 968.59,
+            PaperModel::VitXHuge => 5313.9,
+            PaperModel::T5Large32 => 4119.66,
+            PaperModel::T5Large48 => 6107.75,
+            PaperModel::SwinHuge32 => 726.59,
+            PaperModel::SwinHuge48 => 1016.8,
+        }
+    }
+
+    /// Table 2 "Layer Num" (Transformer layers only).
+    pub fn paper_layer_count(self) -> usize {
+        match self {
+            PaperModel::BertHuge32 | PaperModel::VitHuge32 => 32,
+            PaperModel::T5Large32 | PaperModel::SwinHuge32 => 32,
+            PaperModel::BertHuge48 | PaperModel::VitHuge48 => 48,
+            PaperModel::T5Large48 | PaperModel::SwinHuge48 => 48,
+            PaperModel::BertXHuge | PaperModel::VitXHuge => 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(ours: f64, paper: f64) -> f64 {
+        (ours - paper).abs() / paper
+    }
+
+    #[test]
+    fn layer_counts_match_table2() {
+        for m in PaperModel::ALL {
+            assert_eq!(
+                m.spec().transformer_layer_count(),
+                m.paper_layer_count(),
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn param_counts_match_table2_within_tolerance() {
+        // The paper rounds to the nearest million (billion for xHuge); our
+        // analytic counts land within 2% for every configuration.
+        for m in PaperModel::ALL {
+            let ours = m.spec().total_param_count() as f64;
+            let paper = m.paper_param_count() as f64;
+            assert!(
+                rel_err(ours, paper) < 0.02,
+                "{}: ours {:.1}M vs paper {:.1}M",
+                m.name(),
+                ours / 1e6,
+                paper / 1e6
+            );
+        }
+    }
+
+    #[test]
+    fn activation_sizes_match_table2_within_tolerance() {
+        // BERT configurations reproduce Table 2 to ~1%; the CV models land
+        // within 5% and T5 within 20% (the paper does not specify its
+        // decoder stash accounting; see EXPERIMENTS.md).
+        for m in PaperModel::ALL {
+            // Table 2 "MB" is decimal megabytes (10^6 bytes).
+            let ours = m.spec().activation_bytes_per_sample() as f64 / 1e6;
+            let paper = m.paper_activation_mb();
+            let tolerance = match m {
+                PaperModel::T5Large32 | PaperModel::T5Large48 => 0.20,
+                _ => 0.04,
+            };
+            assert!(
+                rel_err(ours, paper) < tolerance,
+                "{}: ours {ours:.2}MB vs paper {paper:.2}MB (err {:.1}%)",
+                m.name(),
+                100.0 * rel_err(ours, paper)
+            );
+        }
+    }
+
+    #[test]
+    fn bert_huge_32_is_calibration_grade() {
+        let m = PaperModel::BertHuge32;
+        let ours_mb = m.spec().activation_bytes_per_sample() as f64 / 1e6;
+        assert!(rel_err(ours_mb, m.paper_activation_mb()) < 0.02);
+        assert!(
+            rel_err(
+                m.spec().total_param_count() as f64,
+                m.paper_param_count() as f64
+            ) < 0.005
+        );
+    }
+
+    #[test]
+    fn swin_layers_are_uneven() {
+        // §5.5: "shallower layers have larger activation size and smaller
+        // parameter size" — the property Figure 5 exploits.
+        let swin = PaperModel::SwinHuge32.spec();
+        let encs: Vec<&LayerSpec> = swin
+            .layers
+            .iter()
+            .filter(|l| l.is_transformer_layer())
+            .collect();
+        let first = encs.first().unwrap();
+        let last = encs.last().unwrap();
+        assert!(
+            first.activation_bytes_per_sample(DType::F32)
+                > last.activation_bytes_per_sample(DType::F32)
+        );
+        assert!(first.param_count() < last.param_count());
+    }
+
+    #[test]
+    fn gpt_builds_and_scales() {
+        let gpt2_xl = GptConfig {
+            layers: 48,
+            hidden: 1600,
+            heads: 25,
+            seq: 1024,
+            vocab: 50257,
+        }
+        .build("GPT2-XL");
+        // GPT-2 XL is the paper's motivating 1.5B model (§1).
+        let params = gpt2_xl.total_param_count() as f64;
+        assert!((params / 1.5e9 - 1.0).abs() < 0.15, "params {params}");
+    }
+
+    #[test]
+    fn llama_7b_parameter_count() {
+        let model = LlamaConfig::llama_7b().build("LLaMA-7B");
+        let params = model.total_param_count() as f64;
+        // 6.74B in the reference implementation.
+        assert!(
+            (params / 6.74e9 - 1.0).abs() < 0.02,
+            "params {:.2}B",
+            params / 1e9
+        );
+        // The gated FFN stashes more than an ungated one of the same width.
+        let gated = &model.layers[1];
+        let ungated = LayerSpec::new(
+            "plain",
+            LayerKind::Encoder {
+                seq: 2048,
+                hidden: 4096,
+                heads: 32,
+                ffn: 11008,
+                window: None,
+                attn_dropout: false,
+                gated_ffn: false,
+            },
+        );
+        assert!(
+            gated.param_count() > ungated.param_count()
+                && gated.activation_bytes_per_sample(DType::F32)
+                    > ungated.activation_bytes_per_sample(DType::F32)
+                && gated.forward_flops_per_sample() > ungated.forward_flops_per_sample()
+        );
+    }
+
+    #[test]
+    fn t5_decoder_half_is_heavier_per_layer() {
+        let t5 = PaperModel::T5Large32.spec();
+        let enc = t5.layers.iter().find(|l| l.name == "enc.0").unwrap();
+        let dec = t5.layers.iter().find(|l| l.name == "dec.0").unwrap();
+        assert!(dec.param_count() > enc.param_count());
+    }
+
+    #[test]
+    fn flops_scale_with_depth() {
+        let f32_ = PaperModel::BertHuge32.spec().forward_flops_per_sample();
+        let f48 = PaperModel::BertHuge48.spec().forward_flops_per_sample();
+        assert!(f48 > 1.4 * f32_);
+        // Order of magnitude sanity: ~6·params·seq for an LM.
+        let params = PaperModel::BertHuge32.spec().total_param_count() as f64;
+        assert!(f32_ > 1.5 * params); // ≥ 2·params·(useful fraction)
+        assert!(f32_ < 6.0 * params * 512.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! The fluid discrete-event engine.
+//!
+//! Tasks occupy streams; a stream runs one task at a time. While both
+//! streams of a stage are busy, *both* resident tasks progress at rate
+//! `1/α` — the contention model of §3.4. Execution proceeds in
+//! piecewise-constant-rate segments: at every task start/finish the engine
+//! recomputes rates and jumps to the next completion.
+
+use crate::task::{StreamId, TaskGraph, TaskId, TaskKind};
+use galvatron_strategy::PlanError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The plan failed structural validation.
+    InvalidPlan(PlanError),
+    /// A topology lookup failed while building the graph.
+    Cluster(galvatron_cluster::ClusterError),
+    /// The task graph can make no progress (a dependency cycle or a
+    /// collective ordering hazard — a bug in the builder).
+    Deadlock {
+        /// Tasks that never became schedulable.
+        remaining: usize,
+    },
+    /// A memory account went negative (builder bug).
+    NegativeMemory {
+        /// The offending stage.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            SimError::Cluster(e) => write!(f, "cluster error: {e}"),
+            SimError::Deadlock { remaining } => {
+                write!(f, "simulation deadlocked with {remaining} tasks pending")
+            }
+            SimError::NegativeMemory { stage } => {
+                write!(f, "memory accounting went negative on stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Raw engine results (summarised into an
+/// [`ExecutionReport`](crate::report::ExecutionReport) by the caller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Iteration makespan in seconds.
+    pub makespan: f64,
+    /// Peak per-device resident bytes, per stage.
+    pub peak_memory: Vec<u64>,
+    /// Seconds each stage's compute stream was busy.
+    pub busy_compute: Vec<f64>,
+    /// Seconds each stage's comm stream was busy.
+    pub busy_comm: Vec<f64>,
+    /// Total compute work executed (at full rate), seconds.
+    pub compute_work: f64,
+    /// Total communication work executed (at full rate), seconds.
+    pub comm_work: f64,
+    /// Number of tasks executed.
+    pub task_count: usize,
+}
+
+/// One executed task in a recorded timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The task's debug label ("fwd L12 µ3", "dp-allreduce L7", ...).
+    pub label: String,
+    /// The task kind.
+    pub kind: TaskKind,
+    /// Stages whose streams the task occupied.
+    pub stages: Vec<usize>,
+    /// Whether the task ran on comm streams.
+    pub on_comm_stream: bool,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+struct Running {
+    id: TaskId,
+    remaining: f64,
+    rate: f64,
+    started_at: f64,
+}
+
+/// Executes one [`TaskGraph`].
+pub struct Engine {
+    graph: TaskGraph,
+    alpha: f64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl Engine {
+    /// Build an engine for `graph` with contention factor `alpha`.
+    pub fn new(graph: TaskGraph, alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "contention cannot speed things up");
+        Engine {
+            graph,
+            alpha,
+            trace: None,
+        }
+    }
+
+    /// Record a per-task execution timeline during [`Engine::run`].
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// The recorded timeline (empty unless [`Engine::with_trace`] was used).
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self) -> Result<EngineOutcome, SimError> {
+        let n_tasks = self.graph.len();
+        let n_stages = self.graph.n_stages();
+        let mut dep_counts = self.graph.dep_counts();
+        let mut ready: BTreeSet<(u64, TaskId)> = BTreeSet::new();
+        for (i, &c) in dep_counts.iter().enumerate() {
+            if c == 0 {
+                let id = TaskId(i as u32);
+                ready.insert((self.graph.task(id).priority, id));
+            }
+        }
+
+        let mut stream_busy: Vec<Option<TaskId>> = vec![None; 2 * n_stages];
+        let mut running: Vec<Running> = Vec::new();
+        let mut memory: Vec<i64> = self
+            .graph
+            .initial_memory()
+            .iter()
+            .map(|&b| b as i64)
+            .collect();
+        let mut peak: Vec<i64> = memory.clone();
+        let mut busy_compute = vec![0.0; n_stages];
+        let mut busy_comm = vec![0.0; n_stages];
+        let mut compute_work = 0.0;
+        let mut comm_work = 0.0;
+        let mut completed = 0usize;
+        let mut time = 0.0f64;
+
+        while completed < n_tasks {
+            // --- schedule every ready task whose streams are free ---------
+            let mut started = true;
+            while started {
+                started = false;
+                let candidates: Vec<(u64, TaskId)> = ready.iter().copied().collect();
+                for (prio, id) in candidates {
+                    let task = self.graph.task(id);
+                    let free = task
+                        .streams
+                        .iter()
+                        .all(|s| stream_busy[s.0 as usize].is_none());
+                    if !free {
+                        continue;
+                    }
+                    ready.remove(&(prio, id));
+                    for s in &task.streams {
+                        stream_busy[s.0 as usize] = Some(id);
+                    }
+                    for d in &task.mem_on_start {
+                        memory[d.stage] += d.bytes;
+                        if memory[d.stage] < 0 {
+                            return Err(SimError::NegativeMemory { stage: d.stage });
+                        }
+                        peak[d.stage] = peak[d.stage].max(memory[d.stage]);
+                    }
+                    match task.kind {
+                        TaskKind::Compute => compute_work += task.work,
+                        TaskKind::Comm => comm_work += task.work,
+                        TaskKind::Barrier => {}
+                    }
+                    running.push(Running {
+                        id,
+                        remaining: task.work,
+                        rate: 1.0,
+                        started_at: time,
+                    });
+                    started = true;
+                }
+
+                // Complete zero-work tasks immediately; that may unlock more.
+                started |= self.drain_completed(
+                    time,
+                    &mut running,
+                    &mut stream_busy,
+                    &mut memory,
+                    &mut peak,
+                    &mut dep_counts,
+                    &mut ready,
+                    &mut completed,
+                )?;
+            }
+
+            if completed >= n_tasks {
+                break;
+            }
+            if running.is_empty() {
+                return Err(SimError::Deadlock {
+                    remaining: n_tasks - completed,
+                });
+            }
+
+            // --- rates under contention -----------------------------------
+            for r in running.iter_mut() {
+                let task = self.graph.task(r.id);
+                let contended = task.streams.iter().any(|s| {
+                    let other = if s.is_comm() {
+                        StreamId::compute(s.stage())
+                    } else {
+                        StreamId::comm(s.stage())
+                    };
+                    stream_busy[other.0 as usize].is_some()
+                });
+                r.rate = if contended { 1.0 / self.alpha } else { 1.0 };
+            }
+
+            // --- advance to the next completion ----------------------------
+            let dt = running
+                .iter()
+                .map(|r| r.remaining / r.rate)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(dt.is_finite() && dt >= 0.0);
+            time += dt;
+            for r in running.iter_mut() {
+                r.remaining -= dt * r.rate;
+                let task = self.graph.task(r.id);
+                for s in &task.streams {
+                    if s.is_comm() {
+                        busy_comm[s.stage()] += dt;
+                    } else {
+                        busy_compute[s.stage()] += dt;
+                    }
+                }
+            }
+            self.drain_completed(
+                time,
+                &mut running,
+                &mut stream_busy,
+                &mut memory,
+                &mut peak,
+                &mut dep_counts,
+                &mut ready,
+                &mut completed,
+            )?;
+        }
+
+        Ok(EngineOutcome {
+            makespan: time,
+            peak_memory: peak.into_iter().map(|p| p.max(0) as u64).collect(),
+            busy_compute,
+            busy_comm,
+            compute_work,
+            comm_work,
+            task_count: n_tasks,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drain_completed(
+        &mut self,
+        time: f64,
+        running: &mut Vec<Running>,
+        stream_busy: &mut [Option<TaskId>],
+        memory: &mut [i64],
+        peak: &mut [i64],
+        dep_counts: &mut [u32],
+        ready: &mut BTreeSet<(u64, TaskId)>,
+        completed: &mut usize,
+    ) -> Result<bool, SimError> {
+        let eps = 1e-12;
+        let mut any = false;
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].remaining <= eps {
+                let done = running.swap_remove(i);
+                any = true;
+                *completed += 1;
+                let task = self.graph.task(done.id);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(TraceEntry {
+                        label: task.label.clone(),
+                        kind: task.kind,
+                        stages: task.streams.iter().map(|s| s.stage()).collect(),
+                        on_comm_stream: task.streams.iter().any(|s| s.is_comm()),
+                        start: done.started_at,
+                        end: time,
+                    });
+                }
+                for s in &task.streams {
+                    stream_busy[s.0 as usize] = None;
+                }
+                for d in &task.mem_on_finish {
+                    memory[d.stage] += d.bytes;
+                    if memory[d.stage] < 0 {
+                        return Err(SimError::NegativeMemory { stage: d.stage });
+                    }
+                    peak[d.stage] = peak[d.stage].max(memory[d.stage]);
+                }
+                for &dep in self.graph.dependents(done.id) {
+                    let c = &mut dep_counts[dep.0 as usize];
+                    *c -= 1;
+                    if *c == 0 {
+                        ready.insert((self.graph.task(dep).priority, dep));
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Ok(any)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{barrier_task, comm_task, compute_task, MemDelta, Task};
+
+    fn run(graph: TaskGraph, alpha: f64) -> EngineOutcome {
+        Engine::new(graph, alpha).run().unwrap()
+    }
+
+    #[test]
+    fn sequential_chain_sums() {
+        let mut g = TaskGraph::new(1);
+        let a = g.add(compute_task(0, 1.0, 0, "a"));
+        let b = g.add(compute_task(0, 2.0, 1, "b"));
+        g.add_dep(a, b);
+        let out = run(g, 1.3);
+        assert!((out.makespan - 3.0).abs() < 1e-9);
+        assert_eq!(out.task_count, 2);
+    }
+
+    #[test]
+    fn overlap_contention_matches_closed_form() {
+        // Independent compute (2s) and comm (2s) on one stage: both run at
+        // 1/α → 2.6 s total, the estimator's max + (α−1)·min.
+        let mut g = TaskGraph::new(1);
+        g.add(compute_task(0, 2.0, 0, "c"));
+        g.add(comm_task(0, 2.0, 1, "m"));
+        let out = run(g, 1.3);
+        assert!((out.makespan - 2.6).abs() < 1e-9, "{}", out.makespan);
+    }
+
+    #[test]
+    fn partial_overlap_matches_closed_form() {
+        // compute 3s, comm 1s → max + 0.3·min = 3.3.
+        let mut g = TaskGraph::new(1);
+        g.add(compute_task(0, 3.0, 0, "c"));
+        g.add(comm_task(0, 1.0, 1, "m"));
+        let out = run(g, 1.3);
+        assert!((out.makespan - 3.3).abs() < 1e-9, "{}", out.makespan);
+    }
+
+    #[test]
+    fn alpha_one_is_plain_concurrency() {
+        let mut g = TaskGraph::new(1);
+        g.add(compute_task(0, 3.0, 0, "c"));
+        g.add(comm_task(0, 1.0, 1, "m"));
+        let out = run(g, 1.0);
+        assert!((out.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_stream_tasks_serialize_by_priority() {
+        let mut g = TaskGraph::new(1);
+        g.add(compute_task(0, 1.0, 5, "late"));
+        g.add(compute_task(0, 1.0, 1, "early"));
+        let out = run(g, 1.3);
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+        // Busy time equals makespan: the stream never idles.
+        assert!((out.busy_compute[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_stage_comm_holds_both_streams() {
+        // A boundary send occupies stage 0 and stage 1 comm streams; a
+        // stage-1 collective must wait for it.
+        let mut g = TaskGraph::new(2);
+        let send = g.add(Task {
+            streams: vec![StreamId::comm(0), StreamId::comm(1)],
+            ..comm_task(0, 1.0, 0, "send")
+        });
+        let coll = g.add(comm_task(1, 1.0, 1, "coll"));
+        // No dependency — only stream contention orders them.
+        let _ = (send, coll);
+        let out = run(g, 1.3);
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barriers_are_free_and_ordering() {
+        let mut g = TaskGraph::new(1);
+        let a = g.add(compute_task(0, 1.0, 0, "a"));
+        let bar = g.add(barrier_task(1, "bar"));
+        let b = g.add(compute_task(0, 1.0, 2, "b"));
+        g.add_dep(a, bar);
+        g.add_dep(bar, b);
+        let out = run(g, 1.3);
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut g = TaskGraph::new(1);
+        let a = g.add(compute_task(0, 1.0, 0, "a"));
+        let b = g.add(compute_task(0, 1.0, 1, "b"));
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        let err = Engine::new(g, 1.3).run().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { remaining: 2 }));
+    }
+
+    #[test]
+    fn contention_is_per_stage_not_global() {
+        // Stage 0 has compute+comm (both slowed); stage 1 has only compute
+        // (full rate). Stage 1 must finish at t=2.0, stage 0 at 2.6.
+        let mut g = TaskGraph::new(2);
+        g.add(compute_task(0, 2.0, 0, "c0"));
+        g.add(comm_task(0, 2.0, 1, "m0"));
+        g.add(compute_task(1, 2.0, 2, "c1"));
+        let out = run(g, 1.3);
+        assert!((out.makespan - 2.6).abs() < 1e-9);
+        assert!((out.busy_compute[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_rebalance_when_one_side_finishes() {
+        // comm 1s, compute 3s: overlap phase runs both at 1/1.3 until comm's
+        // 1s of work completes at t=1.3; compute then accelerates. Closed
+        // form: 3 + 0.3·1 = 3.3.
+        let mut g = TaskGraph::new(1);
+        g.add(compute_task(0, 3.0, 0, "c"));
+        g.add(comm_task(0, 1.0, 1, "m"));
+        let out = run(g, 1.3);
+        assert!((out.makespan - 3.3).abs() < 1e-9);
+        // Work accounting is at full rate, not wall-clock.
+        assert!((out.compute_work - 3.0).abs() < 1e-12);
+        assert!((out.comm_work - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_comm_tasks_complete_immediately() {
+        let mut g = TaskGraph::new(1);
+        let a = g.add(comm_task(0, 0.0, 0, "free"));
+        let b = g.add(compute_task(0, 1.0, 1, "c"));
+        g.add_dep(a, b);
+        let out = run(g, 1.3);
+        assert!((out.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_band_lets_sends_preempt_queued_collectives() {
+        // Three queued low-band collectives and one high-priority send, all
+        // ready: the send must run first (it has the smaller priority).
+        let mut g = TaskGraph::new(1);
+        let band = 1u64 << 40;
+        for i in 0..3 {
+            g.add(comm_task(0, 1.0, band + i, &*format!("ar{i}")));
+        }
+        let send = g.add(comm_task(0, 0.5, 10, "send"));
+        // A witness depending on the send: finishes at 0.5 if the send ran
+        // first, at 3.5 if it queued behind the collectives.
+        let witness = g.add(barrier_task(11, "witness"));
+        g.add_dep(send, witness);
+        let mut engine = Engine::new(g, 1.0).with_trace();
+        let out = engine.run().unwrap();
+        let trace = engine.take_trace();
+        let send_end = trace.iter().find(|e| e.label == "send").unwrap().end;
+        assert!((send_end - 0.5).abs() < 1e-9, "send finished at {send_end}");
+        assert!((out.makespan - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_every_task_once() {
+        let mut g = TaskGraph::new(2);
+        let a = g.add(compute_task(0, 1.0, 0, "a"));
+        let b = g.add(comm_task(1, 2.0, 1, "b"));
+        g.add_dep(a, b);
+        let mut engine = Engine::new(g, 1.3).with_trace();
+        engine.run().unwrap();
+        let trace = engine.take_trace();
+        assert_eq!(trace.len(), 2);
+        let a_entry = trace.iter().find(|e| e.label == "a").unwrap();
+        let b_entry = trace.iter().find(|e| e.label == "b").unwrap();
+        assert_eq!(a_entry.start, 0.0);
+        assert_eq!(a_entry.end, 1.0);
+        assert_eq!(b_entry.start, 1.0);
+        assert_eq!(b_entry.end, 3.0);
+        assert!(b_entry.on_comm_stream);
+        // take_trace drains.
+        assert!(engine.take_trace().is_empty());
+    }
+
+    #[test]
+    fn memory_peaks_track_deltas() {
+        let mut g = TaskGraph::new(1);
+        g.set_initial_memory(0, 100);
+        let mut t1 = compute_task(0, 1.0, 0, "alloc");
+        t1.mem_on_start.push(MemDelta {
+            stage: 0,
+            bytes: 50,
+        });
+        let mut t2 = compute_task(0, 1.0, 1, "free");
+        t2.mem_on_finish.push(MemDelta {
+            stage: 0,
+            bytes: -50,
+        });
+        let a = g.add(t1);
+        let b = g.add(t2);
+        g.add_dep(a, b);
+        let out = run(g, 1.3);
+        assert_eq!(out.peak_memory[0], 150);
+    }
+
+    #[test]
+    fn negative_memory_is_a_builder_bug() {
+        let mut g = TaskGraph::new(1);
+        let mut t = compute_task(0, 1.0, 0, "bad");
+        t.mem_on_start.push(MemDelta {
+            stage: 0,
+            bytes: -10,
+        });
+        g.add(t);
+        let err = Engine::new(g, 1.3).run().unwrap_err();
+        assert_eq!(err, SimError::NegativeMemory { stage: 0 });
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index symmetry mirrors the schedule grid
+    fn pipeline_bubble_emerges_from_dependencies() {
+        // 2 stages × 4 micro-batches of 1 s each, fwd only:
+        // makespan = (m + P − 1) · t = 5 s.
+        let p = 2;
+        let m = 4;
+        let mut g = TaskGraph::new(p);
+        let mut ids = vec![vec![TaskId(0); m]; p];
+        let mut prio = 0u64;
+        for k in 0..m {
+            for s in 0..p {
+                let t = g.add(compute_task(s, 1.0, prio, format!("f s{s} µ{k}")));
+                prio += 1;
+                ids[s][k] = t;
+            }
+        }
+        for k in 0..m {
+            for s in 1..p {
+                g.add_dep(ids[s - 1][k], ids[s][k]);
+            }
+        }
+        let out = run(g, 1.3);
+        assert!((out.makespan - 5.0).abs() < 1e-9, "{}", out.makespan);
+        // Each stage computed m seconds.
+        assert!((out.busy_compute[0] - 4.0).abs() < 1e-9);
+        assert!((out.busy_compute[1] - 4.0).abs() < 1e-9);
+    }
+}

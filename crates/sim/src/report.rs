@@ -1,0 +1,134 @@
+//! Execution reports: the "measured" numbers of every experiment.
+
+use crate::engine::EngineOutcome;
+use galvatron_cluster::ClusterTopology;
+use galvatron_strategy::ParallelPlan;
+use serde::{Deserialize, Serialize};
+
+/// The result of simulating one training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Iteration wall-clock seconds.
+    pub iteration_time: f64,
+    /// Samples per second (`global_batch / iteration_time`).
+    pub throughput: f64,
+    /// The batch the iteration processed.
+    pub global_batch: usize,
+    /// Peak per-device resident bytes, per pipeline stage.
+    pub peak_memory_per_stage: Vec<u64>,
+    /// Whether any stage exceeded the configured budget (framework overhead
+    /// subtracted).
+    pub oom: bool,
+    /// Per-stage compute-stream busy seconds.
+    pub busy_compute: Vec<f64>,
+    /// Per-stage comm-stream busy seconds.
+    pub busy_comm: Vec<f64>,
+    /// Total compute work executed at full rate, seconds.
+    pub compute_work: f64,
+    /// Total communication work executed at full rate, seconds.
+    pub comm_work: f64,
+    /// Number of simulated tasks.
+    pub task_count: usize,
+}
+
+impl ExecutionReport {
+    /// Largest per-device peak across stages.
+    pub fn peak_memory(&self) -> u64 {
+        self.peak_memory_per_stage
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of the makespan the busiest compute stream was active.
+    pub fn compute_utilization(&self) -> f64 {
+        if self.iteration_time <= 0.0 {
+            return 0.0;
+        }
+        self.busy_compute.iter().cloned().fold(0.0f64, f64::max) / self.iteration_time
+    }
+}
+
+/// Summarise an engine outcome against the plan and budget.
+pub fn summarize(
+    outcome: EngineOutcome,
+    plan: &ParallelPlan,
+    budget: Option<u64>,
+    topology: &ClusterTopology,
+) -> ExecutionReport {
+    let oom = match budget {
+        Some(b) => {
+            let usable = topology.usable_budget(b);
+            outcome.peak_memory.iter().any(|&p| p > usable)
+        }
+        None => false,
+    };
+    ExecutionReport {
+        throughput: plan.global_batch as f64 / outcome.makespan,
+        iteration_time: outcome.makespan,
+        global_batch: plan.global_batch,
+        peak_memory_per_stage: outcome.peak_memory,
+        oom,
+        busy_compute: outcome.busy_compute,
+        busy_comm: outcome.busy_comm,
+        compute_work: outcome.compute_work,
+        comm_work: outcome.comm_work,
+        task_count: outcome.task_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOutcome;
+    use galvatron_cluster::{rtx_titan_node, GIB};
+    use galvatron_strategy::{IntraStageStrategy, Paradigm, ParallelPlan};
+
+    fn outcome() -> EngineOutcome {
+        EngineOutcome {
+            makespan: 2.0,
+            peak_memory: vec![6 * GIB, 9 * GIB],
+            busy_compute: vec![1.5, 1.0],
+            busy_comm: vec![0.5, 0.5],
+            compute_work: 2.5,
+            comm_work: 1.0,
+            task_count: 10,
+        }
+    }
+
+    fn plan() -> ParallelPlan {
+        ParallelPlan::uniform(
+            "t",
+            4,
+            8,
+            IntraStageStrategy::pure(Paradigm::Data, 8).unwrap(),
+            32,
+        )
+    }
+
+    #[test]
+    fn throughput_and_peaks() {
+        let topo = rtx_titan_node(8);
+        let r = summarize(outcome(), &plan(), None, &topo);
+        assert!((r.throughput - 16.0).abs() < 1e-12);
+        assert_eq!(r.peak_memory(), 9 * GIB);
+        assert!(!r.oom);
+        assert!((r.compute_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_respects_framework_overhead() {
+        let topo = rtx_titan_node(8);
+        // Usable budget = 10 GiB − overhead (< 10 GiB), so a 9 GiB peak
+        // that would fit the raw budget overflows the usable one only if
+        // overhead pushes it over.
+        let r = summarize(outcome(), &plan(), Some(10 * GIB), &topo);
+        let usable = topo.usable_budget(10 * GIB);
+        assert_eq!(r.oom, 9 * GIB > usable);
+        let roomy = summarize(outcome(), &plan(), Some(12 * GIB), &topo);
+        assert!(!roomy.oom);
+        let tight = summarize(outcome(), &plan(), Some(8 * GIB), &topo);
+        assert!(tight.oom);
+    }
+}

@@ -1,0 +1,244 @@
+//! Task graphs: the unit of simulated work.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of an execution stream. Each simulated stage owns two streams:
+/// `compute(stage)` and `comm(stage)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The compute stream of `stage`.
+    pub fn compute(stage: usize) -> Self {
+        StreamId((stage as u32) << 1)
+    }
+
+    /// The communication stream of `stage`.
+    pub fn comm(stage: usize) -> Self {
+        StreamId(((stage as u32) << 1) | 1)
+    }
+
+    /// Whether this is a communication stream.
+    pub fn is_comm(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The stage the stream belongs to.
+    pub fn stage(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+}
+
+/// What a task models; used for reporting and for contention classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// GPU kernels (forward or backward of a layer for one micro-batch).
+    Compute,
+    /// A collective or point-to-point transfer.
+    Comm,
+    /// A zero-work synchronisation barrier.
+    Barrier,
+}
+
+/// A memory-effect applied to a stage's per-device accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemDelta {
+    /// The stage whose devices the delta applies to.
+    pub stage: usize,
+    /// Signed per-device byte change.
+    pub bytes: i64,
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task classification.
+    pub kind: TaskKind,
+    /// Streams the task occupies for its whole duration (a collective over
+    /// several stages holds each stage's comm stream).
+    pub streams: Vec<StreamId>,
+    /// Work in seconds at full (uncontended) rate.
+    pub work: f64,
+    /// Scheduling priority within a stream — lower runs first among ready
+    /// tasks (encodes the GPipe order: forwards before backwards, micro
+    /// order inside each phase).
+    pub priority: u64,
+    /// Per-device memory deltas applied when the task starts.
+    pub mem_on_start: Vec<MemDelta>,
+    /// Per-device memory deltas applied when the task finishes.
+    pub mem_on_finish: Vec<MemDelta>,
+    /// Debug label ("fwd L12 µ3", "allreduce dp L12", ...).
+    pub label: String,
+}
+
+/// A dependency-ordered task graph plus initial per-stage memory state.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    /// `edges[i]` lists tasks that depend on task `i`.
+    dependents: Vec<Vec<TaskId>>,
+    /// Number of unfinished prerequisites per task.
+    n_deps: Vec<u32>,
+    /// Number of stages (streams are `2 × n_stages`).
+    n_stages: usize,
+    /// Per-device resident bytes per stage before the iteration starts
+    /// (parameters, gradients, optimizer state).
+    initial_memory: Vec<u64>,
+}
+
+impl TaskGraph {
+    /// An empty graph over `n_stages` stages.
+    pub fn new(n_stages: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::new(),
+            dependents: Vec::new(),
+            n_deps: Vec::new(),
+            n_stages,
+            initial_memory: vec![0; n_stages],
+        }
+    }
+
+    /// Add a task, returning its id.
+    pub fn add(&mut self, task: Task) -> TaskId {
+        debug_assert!(task.work >= 0.0);
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("graph too large"));
+        self.tasks.push(task);
+        self.dependents.push(Vec::new());
+        self.n_deps.push(0);
+        id
+    }
+
+    /// Declare that `after` requires `before` to finish first.
+    pub fn add_dep(&mut self, before: TaskId, after: TaskId) {
+        debug_assert_ne!(before, after);
+        self.dependents[before.0 as usize].push(after);
+        self.n_deps[after.0 as usize] += 1;
+    }
+
+    /// Set the pre-iteration resident bytes of `stage`.
+    pub fn set_initial_memory(&mut self, stage: usize, bytes: u64) {
+        self.initial_memory[stage] = bytes;
+    }
+
+    /// Pre-iteration resident bytes per stage.
+    pub fn initial_memory(&self) -> &[u64] {
+        &self.initial_memory
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// A task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Tasks depending on `id`.
+    pub fn dependents(&self, id: TaskId) -> &[TaskId] {
+        &self.dependents[id.0 as usize]
+    }
+
+    /// Initial prerequisite counts (cloned for execution).
+    pub fn dep_counts(&self) -> Vec<u32> {
+        self.n_deps.clone()
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Convenience constructor for a compute task.
+pub fn compute_task(stage: usize, work: f64, priority: u64, label: impl Into<String>) -> Task {
+    Task {
+        kind: TaskKind::Compute,
+        streams: vec![StreamId::compute(stage)],
+        work,
+        priority,
+        mem_on_start: Vec::new(),
+        mem_on_finish: Vec::new(),
+        label: label.into(),
+    }
+}
+
+/// Convenience constructor for a communication task over one stage.
+pub fn comm_task(stage: usize, work: f64, priority: u64, label: impl Into<String>) -> Task {
+    Task {
+        kind: TaskKind::Comm,
+        streams: vec![StreamId::comm(stage)],
+        work,
+        priority,
+        mem_on_start: Vec::new(),
+        mem_on_finish: Vec::new(),
+        label: label.into(),
+    }
+}
+
+/// Convenience constructor for a zero-work barrier on no streams.
+pub fn barrier_task(priority: u64, label: impl Into<String>) -> Task {
+    Task {
+        kind: TaskKind::Barrier,
+        streams: Vec::new(),
+        work: 0.0,
+        priority,
+        mem_on_start: Vec::new(),
+        mem_on_finish: Vec::new(),
+        label: label.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ids_partition_compute_and_comm() {
+        for stage in 0..16 {
+            let c = StreamId::compute(stage);
+            let m = StreamId::comm(stage);
+            assert!(!c.is_comm());
+            assert!(m.is_comm());
+            assert_eq!(c.stage(), stage);
+            assert_eq!(m.stage(), stage);
+            assert_ne!(c, m);
+        }
+    }
+
+    #[test]
+    fn graph_tracks_dependencies() {
+        let mut g = TaskGraph::new(1);
+        let a = g.add(compute_task(0, 1.0, 0, "a"));
+        let b = g.add(compute_task(0, 1.0, 1, "b"));
+        let c = g.add(comm_task(0, 0.5, 2, "c"));
+        g.add_dep(a, b);
+        g.add_dep(a, c);
+        g.add_dep(b, c);
+        assert_eq!(g.dependents(a), &[b, c]);
+        assert_eq!(g.dep_counts(), vec![0, 1, 2]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn initial_memory_is_per_stage() {
+        let mut g = TaskGraph::new(3);
+        g.set_initial_memory(1, 42);
+        assert_eq!(g.initial_memory(), &[0, 42, 0]);
+    }
+}

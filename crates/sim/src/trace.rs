@@ -1,0 +1,149 @@
+//! Timeline export: Chrome `about://tracing` / Perfetto JSON.
+//!
+//! The engine can record every executed task's `(start, end)`;
+//! [`to_chrome_trace`] renders that timeline in the Trace Event Format so a
+//! simulated iteration can be inspected visually — compute and comm streams
+//! appear as separate "threads" per pipeline stage.
+
+use crate::engine::TraceEntry;
+use crate::task::TaskKind;
+use std::fmt::Write as _;
+
+/// Render a recorded timeline as Chrome Trace Event JSON (an array of
+/// complete `"X"` events; load via `chrome://tracing` or Perfetto).
+///
+/// Times are exported in microseconds, the format's native unit. Multi-stage
+/// tasks (boundary sends) are emitted once per stage they occupied.
+pub fn to_chrome_trace(entries: &[TraceEntry]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for entry in entries {
+        for &stage in &entry.stages {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let tid = stage * 2 + usize::from(entry.on_comm_stream);
+            let cat = match entry.kind {
+                TaskKind::Compute => "compute",
+                TaskKind::Comm => "comm",
+                TaskKind::Barrier => "barrier",
+            };
+            write!(
+                out,
+                "  {{\"name\": {:?}, \"cat\": \"{cat}\", \"ph\": \"X\", \
+                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {tid}}}",
+                entry.label,
+                entry.start * 1e6,
+                (entry.end - entry.start) * 1e6,
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Aggregate statistics computed from a timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of recorded task executions.
+    pub tasks: usize,
+    /// Total busy seconds across compute streams.
+    pub compute_busy: f64,
+    /// Total busy seconds across comm streams.
+    pub comm_busy: f64,
+    /// The longest single task and its duration.
+    pub longest: Option<(String, f64)>,
+}
+
+/// Summarise a timeline.
+pub fn trace_stats(entries: &[TraceEntry]) -> TraceStats {
+    let mut compute_busy = 0.0;
+    let mut comm_busy = 0.0;
+    let mut longest: Option<(String, f64)> = None;
+    for entry in entries {
+        let dur = entry.end - entry.start;
+        if entry.on_comm_stream {
+            comm_busy += dur * entry.stages.len() as f64;
+        } else {
+            compute_busy += dur;
+        }
+        if longest.as_ref().is_none_or(|(_, d)| dur > *d) {
+            longest = Some((entry.label.clone(), dur));
+        }
+    }
+    TraceStats {
+        tasks: entries.len(),
+        compute_busy,
+        comm_busy,
+        longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, comm: bool, start: f64, end: f64) -> TraceEntry {
+        TraceEntry {
+            label: label.to_string(),
+            kind: if comm {
+                TaskKind::Comm
+            } else {
+                TaskKind::Compute
+            },
+            stages: vec![0],
+            on_comm_stream: comm,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let entries = vec![
+            entry("fwd L0 µ0", false, 0.0, 0.5),
+            entry("ar L0", true, 0.5, 0.7),
+        ];
+        let json = to_chrome_trace(&entries);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"], "fwd L0 µ0");
+        assert_eq!(events[0]["tid"], 0);
+        assert_eq!(events[1]["tid"], 1); // comm stream
+        assert_eq!(events[1]["dur"].as_f64().unwrap(), 0.2e6);
+    }
+
+    #[test]
+    fn multi_stage_tasks_appear_on_every_stream() {
+        let mut e = entry("send", true, 0.0, 0.1);
+        e.stages = vec![0, 1];
+        let json = to_chrome_trace(&[e]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let entries = vec![
+            entry("a", false, 0.0, 1.0),
+            entry("b", true, 0.0, 0.25),
+            entry("c", false, 1.0, 3.5),
+        ];
+        let stats = trace_stats(&entries);
+        assert_eq!(stats.tasks, 3);
+        assert!((stats.compute_busy - 3.5).abs() < 1e-12);
+        assert!((stats.comm_busy - 0.25).abs() < 1e-12);
+        assert_eq!(stats.longest.unwrap().0, "c");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        let json = to_chrome_trace(&[]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed.as_array().unwrap().is_empty());
+        assert_eq!(trace_stats(&[]).longest, None);
+    }
+}

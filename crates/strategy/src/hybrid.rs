@@ -1,0 +1,374 @@
+//! Intra-stage hybrid strategies: ordered compositions of DP, SDP and TP.
+
+use galvatron_cluster::{ClusterError, ClusterTopology, DeviceId, Link};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An intra-stage parallelism paradigm (Figure 1 of the paper).
+///
+/// Pipeline parallelism is not listed here: PP partitions the *model* into
+/// stages before intra-stage strategies are chosen (Takeaway #1 applies it
+/// first, across the slowest links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Paradigm {
+    /// Data parallelism: replicate parameters, split the batch, all-reduce
+    /// gradients.
+    Data,
+    /// Sharded data parallelism (ZeRO-3 / FSDP): split the batch *and* shard
+    /// parameters, gradients and optimizer state; all-gather parameters
+    /// twice and reduce-scatter gradients once per step.
+    ShardedData,
+    /// Megatron-style tensor parallelism: shard parameters, replicate the
+    /// batch, all-reduce activations inside the layer.
+    Tensor,
+}
+
+impl Paradigm {
+    /// All intra-stage paradigms, in the canonical order used by
+    /// enumeration.
+    pub const ALL: [Paradigm; 3] = [Paradigm::Data, Paradigm::ShardedData, Paradigm::Tensor];
+
+    /// Two-letter display code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Paradigm::Data => "DP",
+            Paradigm::ShardedData => "SDP",
+            Paradigm::Tensor => "TP",
+        }
+    }
+}
+
+impl fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One axis of a hybrid strategy: a paradigm applied at a parallel degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StrategyAxis {
+    /// The paradigm.
+    pub paradigm: Paradigm,
+    /// Its degree (power of two, ≥ 2).
+    pub degree: usize,
+}
+
+impl StrategyAxis {
+    /// Construct an axis.
+    pub fn new(paradigm: Paradigm, degree: usize) -> Self {
+        StrategyAxis { paradigm, degree }
+    }
+}
+
+/// Errors validating a hybrid strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// A degree that is not a power of two or is below 2.
+    BadDegree(usize),
+    /// The same paradigm appears on two axes (violates the decision-tree
+    /// rule "any one of the parallelisms cannot be applied repeatedly").
+    RepeatedParadigm(Paradigm),
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::BadDegree(d) => {
+                write!(f, "axis degree {d} must be a power of two ≥ 2")
+            }
+            StrategyError::RepeatedParadigm(p) => {
+                write!(f, "paradigm {p} appears on more than one axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// An ordered hybrid strategy for one layer on a device group.
+///
+/// Axes are listed **outermost first**: the innermost (last) axis groups
+/// adjacent device ids, i.e. the fastest interconnect. An empty axis list is
+/// the single-device strategy (a group of size 1).
+///
+/// ```
+/// use galvatron_strategy::{IntraStageStrategy, Paradigm, StrategyAxis};
+///
+/// // 2-way DP over 4-way TP on 8 devices: TP groups are adjacent ids.
+/// let s = IntraStageStrategy::new(vec![
+///     StrategyAxis::new(Paradigm::Data, 2),
+///     StrategyAxis::new(Paradigm::Tensor, 4),
+/// ]).unwrap();
+/// assert_eq!(s.label(), "DP2-TP4");
+/// assert_eq!(s.total_degree(), 8);
+/// assert_eq!(s.axis_groups(1, 0), vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+/// assert_eq!(s.axis_groups(0, 0)[0], vec![0, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntraStageStrategy {
+    axes: Vec<StrategyAxis>,
+}
+
+impl IntraStageStrategy {
+    /// Build and validate a strategy.
+    pub fn new(axes: Vec<StrategyAxis>) -> Result<Self, StrategyError> {
+        for (i, axis) in axes.iter().enumerate() {
+            if axis.degree < 2 || !axis.degree.is_power_of_two() {
+                return Err(StrategyError::BadDegree(axis.degree));
+            }
+            if axes[..i].iter().any(|a| a.paradigm == axis.paradigm) {
+                return Err(StrategyError::RepeatedParadigm(axis.paradigm));
+            }
+        }
+        Ok(IntraStageStrategy { axes })
+    }
+
+    /// The single-device (serial) strategy.
+    pub fn single_device() -> Self {
+        IntraStageStrategy { axes: Vec::new() }
+    }
+
+    /// A pure one-paradigm strategy of the given degree (degree 1 yields the
+    /// single-device strategy).
+    pub fn pure(paradigm: Paradigm, degree: usize) -> Result<Self, StrategyError> {
+        if degree == 1 {
+            return Ok(IntraStageStrategy::single_device());
+        }
+        IntraStageStrategy::new(vec![StrategyAxis::new(paradigm, degree)])
+    }
+
+    /// The axes, outermost first.
+    pub fn axes(&self) -> &[StrategyAxis] {
+        &self.axes
+    }
+
+    /// Total devices the strategy spans (product of degrees).
+    pub fn total_degree(&self) -> usize {
+        self.axes.iter().map(|a| a.degree).product()
+    }
+
+    /// Degree of `paradigm` (1 if absent).
+    pub fn degree_of(&self, paradigm: Paradigm) -> usize {
+        self.axes
+            .iter()
+            .find(|a| a.paradigm == paradigm)
+            .map_or(1, |a| a.degree)
+    }
+
+    /// DP degree.
+    pub fn dp(&self) -> usize {
+        self.degree_of(Paradigm::Data)
+    }
+
+    /// SDP degree.
+    pub fn sdp(&self) -> usize {
+        self.degree_of(Paradigm::ShardedData)
+    }
+
+    /// TP degree.
+    pub fn tp(&self) -> usize {
+        self.degree_of(Paradigm::Tensor)
+    }
+
+    /// How many ways the batch is split (DP and SDP both split data).
+    pub fn data_degree(&self) -> usize {
+        self.dp() * self.sdp()
+    }
+
+    /// How many ways the parameters are sharded (SDP and TP both shard
+    /// model state).
+    pub fn model_shards(&self) -> usize {
+        self.sdp() * self.tp()
+    }
+
+    /// Whether the strategy mixes DP and SDP (pruned by Takeaway #3).
+    pub fn mixes_dp_and_sdp(&self) -> bool {
+        self.dp() > 1 && self.sdp() > 1
+    }
+
+    /// The stride between consecutive members of axis `idx`'s communication
+    /// groups: the product of all *inner* (later) axis degrees.
+    pub fn axis_stride(&self, idx: usize) -> usize {
+        self.axes[idx + 1..].iter().map(|a| a.degree).product()
+    }
+
+    /// The communication groups of axis `idx` when the strategy runs on the
+    /// contiguous devices `base..base + total_degree()`.
+    ///
+    /// Axis `idx` (degree `d`, stride `s`) induces `total/d` groups of the
+    /// form `{first + i·s | i < d}`.
+    pub fn axis_groups(&self, idx: usize, base: DeviceId) -> Vec<Vec<DeviceId>> {
+        let total = self.total_degree();
+        let d = self.axes[idx].degree;
+        let s = self.axis_stride(idx);
+        let mut groups = Vec::with_capacity(total / d);
+        for block in (0..total).step_by(s * d) {
+            for offset in 0..s {
+                let first = base + block + offset;
+                groups.push((0..d).map(|i| first + i * s).collect());
+            }
+        }
+        groups
+    }
+
+    /// The bottleneck link of axis `idx`'s groups on `topology`, for a
+    /// strategy based at device `base`. All groups of one axis are
+    /// isomorphic under the nested power-of-two hierarchy, so the first
+    /// group's bottleneck is representative.
+    pub fn axis_link(
+        &self,
+        topology: &ClusterTopology,
+        idx: usize,
+        base: DeviceId,
+    ) -> Result<Link, ClusterError> {
+        let groups = self.axis_groups(idx, base);
+        let first = groups.first().expect("axes have at least one group");
+        topology.bottleneck_link(first)
+    }
+
+    /// The link of the axis running `paradigm`, if present.
+    pub fn paradigm_link(
+        &self,
+        topology: &ClusterTopology,
+        paradigm: Paradigm,
+        base: DeviceId,
+    ) -> Result<Option<Link>, ClusterError> {
+        for (i, axis) in self.axes.iter().enumerate() {
+            if axis.paradigm == paradigm {
+                return Ok(Some(self.axis_link(topology, i, base)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Canonical compact display, outermost first: `DP2-TP4`; the
+    /// single-device strategy prints `Serial`.
+    pub fn label(&self) -> String {
+        if self.axes.is_empty() {
+            return "Serial".to_string();
+        }
+        self.axes
+            .iter()
+            .map(|a| format!("{}{}", a.paradigm.code(), a.degree))
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+impl fmt::Display for IntraStageStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::{rtx_titan_nodes, LinkClass};
+
+    fn strat(axes: &[(Paradigm, usize)]) -> IntraStageStrategy {
+        IntraStageStrategy::new(axes.iter().map(|&(p, d)| StrategyAxis::new(p, d)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn degrees_multiply_and_project() {
+        let s = strat(&[(Paradigm::Data, 2), (Paradigm::Tensor, 4)]);
+        assert_eq!(s.total_degree(), 8);
+        assert_eq!(s.dp(), 2);
+        assert_eq!(s.tp(), 4);
+        assert_eq!(s.sdp(), 1);
+        assert_eq!(s.data_degree(), 2);
+        assert_eq!(s.model_shards(), 4);
+        assert!(!s.mixes_dp_and_sdp());
+        assert!(strat(&[(Paradigm::Data, 2), (Paradigm::ShardedData, 2)]).mixes_dp_and_sdp());
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        assert_eq!(
+            IntraStageStrategy::new(vec![StrategyAxis::new(Paradigm::Data, 3)]),
+            Err(StrategyError::BadDegree(3))
+        );
+        assert_eq!(
+            IntraStageStrategy::new(vec![StrategyAxis::new(Paradigm::Data, 1)]),
+            Err(StrategyError::BadDegree(1))
+        );
+        assert_eq!(
+            IntraStageStrategy::new(vec![
+                StrategyAxis::new(Paradigm::Tensor, 2),
+                StrategyAxis::new(Paradigm::Tensor, 2),
+            ]),
+            Err(StrategyError::RepeatedParadigm(Paradigm::Tensor))
+        );
+    }
+
+    #[test]
+    fn single_device_strategy_is_trivial() {
+        let s = IntraStageStrategy::single_device();
+        assert_eq!(s.total_degree(), 1);
+        assert_eq!(s.label(), "Serial");
+        assert_eq!(IntraStageStrategy::pure(Paradigm::Data, 1).unwrap(), s);
+    }
+
+    #[test]
+    fn inner_axis_groups_are_adjacent() {
+        // DP2 (outer) - TP4 (inner) on devices 0..8: TP groups are
+        // {0,1,2,3} and {4,5,6,7}; DP groups stride 4: {0,4},{1,5},...
+        let s = strat(&[(Paradigm::Data, 2), (Paradigm::Tensor, 4)]);
+        assert_eq!(s.axis_stride(0), 4);
+        assert_eq!(s.axis_stride(1), 1);
+        assert_eq!(
+            s.axis_groups(1, 0),
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]
+        );
+        assert_eq!(
+            s.axis_groups(0, 0),
+            vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]
+        );
+    }
+
+    #[test]
+    fn base_offset_shifts_groups() {
+        let s = strat(&[(Paradigm::Tensor, 2)]);
+        assert_eq!(s.axis_groups(0, 6), vec![vec![6, 7]]);
+    }
+
+    #[test]
+    fn axis_order_controls_which_link_is_paid() {
+        // Two nodes of 8: an inner TP2 axis stays on PCIe; an outer TP2 axis
+        // (stride 8) crosses InfiniBand.
+        let topo = rtx_titan_nodes(2, 8);
+        let tp_inner = strat(&[(Paradigm::Data, 8), (Paradigm::Tensor, 2)]);
+        let tp_outer = strat(&[(Paradigm::Tensor, 2), (Paradigm::Data, 8)]);
+        assert_eq!(
+            tp_inner
+                .paradigm_link(&topo, Paradigm::Tensor, 0)
+                .unwrap()
+                .unwrap()
+                .class,
+            LinkClass::Pcie3
+        );
+        assert_eq!(
+            tp_outer
+                .paradigm_link(&topo, Paradigm::Tensor, 0)
+                .unwrap()
+                .unwrap()
+                .class,
+            LinkClass::InfiniBand100
+        );
+        assert_eq!(
+            tp_inner
+                .paradigm_link(&topo, Paradigm::ShardedData, 0)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn labels_are_ordered_and_compact() {
+        let s = strat(&[(Paradigm::ShardedData, 2), (Paradigm::Tensor, 4)]);
+        assert_eq!(s.label(), "SDP2-TP4");
+        assert_eq!(s.to_string(), "SDP2-TP4");
+    }
+}

@@ -1,0 +1,241 @@
+//! Activation layouts and the Slice-Gather transformation (§4).
+//!
+//! After a layer finishes under strategy `A`, its output activation lives on
+//! the stage's devices in a layout determined by `A`: the batch dimension is
+//! split `dp·sdp` ways and (because Megatron TP all-reduces the block
+//! output) each shard is replicated across the `tp` group. The next layer
+//! under strategy `B` needs the `B` layout. The Slice-Gather step moves the
+//! difference:
+//!
+//! * more splitting required (`B` splits ≥ `A` splits) → each device slices
+//!   its local shard — **zero communication** (the paper's "4-way TP →
+//!   4-way DP" free case);
+//! * less splitting required → each device all-gathers the missing shards
+//!   from `gather_group` peers, paying `(g−1)/g · V_target / bw`.
+
+use crate::hybrid::IntraStageStrategy;
+use galvatron_cluster::collectives::{CollectiveKind, CollectiveOp};
+use galvatron_cluster::Link;
+use serde::{Deserialize, Serialize};
+
+/// How a (full-batch) activation tensor is distributed over a stage's
+/// devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActivationLayout {
+    /// Ways the batch dimension is split.
+    pub batch_splits: usize,
+    /// Replicas of each shard (TP groups hold identical block outputs).
+    pub replicas: usize,
+}
+
+impl ActivationLayout {
+    /// The layout a strategy leaves its layer output in.
+    pub fn of_strategy(strategy: &IntraStageStrategy) -> Self {
+        ActivationLayout {
+            batch_splits: strategy.data_degree(),
+            replicas: strategy.tp(),
+        }
+    }
+
+    /// The layout a strategy requires its layer input in.
+    ///
+    /// Identical to [`ActivationLayout::of_strategy`]: a TP layer consumes a
+    /// batch shard replicated across its TP group, which is also what it
+    /// produces.
+    pub fn required_by(strategy: &IntraStageStrategy) -> Self {
+        ActivationLayout::of_strategy(strategy)
+    }
+
+    /// Bytes held per device for a full-batch activation of `total_bytes`.
+    pub fn bytes_per_device(&self, total_bytes: u64) -> u64 {
+        total_bytes / self.batch_splits as u64
+    }
+}
+
+/// The transformation between two neighbouring layers' strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceGather {
+    /// Group size of the gather (1 = pure slice, free).
+    pub gather_group: usize,
+    /// Bytes each device must end up holding (the target shard size).
+    pub bytes_per_device: u64,
+}
+
+impl SliceGather {
+    /// Plan the transformation from layer output layout `from` to required
+    /// input layout `to`, for a full-batch activation of `total_bytes`.
+    pub fn plan(from: ActivationLayout, to: ActivationLayout, total_bytes: u64) -> Self {
+        let target_bytes = to.bytes_per_device(total_bytes);
+        if to.batch_splits >= from.batch_splits {
+            // The data each device needs is a subset of what some device
+            // already holds; with both layouts induced by nested power-of-
+            // two axes over the same contiguous group, a holder exists
+            // locally or the shard is broadcast within the old replica set.
+            // Galvatron "automatically recognizes such cases and finishes
+            // the transformation without any overheads" (§4).
+            SliceGather {
+                gather_group: 1,
+                bytes_per_device: target_bytes,
+            }
+        } else {
+            // Each device must collect from / from.batch_splits /
+            // to.batch_splits peers' shards.
+            SliceGather {
+                gather_group: from.batch_splits / to.batch_splits,
+                bytes_per_device: target_bytes,
+            }
+        }
+    }
+
+    /// Whether the transformation is communication-free.
+    pub fn is_free(&self) -> bool {
+        self.gather_group <= 1
+    }
+
+    /// The all-gather realising the transformation over `link` (zero-time
+    /// for free transformations).
+    pub fn collective(&self, link: Link) -> CollectiveOp {
+        CollectiveOp {
+            kind: CollectiveKind::AllGather,
+            group_size: self.gather_group,
+            payload_bytes: if self.is_free() {
+                0
+            } else {
+                self.bytes_per_device
+            },
+            link,
+        }
+    }
+
+    /// Wall-clock cost over `link`.
+    pub fn time(&self, link: Link) -> f64 {
+        if self.is_free() {
+            0.0
+        } else {
+            self.collective(link).time()
+        }
+    }
+}
+
+/// Convenience: the transformation cost between two strategies for an
+/// activation of `total_bytes`, over `link`. This is the `R(L, S_i, S_j)`
+/// of Eq. 1.
+pub fn transformation_time(
+    prev: &IntraStageStrategy,
+    next: &IntraStageStrategy,
+    total_bytes: u64,
+    link: Link,
+) -> f64 {
+    let from = ActivationLayout::of_strategy(prev);
+    let to = ActivationLayout::required_by(next);
+    SliceGather::plan(from, to, total_bytes).time(link)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::{Paradigm, StrategyAxis};
+    use galvatron_cluster::{Link, LinkClass, MIB};
+    use proptest::prelude::*;
+
+    fn strat(axes: &[(Paradigm, usize)]) -> IntraStageStrategy {
+        IntraStageStrategy::new(axes.iter().map(|&(p, d)| StrategyAxis::new(p, d)).collect())
+            .unwrap()
+    }
+
+    fn pcie() -> Link {
+        Link::of_class(LinkClass::Pcie3)
+    }
+
+    #[test]
+    fn tp_to_dp_is_the_papers_free_case() {
+        // §4: "strategy A is 4-way TP and strategy [B] is 4-way DP" brings
+        // no communication cost.
+        let tp4 = strat(&[(Paradigm::Tensor, 4)]);
+        let dp4 = strat(&[(Paradigm::Data, 4)]);
+        let cost = transformation_time(&tp4, &dp4, 64 * MIB, pcie());
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn dp_to_tp_requires_a_full_gather() {
+        let dp4 = strat(&[(Paradigm::Data, 4)]);
+        let tp4 = strat(&[(Paradigm::Tensor, 4)]);
+        let total = 64 * MIB;
+        let sg = SliceGather::plan(
+            ActivationLayout::of_strategy(&dp4),
+            ActivationLayout::required_by(&tp4),
+            total,
+        );
+        assert_eq!(sg.gather_group, 4);
+        assert_eq!(sg.bytes_per_device, total); // TP needs the full batch
+        assert!(sg.time(pcie()) > 0.0);
+    }
+
+    #[test]
+    fn papers_mixed_example() {
+        // §3.3: "if the former layer uses the combination between 2-way DP
+        // and 2-way TP and the current layer attempts to use 4-way DP, a
+        // transformation step is necessary to prepare ... the 1/4 forward
+        // activation at each device" — but that direction (splits 2 → 4) is
+        // slice-only; the reverse (4-way DP → DP2-TP2) gathers pairs.
+        let dp2tp2 = strat(&[(Paradigm::Data, 2), (Paradigm::Tensor, 2)]);
+        let dp4 = strat(&[(Paradigm::Data, 4)]);
+        assert_eq!(transformation_time(&dp2tp2, &dp4, 64 * MIB, pcie()), 0.0);
+        let back = SliceGather::plan(
+            ActivationLayout::of_strategy(&dp4),
+            ActivationLayout::required_by(&dp2tp2),
+            64 * MIB,
+        );
+        assert_eq!(back.gather_group, 2);
+        assert_eq!(back.bytes_per_device, 32 * MIB);
+    }
+
+    #[test]
+    fn identical_strategies_transform_freely() {
+        let set = crate::tree::DecisionTreeBuilder::new(8).strategies();
+        for s in set.iter() {
+            assert_eq!(transformation_time(s, s, 512 * MIB, pcie()), 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn sdp_counts_as_data_split() {
+        let sdp8 = strat(&[(Paradigm::ShardedData, 8)]);
+        let layout = ActivationLayout::of_strategy(&sdp8);
+        assert_eq!(layout.batch_splits, 8);
+        assert_eq!(layout.replicas, 1);
+        assert_eq!(layout.bytes_per_device(80 * MIB), 10 * MIB);
+    }
+
+    proptest! {
+        #[test]
+        fn gather_cost_is_monotone_in_split_reduction(
+            from_splits in prop::sample::select(vec![2usize, 4, 8]),
+            bytes in (1u64 << 20)..(1u64 << 28),
+        ) {
+            let from = ActivationLayout { batch_splits: from_splits, replicas: 1 };
+            let to_full = ActivationLayout { batch_splits: 1, replicas: from_splits };
+            let to_half = ActivationLayout { batch_splits: from_splits / 2, replicas: 2 };
+            let full = SliceGather::plan(from, to_full, bytes).time(pcie());
+            let half = SliceGather::plan(from, to_half, bytes).time(pcie());
+            prop_assert!(full >= half);
+        }
+
+        #[test]
+        fn transformation_is_never_negative_and_self_free(
+            bytes in 1u64..(1u64 << 30),
+        ) {
+            let set = crate::tree::DecisionTreeBuilder::new(4).strategies();
+            for a in set.iter() {
+                for b in set.iter() {
+                    let t = transformation_time(a, b, bytes, pcie());
+                    prop_assert!(t >= 0.0);
+                    if a == b {
+                        prop_assert_eq!(t, 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

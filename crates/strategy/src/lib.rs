@@ -1,0 +1,32 @@
+//! Hybrid parallelism strategies and the decision-tree decomposition of
+//! Galvatron's search space (§3.1–§3.2 of the paper).
+//!
+//! A Transformer layer running on a group of `G` devices can combine data
+//! parallelism (DP), sharded data parallelism (SDP/ZeRO-3) and tensor
+//! parallelism (TP) — pipeline parallelism partitions *stages* above this
+//! level. A hybrid combination is an **ordered** sequence of
+//! `(paradigm, degree)` axes whose degrees multiply to `G`; the order maps
+//! axes onto the device hierarchy (the innermost axis gets adjacent device
+//! ids and therefore the fastest links), which is why "it is necessary to
+//! consider the permutations of hybrid strategies" (§3.2).
+//!
+//! The decision-tree construction rules and the three takeaways are
+//! implemented in [`tree`]; the counts the paper reports — 34 candidate
+//! strategies for 8 GPUs across all PP degrees, 22 after *Takeaway #3*
+//! prunes DP⋅SDP mixtures — are asserted in this crate's tests.
+//!
+//! [`layout`] implements activation layouts and the Slice-Gather
+//! transformation of §4, and [`plan`] the full per-model parallelization
+//! plan the planner emits.
+
+#![warn(missing_docs)]
+
+pub mod hybrid;
+pub mod layout;
+pub mod plan;
+pub mod tree;
+
+pub use hybrid::{IntraStageStrategy, Paradigm, StrategyAxis, StrategyError};
+pub use layout::{ActivationLayout, SliceGather};
+pub use plan::{ParallelPlan, PipelineSchedule, PlanError, StagePlan};
+pub use tree::{DecisionTree, DecisionTreeBuilder, StrategySet};

@@ -1,0 +1,68 @@
+//! BERT pre-training at cluster scale: how the optimal plan and the gap to
+//! fixed-strategy baselines evolve with the per-device memory budget —
+//! one row of the paper's Table 1, live.
+//!
+//! ```sh
+//! cargo run --release --example bert_cluster_planning
+//! ```
+
+use galvatron::baselines::{BaselinePlanner, BaselineStrategy};
+use galvatron::prelude::*;
+
+fn main() {
+    let cluster = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::BertHuge32.spec();
+    let planner = BaselinePlanner::new(
+        cluster.clone(),
+        OptimizerConfig {
+            max_batch: 128,
+            ..OptimizerConfig::default()
+        },
+    );
+
+    println!(
+        "{} on {} × {}: throughput by strategy and memory budget (samples/s, simulated)\n",
+        model.name,
+        cluster.n_devices(),
+        cluster.gpu().name
+    );
+    print!("{:<22}", "strategy");
+    let budgets = [8u64, 12, 16, 20];
+    for b in budgets {
+        print!("{:>10}", format!("{b} GB"));
+    }
+    println!();
+
+    for strategy in BaselineStrategy::ALL {
+        print!("{:<22}", strategy.label());
+        for budget_gb in budgets {
+            let budget = budget_gb * GIB;
+            let cell = match planner.plan(strategy, &model, budget) {
+                Ok(Some(outcome)) => {
+                    let sim = Simulator::new(
+                        cluster.clone(),
+                        SimulatorConfig::default().with_budget(budget),
+                    );
+                    match sim.execute(&model, &outcome.plan) {
+                        Ok(report) if !report.oom => format!("{:.2}", report.throughput),
+                        _ => "OOM".to_string(),
+                    }
+                }
+                _ => "OOM".to_string(),
+            };
+            print!("{cell:>10}");
+        }
+        println!();
+    }
+
+    // Show what the automatic plan actually looks like at the tightest and
+    // loosest budget.
+    for budget_gb in [8u64, 20] {
+        if let Ok(Some(outcome)) =
+            planner.plan(BaselineStrategy::GalvatronFull, &model, budget_gb * GIB)
+        {
+            println!("\n--- Galvatron's plan at {budget_gb} GB ---");
+            println!("{}", outcome.plan.summary());
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! `galvatron-plan` — plan (and optionally simulate) the training of a
+//! Transformer on a GPU cluster.
+//!
+//! ```text
+//! galvatron-plan --model vit-huge-32 --cluster rtx-titan-8 --budget-gb 8
+//! galvatron-plan --model bert-huge-32 --cluster rtx-titan-16 --budget-gb 16 \
+//!     --simulate --trace timeline.json
+//! galvatron-plan --model bert-xhuge --cluster a100-64 --budget-gb 16 \
+//!     --restrict dp-pp --max-batch 128
+//! ```
+
+use galvatron::prelude::*;
+use galvatron_strategy::Paradigm;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    model: String,
+    cluster: String,
+    budget_gb: u64,
+    max_batch: usize,
+    restrict: Option<String>,
+    simulate: bool,
+    trace_path: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            model: "bert-huge-32".to_string(),
+            cluster: "rtx-titan-8".to_string(),
+            budget_gb: 16,
+            max_batch: 512,
+            restrict: None,
+            simulate: false,
+            trace_path: None,
+            json_path: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+galvatron-plan: automatic hybrid-parallelism planning for Transformer training
+
+USAGE:
+    galvatron-plan [OPTIONS]
+
+OPTIONS:
+    --model <NAME>       bert-huge-32|bert-huge-48|bert-xhuge|vit-huge-32|
+                         vit-huge-48|vit-xhuge|t5-large-32|t5-large-48|
+                         swin-huge-32|swin-huge-48|gpt2-xl  [bert-huge-32]
+    --cluster <NAME>     rtx-titan-8 | rtx-titan-16 | a100-64  [rtx-titan-8]
+    --budget-gb <N>      per-device memory budget in GB  [16]
+    --max-batch <N>      largest global batch to explore  [512]
+    --restrict <SPACE>   limit the search space: dp-tp | dp-pp
+    --simulate           execute the plan on the discrete-event simulator
+    --trace <FILE>       with --simulate: write a Chrome-trace timeline
+    --json <FILE>        write the plan as JSON
+    -h, --help           print this help
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--model" => opts.model = value("--model")?,
+            "--cluster" => opts.cluster = value("--cluster")?,
+            "--budget-gb" => {
+                opts.budget_gb = value("--budget-gb")?
+                    .parse()
+                    .map_err(|_| "--budget-gb expects an integer".to_string())?
+            }
+            "--max-batch" => {
+                opts.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|_| "--max-batch expects an integer".to_string())?
+            }
+            "--restrict" => opts.restrict = Some(value("--restrict")?),
+            "--simulate" => opts.simulate = true,
+            "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--json" => opts.json_path = Some(value("--json")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if let Some(r) = &opts.restrict {
+        if r != "dp-tp" && r != "dp-pp" {
+            return Err(format!("--restrict must be dp-tp or dp-pp, got {r}"));
+        }
+    }
+    Ok(opts)
+}
+
+fn model_by_name(name: &str) -> Option<ModelSpec> {
+    let paper = match name {
+        "bert-huge-32" => Some(PaperModel::BertHuge32),
+        "bert-huge-48" => Some(PaperModel::BertHuge48),
+        "bert-xhuge" => Some(PaperModel::BertXHuge),
+        "vit-huge-32" => Some(PaperModel::VitHuge32),
+        "vit-huge-48" => Some(PaperModel::VitHuge48),
+        "vit-xhuge" => Some(PaperModel::VitXHuge),
+        "t5-large-32" => Some(PaperModel::T5Large32),
+        "t5-large-48" => Some(PaperModel::T5Large48),
+        "swin-huge-32" => Some(PaperModel::SwinHuge32),
+        "swin-huge-48" => Some(PaperModel::SwinHuge48),
+        _ => None,
+    };
+    if let Some(m) = paper {
+        return Some(m.spec());
+    }
+    match name {
+        "gpt2-xl" => Some(
+            galvatron_model::GptConfig {
+                layers: 48,
+                hidden: 1600,
+                heads: 25,
+                seq: 1024,
+                vocab: 50257,
+            }
+            .build("GPT2-XL"),
+        ),
+        _ => None,
+    }
+}
+
+fn cluster_by_name(name: &str) -> Option<ClusterTopology> {
+    match name {
+        "rtx-titan-8" => Some(TestbedPreset::RtxTitan8.topology()),
+        "rtx-titan-16" => Some(TestbedPreset::RtxTitan16.topology()),
+        "a100-64" => Some(TestbedPreset::A100x64.topology()),
+        _ => None,
+    }
+}
+
+fn optimizer_for(opts: &Options) -> GalvatronOptimizer {
+    let mut config = OptimizerConfig {
+        max_batch: opts.max_batch,
+        sub_step_batches: true,
+        ..OptimizerConfig::default()
+    };
+    match opts.restrict.as_deref() {
+        Some("dp-tp") => {
+            config.paradigms = vec![Paradigm::Data, Paradigm::Tensor];
+            config.allow_pipeline = false;
+            config.origin = "Galvatron (DP+TP)".to_string();
+        }
+        Some("dp-pp") => {
+            config.paradigms = vec![Paradigm::Data];
+            config.origin = "Galvatron (DP+PP)".to_string();
+        }
+        _ => {}
+    }
+    GalvatronOptimizer::new(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let Some(model) = model_by_name(&opts.model) else {
+        eprintln!("error: unknown model {:?}\n\n{USAGE}", opts.model);
+        return ExitCode::from(2);
+    };
+    let Some(cluster) = cluster_by_name(&opts.cluster) else {
+        eprintln!("error: unknown cluster {:?}\n\n{USAGE}", opts.cluster);
+        return ExitCode::from(2);
+    };
+
+    println!(
+        "model    {} ({:.1}M params, {:.1} MB act/sample)",
+        model.name,
+        model.total_param_count() as f64 / 1e6,
+        model.activation_bytes_per_sample() as f64 / 1e6
+    );
+    println!(
+        "cluster  {} × {} ({} budget: {} GB/device)",
+        cluster.n_devices(),
+        cluster.gpu().name,
+        opts.cluster,
+        opts.budget_gb
+    );
+
+    let optimizer = optimizer_for(&opts);
+    let outcome = match optimizer.optimize(&model, &cluster, opts.budget_gb * GIB) {
+        Ok(Some(outcome)) => outcome,
+        Ok(None) => {
+            eprintln!(
+                "no feasible plan: even the smallest batch exceeds {} GB/device",
+                opts.budget_gb
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "\nestimated  {:.2} samples/s  ({:.1} ms/iteration)",
+        outcome.throughput_samples_per_sec,
+        outcome.iteration_time * 1e3
+    );
+    println!(
+        "search     {} batch sizes, {} DP runs, {:.0} ms",
+        outcome.stats.batches_explored,
+        outcome.stats.dp_invocations,
+        outcome.stats.search_seconds * 1e3
+    );
+    println!("\n{}", outcome.plan.summary());
+
+    if let Some(path) = &opts.json_path {
+        match serde_json::to_string_pretty(&outcome.plan) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("plan written to {path}");
+            }
+            Err(e) => eprintln!("could not serialise plan: {e}"),
+        }
+    }
+
+    if opts.simulate {
+        let sim = Simulator::new(
+            cluster.clone(),
+            SimulatorConfig::default().with_budget(opts.budget_gb * GIB),
+        );
+        match sim.execute_traced(&model, &outcome.plan) {
+            Ok((report, trace)) => {
+                println!(
+                    "simulated  {:.2} samples/s  (peak {:.2} GB/device{})",
+                    report.throughput,
+                    report.peak_memory() as f64 / GIB as f64,
+                    if report.oom { ", OOM!" } else { "" }
+                );
+                if let Some(path) = &opts.trace_path {
+                    let json = galvatron_sim::to_chrome_trace(&trace);
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("could not write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("timeline written to {path} (open in chrome://tracing)");
+                }
+            }
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn full_argument_set_parses() {
+        let opts = parse_args(&argv(
+            "--model vit-huge-32 --cluster a100-64 --budget-gb 8 --max-batch 64 \
+             --restrict dp-tp --simulate --trace t.json --json p.json",
+        ))
+        .unwrap();
+        assert_eq!(opts.model, "vit-huge-32");
+        assert_eq!(opts.cluster, "a100-64");
+        assert_eq!(opts.budget_gb, 8);
+        assert_eq!(opts.max_batch, 64);
+        assert_eq!(opts.restrict.as_deref(), Some("dp-tp"));
+        assert!(opts.simulate);
+        assert_eq!(opts.trace_path.as_deref(), Some("t.json"));
+        assert_eq!(opts.json_path.as_deref(), Some("p.json"));
+    }
+
+    #[test]
+    fn bad_arguments_error() {
+        assert!(parse_args(&argv("--budget-gb nope")).is_err());
+        assert!(parse_args(&argv("--mystery")).is_err());
+        assert!(parse_args(&argv("--restrict everything")).is_err());
+        assert!(parse_args(&argv("--model")).is_err());
+    }
+
+    #[test]
+    fn model_and_cluster_lookups() {
+        assert!(model_by_name("swin-huge-48").is_some());
+        assert!(model_by_name("gpt2-xl").is_some());
+        assert!(model_by_name("resnet").is_none());
+        assert!(cluster_by_name("rtx-titan-16").is_some());
+        assert!(cluster_by_name("tpu-pod").is_none());
+    }
+
+    #[test]
+    fn restriction_configures_the_optimizer() {
+        let opts = parse_args(&argv("--restrict dp-pp")).unwrap();
+        let optimizer = optimizer_for(&opts);
+        assert_eq!(optimizer.config().paradigms, vec![Paradigm::Data]);
+        assert!(optimizer.config().allow_pipeline);
+        let opts = parse_args(&argv("--restrict dp-tp")).unwrap();
+        let optimizer = optimizer_for(&opts);
+        assert!(!optimizer.config().allow_pipeline);
+    }
+}

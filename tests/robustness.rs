@@ -1,0 +1,148 @@
+//! Property-based robustness: arbitrary *valid* plans must always execute —
+//! no deadlocks, no negative memory accounting, throughput always positive,
+//! estimator always finite.
+
+use galvatron::prelude::*;
+use galvatron::strategy::PipelineSchedule;
+use galvatron_core::PipelinePartitioner;
+use galvatron_strategy::{DecisionTreeBuilder, IntraStageStrategy, StagePlan};
+use proptest::prelude::*;
+
+/// Generate a structurally valid plan for `model` on 8 devices.
+fn arb_plan(
+    n_layers: usize,
+) -> impl Strategy<Value = (usize, usize, usize, PipelineSchedule, u64)> {
+    // (pp_index, batch_exp, micro_exp, schedule, strategy_seed)
+    (
+        0usize..4, // pp degree = 2^idx ∈ {1,2,4,8}
+        0usize..5, // batch = 8 << exp
+        0usize..4, // micro divisor = 1 << exp
+        prop_oneof![
+            Just(PipelineSchedule::GPipe),
+            Just(PipelineSchedule::OneFOneB)
+        ],
+        any::<u64>(),
+    )
+        .prop_filter("pipeline fits the layer count", move |(pp_idx, ..)| {
+            (1usize << pp_idx) <= n_layers
+        })
+}
+
+fn build_plan(
+    model: &galvatron::model::ModelSpec,
+    pp_idx: usize,
+    batch_exp: usize,
+    micro_exp: usize,
+    schedule: PipelineSchedule,
+    seed: u64,
+) -> ParallelPlan {
+    let pp = 1usize << pp_idx;
+    let group = 8 / pp;
+    let batch = 8usize << batch_exp;
+    let set = DecisionTreeBuilder::new(group).strategies();
+    let bounds = PipelinePartitioner::ByLayerCount.partition(model, pp);
+
+    // Deterministic pseudo-random strategy choice per layer, constrained to
+    // data degrees dividing the micro-batch.
+    let micro_batches = (1usize << micro_exp).min(batch);
+    let micro = batch / micro_batches;
+    let feasible: Vec<&IntraStageStrategy> = set
+        .iter()
+        .filter(|s| micro.is_multiple_of(s.data_degree()))
+        .collect();
+    assert!(!feasible.is_empty());
+
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let stages: Vec<StagePlan> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| StagePlan {
+            layer_start: a,
+            layer_end: b,
+            device_base: i * group,
+            device_count: group,
+            layer_strategies: (a..b)
+                .map(|_| feasible[next() % feasible.len()].clone())
+                .collect(),
+        })
+        .collect();
+    ParallelPlan {
+        origin: "fuzz".into(),
+        global_batch: batch,
+        micro_batches,
+        schedule,
+        stages,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_plans_simulate_and_estimate(
+        (pp_idx, batch_exp, micro_exp, schedule, seed) in arb_plan(10)
+    ) {
+        // A small BERT so each case is fast.
+        let model = galvatron::model::BertConfig {
+            layers: 8,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("fuzz-bert");
+        let topo = TestbedPreset::RtxTitan8.topology();
+        let plan = build_plan(&model, pp_idx, batch_exp, micro_exp, schedule, seed);
+        plan.validate(model.n_layers(), 8).unwrap();
+
+        let est = CostEstimator::with_defaults(topo.clone())
+            .plan_cost(&model, &plan)
+            .unwrap();
+        prop_assert!(est.iteration_time.is_finite() && est.iteration_time > 0.0);
+        prop_assert!(est.peak_memory() > 0);
+
+        let sim = Simulator::new(topo, SimulatorConfig::default());
+        let report = sim.execute(&model, &plan).unwrap();
+        prop_assert!(report.iteration_time.is_finite() && report.iteration_time > 0.0);
+        prop_assert!(report.throughput > 0.0);
+        prop_assert!(report.peak_memory() > 0);
+        // Busy time never exceeds the makespan.
+        for busy in report.busy_compute.iter().chain(&report.busy_comm) {
+            prop_assert!(*busy <= report.iteration_time + 1e-9);
+        }
+        // The estimate tracks the simulation within a broad sanity band.
+        let ratio = est.iteration_time / report.iteration_time;
+        prop_assert!((0.4..=2.5).contains(&ratio), "est/sim ratio {ratio}");
+    }
+
+    #[test]
+    fn random_plans_respect_memory_monotonicity(
+        (pp_idx, batch_exp, _micro, schedule, seed) in arb_plan(10)
+    ) {
+        let model = galvatron::model::BertConfig {
+            layers: 8,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("fuzz-bert");
+        let topo = TestbedPreset::RtxTitan8.topology();
+        let small = build_plan(&model, pp_idx, batch_exp, 0, schedule, seed);
+        let mut large = small.clone();
+        large.global_batch *= 2;
+        let est = CostEstimator::with_defaults(topo);
+        let a = est.plan_cost(&model, &small).unwrap();
+        let b = est.plan_cost(&model, &large).unwrap();
+        prop_assert!(b.peak_memory() >= a.peak_memory());
+        prop_assert!(b.iteration_time >= a.iteration_time);
+    }
+}
