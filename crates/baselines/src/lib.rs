@@ -86,6 +86,38 @@ impl BaselineStrategy {
     }
 }
 
+/// The search configuration an *automatic* strategy row runs with, derived
+/// from the shared base configuration: the restricted paradigm set, the
+/// pipeline toggle and the row label. Returns `None` for the fixed-shape
+/// baselines (DDP/TP/PP/SDP/3D), which do not run Algorithm 1.
+///
+/// Shared by [`BaselinePlanner::plan`] and the bench harness's parallel
+/// planner routing so the two fronts configure the search identically.
+pub fn optimizer_config_for(
+    strategy: BaselineStrategy,
+    base: &OptimizerConfig,
+) -> Option<OptimizerConfig> {
+    match strategy {
+        BaselineStrategy::GalvatronDpTp => Some(OptimizerConfig {
+            paradigms: vec![Paradigm::Data, Paradigm::Tensor],
+            allow_pipeline: false,
+            origin: strategy.label().to_string(),
+            ..base.clone()
+        }),
+        BaselineStrategy::GalvatronDpPp => Some(OptimizerConfig {
+            paradigms: vec![Paradigm::Data],
+            allow_pipeline: true,
+            origin: strategy.label().to_string(),
+            ..base.clone()
+        }),
+        BaselineStrategy::GalvatronFull => Some(OptimizerConfig {
+            origin: strategy.label().to_string(),
+            ..base.clone()
+        }),
+        _ => None,
+    }
+}
+
 /// Plans baselines over a fixed topology.
 #[derive(Debug, Clone)]
 pub struct BaselinePlanner {
@@ -130,25 +162,13 @@ impl BaselinePlanner {
             }
             BaselineStrategy::GPipePp => self.sweep_gpipe(model, budget_bytes),
             BaselineStrategy::DeepSpeed3d => self.sweep_deepspeed_3d(model, budget_bytes),
-            BaselineStrategy::GalvatronDpTp => GalvatronOptimizer::new(OptimizerConfig {
-                paradigms: vec![Paradigm::Data, Paradigm::Tensor],
-                allow_pipeline: false,
-                origin: strategy.label().to_string(),
-                ..self.config.clone()
-            })
-            .optimize(model, &self.topology, budget_bytes),
-            BaselineStrategy::GalvatronDpPp => GalvatronOptimizer::new(OptimizerConfig {
-                paradigms: vec![Paradigm::Data],
-                allow_pipeline: true,
-                origin: strategy.label().to_string(),
-                ..self.config.clone()
-            })
-            .optimize(model, &self.topology, budget_bytes),
-            BaselineStrategy::GalvatronFull => GalvatronOptimizer::new(OptimizerConfig {
-                origin: strategy.label().to_string(),
-                ..self.config.clone()
-            })
-            .optimize(model, &self.topology, budget_bytes),
+            BaselineStrategy::GalvatronDpTp
+            | BaselineStrategy::GalvatronDpPp
+            | BaselineStrategy::GalvatronFull => {
+                let config = optimizer_config_for(strategy, &self.config)
+                    .expect("automatic strategies have a search configuration");
+                GalvatronOptimizer::new(config).optimize(model, &self.topology, budget_bytes)
+            }
         }
     }
 

@@ -1,0 +1,195 @@
+//! Benchmarks the parallel planning engine against the serial Algorithm-1
+//! optimizer on the Figure 4 BERT workload: jobs ∈ {1, 2, 4, 8} with the
+//! shared DP cache on and off, plus the warm-shared-cache path the plan
+//! service exercises. After the Criterion groups run, a single-shot sweep
+//! is timed per configuration and written to
+//! `results/planner_speedup.json` so the measured speedup lands next to
+//! the other regenerated artifacts.
+//!
+//! Two speedup sources compose here and the report separates them:
+//! feasibility pre-screening + bound-based pruning cut the number of full
+//! DP solves (core-count-independent), and the work-stealing sweep spreads
+//! the surviving solves over `jobs` threads (scales with physical cores —
+//! flat on a single-core host).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use galvatron_bench::render::write_json;
+use galvatron_cluster::{rtx_titan_node, ClusterTopology, GIB};
+use galvatron_core::{GalvatronOptimizer, OptimizerConfig};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn bert(layers: usize) -> ModelSpec {
+    BertConfig {
+        layers,
+        hidden: 1280,
+        heads: 20,
+        seq: 512,
+        vocab: 30522,
+    }
+    .build(&format!("BERT-{layers}"))
+}
+
+fn config() -> OptimizerConfig {
+    OptimizerConfig {
+        max_batch: 64,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn planner(jobs: usize, use_cache: bool) -> ParallelPlanner {
+    ParallelPlanner::new(PlannerConfig {
+        optimizer: config(),
+        jobs,
+        use_cache,
+        prune: true,
+    })
+}
+
+fn bench_jobs(c: &mut Criterion) {
+    let topology = rtx_titan_node(8);
+    let model = bert(32);
+
+    let mut group = c.benchmark_group("planner_speedup/serial");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    let serial = GalvatronOptimizer::new(config());
+    group.bench_function("optimizer", |b| {
+        b.iter(|| {
+            serial
+                .optimize(black_box(&model), &topology, 16 * GIB)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    for use_cache in [false, true] {
+        let mut group = c.benchmark_group(if use_cache {
+            "planner_speedup/cached"
+        } else {
+            "planner_speedup/uncached"
+        });
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(3));
+        group.sample_size(10);
+        for jobs in JOBS {
+            let planner = planner(jobs, use_cache);
+            group.bench_with_input(BenchmarkId::from_parameter(jobs), &planner, |b, planner| {
+                b.iter(|| {
+                    planner
+                        .optimize(black_box(&model), &topology, 16 * GIB)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupPoint {
+    configuration: String,
+    jobs: usize,
+    cache: bool,
+    seconds: f64,
+    speedup_vs_serial: f64,
+    pruned_candidates: usize,
+    dp_invocations: usize,
+    cache_hit_rate: Option<f64>,
+}
+
+fn timed<F: FnMut() -> galvatron_core::OptimizeOutcome>(mut f: F) -> (f64, galvatron_core::OptimizeOutcome) {
+    const REPS: usize = 3;
+    let started = Instant::now();
+    let mut out = f();
+    for _ in 1..REPS {
+        out = f();
+    }
+    (started.elapsed().as_secs_f64() / REPS as f64, out)
+}
+
+/// One timed configuration sweep against the serial Algorithm-1 baseline.
+/// Also asserts every parallel plan matches the serial one — a regression
+/// here means the speedup numbers are comparing different searches.
+fn write_speedup_table(topology: &ClusterTopology, model: &ModelSpec) {
+    let serial = GalvatronOptimizer::new(config());
+    let (serial_secs, baseline) = timed(|| {
+        serial
+            .optimize(model, topology, 16 * GIB)
+            .expect("search succeeds")
+            .expect("feasible")
+    });
+
+    let mut points = Vec::new();
+    let mut record = |configuration: &str,
+                      jobs: usize,
+                      cache: bool,
+                      seconds: f64,
+                      outcome: &galvatron_core::OptimizeOutcome| {
+        assert_eq!(
+            outcome.plan, baseline.plan,
+            "{configuration} (jobs={jobs}) diverged from the serial optimizer"
+        );
+        points.push(SpeedupPoint {
+            configuration: configuration.to_string(),
+            jobs,
+            cache,
+            seconds,
+            speedup_vs_serial: serial_secs / seconds,
+            pruned_candidates: outcome.stats.pruned_candidates,
+            dp_invocations: outcome.stats.dp_invocations,
+            cache_hit_rate: outcome.stats.cache_hit_rate(),
+        });
+    };
+
+    for use_cache in [false, true] {
+        for jobs in JOBS {
+            let planner = planner(jobs, use_cache);
+            let (seconds, outcome) = timed(|| {
+                planner
+                    .optimize(model, topology, 16 * GIB)
+                    .expect("search succeeds")
+                    .expect("feasible")
+            });
+            record("cold", jobs, use_cache, seconds, &outcome);
+        }
+    }
+
+    // The plan-service path: repeated requests against one shared cache.
+    let planner = planner(4, true);
+    let cache = DpCache::new();
+    planner
+        .optimize_with_cache(model, topology, 16 * GIB, &cache)
+        .expect("search succeeds");
+    let (seconds, outcome) = timed(|| {
+        planner
+            .optimize_with_cache(model, topology, 16 * GIB, &cache)
+            .expect("search succeeds")
+            .expect("feasible")
+    });
+    record("warm-shared-cache", 4, true, seconds, &outcome);
+
+    println!("\nplanner_speedup: single-shot sweep (serial optimizer {serial_secs:.3}s)");
+    for p in &points {
+        println!(
+            "  {:<17} jobs={} cache={:<5} {:.3}s  ({:.2}x, {} pruned, {} DP solves)",
+            p.configuration, p.jobs, p.cache, p.seconds, p.speedup_vs_serial,
+            p.pruned_candidates, p.dp_invocations
+        );
+    }
+    let path = write_json("planner_speedup", &points).expect("write results");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_jobs);
+
+fn main() {
+    benches();
+    write_speedup_table(&rtx_titan_node(8), &bert(32));
+}

@@ -6,10 +6,12 @@
 //!     searches (DP+TP, DP+PP) against full Galvatron on 8 GPUs.
 
 use galvatron_bench::render::write_json;
+use galvatron_bench::{jobs_from_args, resolve_jobs};
 use galvatron_cluster::{rtx_titan_node, GIB, MIB};
-use galvatron_core::{dp_search, GalvatronOptimizer, OptimizerConfig};
+use galvatron_core::{dp_search, OptimizerConfig};
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::BertConfig;
+use galvatron_planner::{ParallelPlanner, PlannerConfig};
 use galvatron_strategy::{DecisionTreeBuilder, Paradigm};
 use serde::Serialize;
 use std::time::Instant;
@@ -40,6 +42,7 @@ fn bert(layers: usize) -> galvatron_model::ModelSpec {
 }
 
 fn main() {
+    let jobs = jobs_from_args();
     let topology = rtx_titan_node(8);
     let estimator = CostEstimator::new(topology.clone(), EstimatorConfig::default());
     let set = DecisionTreeBuilder::new(8).strategies();
@@ -93,7 +96,10 @@ fn main() {
     println!("\nlinearity: t(64)/t(8) = {:.1} (ideal 8.0)", t64 / t8);
 
     // --- (b) strategy-space size ----------------------------------------
-    println!("\nFigure 4(b): full-search time vs strategy-space size (8 GPUs)");
+    println!(
+        "\nFigure 4(b): full-search time vs strategy-space size (8 GPUs, {} workers)",
+        resolve_jobs(jobs)
+    );
     let model = bert(32);
     let mut space = Vec::new();
     let variants: [(&str, OptimizerConfig); 3] = [
@@ -123,9 +129,14 @@ fn main() {
         ),
     ];
     for (name, cfg) in variants {
-        let optimizer = GalvatronOptimizer::new(cfg);
+        let planner = ParallelPlanner::new(PlannerConfig {
+            optimizer: cfg,
+            jobs,
+            use_cache: true,
+            prune: true,
+        });
         let started = Instant::now();
-        let outcome = optimizer
+        let outcome = planner
             .optimize(&model, &topology, 16 * GIB)
             .expect("search succeeds")
             .expect("feasible");

@@ -7,11 +7,12 @@
 
 use galvatron_bench::paper;
 use galvatron_bench::render::{agreement, render_cells, write_json};
-use galvatron_bench::{evaluate_table, TableSpec};
+use galvatron_bench::{evaluate_table_with_jobs, jobs_from_args, resolve_jobs, TableSpec};
 use galvatron_cluster::TestbedPreset;
 use galvatron_core::OptimizerConfig;
 
 fn main() {
+    let jobs = jobs_from_args();
     let budgets = vec![8u32, 12, 16, 20];
     let models = paper::TABLE1_MODELS.to_vec();
     let spec = TableSpec {
@@ -27,12 +28,10 @@ fn main() {
     eprintln!(
         "table1: evaluating {} cells on {} threads...",
         budgets.len() * models.len() * 8,
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        resolve_jobs(jobs)
     );
     let started = std::time::Instant::now();
-    let cells = evaluate_table(&spec);
+    let cells = evaluate_table_with_jobs(&spec, jobs);
     eprintln!("table1: done in {:.1}s", started.elapsed().as_secs_f64());
 
     println!("{}", render_cells(&cells, &models, &budgets));

@@ -3,11 +3,12 @@
 
 use galvatron_bench::paper;
 use galvatron_bench::render::{agreement, render_cells, write_json};
-use galvatron_bench::{evaluate_table, TableSpec};
+use galvatron_bench::{evaluate_table_with_jobs, jobs_from_args, resolve_jobs, TableSpec};
 use galvatron_cluster::TestbedPreset;
 use galvatron_core::OptimizerConfig;
 
 fn main() {
+    let jobs = jobs_from_args();
     let budgets = vec![8u32, 16];
     let models = paper::TABLE3_MODELS.to_vec();
     let spec = TableSpec {
@@ -21,7 +22,8 @@ fn main() {
         },
     };
     let started = std::time::Instant::now();
-    let cells = evaluate_table(&spec);
+    eprintln!("table3: running on {} threads...", resolve_jobs(jobs));
+    let cells = evaluate_table_with_jobs(&spec, jobs);
     eprintln!("table3: done in {:.1}s", started.elapsed().as_secs_f64());
 
     println!("{}", render_cells(&cells, &models, &budgets));

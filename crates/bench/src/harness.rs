@@ -2,10 +2,11 @@
 //! simulator — the same separation the paper's evaluation has between the
 //! planner's estimates and real execution.
 
-use galvatron_baselines::{BaselinePlanner, BaselineStrategy};
+use galvatron_baselines::{optimizer_config_for, BaselinePlanner, BaselineStrategy};
 use galvatron_cluster::{ClusterTopology, GIB};
 use galvatron_core::OptimizerConfig;
 use galvatron_model::{ModelSpec, PaperModel};
+use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
 use galvatron_sim::{Simulator, SimulatorConfig};
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,22 @@ pub fn evaluate_cell(
     strategy: BaselineStrategy,
     config: &OptimizerConfig,
 ) -> CellResult {
+    evaluate_cell_cached(topology, model, budget_gb, strategy, config, None)
+}
+
+/// [`evaluate_cell`] with an optional shared stage-DP cache: the automatic
+/// (Galvatron) rows are planned through `galvatron-planner`, reusing Eq. 1
+/// solutions across cells; the fixed-shape rows keep the baseline sweep.
+/// Planner workers are kept at 1 because the harness already parallelises
+/// across cells.
+pub fn evaluate_cell_cached(
+    topology: &ClusterTopology,
+    model: &ModelSpec,
+    budget_gb: u32,
+    strategy: BaselineStrategy,
+    config: &OptimizerConfig,
+    cache: Option<&DpCache>,
+) -> CellResult {
     let budget = budget_gb as u64 * GIB;
     let mut cfg = config.clone();
     let mut result = CellResult {
@@ -77,8 +94,22 @@ pub fn evaluate_cell(
     };
 
     loop {
-        let planner = BaselinePlanner::new(topology.clone(), cfg.clone());
-        let Ok(Some(outcome)) = planner.plan(strategy, model, budget) else {
+        let planned = match optimizer_config_for(strategy, &cfg) {
+            Some(optimizer) => {
+                let planner = ParallelPlanner::new(PlannerConfig {
+                    optimizer,
+                    jobs: 1,
+                    use_cache: cache.is_some(),
+                    prune: true,
+                });
+                match cache {
+                    Some(cache) => planner.optimize_with_cache(model, topology, budget, cache),
+                    None => planner.optimize(model, topology, budget),
+                }
+            }
+            None => BaselinePlanner::new(topology.clone(), cfg.clone()).plan(strategy, model, budget),
+        };
+        let Ok(Some(outcome)) = planned else {
             return result;
         };
         let sim = Simulator::new(
@@ -105,37 +136,51 @@ pub fn evaluate_cell(
     }
 }
 
-/// Evaluate a whole table, parallelising across cells.
+/// Evaluate a whole table, parallelising across cells with the machine's
+/// available parallelism.
 pub fn evaluate_table(spec: &TableSpec) -> Vec<CellResult> {
-    let mut jobs = Vec::new();
+    evaluate_table_with_jobs(spec, 0)
+}
+
+/// [`evaluate_table`] with an explicit worker count (`0` = all cores). All
+/// cells share one stage-DP memoization cache, so the Galvatron rows of
+/// different budgets and models reuse each other's Eq. 1 solutions.
+pub fn evaluate_table_with_jobs(spec: &TableSpec, jobs: usize) -> Vec<CellResult> {
+    let mut cells = Vec::new();
     for &budget in &spec.budgets_gb {
         for &model in &spec.models {
             for strategy in BaselineStrategy::ALL {
-                jobs.push((budget, model, strategy));
+                cells.push((budget, model, strategy));
             }
         }
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
+    let n_threads = if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+    .min(cells.len().max(1));
+    let cache = DpCache::new();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out: parking_lot::Mutex<Vec<Option<CellResult>>> =
-        parking_lot::Mutex::new((0..jobs.len()).map(|_| None).collect());
+        parking_lot::Mutex::new((0..cells.len()).map(|_| None).collect());
     crossbeam::scope(|s| {
         for _ in 0..n_threads {
             s.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
+                if i >= cells.len() {
                     break;
                 }
-                let (budget, model, strategy) = jobs[i];
-                let cell = evaluate_cell(
+                let (budget, model, strategy) = cells[i];
+                let cell = evaluate_cell_cached(
                     &spec.topology,
                     &model.spec(),
                     budget,
                     strategy,
                     &spec.config,
+                    Some(&cache),
                 );
                 out.lock()[i] = Some(cell);
             });

@@ -22,5 +22,35 @@ pub mod harness;
 pub mod paper;
 pub mod render;
 
-pub use harness::{evaluate_cell, evaluate_table, CellResult, TableSpec};
+pub use harness::{
+    evaluate_cell, evaluate_cell_cached, evaluate_table, evaluate_table_with_jobs, CellResult,
+    TableSpec,
+};
 pub use render::{render_cells, write_json};
+
+/// Parse `--jobs N` (or `--jobs=N`) from the process arguments. `0` — the
+/// default when the flag is absent or malformed — means the machine's
+/// available parallelism.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = arg.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    0
+}
+
+/// The worker count `jobs` resolves to (`0` → all cores).
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,414 @@
+//! The single-candidate evaluation unit shared by the serial optimizer and
+//! the parallel planning engine (`galvatron-planner`).
+//!
+//! Algorithm 1's sweep is a product of independent *candidates* — one
+//! `(batch, PP degree, stage bounds, micro-batch count)` combination each.
+//! [`evaluate_candidate`] evaluates exactly one: filter the strategy set to
+//! the runnable subset, run the Eq. 1 DP per stage, assemble the plan, and
+//! price it. Both `GalvatronOptimizer::optimize` (serially, in sweep order)
+//! and the work-stealing planner (out of order, with memoization and
+//! pruning) call this same function, so the two fronts cannot drift.
+//!
+//! The per-stage DP is routed through the [`StageDp`] trait: the serial
+//! path uses [`DirectStageDp`] (compute every time), the parallel planner
+//! substitutes a shared memoization cache.
+
+use crate::dp::{dp_search_with_micro_batches, DpResult};
+use crate::optimizer::OptimizerConfig;
+use crate::partition::PipelinePartitioner;
+use galvatron_cluster::{ClusterError, ClusterTopology};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use galvatron_strategy::{
+    DecisionTreeBuilder, IntraStageStrategy, ParallelPlan, StagePlan, StrategySet,
+};
+use serde::{Deserialize, Serialize};
+
+/// One independent unit of Algorithm 1's sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateSpec {
+    /// Global batch size.
+    pub batch: usize,
+    /// Pipeline degree.
+    pub pp: usize,
+    /// Stage layer bounds, `(start, end)` per stage.
+    pub bounds: Vec<(usize, usize)>,
+    /// GPipe/1F1B micro-batch count.
+    pub micro_batches: usize,
+}
+
+/// What evaluating a candidate produced.
+#[derive(Debug, Clone)]
+pub enum CandidateResult {
+    /// No strategy in the set divides the micro-batch; nothing to run.
+    NoRunnableStrategy,
+    /// Some stage's DP found no assignment within the budget.
+    Infeasible,
+    /// A complete plan was built and priced. `fits` is the final
+    /// quantization-slack re-check of the plan's estimated peak against the
+    /// usable budget (Algorithm 1 keeps the candidate feasible either way).
+    Evaluated {
+        /// The assembled plan.
+        plan: ParallelPlan,
+        /// Estimated samples/second.
+        throughput: f64,
+        /// Estimated iteration seconds.
+        iteration_time: f64,
+        /// Whether the priced peak memory fits the usable budget.
+        fits: bool,
+    },
+}
+
+/// [`evaluate_candidate`]'s result plus its search-effort accounting.
+#[derive(Debug, Clone)]
+pub struct CandidateOutcome {
+    /// The evaluation result.
+    pub result: CandidateResult,
+    /// Eq. 1 queries issued (one per stage attempted).
+    pub dp_invocations: usize,
+}
+
+/// One per-stage Eq. 1 query, with every input that determines its answer.
+#[derive(Debug, Clone)]
+pub struct StageDpQuery<'a> {
+    /// First layer of the stage (inclusive).
+    pub layer_start: usize,
+    /// One past the last layer (exclusive).
+    pub layer_end: usize,
+    /// First device of the stage's group.
+    pub base_device: usize,
+    /// The runnable candidate strategies.
+    pub set: &'a StrategySet,
+    /// Whole-stage batch, samples.
+    pub stage_batch: u64,
+    /// Usable per-device budget, bytes.
+    pub usable_budget: u64,
+    /// DP memory quantization granularity, bytes.
+    pub granularity: u64,
+    /// Micro-batches the stage runs.
+    pub micro_batches: usize,
+    /// Samples whose activations are simultaneously stashed.
+    pub act_stash_batch: u64,
+}
+
+/// How a candidate evaluation obtains per-stage DP results. The parallel
+/// planner implements this with a shared memoization cache; the serial path
+/// computes directly.
+pub trait StageDp {
+    /// Answer one Eq. 1 query.
+    fn solve(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        query: &StageDpQuery<'_>,
+    ) -> Result<Option<DpResult>, ClusterError>;
+}
+
+/// The cache-free [`StageDp`]: every query runs the DP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectStageDp;
+
+impl StageDp for DirectStageDp {
+    fn solve(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        q: &StageDpQuery<'_>,
+    ) -> Result<Option<DpResult>, ClusterError> {
+        dp_search_with_micro_batches(
+            estimator,
+            model,
+            q.layer_start..q.layer_end,
+            q.base_device,
+            q.set,
+            q.stage_batch,
+            q.usable_budget,
+            q.granularity,
+            q.micro_batches,
+            q.act_stash_batch,
+        )
+    }
+}
+
+/// Candidate PP degrees (Algorithm 1 line 4) and their decision-tree
+/// strategy sets (line 7). Sets do not depend on the batch, so both fronts
+/// build them once per request.
+pub fn strategy_sets(
+    config: &OptimizerConfig,
+    model: &ModelSpec,
+    n_devices: usize,
+) -> Vec<(usize, StrategySet)> {
+    let mut out = Vec::new();
+    let mut p = 1usize;
+    while p <= n_devices {
+        let allowed = (p == 1 || config.allow_pipeline)
+            && p <= config.max_pp_degree.unwrap_or(n_devices)
+            && p <= model.n_layers();
+        if allowed {
+            let set = DecisionTreeBuilder::new(n_devices / p)
+                .with_paradigms(&config.paradigms)
+                .with_takeaway3(config.takeaway3)
+                .strategies();
+            out.push((p, set));
+        }
+        p *= 2;
+    }
+    out
+}
+
+/// The deduplicated stage-bound alternatives for one PP degree: the
+/// configured partitioner first, then the activation- and count-balanced
+/// guidelines of §3.3, each scaled by per-stage device speeds on
+/// heterogeneous clusters.
+pub fn stage_bound_sets(
+    config: &OptimizerConfig,
+    model: &ModelSpec,
+    topology: &ClusterTopology,
+    pp: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let n = topology.n_devices();
+    let group = n / pp;
+    let mut partitioners = vec![config.partitioner];
+    for extra in [
+        PipelinePartitioner::ByActivation,
+        PipelinePartitioner::ByLayerCount,
+    ] {
+        if !partitioners.contains(&extra) {
+            partitioners.push(extra);
+        }
+    }
+    let capacities: Option<Vec<f64>> = if topology.is_heterogeneous() {
+        Some(
+            (0..pp)
+                .map(|i| {
+                    topology
+                        .group_sustained_flops(i * group, group)
+                        .expect("groups tile the cluster")
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let mut bound_sets: Vec<Vec<(usize, usize)>> = Vec::new();
+    for partitioner in partitioners {
+        let bounds = partitioner.partition_with_capacities(model, pp, capacities.as_deref());
+        if !bound_sets.contains(&bounds) {
+            bound_sets.push(bounds);
+        }
+    }
+    bound_sets
+}
+
+/// Micro-batch counts explored for a `(batch, pp)` pair: 1 for a flat
+/// schedule, otherwise the powers of two dividing the batch.
+pub fn micro_batch_candidates(batch: usize, pp: usize) -> Vec<usize> {
+    if pp == 1 {
+        return vec![1];
+    }
+    let mut ms = Vec::new();
+    let mut m = 1usize;
+    while m <= batch {
+        if batch % m == 0 {
+            ms.push(m);
+        }
+        m *= 2;
+    }
+    ms
+}
+
+/// The runnable subset of `full_set` for a micro-batch of `micro` samples:
+/// strategies whose data split divides the micro-batch.
+pub fn runnable_set(full_set: &StrategySet, micro: usize) -> StrategySet {
+    let runnable: Vec<IntraStageStrategy> = full_set
+        .iter()
+        .filter(|s| micro % s.data_degree() == 0)
+        .cloned()
+        .collect();
+    StrategySet::new(full_set.group_size(), runnable)
+}
+
+/// Evaluate one candidate of Algorithm 1's sweep, exactly as the serial
+/// loop does: filter the runnable strategies, run Eq. 1 per stage through
+/// `dp`, assemble the plan and price it with `estimator`.
+pub fn evaluate_candidate(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    config: &OptimizerConfig,
+    full_set: &StrategySet,
+    spec: &CandidateSpec,
+    usable: u64,
+    dp: &dyn StageDp,
+) -> Result<CandidateOutcome, ClusterError> {
+    let n = estimator.topology().n_devices();
+    let pp = spec.pp;
+    let group = n / pp;
+    let batch = spec.batch;
+    let micro_batches = spec.micro_batches;
+    let micro = batch / micro_batches;
+
+    let set = runnable_set(full_set, micro);
+    if set.len() == 0 {
+        return Ok(CandidateOutcome {
+            result: CandidateResult::NoRunnableStrategy,
+            dp_invocations: 0,
+        });
+    }
+
+    let mut dp_invocations = 0usize;
+    let mut stage_strategies = Vec::with_capacity(pp);
+    for (i, &(start, end)) in spec.bounds.iter().enumerate() {
+        dp_invocations += 1;
+        let in_flight = config.schedule.in_flight(i, pp, micro_batches) as u64;
+        let act_stash = (micro as u64 * in_flight).min(batch as u64);
+        let query = StageDpQuery {
+            layer_start: start,
+            layer_end: end,
+            base_device: i * group,
+            set: &set,
+            stage_batch: batch as u64,
+            usable_budget: usable,
+            granularity: config.memory_granularity,
+            micro_batches,
+            act_stash_batch: act_stash,
+        };
+        match dp.solve(estimator, model, &query)? {
+            Some(result) => stage_strategies.push(result.strategies),
+            None => {
+                return Ok(CandidateOutcome {
+                    result: CandidateResult::Infeasible,
+                    dp_invocations,
+                });
+            }
+        }
+    }
+
+    let stages: Vec<StagePlan> = spec
+        .bounds
+        .iter()
+        .zip(stage_strategies)
+        .enumerate()
+        .map(|(i, (&(start, end), strategies))| StagePlan {
+            layer_start: start,
+            layer_end: end,
+            device_base: i * group,
+            device_count: group,
+            layer_strategies: strategies,
+        })
+        .collect();
+    let plan = ParallelPlan {
+        origin: config.origin.clone(),
+        global_batch: batch,
+        micro_batches,
+        schedule: config.schedule,
+        stages,
+    };
+    debug_assert!(plan.validate(model.n_layers(), n).is_ok());
+
+    let cost = estimator.plan_cost(model, &plan)?;
+    let fits = cost.peak_memory() <= usable;
+    Ok(CandidateOutcome {
+        result: CandidateResult::Evaluated {
+            throughput: cost.throughput,
+            iteration_time: cost.iteration_time,
+            plan,
+            fits,
+        },
+        dp_invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::{rtx_titan_node, GIB};
+    use galvatron_estimator::EstimatorConfig;
+    use galvatron_model::BertConfig;
+
+    fn bert(layers: usize) -> ModelSpec {
+        BertConfig {
+            layers,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("bert")
+    }
+
+    #[test]
+    fn strategy_sets_match_the_decision_trees() {
+        let config = OptimizerConfig::default();
+        let model = bert(8);
+        let sets = strategy_sets(&config, &model, 8);
+        let degrees: Vec<usize> = sets.iter().map(|&(p, _)| p).collect();
+        assert_eq!(degrees, vec![1, 2, 4, 8]);
+        for (p, set) in &sets {
+            assert_eq!(set.group_size(), 8 / p);
+        }
+    }
+
+    #[test]
+    fn no_pipeline_config_keeps_only_pp1() {
+        let config = OptimizerConfig {
+            allow_pipeline: false,
+            ..OptimizerConfig::default()
+        };
+        let sets = strategy_sets(&config, &bert(8), 8);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].0, 1);
+    }
+
+    #[test]
+    fn micro_candidates_divide_the_batch() {
+        assert_eq!(micro_batch_candidates(24, 1), vec![1]);
+        assert_eq!(micro_batch_candidates(24, 2), vec![1, 2, 4, 8]);
+        assert_eq!(micro_batch_candidates(8, 4), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn evaluating_a_flat_candidate_matches_plan_cost() {
+        let topo = rtx_titan_node(8);
+        let config = OptimizerConfig::default();
+        let estimator = CostEstimator::new(
+            topo.clone(),
+            EstimatorConfig {
+                include_boundary_comm: true,
+                ..EstimatorConfig::default()
+            },
+        );
+        let model = bert(4);
+        let sets = strategy_sets(&config, &model, 8);
+        let usable = topo.usable_budget(16 * GIB);
+        let spec = CandidateSpec {
+            batch: 16,
+            pp: 1,
+            bounds: vec![(0, model.n_layers())],
+            micro_batches: 1,
+        };
+        let out = evaluate_candidate(
+            &estimator,
+            &model,
+            &config,
+            &sets[0].1,
+            &spec,
+            usable,
+            &DirectStageDp,
+        )
+        .unwrap();
+        assert_eq!(out.dp_invocations, 1);
+        match out.result {
+            CandidateResult::Evaluated {
+                plan,
+                throughput,
+                fits,
+                ..
+            } => {
+                assert!(fits);
+                assert!(throughput > 0.0);
+                plan.validate(model.n_layers(), 8).unwrap();
+            }
+            other => panic!("expected an evaluated candidate, got {other:?}"),
+        }
+    }
+}

@@ -248,6 +248,50 @@ pub fn dp_search_with_micro_batches(
     }))
 }
 
+/// Memory-only feasibility of [`dp_search_with_micro_batches`]: `true` iff
+/// the DP would return `Some`. The DP admits an assignment exactly when the
+/// cheapest-memory strategy per layer fits the quantized budget —
+/// `Σ_l min_s units(l, s) ≤ e_max` — because Eq. 1 constrains memory only
+/// through the additive per-layer draw (time never gates reachability). The
+/// arithmetic below (saturating `u32` quantization, transient reserve,
+/// `e_max` clamp) mirrors the DP bit for bit, so the parallel planner can
+/// run this O(L·S) check to reproduce Algorithm 1's early-stop bookkeeping
+/// without paying the O(L·S²·E) solve for infeasible candidates.
+pub fn dp_feasible(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    set: &StrategySet,
+    usable_budget: u64,
+    granularity: u64,
+    act_stash_batch: u64,
+) -> bool {
+    assert!(granularity > 0);
+    let layers: Vec<usize> = layer_range.collect();
+    if layers.is_empty() || set.len() == 0 {
+        return true;
+    }
+    let mut reserve = 0u64;
+    let mut min_units: Vec<u64> = Vec::with_capacity(layers.len());
+    for &l in &layers {
+        let layer = &model.layers[l];
+        let mut best = u32::MAX;
+        for s in set.iter() {
+            let m = estimator.layer_memory(layer, model.dtype, s, act_stash_batch);
+            let units =
+                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+            reserve = reserve.max(m.transient);
+            best = best.min(units);
+        }
+        min_units.push(best as u64);
+    }
+    let budget_units = usable_budget.saturating_sub(2 * reserve) / granularity;
+    let e_max = usize::try_from(budget_units)
+        .unwrap_or(usize::MAX)
+        .min(1 << 22) as u64;
+    min_units.iter().sum::<u64>() <= e_max
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +387,69 @@ mod tests {
             }
         }
         assert!(prev_cost.is_finite(), "largest budget must be feasible");
+    }
+
+    #[test]
+    fn feasibility_check_agrees_with_the_dp() {
+        // `dp_feasible` must answer exactly `dp_search(..).is_some()` for
+        // every budget from hopeless to generous, including the boundary
+        // region where quantization and the transient reserve decide.
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let granularity = 32 * MIB;
+        let mut flips = 0usize;
+        let mut prev = None;
+        for step in 0..40u64 {
+            let budget = 64 * MIB + step * 512 * MIB;
+            for batch in [8u64, 32] {
+                let full = dp_search(
+                    &est,
+                    &model,
+                    0..model.n_layers(),
+                    0,
+                    &set,
+                    batch,
+                    budget,
+                    granularity,
+                )
+                .unwrap()
+                .is_some();
+                let quick = dp_feasible(
+                    &est,
+                    &model,
+                    0..model.n_layers(),
+                    &set,
+                    budget,
+                    granularity,
+                    batch,
+                );
+                assert_eq!(quick, full, "budget {budget} batch {batch}");
+                if prev == Some(!full) {
+                    flips += 1;
+                }
+                prev = Some(full);
+            }
+        }
+        assert!(flips >= 1, "sweep must cross the feasibility boundary");
+    }
+
+    #[test]
+    fn empty_inputs_are_trivially_feasible() {
+        let est = estimator();
+        let model = tiny_bert(2);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        assert!(dp_feasible(&est, &model, 0..0, &set, 0, MIB, 8));
+        let empty = galvatron_strategy::StrategySet::new(8, Vec::new());
+        assert!(dp_feasible(
+            &est,
+            &model,
+            0..model.n_layers(),
+            &empty,
+            0,
+            MIB,
+            8
+        ));
     }
 
     #[test]

@@ -18,10 +18,15 @@
 
 #![warn(missing_docs)]
 
+pub mod candidate;
 pub mod dp;
 pub mod optimizer;
 pub mod partition;
 
-pub use dp::{dp_search, dp_search_with_micro_batches, DpResult};
+pub use candidate::{
+    evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets, strategy_sets,
+    CandidateOutcome, CandidateResult, CandidateSpec, DirectStageDp, StageDp, StageDpQuery,
+};
+pub use dp::{dp_feasible, dp_search, dp_search_with_micro_batches, DpResult};
 pub use optimizer::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, SearchStats};
 pub use partition::PipelinePartitioner;

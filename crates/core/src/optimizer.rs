@@ -7,15 +7,15 @@
 //! memory budget (memory use is monotone in batch, so nothing larger fits
 //! either) — Algorithm 1 lines 14–18.
 
-use crate::dp::dp_search_with_micro_batches;
+use crate::candidate::{
+    evaluate_candidate, micro_batch_candidates, stage_bound_sets, strategy_sets, CandidateResult,
+    CandidateSpec, DirectStageDp,
+};
 use crate::partition::PipelinePartitioner;
 use galvatron_cluster::{ClusterError, ClusterTopology, MIB};
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::ModelSpec;
-use galvatron_strategy::{
-    DecisionTreeBuilder, IntraStageStrategy, Paradigm, ParallelPlan, PipelineSchedule, StagePlan,
-    StrategySet,
-};
+use galvatron_strategy::{Paradigm, ParallelPlan, PipelineSchedule};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -79,7 +79,8 @@ impl Default for OptimizerConfig {
     }
 }
 
-/// Search-effort accounting (Figure 4).
+/// Search-effort accounting (Figure 4), plus the parallel planner's
+/// observability counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Batch sizes explored.
@@ -92,6 +93,39 @@ pub struct SearchStats {
     pub candidate_plans: usize,
     /// Wall-clock search seconds.
     pub search_seconds: f64,
+    /// Cumulative seconds inside candidate evaluations (DP solves plus the
+    /// final plan pricing; the serial path accumulates this inline, workers
+    /// sum their own clocks so it can exceed `search_seconds` when
+    /// `jobs > 1`).
+    #[serde(default)]
+    pub dp_seconds: f64,
+    /// Per-candidate evaluation seconds, in sweep order, for every
+    /// candidate that issued at least one Eq. 1 query.
+    #[serde(default)]
+    pub candidate_seconds: Vec<f64>,
+    /// Candidates skipped by the planner's throughput upper bound
+    /// (always 0 on the serial path).
+    #[serde(default)]
+    pub pruned_candidates: usize,
+    /// Stage-DP memoization cache hits (0 without a cache).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Stage-DP memoization cache misses (0 without a cache).
+    #[serde(default)]
+    pub cache_misses: usize,
+}
+
+impl SearchStats {
+    /// Cache hit rate in `[0, 1]`, or `None` when no cache was consulted.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// The slowest single candidate evaluation, seconds.
+    pub fn max_candidate_seconds(&self) -> f64 {
+        self.candidate_seconds.iter().cloned().fold(0.0, f64::max)
+    }
 }
 
 /// The planner's result.
@@ -160,31 +194,17 @@ impl GalvatronOptimizer {
         let n = topology.n_devices();
         let mut stats = SearchStats::default();
 
-        // Candidate PP degrees (Algorithm 1 line 4), and their strategy sets
-        // (line 7) — sets do not depend on the batch, so build them once.
-        let mut pp_degrees = Vec::new();
-        let mut p = 1usize;
-        while p <= n {
-            let allowed = (p == 1 || self.config.allow_pipeline)
-                && p <= self.config.max_pp_degree.unwrap_or(n)
-                && p <= model.n_layers();
-            if allowed {
-                pp_degrees.push(p);
-            }
-            p *= 2;
+        // Candidate PP degrees (Algorithm 1 line 4), their strategy sets
+        // (line 7) and the stage-bound alternatives — none depend on the
+        // batch, so build them once.
+        let sets = strategy_sets(&self.config, model, n);
+        for (p, set) in &sets {
+            stats.strategy_set_sizes.push((*p, set.len()));
         }
-        let sets: Vec<StrategySet> = pp_degrees
+        let bound_sets_per_pp: Vec<Vec<Vec<(usize, usize)>>> = sets
             .iter()
-            .map(|&p| {
-                DecisionTreeBuilder::new(n / p)
-                    .with_paradigms(&self.config.paradigms)
-                    .with_takeaway3(self.config.takeaway3)
-                    .strategies()
-            })
+            .map(|&(pp, _)| stage_bound_sets(&self.config, model, topology, pp))
             .collect();
-        for (&p, set) in pp_degrees.iter().zip(&sets) {
-            stats.strategy_set_sizes.push((p, set.len()));
-        }
 
         let mut best: Option<OptimizeOutcome> = None;
         let mut consecutive_infeasible = 0usize;
@@ -196,147 +216,64 @@ impl GalvatronOptimizer {
             stats.batches_explored += 1;
             let mut any_feasible = false;
 
-            for (&pp, full_set) in pp_degrees.iter().zip(&sets) {
-                let group = n / pp;
-                // §3.3: "we support several load balancing guidelines for
-                // PP partitioning" — a compute-balanced cut maximises
-                // pipeline efficiency, while memory-balanced cuts keep
-                // tight-budget configurations feasible. Try each.
-                let mut partitioners = vec![self.config.partitioner];
-                for extra in [
-                    PipelinePartitioner::ByActivation,
-                    PipelinePartitioner::ByLayerCount,
-                ] {
-                    if !partitioners.contains(&extra) {
-                        partitioners.push(extra);
-                    }
-                }
-                // Heterogeneous clusters: scale each stage's share by its
-                // device group's sustained speed (§6 future work).
-                let capacities: Option<Vec<f64>> = if topology.is_heterogeneous() {
-                    Some(
-                        (0..pp)
-                            .map(|i| {
-                                topology
-                                    .group_sustained_flops(i * group, group)
-                                    .expect("groups tile the cluster")
-                            })
-                            .collect(),
-                    )
-                } else {
-                    None
-                };
-                let mut bound_sets: Vec<Vec<(usize, usize)>> = Vec::new();
-                for partitioner in partitioners {
-                    let bounds =
-                        partitioner.partition_with_capacities(model, pp, capacities.as_deref());
-                    if !bound_sets.contains(&bounds) {
-                        bound_sets.push(bounds);
-                    }
-                }
-                for bounds in &bound_sets {
+            for ((pp, full_set), bound_sets) in sets.iter().zip(&bound_sets_per_pp) {
+                for bounds in bound_sets {
                     // Micro-batch candidates for this (batch, PP) pair. The
                     // per-layer strategy choice, the bubble fraction and the
                     // ZeRO-3 per-micro-batch costs are coupled (§3.3 notes the
                     // stage/search interaction), so the planner searches the
                     // (strategy, m) product instead of tuning m after the fact.
-                    let micro_candidates: Vec<usize> = if pp == 1 {
-                        vec![1]
-                    } else {
-                        let mut ms = Vec::new();
-                        let mut m = 1usize;
-                        while m <= batch {
-                            if batch % m == 0 {
-                                ms.push(m);
-                            }
-                            m *= 2;
+                    for micro_batches in micro_batch_candidates(batch, *pp) {
+                        let spec = CandidateSpec {
+                            batch,
+                            pp: *pp,
+                            bounds: bounds.clone(),
+                            micro_batches,
+                        };
+                        let candidate_started = Instant::now();
+                        let out = evaluate_candidate(
+                            &estimator,
+                            model,
+                            &self.config,
+                            full_set,
+                            &spec,
+                            usable,
+                            &DirectStageDp,
+                        )?;
+                        if out.dp_invocations > 0 {
+                            let secs = candidate_started.elapsed().as_secs_f64();
+                            stats.dp_seconds += secs;
+                            stats.candidate_seconds.push(secs);
                         }
-                        ms
-                    };
-
-                    for micro_batches in micro_candidates {
-                        let micro = batch / micro_batches;
-                        // Only strategies whose data split divides the
-                        // micro-batch are runnable.
-                        let runnable: Vec<IntraStageStrategy> = full_set
-                            .iter()
-                            .filter(|s| micro % s.data_degree() == 0)
-                            .cloned()
-                            .collect();
-                        if runnable.is_empty() {
-                            continue;
-                        }
-                        let set = StrategySet::new(full_set.group_size(), runnable);
-
-                        let mut stage_strategies = Vec::with_capacity(pp);
-                        let mut feasible = true;
-                        for (i, &(start, end)) in bounds.iter().enumerate() {
-                            stats.dp_invocations += 1;
-                            let in_flight =
-                                self.config.schedule.in_flight(i, pp, micro_batches) as u64;
-                            let act_stash = (micro as u64 * in_flight).min(batch as u64);
-                            match dp_search_with_micro_batches(
-                                &estimator,
-                                model,
-                                start..end,
-                                i * group,
-                                &set,
-                                batch as u64,
-                                usable,
-                                self.config.memory_granularity,
-                                micro_batches,
-                                act_stash,
-                            )? {
-                                Some(result) => stage_strategies.push(result.strategies),
-                                None => {
-                                    feasible = false;
-                                    break;
+                        stats.dp_invocations += out.dp_invocations;
+                        match out.result {
+                            CandidateResult::NoRunnableStrategy
+                            | CandidateResult::Infeasible => continue,
+                            CandidateResult::Evaluated {
+                                plan,
+                                throughput,
+                                iteration_time,
+                                fits,
+                            } => {
+                                any_feasible = true;
+                                stats.candidate_plans += 1;
+                                if !fits {
+                                    // Quantization slack should prevent
+                                    // this; stay safe.
+                                    continue;
+                                }
+                                let improves = best.as_ref().is_none_or(|b| {
+                                    throughput > b.throughput_samples_per_sec
+                                });
+                                if improves {
+                                    best = Some(OptimizeOutcome {
+                                        plan,
+                                        throughput_samples_per_sec: throughput,
+                                        iteration_time,
+                                        stats: SearchStats::default(),
+                                    });
                                 }
                             }
-                        }
-                        if !feasible {
-                            continue;
-                        }
-                        any_feasible = true;
-                        stats.candidate_plans += 1;
-
-                        let stages: Vec<StagePlan> = bounds
-                            .iter()
-                            .zip(stage_strategies)
-                            .enumerate()
-                            .map(|(i, (&(start, end), strategies))| StagePlan {
-                                layer_start: start,
-                                layer_end: end,
-                                device_base: i * group,
-                                device_count: group,
-                                layer_strategies: strategies,
-                            })
-                            .collect();
-                        let plan = ParallelPlan {
-                            origin: self.config.origin.clone(),
-                            global_batch: batch,
-                            micro_batches,
-                            schedule: self.config.schedule,
-                            stages,
-                        };
-                        debug_assert!(plan.validate(model.n_layers(), n).is_ok());
-
-                        let cost = estimator.plan_cost(model, &plan)?;
-                        if cost.peak_memory() > usable {
-                            // Quantization slack should prevent this; stay safe.
-                            continue;
-                        }
-                        let candidate = OptimizeOutcome {
-                            throughput_samples_per_sec: cost.throughput,
-                            iteration_time: cost.iteration_time,
-                            plan,
-                            stats: SearchStats::default(),
-                        };
-                        let improves = best.as_ref().is_none_or(|b| {
-                            candidate.throughput_samples_per_sec > b.throughput_samples_per_sec
-                        });
-                        if improves {
-                            best = Some(candidate);
                         }
                     }
                 }

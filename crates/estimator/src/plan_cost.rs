@@ -10,6 +10,7 @@ use galvatron_model::{LayerSpec, ModelSpec};
 use galvatron_strategy::layout::transformation_time;
 use galvatron_strategy::{IntraStageStrategy, ParallelPlan, StagePlan};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Estimated cost of one pipeline stage for the whole batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,25 +72,28 @@ impl PlanCost {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CostEstimator {
-    topology: ClusterTopology,
+    // Shared so that cloning an estimator per planner worker thread does not
+    // copy the (possibly large) device/link tables.
+    topology: Arc<ClusterTopology>,
     config: EstimatorConfig,
     cost_model: LayerCostModel,
     memory_model: MemoryModel,
 }
 
 impl CostEstimator {
-    /// Build an estimator for `topology` with `config`.
-    pub fn new(topology: ClusterTopology, config: EstimatorConfig) -> Self {
+    /// Build an estimator for `topology` with `config`. Accepts either an
+    /// owned topology or an already-shared `Arc<ClusterTopology>`.
+    pub fn new(topology: impl Into<Arc<ClusterTopology>>, config: EstimatorConfig) -> Self {
         CostEstimator {
             cost_model: LayerCostModel::new(config.clone()),
             memory_model: MemoryModel::new(config.clone()),
-            topology,
+            topology: topology.into(),
             config,
         }
     }
 
     /// Convenience: default configuration.
-    pub fn with_defaults(topology: ClusterTopology) -> Self {
+    pub fn with_defaults(topology: impl Into<Arc<ClusterTopology>>) -> Self {
         CostEstimator::new(topology, EstimatorConfig::default())
     }
 
@@ -101,6 +105,11 @@ impl CostEstimator {
     /// The topology.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topology
+    }
+
+    /// The topology's shared handle (cheap to clone across threads).
+    pub fn topology_arc(&self) -> Arc<ClusterTopology> {
+        Arc::clone(&self.topology)
     }
 
     /// Per-layer time cost — `c(l, s)` of Eq. 1.

@@ -1,0 +1,229 @@
+//! The shared stage-DP memoization cache.
+//!
+//! Algorithm 1's sweep re-poses the same Eq. 1 sub-problem many times: a
+//! stage's DP result depends only on its layer range, the runnable strategy
+//! set, the batch/micro shape, the budget and the granularity — not on
+//! which `(batch, PP, partitioner)` candidate asked. Two partitioner
+//! guidelines that agree on a cut, two PP degrees that share a stage shape,
+//! or two service requests over the same model all re-solve identical
+//! stages. The cache keys the *complete* input of [`dp_search`] (including
+//! an interned fingerprint of the model/topology/estimator context and of
+//! the strategy set) and returns the memoized [`DpResult`] verbatim, so a
+//! hit is bit-identical to a recompute and cannot change any plan.
+//!
+//! [`dp_search`]: galvatron_core::dp_search
+
+use galvatron_core::{DpResult, StageDp, StageDpQuery};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const SHARDS: usize = 16;
+
+/// The complete input of one stage-DP query. `context` and `set` are
+/// interner ids standing for the full (model, topology, estimator config)
+/// and strategy-set representations — interning compares the full strings,
+/// so distinct inputs never share an id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StageDpKey {
+    context: usize,
+    set: usize,
+    layer_start: usize,
+    layer_end: usize,
+    base_device: usize,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Queries answered from the cache.
+    pub hits: usize,
+    /// Queries that ran the DP.
+    pub misses: usize,
+}
+
+impl CacheCounters {
+    /// Counter difference (for per-request deltas).
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A sharded, thread-safe memoization cache for Eq. 1 stage solutions,
+/// shared by every worker of a sweep and (through [`crate::PlanService`])
+/// across requests.
+#[derive(Debug, Default)]
+pub struct DpCache {
+    interner: Mutex<HashMap<String, usize>>,
+    shards: [Mutex<HashMap<StageDpKey, Option<DpResult>>>; SHARDS],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DpCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DpCache::default()
+    }
+
+    /// Intern a full textual representation, returning a compact id. Equal
+    /// strings get equal ids; distinct strings never collide.
+    pub fn intern(&self, repr: &str) -> usize {
+        let mut interner = self.interner.lock();
+        if let Some(&id) = interner.get(repr) {
+            return id;
+        }
+        let id = interner.len();
+        interner.insert(repr.to_string(), id);
+        id
+    }
+
+    /// Memoized entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &StageDpKey) -> &Mutex<HashMap<StageDpKey, Option<DpResult>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &StageDpKey) -> Option<Option<DpResult>> {
+        let found = self.shard(key).lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: StageDpKey, value: Option<DpResult>) {
+        self.shard(&key).lock().insert(key, value);
+    }
+}
+
+/// The fingerprint of everything a stage-DP answer depends on beyond the
+/// query itself. Uses the derived `Debug` forms, which print every field
+/// (including exact float bits via Rust's shortest-round-trip formatting).
+pub fn context_fingerprint(estimator: &CostEstimator, model: &ModelSpec) -> String {
+    format!(
+        "{:?}|{:?}|{:?}",
+        model,
+        estimator.topology(),
+        estimator.config()
+    )
+}
+
+/// The memoizing [`StageDp`]: look the query up in the shared cache, run
+/// the real DP on a miss, and store the answer.
+pub struct CachedStageDp<'a> {
+    cache: &'a DpCache,
+    context: usize,
+    inner: galvatron_core::DirectStageDp,
+}
+
+impl<'a> CachedStageDp<'a> {
+    /// Build a cached solver for one (estimator, model) context. The
+    /// context id must come from [`DpCache::intern`] of
+    /// [`context_fingerprint`] on the same cache.
+    pub fn new(cache: &'a DpCache, context: usize) -> Self {
+        CachedStageDp {
+            cache,
+            context,
+            inner: galvatron_core::DirectStageDp,
+        }
+    }
+}
+
+impl StageDp for CachedStageDp<'_> {
+    fn solve(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        query: &StageDpQuery<'_>,
+    ) -> Result<Option<DpResult>, galvatron_cluster::ClusterError> {
+        let set = self.cache.intern(&format!("{:?}", query.set));
+        let key = StageDpKey {
+            context: self.context,
+            set,
+            layer_start: query.layer_start,
+            layer_end: query.layer_end,
+            base_device: query.base_device,
+            stage_batch: query.stage_batch,
+            usable_budget: query.usable_budget,
+            granularity: query.granularity,
+            micro_batches: query.micro_batches,
+            act_stash_batch: query.act_stash_batch,
+        };
+        if let Some(found) = self.cache.get(&key) {
+            return Ok(found);
+        }
+        let computed = self.inner.solve(estimator, model, query)?;
+        self.cache.insert(key, computed.clone());
+        Ok(computed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_collision_free() {
+        let cache = DpCache::new();
+        let a = cache.intern("alpha");
+        let b = cache.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(cache.intern("alpha"), a);
+        assert_eq!(cache.intern("beta"), b);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = DpCache::new();
+        let key = StageDpKey {
+            context: 0,
+            set: 0,
+            layer_start: 0,
+            layer_end: 4,
+            base_device: 0,
+            stage_batch: 8,
+            usable_budget: 1 << 30,
+            granularity: 1 << 24,
+            micro_batches: 1,
+            act_stash_batch: 8,
+        };
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), None);
+        assert_eq!(cache.get(&key), Some(None));
+        let counters = cache.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! `galvatron-planner`: the production planning front-end.
+//!
+//! [`GalvatronOptimizer`](galvatron_core::GalvatronOptimizer) runs
+//! Algorithm 1 serially. This crate runs the *same* search — the same
+//! candidate space, the same early-stop rule, the same tie-breaking — on a
+//! work-stealing worker pool, with two accelerations layered on top:
+//!
+//! * a **shared stage-DP memoization cache** ([`DpCache`]): Eq. 1
+//!   sub-problems recur across partitioner guidelines, PP degrees, budget
+//!   points and service requests, and a cached answer is bit-identical to a
+//!   recompute;
+//! * **bound-based pruning** ([`bound::throughput_upper_bound`]): a
+//!   candidate whose optimistic throughput bound is strictly below the best
+//!   found so far is skipped, which cannot change the winner of the
+//!   strict-improvement reduction.
+//!
+//! The planner's output is byte-identical to the serial optimizer for every
+//! `jobs` count and for every cache/pruning combination; the
+//! `planner_parallelism` integration suite asserts this across the model
+//! zoo and budget grid, and the `planner_speedup` bench measures the gain.
+//!
+//! [`PlanService`] plans many requests against one shared cache.
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod cache;
+pub mod service;
+mod sweep;
+
+pub use cache::{CacheCounters, CachedStageDp, DpCache};
+pub use service::{PlanRequest, PlanResponse, PlanService};
+
+use galvatron_cluster::{ClusterError, ClusterTopology};
+use galvatron_core::{OptimizeOutcome, OptimizerConfig};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the parallel planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// The search configuration (identical semantics to the serial
+    /// optimizer's).
+    pub optimizer: OptimizerConfig,
+    /// Worker threads; `0` means the machine's available parallelism.
+    pub jobs: usize,
+    /// Share stage-DP solutions through the memoization cache.
+    pub use_cache: bool,
+    /// Skip candidates whose throughput upper bound cannot beat the best.
+    pub prune: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            optimizer: OptimizerConfig::default(),
+            jobs: 0,
+            use_cache: true,
+            prune: true,
+        }
+    }
+}
+
+/// The work-stealing parallel planner. Produces exactly the plans the
+/// serial [`GalvatronOptimizer`](galvatron_core::GalvatronOptimizer) does,
+/// faster.
+#[derive(Debug, Clone)]
+pub struct ParallelPlanner {
+    config: PlannerConfig,
+}
+
+impl ParallelPlanner {
+    /// Build a planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        ParallelPlanner { config }
+    }
+
+    /// A planner with default parallelism over a given search
+    /// configuration.
+    pub fn with_optimizer(optimizer: OptimizerConfig) -> Self {
+        ParallelPlanner::new(PlannerConfig {
+            optimizer,
+            ..PlannerConfig::default()
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// The worker count a sweep will actually use.
+    pub fn effective_jobs(&self) -> usize {
+        resolve_jobs(self.config.jobs)
+    }
+
+    /// Run Algorithm 1 for `model` on `topology` under `budget_bytes` per
+    /// device. Same contract as `GalvatronOptimizer::optimize`, same
+    /// result, different engine.
+    pub fn optimize(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        if self.config.use_cache {
+            self.optimize_with_cache(model, topology, budget_bytes, &DpCache::new())
+        } else {
+            self.run(model, topology, budget_bytes, None)
+        }
+    }
+
+    /// [`ParallelPlanner::optimize`] against an existing (possibly warm)
+    /// shared cache — the building block of [`PlanService`].
+    pub fn optimize_with_cache(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+        cache: &DpCache,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        self.run(model, topology, budget_bytes, Some(cache))
+    }
+
+    fn run(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+        cache: Option<&DpCache>,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        let started = Instant::now();
+        let estimator =
+            CostEstimator::new(topology.clone(), self.config.optimizer.estimator.clone());
+        let usable = topology.usable_budget(budget_bytes);
+        let counters_before = cache.map(|c| c.counters());
+        let output = sweep::run_sweep(
+            &self.config.optimizer,
+            &estimator,
+            model,
+            topology,
+            usable,
+            self.effective_jobs(),
+            cache,
+            self.config.prune,
+        )?;
+        let mut stats = output.stats;
+        if let (Some(cache), Some(before)) = (cache, counters_before) {
+            let delta = cache.counters().since(&before);
+            stats.cache_hits = delta.hits;
+            stats.cache_misses = delta.misses;
+        }
+        stats.search_seconds = started.elapsed().as_secs_f64();
+        Ok(output
+            .best
+            .map(|(plan, throughput, iteration_time)| OptimizeOutcome {
+                plan,
+                throughput_samples_per_sec: throughput,
+                iteration_time,
+                stats,
+            }))
+    }
+}
+
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::{rtx_titan_node, GIB};
+    use galvatron_core::GalvatronOptimizer;
+    use galvatron_model::BertConfig;
+
+    fn small_model() -> ModelSpec {
+        BertConfig {
+            layers: 6,
+            hidden: 1024,
+            heads: 16,
+            seq: 256,
+            vocab: 30522,
+        }
+        .build("bert-6")
+    }
+
+    fn fast_optimizer() -> OptimizerConfig {
+        OptimizerConfig {
+            max_batch: 32,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_the_serial_optimizer() {
+        let topo = rtx_titan_node(8);
+        let model = small_model();
+        let serial = GalvatronOptimizer::new(fast_optimizer())
+            .optimize(&model, &topo, 8 * GIB)
+            .unwrap()
+            .expect("feasible");
+        let parallel = ParallelPlanner::new(PlannerConfig {
+            optimizer: fast_optimizer(),
+            jobs: 4,
+            use_cache: true,
+            prune: true,
+        })
+        .optimize(&model, &topo, 8 * GIB)
+        .unwrap()
+        .expect("feasible");
+        assert_eq!(serial.plan, parallel.plan);
+        assert_eq!(
+            serial.throughput_samples_per_sec,
+            parallel.throughput_samples_per_sec
+        );
+        assert_eq!(serial.iteration_time, parallel.iteration_time);
+    }
+
+    #[test]
+    fn cache_counters_are_reported() {
+        let topo = rtx_titan_node(8);
+        let model = small_model();
+        let out = ParallelPlanner::new(PlannerConfig {
+            optimizer: fast_optimizer(),
+            jobs: 2,
+            use_cache: true,
+            prune: false,
+        })
+        .optimize(&model, &topo, 8 * GIB)
+        .unwrap()
+        .expect("feasible");
+        assert!(out.stats.cache_misses > 0);
+        assert!(out.stats.cache_hit_rate().is_some());
+        assert!(!out.stats.candidate_seconds.is_empty());
+        assert!(out.stats.dp_seconds > 0.0);
+    }
+
+    #[test]
+    fn infeasible_budgets_return_none() {
+        let topo = rtx_titan_node(8);
+        let model = small_model();
+        let out = ParallelPlanner::with_optimizer(fast_optimizer())
+            .optimize(&model, &topo, GIB / 4)
+            .unwrap();
+        assert!(out.is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! The two-phase parallel sweep.
+//!
+//! **Phase A (serial, cheap):** walk Algorithm 1's candidate space in the
+//! exact order of `GalvatronOptimizer::optimize`, deciding each candidate's
+//! DP feasibility with the `O(L·S)` [`dp_feasible`] check instead of the
+//! `O(L·S²·E)` DP. Feasibility is what drives the sweep's early stop (eight
+//! consecutive batches with no feasible candidate), so the planner explores
+//! *exactly* the batches the serial loop explores. Each candidate gets an
+//! ordinal recording its position in the serial visit order.
+//!
+//! **Phase B (parallel):** the feasible candidates go into a work-stealing
+//! queue and a crossbeam-scoped worker pool evaluates them with the shared
+//! single-candidate entry point [`evaluate_candidate`] — optionally through
+//! the memoization cache and behind the [`throughput_upper_bound`] pruning
+//! gate. Workers publish completed evaluations into per-candidate slots and
+//! maintain a shared atomic best-throughput watermark used *only* for
+//! pruning.
+//!
+//! **Reduction (serial, deterministic):** the slots are scanned in ordinal
+//! order with the serial loop's strict-improvement comparison, so ties
+//! resolve to the earliest candidate exactly as in the serial sweep —
+//! regardless of worker count, scheduling, cache state or pruning. Pruning
+//! is sound because the watermark never exceeds the final best throughput
+//! and only candidates whose *upper bound* is strictly below it are
+//! skipped: they can never win a strict-improvement scan.
+
+use crate::bound::throughput_upper_bound;
+use crate::cache::{context_fingerprint, CachedStageDp, DpCache};
+use crossbeam::deque::{Injector, Steal};
+use galvatron_cluster::{ClusterError, ClusterTopology};
+use galvatron_core::optimizer::batch_candidates;
+use galvatron_core::{
+    dp_feasible, evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets,
+    strategy_sets, CandidateResult, CandidateSpec, DirectStageDp, OptimizerConfig, SearchStats,
+    StageDp,
+};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use galvatron_strategy::{ParallelPlan, StrategySet};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One dispatched unit of work: a feasible candidate plus its position in
+/// the serial visit order.
+struct WorkItem {
+    /// Index into the evaluation-slot vector (dense, dispatch order =
+    /// serial order among feasible candidates).
+    slot: usize,
+    /// Index into the `(pp, StrategySet)` list.
+    set_index: usize,
+    spec: CandidateSpec,
+}
+
+/// What one worker recorded for one candidate.
+struct EvalRecord {
+    plan: Option<ParallelPlan>,
+    throughput: f64,
+    iteration_time: f64,
+    seconds: f64,
+    dp_invocations: usize,
+    evaluated: bool,
+}
+
+/// The sweep's result: the winning candidate (if any) and partial stats
+/// (everything except `search_seconds` and the cache counters, which the
+/// caller owns).
+pub(crate) struct SweepOutput {
+    pub best: Option<(ParallelPlan, f64, f64)>,
+    pub stats: SearchStats,
+}
+
+/// Phase A: enumerate the feasible candidates in serial order.
+fn enumerate(
+    config: &OptimizerConfig,
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    topology: &ClusterTopology,
+    usable: u64,
+    stats: &mut SearchStats,
+) -> (Vec<(usize, StrategySet)>, Vec<WorkItem>) {
+    let n = topology.n_devices();
+    let sets = strategy_sets(config, model, n);
+    for (p, set) in &sets {
+        stats.strategy_set_sizes.push((*p, set.len()));
+    }
+    let bound_sets_per_pp: Vec<Vec<Vec<(usize, usize)>>> = sets
+        .iter()
+        .map(|&(pp, _)| stage_bound_sets(config, model, topology, pp))
+        .collect();
+
+    let mut items = Vec::new();
+    let mut consecutive_infeasible = 0usize;
+    for batch in batch_candidates(config.batch_step, config.max_batch, config.sub_step_batches) {
+        stats.batches_explored += 1;
+        let mut any_feasible = false;
+        for (set_index, ((pp, full_set), bound_sets)) in
+            sets.iter().zip(&bound_sets_per_pp).enumerate()
+        {
+            for bounds in bound_sets {
+                for micro_batches in micro_batch_candidates(batch, *pp) {
+                    let micro = batch / micro_batches;
+                    let set = runnable_set(full_set, micro);
+                    if set.len() == 0 {
+                        continue;
+                    }
+                    let feasible = bounds.iter().enumerate().all(|(i, &(start, end))| {
+                        let in_flight =
+                            config.schedule.in_flight(i, *pp, micro_batches) as u64;
+                        let act_stash = (micro as u64 * in_flight).min(batch as u64);
+                        dp_feasible(
+                            estimator,
+                            model,
+                            start..end,
+                            &set,
+                            usable,
+                            config.memory_granularity,
+                            act_stash,
+                        )
+                    });
+                    if feasible {
+                        any_feasible = true;
+                        items.push(WorkItem {
+                            slot: items.len(),
+                            set_index,
+                            spec: CandidateSpec {
+                                batch,
+                                pp: *pp,
+                                bounds: bounds.clone(),
+                                micro_batches,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        if any_feasible {
+            consecutive_infeasible = 0;
+        } else {
+            // Feasibility is not monotone across the sweep (divisibility);
+            // stop only after a full period of infeasible batches — same
+            // rule as the serial loop.
+            consecutive_infeasible += 1;
+            if consecutive_infeasible >= 8 {
+                break;
+            }
+        }
+    }
+    (sets, items)
+}
+
+/// Run the full sweep with `jobs` workers. `cache` of `None` evaluates
+/// every stage DP directly; `prune` of `false` disables the upper-bound
+/// gate. Output is identical for every combination.
+pub(crate) fn run_sweep(
+    config: &OptimizerConfig,
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    topology: &ClusterTopology,
+    usable: u64,
+    jobs: usize,
+    cache: Option<&DpCache>,
+    prune: bool,
+) -> Result<SweepOutput, ClusterError> {
+    let mut stats = SearchStats::default();
+    let (sets, items) = enumerate(config, estimator, model, topology, usable, &mut stats);
+    let n_items = items.len();
+
+    let context = cache.map(|c| c.intern(&context_fingerprint(estimator, model)));
+    let queue: Injector<WorkItem> = Injector::new();
+    for item in items {
+        queue.push(item);
+    }
+    let slots: Mutex<Vec<Option<EvalRecord>>> =
+        Mutex::new((0..n_items).map(|_| None).collect());
+    // Best throughput seen so far, as f64 bits (non-negative floats order
+    // like their bit patterns). Used only to gate pruning — the winner is
+    // picked by the deterministic reduction below.
+    let watermark = AtomicU64::new(0f64.to_bits());
+    let first_error: Mutex<Option<ClusterError>> = Mutex::new(None);
+
+    let workers = jobs.max(1).min(n_items.max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let direct = DirectStageDp;
+                let cached = context.map(|ctx| CachedStageDp::new(cache.unwrap(), ctx));
+                let dp: &dyn StageDp = match &cached {
+                    Some(c) => c,
+                    None => &direct,
+                };
+                loop {
+                    let item = match queue.steal() {
+                        Steal::Success(item) => item,
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    };
+                    if first_error.lock().is_some() {
+                        continue; // drain the queue, nothing more to do
+                    }
+                    if prune {
+                        let bound = throughput_upper_bound(model, topology, &item.spec);
+                        let best = f64::from_bits(watermark.load(Ordering::Relaxed));
+                        if bound < best {
+                            continue; // slot stays empty → counted as pruned
+                        }
+                    }
+                    let started = Instant::now();
+                    let outcome = match evaluate_candidate(
+                        estimator,
+                        model,
+                        config,
+                        &sets[item.set_index].1,
+                        &item.spec,
+                        usable,
+                        dp,
+                    ) {
+                        Ok(outcome) => outcome,
+                        Err(error) => {
+                            let mut guard = first_error.lock();
+                            if guard.is_none() {
+                                *guard = Some(error);
+                            }
+                            continue;
+                        }
+                    };
+                    let seconds = started.elapsed().as_secs_f64();
+                    let mut record = EvalRecord {
+                        plan: None,
+                        throughput: 0.0,
+                        iteration_time: 0.0,
+                        seconds,
+                        dp_invocations: outcome.dp_invocations,
+                        evaluated: false,
+                    };
+                    if let CandidateResult::Evaluated {
+                        plan,
+                        throughput,
+                        iteration_time,
+                        fits,
+                    } = outcome.result
+                    {
+                        record.evaluated = true;
+                        if fits {
+                            watermark.fetch_max(throughput.to_bits(), Ordering::Relaxed);
+                            record.plan = Some(plan);
+                            record.throughput = throughput;
+                            record.iteration_time = iteration_time;
+                        }
+                    }
+                    slots.lock()[item.slot] = Some(record);
+                }
+            });
+        }
+    })
+    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+
+    if let Some(error) = first_error.into_inner() {
+        return Err(error);
+    }
+
+    // Deterministic reduction: serial order, strict improvement — the same
+    // first-wins tie-breaking as the serial loop.
+    let mut best: Option<(ParallelPlan, f64, f64)> = None;
+    for record in slots.into_inner().into_iter() {
+        let Some(record) = record else {
+            stats.pruned_candidates += 1;
+            continue;
+        };
+        stats.dp_invocations += record.dp_invocations;
+        if record.dp_invocations > 0 {
+            stats.dp_seconds += record.seconds;
+            stats.candidate_seconds.push(record.seconds);
+        }
+        if record.evaluated {
+            stats.candidate_plans += 1;
+        }
+        if let Some(plan) = record.plan {
+            let improves = best
+                .as_ref()
+                .is_none_or(|(_, throughput, _)| record.throughput > *throughput);
+            if improves {
+                best = Some((plan, record.throughput, record.iteration_time));
+            }
+        }
+    }
+    Ok(SweepOutput { best, stats })
+}

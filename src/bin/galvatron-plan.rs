@@ -21,6 +21,7 @@ struct Options {
     budget_gb: u64,
     max_batch: usize,
     restrict: Option<String>,
+    jobs: usize,
     simulate: bool,
     trace_path: Option<String>,
     json_path: Option<String>,
@@ -34,6 +35,7 @@ impl Default for Options {
             budget_gb: 16,
             max_batch: 512,
             restrict: None,
+            jobs: 0,
             simulate: false,
             trace_path: None,
             json_path: None,
@@ -55,6 +57,7 @@ OPTIONS:
     --budget-gb <N>      per-device memory budget in GB  [16]
     --max-batch <N>      largest global batch to explore  [512]
     --restrict <SPACE>   limit the search space: dp-tp | dp-pp
+    --jobs <N>           planner worker threads (0 = all cores)  [0]
     --simulate           execute the plan on the discrete-event simulator
     --trace <FILE>       with --simulate: write a Chrome-trace timeline
     --json <FILE>        write the plan as JSON
@@ -84,6 +87,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--max-batch expects an integer".to_string())?
             }
             "--restrict" => opts.restrict = Some(value("--restrict")?),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?
+            }
             "--simulate" => opts.simulate = true,
             "--trace" => opts.trace_path = Some(value("--trace")?),
             "--json" => opts.json_path = Some(value("--json")?),
@@ -140,7 +148,7 @@ fn cluster_by_name(name: &str) -> Option<ClusterTopology> {
     }
 }
 
-fn optimizer_for(opts: &Options) -> GalvatronOptimizer {
+fn planner_for(opts: &Options) -> ParallelPlanner {
     let mut config = OptimizerConfig {
         max_batch: opts.max_batch,
         sub_step_batches: true,
@@ -158,7 +166,12 @@ fn optimizer_for(opts: &Options) -> GalvatronOptimizer {
         }
         _ => {}
     }
-    GalvatronOptimizer::new(config)
+    ParallelPlanner::new(PlannerConfig {
+        optimizer: config,
+        jobs: opts.jobs,
+        use_cache: true,
+        prune: true,
+    })
 }
 
 fn main() -> ExitCode {
@@ -201,8 +214,8 @@ fn main() -> ExitCode {
         opts.budget_gb
     );
 
-    let optimizer = optimizer_for(&opts);
-    let outcome = match optimizer.optimize(&model, &cluster, opts.budget_gb * GIB) {
+    let planner = planner_for(&opts);
+    let outcome = match planner.optimize(&model, &cluster, opts.budget_gb * GIB) {
         Ok(Some(outcome)) => outcome,
         Ok(None) => {
             eprintln!(
@@ -223,10 +236,24 @@ fn main() -> ExitCode {
         outcome.iteration_time * 1e3
     );
     println!(
-        "search     {} batch sizes, {} DP runs, {:.0} ms",
+        "search     {} batch sizes, {} DP runs, {:.0} ms ({} workers)",
         outcome.stats.batches_explored,
         outcome.stats.dp_invocations,
-        outcome.stats.search_seconds * 1e3
+        outcome.stats.search_seconds * 1e3,
+        planner.effective_jobs()
+    );
+    let hit_rate = outcome
+        .stats
+        .cache_hit_rate()
+        .map(|r| format!("{:.0}% cache hits", r * 100.0))
+        .unwrap_or_else(|| "no cache".to_string());
+    println!(
+        "           {} candidates evaluated ({:.0} ms DP time, slowest {:.1} ms), {} pruned, {}",
+        outcome.stats.candidate_seconds.len(),
+        outcome.stats.dp_seconds * 1e3,
+        outcome.stats.max_candidate_seconds() * 1e3,
+        outcome.stats.pruned_candidates,
+        hit_rate
     );
     println!("\n{}", outcome.plan.summary());
 
@@ -325,11 +352,21 @@ mod tests {
     #[test]
     fn restriction_configures_the_optimizer() {
         let opts = parse_args(&argv("--restrict dp-pp")).unwrap();
-        let optimizer = optimizer_for(&opts);
-        assert_eq!(optimizer.config().paradigms, vec![Paradigm::Data]);
-        assert!(optimizer.config().allow_pipeline);
+        let planner = planner_for(&opts);
+        assert_eq!(planner.config().optimizer.paradigms, vec![Paradigm::Data]);
+        assert!(planner.config().optimizer.allow_pipeline);
         let opts = parse_args(&argv("--restrict dp-tp")).unwrap();
-        let optimizer = optimizer_for(&opts);
-        assert!(!optimizer.config().allow_pipeline);
+        let planner = planner_for(&opts);
+        assert!(!planner.config().optimizer.allow_pipeline);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_defaults_to_all_cores() {
+        let opts = parse_args(&argv("--jobs 4")).unwrap();
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(planner_for(&opts).effective_jobs(), 4);
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts.jobs, 0);
+        assert!(planner_for(&opts).effective_jobs() >= 1);
     }
 }

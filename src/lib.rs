@@ -23,6 +23,9 @@
 //!   multi-GPU execution (the "measured" side of every experiment).
 //! * [`core`] — the dynamic-programming search (Eq. 1) and the Algorithm 1
 //!   optimization workflow.
+//! * [`planner`] — the parallel planning front-end: work-stealing sweep,
+//!   shared DP memoization, bound-based pruning, multi-request plan
+//!   service. Same results as [`core`]'s serial optimizer, faster.
 //! * [`baselines`] — the evaluated baseline planners (PyTorch DDP, Megatron
 //!   TP, GPipe PP, FSDP/ZeRO-3 SDP, DeepSpeed 3D, Galvatron DP+TP / DP+PP).
 //!
@@ -54,6 +57,7 @@ pub use galvatron_core as core;
 pub use galvatron_estimator as estimator;
 pub use galvatron_exec as exec;
 pub use galvatron_model as model;
+pub use galvatron_planner as planner;
 pub use galvatron_sim as sim;
 pub use galvatron_strategy as strategy;
 
@@ -68,6 +72,9 @@ pub mod prelude {
     };
     pub use galvatron_estimator::{CostEstimator, EstimatorConfig};
     pub use galvatron_model::{ModelSpec, PaperModel};
+    pub use galvatron_planner::{
+        DpCache, ParallelPlanner, PlanRequest, PlanResponse, PlanService, PlannerConfig,
+    };
     pub use galvatron_sim::{ExecutionReport, Simulator, SimulatorConfig};
     pub use galvatron_strategy::{
         DecisionTreeBuilder, Paradigm, ParallelPlan, StrategyAxis, StrategySet,

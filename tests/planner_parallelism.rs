@@ -1,0 +1,161 @@
+//! The parallel planning engine must be an *exact* drop-in for the serial
+//! Algorithm-1 sweep: identical plan, throughput and iteration time for
+//! every zoo model × memory budget on the 8-GPU testbed, regardless of the
+//! worker count, and cache hits must never change the selected plan.
+
+use galvatron::prelude::*;
+use galvatron_core::{GalvatronOptimizer, OptimizerConfig, OptimizeOutcome};
+use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
+use proptest::prelude::*;
+
+fn config() -> OptimizerConfig {
+    // max_batch 32 keeps the full matrix fast while still exercising the
+    // 8-consecutive-infeasible early stop on the tight budgets.
+    OptimizerConfig {
+        max_batch: 32,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn planner(jobs: usize, use_cache: bool, prune: bool) -> ParallelPlanner {
+    ParallelPlanner::new(PlannerConfig {
+        optimizer: config(),
+        jobs,
+        use_cache,
+        prune,
+    })
+}
+
+/// Byte-identical outcome comparison: plan equality plus bit-level float
+/// equality on throughput and iteration time.
+fn assert_same(a: &Option<OptimizeOutcome>, b: &Option<OptimizeOutcome>, what: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.plan, b.plan, "{what}: plan diverged");
+            assert_eq!(
+                a.throughput_samples_per_sec.to_bits(),
+                b.throughput_samples_per_sec.to_bits(),
+                "{what}: throughput diverged ({} vs {})",
+                a.throughput_samples_per_sec,
+                b.throughput_samples_per_sec
+            );
+            assert_eq!(
+                a.iteration_time.to_bits(),
+                b.iteration_time.to_bits(),
+                "{what}: iteration time diverged"
+            );
+        }
+        (a, b) => panic!(
+            "{what}: feasibility diverged (serial {}, parallel {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+#[test]
+fn parallel_matches_serial_across_the_zoo() {
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let serial = GalvatronOptimizer::new(config());
+    let parallel = planner(4, true, true);
+    for model in PaperModel::ALL {
+        let spec = model.spec();
+        for budget_gb in [8u64, 12, 16, 20] {
+            let budget = budget_gb * GIB;
+            let reference = serial.optimize(&spec, &topology, budget).unwrap();
+            let candidate = parallel.optimize(&spec, &topology, budget).unwrap();
+            assert_same(
+                &reference,
+                &candidate,
+                &format!("{} @ {budget_gb}G", model.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn outcome_is_invariant_in_the_worker_count() {
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::BertHuge32.spec();
+    let reference = planner(1, false, false)
+        .optimize(&model, &topology, 16 * GIB)
+        .unwrap();
+    for jobs in [2usize, 4, 8] {
+        for (use_cache, prune) in [(false, false), (true, false), (false, true), (true, true)] {
+            let candidate = planner(jobs, use_cache, prune)
+                .optimize(&model, &topology, 16 * GIB)
+                .unwrap();
+            assert_same(
+                &reference,
+                &candidate,
+                &format!("jobs={jobs} cache={use_cache} prune={prune}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_the_cold_plan() {
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::VitHuge32.spec();
+    let planner = planner(4, true, true);
+    let cache = DpCache::new();
+    let cold = planner
+        .optimize_with_cache(&model, &topology, 12 * GIB, &cache)
+        .unwrap();
+    let warm = planner
+        .optimize_with_cache(&model, &topology, 12 * GIB, &cache)
+        .unwrap();
+    let warm = warm.expect("12 GiB is feasible for ViT-Huge-32");
+    assert!(
+        warm.stats.cache_hits > 0 && warm.stats.cache_misses == 0,
+        "second run must be answered entirely from the cache \
+         ({} hits, {} misses)",
+        warm.stats.cache_hits,
+        warm.stats.cache_misses
+    );
+    assert_same(&cold, &Some(warm), "cold vs warm cache");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    /// Cache hits never change the selected plan: any (model, budget, jobs)
+    /// combination planned against a pre-warmed shared cache selects exactly
+    /// the plan the serial optimizer selects.
+    #[test]
+    fn cache_hits_never_change_the_plan(
+        model_idx in 0usize..4,
+        budget_gb in prop_oneof![Just(8u64), Just(12), Just(16), Just(20)],
+        jobs in 1usize..=8,
+    ) {
+        // The four Table-1 "huge-32/48" shapes keep each case quick.
+        let model = [
+            PaperModel::BertHuge32,
+            PaperModel::VitHuge32,
+            PaperModel::SwinHuge32,
+            PaperModel::T5Large32,
+        ][model_idx]
+            .spec();
+        let topology = TestbedPreset::RtxTitan8.topology();
+        let budget = budget_gb * GIB;
+
+        let reference = GalvatronOptimizer::new(config())
+            .optimize(&model, &topology, budget)
+            .unwrap();
+
+        let planner = planner(jobs, true, true);
+        let cache = DpCache::new();
+        // First pass warms the cache, second pass is served from it.
+        let _ = planner.optimize_with_cache(&model, &topology, budget, &cache).unwrap();
+        let warm = planner.optimize_with_cache(&model, &topology, budget, &cache).unwrap();
+        assert_same(
+            &reference,
+            &warm,
+            &format!("warm cache, jobs={jobs}, {budget_gb}G"),
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline subset of `criterion`.
+//!
+//! Same bench-definition surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `black_box`) with a much simpler engine: a short warm-up, then
+//! `sample_size` timed samples (each one closure call) inside a measurement
+//! -time budget, reporting min/mean/max to stdout. No plots, no statistics,
+//! no `target/criterion` state.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a bench name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_benchmark_id().id;
+        run_bench(&full, self.warm_up, self.measurement, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_bench(
+            &full,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-bench measurement handle.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+    max_samples: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm-up until the warm-up budget is spent, then
+    /// one sample per call until `sample_size` samples or the measurement
+    /// window closes (always at least one sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.max_samples || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// `iter_batched`-style setup/measure split (setup excluded from timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            let input = setup();
+            black_box(f(input));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.max_samples || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        deadline: Instant::now() + warm_up + measurement,
+        max_samples: sample_size,
+        warm_up,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let extra = match throughput {
+        Some(Throughput::Elements(e)) if mean > Duration::ZERO => {
+            format!("  thrpt: {:.1} elem/s", e as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(b) | Throughput::BytesDecimal(b))
+            if mean > Duration::ZERO =>
+        {
+            format!("  thrpt: {:.1} B/s", b as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}  time: [{} {} {}]{extra}",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(max)
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)` — also accepts the
+/// `config = ...` long form (the config expression is evaluated and used).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

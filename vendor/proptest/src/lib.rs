@@ -1,0 +1,300 @@
+//! Offline subset of `proptest`.
+//!
+//! Same testing model — `proptest! { fn prop(x in strategy) { ... } }` runs
+//! the body over many sampled inputs — but with a deterministic RNG (seeded
+//! from the test's `file!()`/`line!()`), rejection-based filtering, and **no
+//! shrinking**: a failing case panics with the sampled inputs via the plain
+//! `assert!` machinery. Covers the strategy combinators this workspace
+//! uses: ranges, `Just`, `prop_oneof!`, `any`, tuples,
+//! `prop::collection::vec`, `prop::sample::select`, `.prop_filter`,
+//! `.prop_map`.
+
+pub mod strategy;
+
+pub mod rng {
+    /// SplitMix64 — deterministic, seeded per test site.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(file: &str, line: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in file.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= u64::from(line);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod config {
+    /// Runner configuration (subset: only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Upper bound on rejected samples before giving up.
+        pub max_global_rejects: u32,
+        /// Accepted-but-ignored knobs kept for struct-update compatibility.
+        pub max_shrink_iters: u32,
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+                max_shrink_iters: 0,
+                fork: false,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(options)` — uniform choice from a non-empty list.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty list");
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            Some(self.options[idx].clone())
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, broad magnitude range.
+            let mag = rng.unit_f64() * 1e12;
+            if rng.next_u64() & 1 == 1 { -mag } else { mag }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// `any::<T>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::collection::vec(...)`, `prop::sample::select(...)` paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// `prop_assert!` — no shrink machinery, so a failure is a plain panic with
+/// the condition text (the harness prints the sampled inputs' Debug via the
+/// macro expansion in `proptest!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::from_arms(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    // Leading `#![proptest_config(...)]`.
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl! {
+            ($crate::config::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($cfg:expr) } => {};
+    {
+        ($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    } => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::config::ProptestConfig = $cfg;
+            let __strategy = ($($strategy,)+);
+            let mut __rng = $crate::rng::TestRng::deterministic(file!(), line!());
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __cfg.cases {
+                match $crate::strategy::Strategy::sample(&__strategy, &mut __rng) {
+                    None => {
+                        __rejected += 1;
+                        if __rejected > __cfg.max_global_rejects {
+                            panic!(
+                                "proptest stub: too many rejected samples in {} \
+                                 ({} accepted, {} rejected)",
+                                stringify!($name), __accepted, __rejected
+                            );
+                        }
+                    }
+                    Some(__value) => {
+                        let __debug = format!("{:?}", __value);
+                        let __result = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| {
+                                let ($($pat,)+) = __value;
+                                $body
+                            })
+                        );
+                        if let Err(__panic) = __result {
+                            eprintln!(
+                                "proptest case failed in {}: inputs = {}",
+                                stringify!($name), __debug
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                        __accepted += 1;
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,169 @@
+//! Offline subset of `rand`: the `Rng`/`SeedableRng` trait surface this
+//! workspace uses (`StdRng::seed_from_u64` + `gen_range` over integer and
+//! float ranges). The generator is xoshiro256** seeded via SplitMix64 —
+//! deterministic for a given seed, which is all the simulator and the
+//! synthetic workloads rely on (they never compare against upstream rand's
+//! exact stream).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// High-level sampling interface (blanket-implemented for every generator).
+pub trait Rng: RngCore {
+    /// Like rand 0.8: the output type is an independent parameter so
+    /// untyped float/int range literals infer from the call site.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly to produce `T`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let v = rng.next_u64() % span;
+                (self.start as $wide).wrapping_add(v as $wide) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let v = rng.next_u64() % (span + 1);
+                (lo as $wide).wrapping_add(v as $wide) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                // Include the upper endpoint by scaling over 2^53 − 1.
+                let u = ((rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** generator (stands in for rand's ChaCha12-based StdRng;
+    /// deterministic per seed, not reproducing upstream's exact stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace only needs determinism, not a distinct
+    /// small-footprint generator.
+    pub type SmallRng = StdRng;
+}
+
+/// A `thread_rng`-alike: deterministic per thread (seeded from the thread's
+/// spawn order), since the sandbox favours reproducibility over entropy.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(COUNTER.fetch_add(1, Ordering::Relaxed))
+}

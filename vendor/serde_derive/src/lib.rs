@@ -1,0 +1,468 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the sandbox has no
+//! `syn`/`quote`). Supports the shapes this workspace uses: non-generic
+//! structs with named fields, tuple structs (newtype structs are
+//! transparent, wider tuples are arrays), unit structs, and enums with
+//! unit / newtype / struct variants (externally tagged, like real serde).
+//! The only field attribute honoured is `#[serde(default)]`; any other
+//! `#[serde(...)]` attribute is a compile error rather than a silent
+//! behaviour change.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), i: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Skip one `#[...]` attribute if present; report whether it contained
+    /// `serde(default)` and reject any other `serde(...)` content.
+    fn skip_attr(&mut self) -> Option<bool> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+            _ => return None,
+        }
+        self.bump();
+        let group = match self.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: expected [...] after '#', got {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde = matches!(
+            inner.first(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        );
+        if !is_serde {
+            return Some(false);
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde derive: malformed #[serde ...] attribute: {other:?}"),
+        };
+        let words: Vec<String> = args.into_iter().map(|t| t.to_string()).collect();
+        if words == ["default"] {
+            Some(true)
+        } else {
+            panic!(
+                "serde derive stub: unsupported #[serde({})] — only #[serde(default)] is implemented",
+                words.join("")
+            );
+        }
+    }
+
+    /// Skip attributes (returning whether any was `serde(default)`), then
+    /// skip a visibility qualifier if present.
+    fn skip_attrs_and_vis(&mut self) -> bool {
+        let mut default = false;
+        while let Some(d) = self.skip_attr() {
+            default |= d;
+        }
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.bump();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        default
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip a type expression up to a top-level ',' (consumed) or the end,
+    /// tracking angle-bracket depth so `Map<K, V>` stays one field.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs_and_vis();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        c.skip_type();
+        fields.push(Field { name, default });
+    }
+    Fields::Named(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0usize;
+    while !c.at_end() {
+        c.skip_attrs_and_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs_and_vis();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.bump();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.bump();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Discriminant (`= expr`) or trailing comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.bump();
+                break;
+            }
+            c.bump();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn named_to_map(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __m = ::serde::value::Map::new(); ");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert(\"{n}\", ::serde::Serialize::__to_value(&{a})); ",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    out.push_str("::serde::value::Value::Object(__m) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::value::Value::Null".to_string(),
+                Fields::Named(fs) => named_to_map(fs, &|f| format!("self.{f}")),
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::__to_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::__to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()), "
+                    )),
+                    Fields::Named(fs) => {
+                        let pat: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let inner = named_to_map(fs, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ \
+                               let __inner = {inner}; \
+                               let mut __outer = ::serde::value::Map::new(); \
+                               __outer.insert(\"{vn}\", __inner); \
+                               ::serde::value::Value::Object(__outer) }}, ",
+                            pat = pat.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__t{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::__to_value(__t0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::__to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ \
+                               let __inner = {inner}; \
+                               let mut __outer = ::serde::value::Map::new(); \
+                               __outer.insert(\"{vn}\", __inner); \
+                               ::serde::value::Value::Object(__outer) }}, ",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn __to_value(&self) -> ::serde::value::Value {{ {body} }} \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn named_from_map(fields: &[Field], map_expr: &str, ty: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let getter = if f.default { "get_field_or_default" } else { "get_field" };
+            format!(
+                "{n}: ::serde::__private::{getter}({map_expr}, \"{n}\", \"{ty}\")?",
+                n = f.name
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "let __m = ::serde::__private::expect_object(__v, \"{name}\")?; \
+                     ::std::result::Result::Ok({name} {{ {inits} }})",
+                    inits = named_from_map(fs, "__m", name)
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::__from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::__from_value(&__a[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array().ok_or_else(|| \
+                           ::serde::Error(format!(\"expected an array for {name}\")))?; \
+                         if __a.len() != {n} {{ \
+                           return ::std::result::Result::Err(::serde::Error(format!( \
+                             \"expected {n} elements for {name}, got {{}}\", __a.len()))); }} \
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}), "
+                    )),
+                    Fields::Named(fs) => {
+                        let ty = format!("{name}::{vn}");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let __m2 = ::serde::__private::expect_object(__inner, \"{ty}\")?; \
+                               ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }}, ",
+                            inits = named_from_map(fs, "__m2", &ty)
+                        ));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}( \
+                           ::serde::Deserialize::__from_value(__inner)?)), "
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::__from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error(format!(\"expected an array for {name}::{vn}\")))?; \
+                               if __a.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error(format!( \
+                                   \"expected {n} elements for {name}::{vn}\"))); }} \
+                               ::std::result::Result::Ok({name}::{vn}({items})) }}, ",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{ \
+                   ::serde::value::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error(format!( \
+                       \"unknown variant `{{__other}}` for {name}\"))), \
+                   }}, \
+                   ::serde::value::Value::Object(__m) => {{ \
+                     let (__k, __inner) = __m.first().ok_or_else(|| \
+                       ::serde::Error(format!(\"empty object for enum {name}\")))?; \
+                     match __k.as_str() {{ \
+                       {data_arms} \
+                       __other => ::std::result::Result::Err(::serde::Error(format!( \
+                         \"unknown variant `{{__other}}` for {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::Error(format!( \
+                     \"expected a string or object for enum {name}, got {{__other:?}}\"))), \
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn __from_value(__v: &::serde::value::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

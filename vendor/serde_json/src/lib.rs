@@ -1,0 +1,84 @@
+//! Offline subset of `serde_json` (see the `serde` stub for context).
+//!
+//! Covers the workspace's surface: `to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, `from_value`, and the [`Value`] tree with its
+//! accessor/indexing API (re-exported from the serde stub, where derived
+//! impls produce it).
+
+pub use serde::value::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// JSON error (message + kind), convertible to `std::io::Error` so
+/// `fs::write(path, serde_json::to_string_pretty(v)?)` works with `?`.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.__to_value().render_compact())
+}
+
+/// Serialise to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.__to_value().render_pretty())
+}
+
+/// Serialise into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.__to_value())
+}
+
+/// Deserialise from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = serde::value::parse(s).map_err(Error::new)?;
+    T::__from_value(&value).map_err(|e| Error::new(e.0))
+}
+
+/// Deserialise from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::__from_value(&value).map_err(|e| Error::new(e.0))
+}
+
+/// `json!`-lite: only the forms the workspace needs (null, literals,
+/// arrays, objects with string keys).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([$($item:tt),* $(,)?]) => {
+        $crate::Value::Array(vec![$($crate::json!($item)),*])
+    };
+    ({$($key:literal : $val:tt),* $(,)?}) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $(__m.insert($key, $crate::json!($val));)*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! literal")
+    };
+}
