@@ -104,7 +104,9 @@ struct SpeedupPoint {
     cache_hit_rate: Option<f64>,
 }
 
-fn timed<F: FnMut() -> galvatron_core::OptimizeOutcome>(mut f: F) -> (f64, galvatron_core::OptimizeOutcome) {
+fn timed<F: FnMut() -> galvatron_core::OptimizeOutcome>(
+    mut f: F,
+) -> (f64, galvatron_core::OptimizeOutcome) {
     const REPS: usize = 3;
     let started = Instant::now();
     let mut out = f();
@@ -179,8 +181,13 @@ fn write_speedup_table(topology: &ClusterTopology, model: &ModelSpec) {
     for p in &points {
         println!(
             "  {:<17} jobs={} cache={:<5} {:.3}s  ({:.2}x, {} pruned, {} DP solves)",
-            p.configuration, p.jobs, p.cache, p.seconds, p.speedup_vs_serial,
-            p.pruned_candidates, p.dp_invocations
+            p.configuration,
+            p.jobs,
+            p.cache,
+            p.seconds,
+            p.speedup_vs_serial,
+            p.pruned_candidates,
+            p.dp_invocations
         );
     }
     let path = write_json("planner_speedup", &points).expect("write results");

@@ -107,7 +107,9 @@ pub fn evaluate_cell_cached(
                     None => planner.optimize(model, topology, budget),
                 }
             }
-            None => BaselinePlanner::new(topology.clone(), cfg.clone()).plan(strategy, model, budget),
+            None => {
+                BaselinePlanner::new(topology.clone(), cfg.clone()).plan(strategy, model, budget)
+            }
         };
         let Ok(Some(outcome)) = planned else {
             return result;

@@ -9,7 +9,10 @@
 //! * `fig3`  — estimation error with/without overlap-slowdown modeling,
 //! * `fig4`  — search-time scaling (layers × memory; strategy-space size),
 //! * `fig5`  — the optimal plans for BERT-Huge-32 / Swin-Huge-32 at
-//!   8 GB / 12 GB.
+//!   8 GB / 12 GB,
+//! * `galvatron-elastic` — the elastic recovery sweep: fault scenarios
+//!   (device loss / straggler / link degradation) over the zoo, with the
+//!   kill-2-devices acceptance demo (`--trace-out` dumps a Chrome trace).
 //!
 //! Each binary prints the table and writes machine-readable JSON under
 //! `results/`. Where the paper reports numbers, [`paper`] embeds them so

@@ -177,6 +177,12 @@ impl CommGroupPool {
                 for block in (0..n).step_by(s * g) {
                     for offset in 0..s {
                         let base = block + offset;
+                        if base + (g - 1) * s >= n {
+                            // Non-power-of-two clusters (degraded
+                            // topologies) leave a partial tail block; no
+                            // strategy axis can reference it.
+                            continue;
+                        }
                         let devices: Vec<DeviceId> = (0..g).map(|i| base + i * s).collect();
                         let before = self.stats().created;
                         self.get_or_create(devices)?;
@@ -247,6 +253,23 @@ mod tests {
             }
         }
         assert_eq!(pool.stats().created, before, "no new groups constructed");
+    }
+
+    #[test]
+    fn precreate_handles_non_power_of_two_survivor_clusters() {
+        // A degraded 6-device cluster (8 minus 2 failures) has partial
+        // tail blocks in the (size, stride) grid; they must be skipped,
+        // not constructed out of range.
+        let topo = ClusterTopology::flat(GpuSpec::rtx_titan(), 6, LinkClass::Pcie3.into()).unwrap();
+        let pool = CommGroupPool::new(topo);
+        let created = pool.precreate_all().unwrap();
+        assert!(created > 0);
+        // The groups a pp=3 × {dp,tp}=2 plan uses are all pre-created.
+        let before = pool.stats().created;
+        for base in [0usize, 2, 4] {
+            pool.get_or_create(vec![base, base + 1]).unwrap();
+        }
+        assert_eq!(pool.stats().created, before);
     }
 
     #[test]

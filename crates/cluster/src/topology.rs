@@ -86,6 +86,11 @@ pub enum ClusterError {
     UnknownDevice(DeviceId),
     /// A communication group with fewer than two members.
     DegenerateGroup,
+    /// A level index that is out of range.
+    UnknownLevel(usize),
+    /// Removing devices left no usable cluster (fewer than two devices
+    /// after island equalization).
+    NoSurvivors,
 }
 
 impl fmt::Display for ClusterError {
@@ -102,6 +107,10 @@ impl fmt::Display for ClusterError {
             ClusterError::UnknownDevice(d) => write!(f, "device {d} is out of range"),
             ClusterError::DegenerateGroup => {
                 write!(f, "communication groups need at least two members")
+            }
+            ClusterError::UnknownLevel(l) => write!(f, "level {l} is out of range"),
+            ClusterError::NoSurvivors => {
+                write!(f, "no usable cluster survives the device removal")
             }
         }
     }
@@ -302,6 +311,184 @@ impl ClusterTopology {
         };
         budget_bytes.saturating_sub(overhead)
     }
+
+    /// A stable 64-bit fingerprint of the topology: device count, level
+    /// structure, link classes/bandwidths/latencies and per-device specs.
+    /// Two topologies with the same fingerprint present the same planning
+    /// problem; any degradation (lost device, slowed device, throttled
+    /// link) changes it. Used to key shared planner caches.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, explicit so the value is stable across platforms and
+        // std hasher changes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.n_devices as u64).to_le_bytes());
+        for level in &self.levels {
+            eat(&(level.group_size as u64).to_le_bytes());
+            eat(format!("{:?}", level.link.class).as_bytes());
+            eat(&level.link.bandwidth.to_bits().to_le_bytes());
+            eat(&level.link.latency.to_bits().to_le_bytes());
+        }
+        let mut eat_spec = |spec: &GpuSpec| {
+            eat(spec.name.as_bytes());
+            eat(&spec.memory_bytes.to_le_bytes());
+            eat(&spec.sustained_flops.to_bits().to_le_bytes());
+            eat(&spec.framework_overhead_bytes.to_le_bytes());
+        };
+        eat_spec(&self.gpu);
+        if let Some(specs) = &self.device_specs {
+            for spec in specs {
+                eat_spec(spec);
+            }
+        }
+        h
+    }
+
+    /// Derive the surviving topology after `failed` devices are lost.
+    ///
+    /// The island hierarchy is preserved by **equalizing bottom-up**: at
+    /// each level, every surviving group keeps the minimum surviving
+    /// sub-unit count over all non-empty sibling groups, and the extra
+    /// sub-units (highest ids first) are *benched* — alive but unused, so
+    /// groups stay equal-sized and contiguous as [`ClusterTopology::new`]
+    /// requires. Levels whose grouping collapses (one sub-unit per group)
+    /// are dropped. Errors with [`ClusterError::NoSurvivors`] when fewer
+    /// than two devices remain usable.
+    pub fn without_devices(&self, failed: &[DeviceId]) -> Result<DegradedTopology, ClusterError> {
+        for &d in failed {
+            if d >= self.n_devices {
+                return Err(ClusterError::UnknownDevice(d));
+            }
+        }
+        let dead: std::collections::BTreeSet<DeviceId> = failed.iter().copied().collect();
+        // `units[i]` is the sorted original-id device list of the i-th
+        // surviving unit at the current level, innermost-first walk.
+        let mut units: Vec<Vec<DeviceId>> = (0..self.n_devices)
+            .filter(|d| !dead.contains(d))
+            .map(|d| vec![d])
+            .collect();
+        let mut benched: Vec<DeviceId> = Vec::new();
+        let mut new_levels: Vec<TopologyLevel> = Vec::new();
+        let mut kept_per_unit = 1usize; // devices per unit *after* equalization
+
+        for (li, level) in self.levels.iter().enumerate() {
+            // Partition surviving units into this level's groups by the
+            // original id range each group covers.
+            let mut groups: Vec<Vec<Vec<DeviceId>>> = Vec::new();
+            let mut current_group: Option<usize> = None;
+            for unit in units.drain(..) {
+                let gid = unit[0] / level.group_size;
+                if current_group != Some(gid) {
+                    groups.push(Vec::new());
+                    current_group = Some(gid);
+                }
+                groups.last_mut().expect("just pushed").push(unit);
+            }
+            if groups.is_empty() {
+                return Err(ClusterError::NoSurvivors);
+            }
+            let outermost = li + 1 == self.levels.len();
+            let keep = if outermost {
+                // One top group: no sibling to equalize against.
+                groups.first().map(|g| g.len()).unwrap_or(0)
+            } else {
+                groups.iter().map(|g| g.len()).min().expect("non-empty")
+            };
+            for group in &mut groups {
+                for extra in group.drain(keep..) {
+                    benched.extend(extra);
+                }
+            }
+            kept_per_unit *= keep;
+            if keep > 1 {
+                new_levels.push(TopologyLevel {
+                    group_size: kept_per_unit,
+                    link: level.link,
+                });
+            }
+            units = groups
+                .into_iter()
+                .map(|g| g.into_iter().flatten().collect())
+                .collect();
+        }
+
+        let survivors: Vec<DeviceId> = units.into_iter().flatten().collect();
+        benched.sort_unstable();
+        if survivors.len() < 2 {
+            return Err(ClusterError::NoSurvivors);
+        }
+        // The walk above only grows sizes at levels that kept > 1
+        // sub-units, so `new_levels` is strictly increasing; the outermost
+        // entry covers every survivor by construction.
+        debug_assert_eq!(
+            new_levels.last().map(|l| l.group_size),
+            Some(survivors.len())
+        );
+        let topology = match &self.device_specs {
+            Some(specs) => ClusterTopology::heterogeneous(
+                survivors.iter().map(|&d| specs[d].clone()).collect(),
+                new_levels,
+            )?,
+            None => ClusterTopology::new(self.gpu.clone(), survivors.len(), new_levels)?,
+        };
+        Ok(DegradedTopology {
+            topology,
+            survivors,
+            benched,
+        })
+    }
+
+    /// A copy of this topology with the link at `level` (innermost-first
+    /// index) throttled to `factor` of its bandwidth (`0 < factor ≤ 1`).
+    pub fn with_degraded_link(&self, level: usize, factor: f64) -> Result<Self, ClusterError> {
+        if level >= self.levels.len() {
+            return Err(ClusterError::UnknownLevel(level));
+        }
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1], got {factor}"
+        );
+        let mut degraded = self.clone();
+        degraded.levels[level].link.bandwidth *= factor;
+        Ok(degraded)
+    }
+
+    /// A copy of this topology where `device` computes `slowdown`× slower
+    /// (a straggler: thermal throttling, a failing HBM stack, a noisy
+    /// neighbour). Materializes per-device specs if the cluster was
+    /// homogeneous. `slowdown` must be ≥ 1.
+    pub fn with_straggler(&self, device: DeviceId, slowdown: f64) -> Result<Self, ClusterError> {
+        if device >= self.n_devices {
+            return Err(ClusterError::UnknownDevice(device));
+        }
+        assert!(slowdown >= 1.0, "slowdown must be ≥ 1, got {slowdown}");
+        let mut degraded = self.clone();
+        let specs = degraded
+            .device_specs
+            .get_or_insert_with(|| vec![self.gpu.clone(); self.n_devices]);
+        specs[device].sustained_flops /= slowdown;
+        Ok(degraded)
+    }
+}
+
+/// The result of [`ClusterTopology::without_devices`]: the surviving
+/// topology plus the mapping between old and new device ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedTopology {
+    /// The surviving cluster. Its device ids are dense (`0..survivors`);
+    /// `survivors[new_id]` gives the original id.
+    pub topology: ClusterTopology,
+    /// Original ids of the devices used by the new topology, in new-id
+    /// order (ascending).
+    pub survivors: Vec<DeviceId>,
+    /// Original ids of devices that are alive but benched by island
+    /// equalization (ascending).
+    pub benched: Vec<DeviceId>,
 }
 
 #[cfg(test)]
@@ -417,6 +604,134 @@ mod tests {
             t.bottleneck_link(&[0]).unwrap_err(),
             ClusterError::DegenerateGroup
         );
+    }
+
+    #[test]
+    fn killing_tail_devices_shrinks_a_flat_node() {
+        let t = ClusterTopology::flat(GpuSpec::rtx_titan(), 8, LinkClass::Pcie3.into()).unwrap();
+        let d = t.without_devices(&[6, 7]).unwrap();
+        assert_eq!(d.survivors, vec![0, 1, 2, 3, 4, 5]);
+        assert!(d.benched.is_empty());
+        assert_eq!(d.topology.n_devices(), 6);
+        assert_eq!(d.topology.levels().len(), 1);
+        assert_eq!(d.topology.levels()[0].group_size, 6);
+    }
+
+    #[test]
+    fn island_equalization_benches_the_surplus() {
+        // Kill one device of node 0: node 1 must bench one device so both
+        // islands stay equal-sized (lock-step pipeline stages).
+        let t = two_nodes();
+        let d = t.without_devices(&[3]).unwrap();
+        assert_eq!(
+            d.survivors,
+            vec![0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+        );
+        assert_eq!(d.benched, vec![15]);
+        assert_eq!(d.topology.n_devices(), 14);
+        let sizes: Vec<usize> = d.topology.levels().iter().map(|l| l.group_size).collect();
+        assert_eq!(sizes, vec![7, 14]);
+        // Hierarchy preserved: intra-node stays PCIe, cross-island stays IB.
+        assert_eq!(
+            d.topology.link_between(0, 6).unwrap().class,
+            LinkClass::Pcie3
+        );
+        assert_eq!(
+            d.topology.link_between(0, 7).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+    }
+
+    #[test]
+    fn losing_a_whole_island_drops_the_outer_level() {
+        let t = two_nodes();
+        let d = t.without_devices(&(0..8).collect::<Vec<_>>()).unwrap();
+        assert_eq!(d.survivors, (8..16).collect::<Vec<_>>());
+        assert!(d.benched.is_empty());
+        assert_eq!(d.topology.n_devices(), 8);
+        // The InfiniBand level is gone: one island remains.
+        assert_eq!(d.topology.levels().len(), 1);
+        assert_eq!(d.topology.levels()[0].link.class, LinkClass::Pcie3);
+    }
+
+    #[test]
+    fn too_few_survivors_is_an_error() {
+        let t = ClusterTopology::flat(GpuSpec::rtx_titan(), 8, LinkClass::Pcie3.into()).unwrap();
+        assert_eq!(
+            t.without_devices(&(0..7).collect::<Vec<_>>()),
+            Err(ClusterError::NoSurvivors)
+        );
+        assert_eq!(
+            t.without_devices(&(0..8).collect::<Vec<_>>()),
+            Err(ClusterError::NoSurvivors)
+        );
+        assert_eq!(
+            t.without_devices(&[99]),
+            Err(ClusterError::UnknownDevice(99))
+        );
+    }
+
+    #[test]
+    fn degraded_specs_follow_the_survivors() {
+        let mut specs = vec![GpuSpec::rtx_titan(); 4];
+        specs[2].sustained_flops = 1e12;
+        let t = ClusterTopology::heterogeneous(
+            specs,
+            vec![TopologyLevel {
+                group_size: 4,
+                link: LinkClass::Pcie3.into(),
+            }],
+        )
+        .unwrap();
+        let d = t.without_devices(&[1]).unwrap();
+        assert_eq!(d.survivors, vec![0, 2, 3]);
+        // Old device 2 is new device 1 and keeps its slow spec.
+        assert_eq!(d.topology.gpu_of(1).unwrap().sustained_flops, 1e12);
+    }
+
+    #[test]
+    fn degradations_change_the_fingerprint() {
+        let t = two_nodes();
+        assert_eq!(t.fingerprint(), t.clone().fingerprint());
+        let slow_link = t.with_degraded_link(1, 0.25).unwrap();
+        let straggler = t.with_straggler(5, 3.0).unwrap();
+        let smaller = t.without_devices(&[0]).unwrap().topology;
+        let prints = [
+            t.fingerprint(),
+            slow_link.fingerprint(),
+            straggler.fingerprint(),
+            smaller.fingerprint(),
+        ];
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "fingerprints {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn link_degradation_scales_bandwidth_in_place() {
+        let t = two_nodes();
+        let d = t.with_degraded_link(0, 0.5).unwrap();
+        assert_eq!(
+            d.levels()[0].link.bandwidth,
+            t.levels()[0].link.bandwidth * 0.5
+        );
+        assert_eq!(d.levels()[1].link, t.levels()[1].link);
+        assert_eq!(
+            t.with_degraded_link(7, 0.5),
+            Err(ClusterError::UnknownLevel(7))
+        );
+    }
+
+    #[test]
+    fn stragglers_gate_their_lock_step_group() {
+        let t = two_nodes();
+        let d = t.with_straggler(5, 4.0).unwrap();
+        assert!(d.is_heterogeneous());
+        let healthy = t.group_sustained_flops(0, 8).unwrap();
+        assert_eq!(d.group_sustained_flops(0, 8).unwrap(), healthy / 4.0);
+        assert_eq!(d.group_sustained_flops(8, 8).unwrap(), healthy);
     }
 
     #[test]

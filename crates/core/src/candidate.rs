@@ -133,14 +133,23 @@ impl StageDp for DirectStageDp {
 /// Candidate PP degrees (Algorithm 1 line 4) and their decision-tree
 /// strategy sets (line 7). Sets do not depend on the batch, so both fronts
 /// build them once per request.
+///
+/// PP degrees are the divisors of `n_devices` whose stage group size is a
+/// power of two — the decision-tree decomposition (Takeaway #2) only
+/// splits power-of-two groups. On power-of-two clusters this is exactly
+/// the classic `1, 2, 4, …` ladder; on degraded survivor clusters (say 6
+/// devices after 2 failures) it admits `pp = 3` over groups of 2 and
+/// `pp = 6` over single devices, so re-planning can use every survivor.
 pub fn strategy_sets(
     config: &OptimizerConfig,
     model: &ModelSpec,
     n_devices: usize,
 ) -> Vec<(usize, StrategySet)> {
     let mut out = Vec::new();
-    let mut p = 1usize;
-    while p <= n_devices {
+    for p in 1..=n_devices {
+        if !n_devices.is_multiple_of(p) || !(n_devices / p).is_power_of_two() {
+            continue;
+        }
         let allowed = (p == 1 || config.allow_pipeline)
             && p <= config.max_pp_degree.unwrap_or(n_devices)
             && p <= model.n_layers();
@@ -151,7 +160,6 @@ pub fn strategy_sets(
                 .strategies();
             out.push((p, set));
         }
-        p *= 2;
     }
     out
 }
@@ -209,7 +217,7 @@ pub fn micro_batch_candidates(batch: usize, pp: usize) -> Vec<usize> {
     let mut ms = Vec::new();
     let mut m = 1usize;
     while m <= batch {
-        if batch % m == 0 {
+        if batch.is_multiple_of(m) {
             ms.push(m);
         }
         m *= 2;
@@ -222,7 +230,7 @@ pub fn micro_batch_candidates(batch: usize, pp: usize) -> Vec<usize> {
 pub fn runnable_set(full_set: &StrategySet, micro: usize) -> StrategySet {
     let runnable: Vec<IntraStageStrategy> = full_set
         .iter()
-        .filter(|s| micro % s.data_degree() == 0)
+        .filter(|s| micro.is_multiple_of(s.data_degree()))
         .cloned()
         .collect();
     StrategySet::new(full_set.group_size(), runnable)
@@ -248,7 +256,7 @@ pub fn evaluate_candidate(
     let micro = batch / micro_batches;
 
     let set = runnable_set(full_set, micro);
-    if set.len() == 0 {
+    if set.is_empty() {
         return Ok(CandidateOutcome {
             result: CandidateResult::NoRunnableStrategy,
             dp_invocations: 0,
@@ -346,6 +354,26 @@ mod tests {
         for (p, set) in &sets {
             assert_eq!(set.group_size(), 8 / p);
         }
+    }
+
+    #[test]
+    fn survivor_clusters_admit_non_power_of_two_pipeline_degrees() {
+        // A 6-device cluster (8 minus 2 failures) pipelines as 3 stages of
+        // 2 devices or 6 stages of 1 — groups stay powers of two, so the
+        // decision-tree decomposition still applies per stage.
+        let config = OptimizerConfig::default();
+        let sets = strategy_sets(&config, &bert(8), 6);
+        let degrees: Vec<usize> = sets.iter().map(|&(p, _)| p).collect();
+        assert_eq!(degrees, vec![3, 6]);
+        for (p, set) in &sets {
+            assert_eq!(set.group_size(), 6 / p);
+        }
+        // 12 devices: pp ∈ {3, 6, 12} (groups 4, 2, 1).
+        let degrees: Vec<usize> = strategy_sets(&config, &bert(12), 12)
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        assert_eq!(degrees, vec![3, 6, 12]);
     }
 
     #[test]

@@ -268,7 +268,7 @@ pub fn dp_feasible(
 ) -> bool {
     assert!(granularity > 0);
     let layers: Vec<usize> = layer_range.collect();
-    if layers.is_empty() || set.len() == 0 {
+    if layers.is_empty() || set.is_empty() {
         return true;
     }
     let mut reserve = 0u64;
@@ -278,8 +278,7 @@ pub fn dp_feasible(
         let mut best = u32::MAX;
         for s in set.iter() {
             let m = estimator.layer_memory(layer, model.dtype, s, act_stash_batch);
-            let units =
-                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+            let units = u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
             reserve = reserve.max(m.transient);
             best = best.min(units);
         }

@@ -247,8 +247,9 @@ impl GalvatronOptimizer {
                         }
                         stats.dp_invocations += out.dp_invocations;
                         match out.result {
-                            CandidateResult::NoRunnableStrategy
-                            | CandidateResult::Infeasible => continue,
+                            CandidateResult::NoRunnableStrategy | CandidateResult::Infeasible => {
+                                continue
+                            }
                             CandidateResult::Evaluated {
                                 plan,
                                 throughput,
@@ -262,9 +263,9 @@ impl GalvatronOptimizer {
                                     // this; stay safe.
                                     continue;
                                 }
-                                let improves = best.as_ref().is_none_or(|b| {
-                                    throughput > b.throughput_samples_per_sec
-                                });
+                                let improves = best
+                                    .as_ref()
+                                    .is_none_or(|b| throughput > b.throughput_samples_per_sec);
                                 if improves {
                                     best = Some(OptimizeOutcome {
                                         plan,

@@ -1,0 +1,218 @@
+//! Fault detection: simulated heartbeats and iteration-time anomalies.
+//!
+//! Two detectors mirror what production training jobs actually run:
+//!
+//! * **Heartbeats** catch hard failures. Every device answers a liveness
+//!   probe each heartbeat round; [`DetectorConfig::miss_threshold`]
+//!   consecutive misses declare the device dead (a single miss is routinely
+//!   a dropped packet). Detection latency for a loss is therefore
+//!   `miss_threshold × heartbeat_interval`.
+//! * **Iteration-time anomalies** catch soft degradation — stragglers and
+//!   throttled links keep answering heartbeats but stretch every
+//!   synchronous step. The detector keeps an exponential moving average of
+//!   healthy step times and flags a degradation once
+//!   [`DetectorConfig::anomaly_patience`] consecutive steps exceed
+//!   `anomaly_factor ×` the baseline (one slow step is kernel noise).
+
+use galvatron_cluster::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Seconds between heartbeat rounds while the job is stalled.
+    pub heartbeat_interval: f64,
+    /// Consecutive missed heartbeats that declare a device dead.
+    pub miss_threshold: usize,
+    /// A step is anomalous when it exceeds `anomaly_factor ×` the EMA
+    /// baseline.
+    pub anomaly_factor: f64,
+    /// Consecutive anomalous steps that declare a degradation.
+    pub anomaly_patience: usize,
+    /// EMA weight of the newest healthy step time.
+    pub ema_alpha: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: 0.5,
+            miss_threshold: 3,
+            anomaly_factor: 1.2,
+            anomaly_patience: 2,
+            ema_alpha: 0.25,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Wall-clock seconds from a device loss to its declaration.
+    pub fn time_to_detect_loss(&self) -> f64 {
+        self.miss_threshold as f64 * self.heartbeat_interval
+    }
+}
+
+/// What a detector round concluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Detection {
+    /// Devices that crossed the miss threshold this round (original ids).
+    DeadDevices(Vec<DeviceId>),
+    /// Step times crossed the anomaly threshold for long enough.
+    Degradation {
+        /// The anomalous step time, seconds.
+        observed: f64,
+        /// The healthy EMA baseline, seconds.
+        baseline: f64,
+    },
+}
+
+/// The runtime's fault detector. Deterministic: state advances only through
+/// the observe calls.
+#[derive(Debug, Clone)]
+pub struct FaultDetector {
+    config: DetectorConfig,
+    misses: BTreeMap<DeviceId, usize>,
+    declared_dead: Vec<DeviceId>,
+    baseline: Option<f64>,
+    anomalous_streak: usize,
+}
+
+impl FaultDetector {
+    /// A fresh detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        FaultDetector {
+            config,
+            misses: BTreeMap::new(),
+            declared_dead: Vec::new(),
+            baseline: None,
+            anomalous_streak: 0,
+        }
+    }
+
+    /// The thresholds.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The healthy-step-time baseline, if one is established.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// One heartbeat round: `responses` lists `(device, answered)` for
+    /// every device the runtime still expects to be alive. Returns the
+    /// devices newly declared dead this round.
+    pub fn observe_heartbeats(&mut self, responses: &[(DeviceId, bool)]) -> Option<Detection> {
+        let mut newly_dead = Vec::new();
+        for &(device, answered) in responses {
+            if answered {
+                self.misses.remove(&device);
+                continue;
+            }
+            let misses = self.misses.entry(device).or_insert(0);
+            *misses += 1;
+            if *misses == self.config.miss_threshold && !self.declared_dead.contains(&device) {
+                self.declared_dead.push(device);
+                newly_dead.push(device);
+            }
+        }
+        if newly_dead.is_empty() {
+            None
+        } else {
+            Some(Detection::DeadDevices(newly_dead))
+        }
+    }
+
+    /// One completed step of `seconds`. Healthy steps feed the EMA
+    /// baseline; anomalous steps are held out of it (a straggler must not
+    /// drag the baseline up until it stops being an anomaly).
+    pub fn observe_step_time(&mut self, seconds: f64) -> Option<Detection> {
+        let Some(baseline) = self.baseline else {
+            self.baseline = Some(seconds);
+            return None;
+        };
+        if seconds > self.config.anomaly_factor * baseline {
+            self.anomalous_streak += 1;
+            if self.anomalous_streak >= self.config.anomaly_patience {
+                self.anomalous_streak = 0;
+                return Some(Detection::Degradation {
+                    observed: seconds,
+                    baseline,
+                });
+            }
+            return None;
+        }
+        self.anomalous_streak = 0;
+        let a = self.config.ema_alpha;
+        self.baseline = Some((1.0 - a) * baseline + a * seconds);
+        None
+    }
+
+    /// Reset after a recovery: the re-planned configuration has a new
+    /// healthy step time, and confirmed-dead devices stop being probed.
+    pub fn rebaseline(&mut self, seconds: f64) {
+        self.baseline = Some(seconds);
+        self.anomalous_streak = 0;
+        self.misses.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn losses_are_declared_after_the_miss_threshold() {
+        let mut d = FaultDetector::new(DetectorConfig::default());
+        let alive = [(0usize, true), (1, false)];
+        assert_eq!(d.observe_heartbeats(&alive), None);
+        assert_eq!(d.observe_heartbeats(&alive), None);
+        assert_eq!(
+            d.observe_heartbeats(&alive),
+            Some(Detection::DeadDevices(vec![1]))
+        );
+        // Declared once, not every round after.
+        assert_eq!(d.observe_heartbeats(&alive), None);
+    }
+
+    #[test]
+    fn a_recovered_heartbeat_clears_the_miss_count() {
+        let mut d = FaultDetector::new(DetectorConfig::default());
+        d.observe_heartbeats(&[(0, false)]);
+        d.observe_heartbeats(&[(0, false)]);
+        d.observe_heartbeats(&[(0, true)]); // transient network blip
+        assert_eq!(d.observe_heartbeats(&[(0, false)]), None);
+    }
+
+    #[test]
+    fn anomalies_need_patience_and_spare_the_baseline() {
+        let mut d = FaultDetector::new(DetectorConfig {
+            anomaly_factor: 1.5,
+            anomaly_patience: 2,
+            ..DetectorConfig::default()
+        });
+        assert_eq!(d.observe_step_time(1.0), None); // establishes baseline
+        assert_eq!(d.observe_step_time(1.05), None);
+        assert_eq!(d.observe_step_time(2.0), None); // one slow step: noise
+        let detection = d.observe_step_time(2.0).expect("second slow step");
+        match detection {
+            Detection::Degradation { observed, baseline } => {
+                assert_eq!(observed, 2.0);
+                assert!(baseline < 1.5, "slow steps must not feed the EMA");
+            }
+            other => panic!("expected a degradation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebaseline_accepts_the_new_normal() {
+        let mut d = FaultDetector::new(DetectorConfig::default());
+        d.observe_step_time(1.0);
+        d.rebaseline(3.0);
+        // 3 s steps are now healthy.
+        assert_eq!(d.observe_step_time(3.0), None);
+        assert_eq!(d.observe_step_time(3.0), None);
+        assert_eq!(d.baseline(), Some(3.0));
+    }
+}

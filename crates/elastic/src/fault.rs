@@ -1,0 +1,183 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a list of [`FaultEvent`]s pinned to training
+//! steps. Schedules are either written explicitly (the elastic demo kills
+//! devices 6 and 7 at step 20) or drawn from a seeded RNG
+//! ([`FaultSchedule::random`]) so sweeps and property tests explore many
+//! scenarios while every run stays bit-reproducible.
+
+use galvatron_cluster::DeviceId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The device stops answering heartbeats and does no further work.
+    DeviceLoss {
+        /// The device that dies (original cluster ids).
+        device: DeviceId,
+    },
+    /// The device keeps running but computes `slowdown`× slower.
+    Straggler {
+        /// The slowed device (original cluster ids).
+        device: DeviceId,
+        /// Compute-rate divisor, ≥ 1.
+        slowdown: f64,
+    },
+    /// A topology level's link drops to `factor` of its bandwidth.
+    LinkDegrade {
+        /// Innermost-first level index.
+        level: usize,
+        /// Remaining bandwidth fraction, in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short label for reports ("loss(6)", "straggler(3×4)", ...).
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::DeviceLoss { device } => format!("loss({device})"),
+            FaultKind::Straggler { device, slowdown } => {
+                format!("straggler({device}\u{d7}{slowdown:.1})")
+            }
+            FaultKind::LinkDegrade { level, factor } => {
+                format!("link(L{level}\u{d7}{factor:.2})")
+            }
+        }
+    }
+}
+
+/// One injected fault: a kind and the step *before* which it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The fault takes effect at the start of this step (0-based).
+    pub step: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic sequence of faults, sorted by step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty (healthy-run) schedule.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// A schedule from explicit events (sorted by step, stably).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.step);
+        FaultSchedule { events }
+    }
+
+    /// The events, sorted by step.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events striking at `step`.
+    pub fn at(&self, step: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
+
+    /// Draw `n_events` faults over a run of `total_steps` on a cluster of
+    /// `n_devices` devices and `n_levels` topology levels, from `seed`.
+    /// Identical arguments always produce the identical schedule.
+    ///
+    /// Device losses are drawn without replacement and capped so at least
+    /// two devices survive; strike steps avoid step 0 (the runtime needs
+    /// one healthy step to baseline its anomaly detector).
+    pub fn random(
+        seed: u64,
+        total_steps: usize,
+        n_devices: usize,
+        n_levels: usize,
+        n_events: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut dead: Vec<DeviceId> = Vec::new();
+        let max_losses = n_devices.saturating_sub(2);
+        for _ in 0..n_events {
+            let step = rng.gen_range(1..total_steps.max(2));
+            let kind = match rng.gen_range(0u32..3) {
+                0 if dead.len() < max_losses => {
+                    let device = loop {
+                        let d = rng.gen_range(0..n_devices);
+                        if !dead.contains(&d) {
+                            break d;
+                        }
+                    };
+                    dead.push(device);
+                    FaultKind::DeviceLoss { device }
+                }
+                1 => FaultKind::Straggler {
+                    device: rng.gen_range(0..n_devices),
+                    slowdown: 1.5 + 2.5 * rng.gen_range(0.0..1.0),
+                },
+                _ => FaultKind::LinkDegrade {
+                    level: rng.gen_range(0..n_levels.max(1)),
+                    factor: 0.1 + 0.6 * rng.gen_range(0.0..1.0),
+                },
+            };
+            events.push(FaultEvent { step, kind });
+        }
+        FaultSchedule::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_sort_by_step() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                step: 9,
+                kind: FaultKind::DeviceLoss { device: 1 },
+            },
+            FaultEvent {
+                step: 2,
+                kind: FaultKind::LinkDegrade {
+                    level: 0,
+                    factor: 0.5,
+                },
+            },
+        ]);
+        let steps: Vec<usize> = s.events().iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![2, 9]);
+        assert_eq!(s.at(2).count(), 1);
+        assert_eq!(s.at(3).count(), 0);
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_in_the_seed() {
+        let a = FaultSchedule::random(7, 50, 8, 2, 6);
+        let b = FaultSchedule::random(7, 50, 8, 2, 6);
+        let c = FaultSchedule::random(8, 50, 8, 2, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events().len(), 6);
+    }
+
+    #[test]
+    fn random_losses_leave_two_survivors() {
+        for seed in 0..32 {
+            let s = FaultSchedule::random(seed, 40, 4, 1, 10);
+            let losses = s
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::DeviceLoss { .. }))
+                .count();
+            assert!(losses <= 2, "seed {seed} killed {losses} of 4 devices");
+        }
+    }
+}

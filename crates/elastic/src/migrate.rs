@@ -1,0 +1,331 @@
+//! State-migration costing: moving sharded training state from the old
+//! plan's layout to the re-planned one.
+//!
+//! A layer's persistent training state — its weights plus Adam moments —
+//! lives on the old stage's devices in the layout the old strategy
+//! dictates: sharded `model_shards() = sdp·tp` ways, replicated `dp()`
+//! ways (the same `{splits, replicas}` shape as an activation, so the §4
+//! Slice-Gather/[`ActivationLayout`] machinery prices the re-layout). The
+//! migration of one layer decomposes into three charges:
+//!
+//! 1. **Restore** — a shard all of whose replica holders failed is gone
+//!    from the cluster and must be re-read from the last checkpoint over
+//!    the shared checkpoint store
+//!    ([`MigrationConfig::checkpoint_bandwidth`]). With `dp ≥ 2` every
+//!    shard has replicas on distinct devices, so typical losses restore
+//!    nothing.
+//! 2. **Re-layout** — the surviving state is gathered into the new
+//!    sharding via [`SliceGather`]: more splitting is a free local slice,
+//!    less splitting pays the all-gather closed form over the bottleneck
+//!    link of the participating devices.
+//! 3. **Relocation** — new holders that had no replica of the layer at all
+//!    (stage boundaries moved, or the device is fresh to the layer) pull
+//!    their target shard from the surviving holders; receivers stream in
+//!    parallel, but the surviving senders fan out in rounds.
+//!
+//! Per-stage charges serialize (a stage's devices ingest its layers one
+//! after another) and stages migrate in parallel, so the migration wall
+//! time is the slowest stage's sum plus the (serial, shared-store)
+//! restore time.
+
+use galvatron_cluster::{ClusterError, ClusterTopology, DeviceId};
+use galvatron_model::ModelSpec;
+use galvatron_strategy::{ActivationLayout, Paradigm, ParallelPlan, SliceGather, StagePlan};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Cost-model knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Optimizer-state bytes per parameter (Adam: two fp32 moments).
+    pub optimizer_bytes_per_param: u64,
+    /// Bandwidth of the shared checkpoint store, bytes/second.
+    pub checkpoint_bandwidth: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            optimizer_bytes_per_param: 8,
+            checkpoint_bandwidth: 1.0e9,
+        }
+    }
+}
+
+/// The costed migration of one plan swap.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// All-gather traffic of re-layouts (bytes, summed over devices).
+    pub gathered_bytes: u64,
+    /// Shards pulled by devices that held nothing of the layer (bytes).
+    pub relocated_bytes: u64,
+    /// State re-read from the checkpoint store (bytes).
+    pub restored_bytes: u64,
+    /// Shards whose every replica holder failed.
+    pub lost_shards: usize,
+    /// Layers whose migration was completely communication-free.
+    pub free_layers: usize,
+    /// Seconds each new stage spends migrating (its layers serialize).
+    pub per_stage_seconds: Vec<f64>,
+    /// Total migration wall time: `max(per_stage) + restore`.
+    pub seconds: f64,
+}
+
+/// The state layout of one layer under a strategy: sharded across the
+/// model-parallel axes, replicated across the data-parallel ones.
+pub fn state_layout(stage: &StagePlan, layer: usize) -> ActivationLayout {
+    let s = stage
+        .strategy_of(layer)
+        .expect("layer belongs to the stage");
+    ActivationLayout {
+        batch_splits: s.model_shards(),
+        replicas: s.dp(),
+    }
+}
+
+/// The devices (original cluster ids) holding each distinct shard of a
+/// layer's state: devices sharing every non-data axis coordinate hold the
+/// same shard, devices differing only on data axes are replicas.
+pub fn shard_holders(
+    stage: &StagePlan,
+    layer: usize,
+    device_map: &[DeviceId],
+) -> Vec<Vec<DeviceId>> {
+    let s = stage
+        .strategy_of(layer)
+        .expect("layer belongs to the stage");
+    let total = s.total_degree();
+    let mut shards: std::collections::BTreeMap<Vec<usize>, Vec<DeviceId>> =
+        std::collections::BTreeMap::new();
+    for offset in 0..total {
+        let key: Vec<usize> = s
+            .axes()
+            .iter()
+            .enumerate()
+            .filter(|(_, axis)| axis.paradigm != Paradigm::Data)
+            .map(|(i, axis)| (offset / s.axis_stride(i)) % axis.degree)
+            .collect();
+        shards
+            .entry(key)
+            .or_default()
+            .push(device_map[stage.device_base + offset]);
+    }
+    shards.into_values().collect()
+}
+
+/// Cost the migration from `old_plan` (running via `old_map`) to
+/// `new_plan` (about to run via `new_map`).
+///
+/// `old_map`/`new_map` translate each plan's dense device ids to original
+/// cluster ids (`map[plan_id] = original_id`; identity for the healthy
+/// cluster). `failed` lists originally-id'd devices whose state is
+/// unreachable. `base` is the original topology, used for link lookups —
+/// links between surviving devices are unaffected by the failures.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_migration(
+    model: &ModelSpec,
+    old_plan: &ParallelPlan,
+    old_map: &[DeviceId],
+    new_plan: &ParallelPlan,
+    new_map: &[DeviceId],
+    failed: &BTreeSet<DeviceId>,
+    base: &ClusterTopology,
+    config: &MigrationConfig,
+) -> Result<MigrationReport, ClusterError> {
+    let mut report = MigrationReport {
+        per_stage_seconds: vec![0.0; new_plan.stages.len()],
+        ..MigrationReport::default()
+    };
+    for (layer_idx, layer) in model.layers.iter().enumerate() {
+        let state_bytes =
+            layer.param_bytes(model.dtype) + layer.param_count() * config.optimizer_bytes_per_param;
+        if state_bytes == 0 {
+            continue;
+        }
+        let (_, old_stage) = old_plan
+            .stage_of(layer_idx)
+            .expect("old plan covers the model");
+        let (new_stage_idx, new_stage) = new_plan
+            .stage_of(layer_idx)
+            .expect("new plan covers the model");
+        let from = state_layout(old_stage, layer_idx);
+        let to = state_layout(new_stage, layer_idx);
+
+        // Shard survival under the old layout.
+        let holders = shard_holders(old_stage, layer_idx, old_map);
+        let shards_old = holders.len();
+        let lost = holders
+            .iter()
+            .filter(|replicas| replicas.iter().all(|d| failed.contains(d)))
+            .count();
+        if lost > 0 {
+            report.lost_shards += lost;
+            report.restored_bytes += state_bytes * lost as u64 / shards_old as u64;
+        }
+
+        let live_old: BTreeSet<DeviceId> = holders
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|d| !failed.contains(d))
+            .collect();
+        let new_holders: BTreeSet<DeviceId> = (0..new_stage.device_count)
+            .map(|o| new_map[new_stage.device_base + o])
+            .collect();
+
+        let mut layer_seconds = 0.0;
+
+        // Re-layout over the surviving state (Slice-Gather, §4). A single
+        // participant (the whole shard restored onto one device) is a
+        // local reshape — no collective to charge.
+        let sg = SliceGather::plan(from, to, state_bytes);
+        let participants: Vec<DeviceId> = live_old.union(&new_holders).copied().collect();
+        if !sg.is_free() && participants.len() >= 2 {
+            let link = base.bottleneck_link(&participants)?;
+            layer_seconds += sg.time(link);
+            report.gathered_bytes += sg.bytes_per_device * (sg.gather_group as u64 - 1);
+        }
+
+        // Relocation to devices that held no replica of this layer.
+        let relocated: Vec<DeviceId> = new_holders
+            .iter()
+            .copied()
+            .filter(|d| !live_old.contains(d))
+            .collect();
+        if !relocated.is_empty() && !live_old.is_empty() {
+            let bytes_per_device = to.bytes_per_device(state_bytes);
+            report.relocated_bytes += bytes_per_device * relocated.len() as u64;
+            let mut participants: Vec<DeviceId> = live_old.iter().copied().collect();
+            participants.extend(relocated.iter().copied());
+            let link = base.bottleneck_link(&participants)?;
+            let rounds = relocated.len().div_ceil(live_old.len());
+            layer_seconds +=
+                rounds as f64 * (bytes_per_device as f64 / link.bandwidth + link.latency);
+        }
+
+        if layer_seconds == 0.0 && lost == 0 {
+            report.free_layers += 1;
+        }
+        report.per_stage_seconds[new_stage_idx] += layer_seconds;
+    }
+    let slowest_stage = report
+        .per_stage_seconds
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    report.seconds = slowest_stage + report.restored_bytes as f64 / config.checkpoint_bandwidth;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::rtx_titan_node;
+    use galvatron_core::{GalvatronOptimizer, OptimizerConfig};
+    use galvatron_model::BertConfig;
+
+    fn model() -> ModelSpec {
+        BertConfig {
+            layers: 4,
+            hidden: 512,
+            heads: 8,
+            seq: 128,
+            vocab: 30522,
+        }
+        .build("bert-4")
+    }
+
+    fn plan_for(topology: &ClusterTopology) -> ParallelPlan {
+        GalvatronOptimizer::new(OptimizerConfig {
+            max_batch: 16,
+            ..OptimizerConfig::default()
+        })
+        .optimize(&model(), topology, 8 * galvatron_cluster::GIB)
+        .unwrap()
+        .expect("feasible")
+        .plan
+    }
+
+    #[test]
+    fn identical_plans_with_no_failures_migrate_for_free() {
+        let topo = rtx_titan_node(8);
+        let plan = plan_for(&topo);
+        let identity: Vec<DeviceId> = (0..8).collect();
+        let report = plan_migration(
+            &model(),
+            &plan,
+            &identity,
+            &plan,
+            &identity,
+            &BTreeSet::new(),
+            &topo,
+            &MigrationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.seconds, 0.0);
+        assert_eq!(report.lost_shards, 0);
+        assert_eq!(report.restored_bytes, 0);
+        assert_eq!(report.free_layers, model().n_layers());
+    }
+
+    #[test]
+    fn shrinking_to_survivors_charges_movement_but_nothing_lost() {
+        // Kill 6 and 7: every layer's state is dp/sdp-replicated or its
+        // holders survive partially; with dp ≥ 2 in the 8-GPU plan no
+        // shard is wholly lost, but survivors must re-shard.
+        let topo = rtx_titan_node(8);
+        let old_plan = plan_for(&topo);
+        let degraded = topo.without_devices(&[6, 7]).unwrap();
+        let new_plan = plan_for(&degraded.topology);
+        let failed: BTreeSet<DeviceId> = [6, 7].into_iter().collect();
+        let report = plan_migration(
+            &model(),
+            &old_plan,
+            &(0..8).collect::<Vec<_>>(),
+            &new_plan,
+            &degraded.survivors,
+            &failed,
+            &topo,
+            &MigrationConfig::default(),
+        )
+        .unwrap();
+        assert!(report.seconds > 0.0, "a topology change moves state");
+        assert_eq!(report.per_stage_seconds.len(), new_plan.stages.len());
+        let moved = report.gathered_bytes + report.relocated_bytes;
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn unreplicated_shards_on_failed_devices_restore_from_checkpoint() {
+        use galvatron_strategy::{IntraStageStrategy, StrategyAxis};
+        // A hand-built pure-TP plan: every device holds a unique shard of
+        // every layer (dp = 1), so killing a device loses shards.
+        let topo = rtx_titan_node(8);
+        let m = model();
+        let tp8 = IntraStageStrategy::new(vec![StrategyAxis::new(Paradigm::Tensor, 8)]).unwrap();
+        let plan = ParallelPlan::uniform("tp8", m.n_layers(), 8, tp8, 8);
+        // Kill two devices: 6 survivors admit pipeline degrees {3, 6}, so
+        // the optimizer can still find a target plan.
+        let degraded = topo.without_devices(&[3, 7]).unwrap();
+        // Re-plan target: anything on the survivors; reuse the optimizer.
+        let new_plan = plan_for(&degraded.topology);
+        let failed: BTreeSet<DeviceId> = [3, 7].into_iter().collect();
+        let report = plan_migration(
+            &m,
+            &plan,
+            &(0..8).collect::<Vec<_>>(),
+            &new_plan,
+            &degraded.survivors,
+            &failed,
+            &topo,
+            &MigrationConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            report.lost_shards >= m.n_layers(),
+            "one shard lost per layer"
+        );
+        assert!(report.restored_bytes > 0);
+        assert!(report.seconds > report.restored_bytes as f64 / 1.0e9 - 1e-9);
+    }
+}

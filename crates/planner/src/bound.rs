@@ -31,7 +31,7 @@ pub fn throughput_upper_bound(
     spec: &CandidateSpec,
 ) -> f64 {
     let n = topology.n_devices();
-    if spec.pp == 0 || n == 0 || n % spec.pp != 0 || spec.bounds.is_empty() {
+    if spec.pp == 0 || n == 0 || !n.is_multiple_of(spec.pp) || spec.bounds.is_empty() {
         return f64::INFINITY;
     }
     let group = n / spec.pp;
@@ -100,9 +100,16 @@ mod tests {
                     bounds: bounds[0].clone(),
                     micro_batches,
                 };
-                let out =
-                    evaluate_candidate(&estimator, &model, &config, set, &spec, usable, &DirectStageDp)
-                        .unwrap();
+                let out = evaluate_candidate(
+                    &estimator,
+                    &model,
+                    &config,
+                    set,
+                    &spec,
+                    usable,
+                    &DirectStageDp,
+                )
+                .unwrap();
                 if let CandidateResult::Evaluated { throughput, .. } = out.result {
                     let ub = throughput_upper_bound(&model, &topo, &spec);
                     assert!(
@@ -131,9 +138,6 @@ mod tests {
             bounds: vec![(0, 2)],
             micro_batches: 1,
         };
-        assert_eq!(
-            throughput_upper_bound(&model, &topo, &spec),
-            f64::INFINITY
-        );
+        assert_eq!(throughput_upper_bound(&model, &topo, &spec), f64::INFINITY);
     }
 }

@@ -130,10 +130,16 @@ impl DpCache {
 
 /// The fingerprint of everything a stage-DP answer depends on beyond the
 /// query itself. Uses the derived `Debug` forms, which print every field
-/// (including exact float bits via Rust's shortest-round-trip formatting).
+/// (including exact float bits via Rust's shortest-round-trip formatting),
+/// prefixed with the topology's structural hash
+/// ([`ClusterTopology::fingerprint`](galvatron_cluster::ClusterTopology::fingerprint))
+/// so any degradation — a lost device, a throttled link, a straggler spec —
+/// keys a disjoint cache region and re-planning can never hit stale
+/// entries from the healthy cluster.
 pub fn context_fingerprint(estimator: &CostEstimator, model: &ModelSpec) -> String {
     format!(
-        "{:?}|{:?}|{:?}",
+        "topo#{:016x}|{:?}|{:?}|{:?}",
+        estimator.topology().fingerprint(),
         model,
         estimator.topology(),
         estimator.config()
@@ -202,6 +208,52 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(cache.intern("alpha"), a);
         assert_eq!(cache.intern("beta"), b);
+    }
+
+    #[test]
+    fn degraded_topologies_key_disjoint_cache_regions() {
+        use galvatron_cluster::rtx_titan_node;
+        use galvatron_estimator::{CostEstimator, EstimatorConfig};
+        use galvatron_model::BertConfig;
+
+        let model = BertConfig {
+            layers: 4,
+            hidden: 512,
+            heads: 8,
+            seq: 128,
+            vocab: 30522,
+        }
+        .build("bert-4");
+        let healthy = rtx_titan_node(8);
+        let degraded = [
+            healthy.without_devices(&[6, 7]).unwrap().topology,
+            healthy.with_degraded_link(0, 0.5).unwrap(),
+            healthy.with_straggler(3, 2.0).unwrap(),
+        ];
+        let print = |t: &galvatron_cluster::ClusterTopology| {
+            context_fingerprint(
+                &CostEstimator::new(t.clone(), EstimatorConfig::default()),
+                &model,
+            )
+        };
+        let cache = DpCache::new();
+        let healthy_id = cache.intern(&print(&healthy));
+        for t in &degraded {
+            let fp = print(t);
+            assert!(fp.starts_with(&format!("topo#{:016x}", t.fingerprint())));
+            assert_ne!(
+                cache.intern(&fp),
+                healthy_id,
+                "degraded topology must not share the healthy cluster's cache keys"
+            );
+        }
+        // Same degradation re-derived → same region (the cache stays warm
+        // across identical re-planning requests).
+        let again = healthy.without_devices(&[6, 7]).unwrap().topology;
+        assert_eq!(
+            cache.intern(&print(&again)),
+            cache.intern(&print(&degraded[0]))
+        );
     }
 
     #[test]

@@ -243,6 +243,27 @@ mod tests {
     }
 
     #[test]
+    fn plans_on_degraded_six_device_clusters() {
+        // Two devices lost from the 8-GPU testbed: the sweep pipelines the
+        // 6 survivors as 3×2 or 6×1 and must find a feasible plan.
+        let model = small_model();
+        let topo = rtx_titan_node(8).without_devices(&[6, 7]).unwrap().topology;
+        let out = ParallelPlanner::new(PlannerConfig {
+            optimizer: fast_optimizer(),
+            jobs: 2,
+            use_cache: true,
+            prune: true,
+        })
+        .optimize(&model, &topo, 8 * GIB)
+        .unwrap()
+        .expect("feasible on 6 survivors");
+        out.plan.validate(model.n_layers(), 6).unwrap();
+        let used: usize = out.plan.stages.iter().map(|s| s.device_count).sum();
+        assert_eq!(used, 6, "every survivor is used");
+        assert!(out.throughput_samples_per_sec > 0.0);
+    }
+
+    #[test]
     fn infeasible_budgets_return_none() {
         let topo = rtx_titan_node(8);
         let model = small_model();

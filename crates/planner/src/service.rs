@@ -93,7 +93,10 @@ impl PlanService {
     /// Answer every request in order against the shared cache. Later
     /// requests reuse all stage-DP work of earlier ones.
     pub fn submit_all(&self, requests: &[PlanRequest]) -> Result<Vec<PlanResponse>, ClusterError> {
-        requests.iter().map(|request| self.submit(request)).collect()
+        requests
+            .iter()
+            .map(|request| self.submit(request))
+            .collect()
     }
 }
 

@@ -101,12 +101,11 @@ fn enumerate(
                 for micro_batches in micro_batch_candidates(batch, *pp) {
                     let micro = batch / micro_batches;
                     let set = runnable_set(full_set, micro);
-                    if set.len() == 0 {
+                    if set.is_empty() {
                         continue;
                     }
                     let feasible = bounds.iter().enumerate().all(|(i, &(start, end))| {
-                        let in_flight =
-                            config.schedule.in_flight(i, *pp, micro_batches) as u64;
+                        let in_flight = config.schedule.in_flight(i, *pp, micro_batches) as u64;
                         let act_stash = (micro as u64 * in_flight).min(batch as u64);
                         dp_feasible(
                             estimator,
@@ -152,6 +151,7 @@ fn enumerate(
 /// Run the full sweep with `jobs` workers. `cache` of `None` evaluates
 /// every stage DP directly; `prune` of `false` disables the upper-bound
 /// gate. Output is identical for every combination.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sweep(
     config: &OptimizerConfig,
     estimator: &CostEstimator,
@@ -171,8 +171,7 @@ pub(crate) fn run_sweep(
     for item in items {
         queue.push(item);
     }
-    let slots: Mutex<Vec<Option<EvalRecord>>> =
-        Mutex::new((0..n_items).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<EvalRecord>>> = Mutex::new((0..n_items).map(|_| None).collect());
     // Best throughput seen so far, as f64 bits (non-negative floats order
     // like their bit patterns). Used only to gate pruning — the winner is
     // picked by the deterministic reduction below.

@@ -39,7 +39,7 @@ pub use config::SimulatorConfig;
 pub use engine::{Engine, SimError, TraceEntry};
 pub use report::ExecutionReport;
 pub use task::{StreamId, Task, TaskGraph, TaskId, TaskKind};
-pub use trace::{to_chrome_trace, trace_stats, TraceStats};
+pub use trace::{to_chrome_trace, to_chrome_trace_named, trace_stats, TraceStats};
 
 use galvatron_cluster::{ClusterTopology, CommGroupPool};
 use galvatron_model::ModelSpec;

@@ -44,6 +44,52 @@ pub fn to_chrome_trace(entries: &[TraceEntry]) -> String {
     out
 }
 
+/// Like [`to_chrome_trace`], but additionally emits metadata (`"M"`)
+/// events naming the process and every stage's compute/comm stream, so
+/// Perfetto shows "stage 2 comm" instead of a bare thread id. Use this for
+/// traces meant to be read by humans (e.g. elastic recovery inspections).
+pub fn to_chrome_trace_named(entries: &[TraceEntry], process_name: &str) -> String {
+    let mut tids: Vec<usize> = entries
+        .iter()
+        .flat_map(|e| {
+            e.stages
+                .iter()
+                .map(move |&s| s * 2 + usize::from(e.on_comm_stream))
+        })
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::from("[\n");
+    write!(
+        out,
+        "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+         \"args\": {{\"name\": {process_name:?}}}}}"
+    )
+    .expect("writing to a String cannot fail");
+    for tid in tids {
+        let stream = if tid % 2 == 0 { "compute" } else { "comm" };
+        write!(
+            out,
+            ",\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"stage {} {stream}\"}}}}",
+            tid / 2,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    let events = to_chrome_trace(entries);
+    let body = events
+        .strip_prefix("[\n")
+        .and_then(|s| s.strip_suffix("\n]\n"))
+        .expect("to_chrome_trace emits a bracketed array");
+    if !body.is_empty() {
+        out.push_str(",\n");
+        out.push_str(body);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Aggregate statistics computed from a timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
@@ -137,6 +183,24 @@ mod tests {
         assert!((stats.compute_busy - 3.5).abs() < 1e-12);
         assert!((stats.comm_busy - 0.25).abs() < 1e-12);
         assert_eq!(stats.longest.unwrap().0, "c");
+    }
+
+    #[test]
+    fn named_traces_carry_process_and_thread_metadata() {
+        let entries = vec![
+            entry("fwd L0 µ0", false, 0.0, 0.5),
+            entry("ar L0", true, 0.5, 0.7),
+        ];
+        let json = to_chrome_trace_named(&entries, "BERT-8 post-recovery");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        // 1 process_name + 2 thread_name + 2 X events.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ph"], "M");
+        assert_eq!(events[0]["args"]["name"], "BERT-8 post-recovery");
+        assert_eq!(events[1]["args"]["name"], "stage 0 compute");
+        assert_eq!(events[2]["args"]["name"], "stage 0 comm");
+        assert_eq!(events[4]["ph"], "X");
     }
 
     #[test]

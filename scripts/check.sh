@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the tier-1 test suite.
+# Usage: scripts/check.sh [--offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --offline) CARGO_FLAGS+=(--offline) ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build "${CARGO_FLAGS[@]}" --release
+cargo test "${CARGO_FLAGS[@]}" -q
+
+echo "==> all checks passed"

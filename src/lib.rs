@@ -28,6 +28,9 @@
 //!   service. Same results as [`core`]'s serial optimizer, faster.
 //! * [`baselines`] — the evaluated baseline planners (PyTorch DDP, Megatron
 //!   TP, GPipe PP, FSDP/ZeRO-3 SDP, DeepSpeed 3D, Galvatron DP+TP / DP+PP).
+//! * [`elastic`] — the elastic training runtime: deterministic fault
+//!   injection, heartbeat/anomaly detection, online re-planning on the
+//!   surviving topology, and state-migration costing.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 pub use galvatron_baselines as baselines;
 pub use galvatron_cluster as cluster;
 pub use galvatron_core as core;
+pub use galvatron_elastic as elastic;
 pub use galvatron_estimator as estimator;
 pub use galvatron_exec as exec;
 pub use galvatron_model as model;
@@ -69,6 +73,9 @@ pub mod prelude {
     };
     pub use galvatron_core::{
         GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, PipelinePartitioner,
+    };
+    pub use galvatron_elastic::{
+        ElasticConfig, ElasticOutcome, ElasticRuntime, FaultEvent, FaultKind, FaultSchedule,
     };
     pub use galvatron_estimator::{CostEstimator, EstimatorConfig};
     pub use galvatron_model::{ModelSpec, PaperModel};

@@ -4,7 +4,7 @@
 //! worker count, and cache hits must never change the selected plan.
 
 use galvatron::prelude::*;
-use galvatron_core::{GalvatronOptimizer, OptimizerConfig, OptimizeOutcome};
+use galvatron_core::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig};
 use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
 use proptest::prelude::*;
 
@@ -99,7 +99,12 @@ fn outcome_is_invariant_in_the_worker_count() {
 fn warm_cache_reproduces_the_cold_plan() {
     let topology = TestbedPreset::RtxTitan8.topology();
     let model = PaperModel::VitHuge32.spec();
-    let planner = planner(4, true, true);
+    // Pruning off: the bound watermark advances in worker-completion order,
+    // so *which* candidates get pruned is timing-dependent — a warm run may
+    // evaluate (and miss on) a candidate the cold run happened to skip.
+    // The plan is identical either way; the zero-miss assertion below is
+    // only meaningful for an exhaustive sweep.
+    let planner = planner(4, true, false);
     let cache = DpCache::new();
     let cold = planner
         .optimize_with_cache(&model, &topology, 12 * GIB, &cache)
