@@ -8,9 +8,13 @@
 //!
 //! * `--jobs N` — planner worker threads (default: all cores),
 //! * `--trace-out PATH` — additionally write a Chrome-trace JSON of one
-//!   post-recovery iteration of the demo (load in Perfetto).
+//!   post-recovery iteration of the demo (load in Perfetto),
+//! * `--metrics-out PATH` — write the run's metrics-registry snapshot as
+//!   JSON. The *deterministic* view is written (wall-clock latencies
+//!   dropped), so two runs with the same schedule and `--jobs 1` produce
+//!   byte-identical files.
 
-use galvatron_bench::{jobs_from_args, write_json};
+use galvatron_bench::{jobs_from_args, metrics_out_from_args, write_json, write_metrics_snapshot};
 use galvatron_cluster::{rtx_titan_node, GIB};
 use galvatron_core::OptimizerConfig;
 use galvatron_elastic::{
@@ -18,9 +22,11 @@ use galvatron_elastic::{
     FaultSchedule,
 };
 use galvatron_model::{BertConfig, ModelSpec, PaperModel};
+use galvatron_obs::{MetricsRegistry, NullSink, Obs};
 use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
 use galvatron_sim::{to_chrome_trace_named, Simulator};
 use serde::Serialize;
+use std::sync::Arc;
 
 const BUDGET_GB: u64 = 16;
 const MAX_BATCH: usize = 32;
@@ -139,9 +145,12 @@ fn trace_out_from_args() -> Option<String> {
 fn main() {
     let jobs = jobs_from_args();
     let trace_out = trace_out_from_args();
+    let metrics_out = metrics_out_from_args();
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::new(registry.clone(), Arc::new(NullSink));
     let topology = rtx_titan_node(8);
     let config = elastic_config(jobs);
-    let runtime = ElasticRuntime::new(config.clone());
+    let runtime = ElasticRuntime::new(config.clone()).with_obs(obs.clone());
 
     // --- Acceptance demo: Fig. 4 BERT, kill 2 of 8 devices. -------------
     let demo_model = fig4_bert(8);
@@ -274,4 +283,9 @@ fn main() {
     let path = write_json("elastic_recovery", &report).expect("results/ is writable");
     println!();
     println!("wrote {}", path.display());
+
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(&path, &registry, true);
+        println!("wrote deterministic metrics snapshot to {path}");
+    }
 }

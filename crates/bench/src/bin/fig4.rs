@@ -6,14 +6,18 @@
 //!     searches (DP+TP, DP+PP) against full Galvatron on 8 GPUs.
 
 use galvatron_bench::render::write_json;
-use galvatron_bench::{jobs_from_args, resolve_jobs};
+use galvatron_bench::{
+    jobs_from_args, metrics_out_from_args, resolve_jobs, write_metrics_snapshot,
+};
 use galvatron_cluster::{rtx_titan_node, GIB, MIB};
 use galvatron_core::{dp_search, OptimizerConfig};
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::BertConfig;
+use galvatron_obs::{MetricsRegistry, NullSink, Obs};
 use galvatron_planner::{ParallelPlanner, PlannerConfig};
 use galvatron_strategy::{DecisionTreeBuilder, Paradigm};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug, Serialize)]
@@ -43,6 +47,9 @@ fn bert(layers: usize) -> galvatron_model::ModelSpec {
 
 fn main() {
     let jobs = jobs_from_args();
+    let metrics_out = metrics_out_from_args();
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::new(registry.clone(), Arc::new(NullSink));
     let topology = rtx_titan_node(8);
     let estimator = CostEstimator::new(topology.clone(), EstimatorConfig::default());
     let set = DecisionTreeBuilder::new(8).strategies();
@@ -134,7 +141,8 @@ fn main() {
             jobs,
             use_cache: true,
             prune: true,
-        });
+        })
+        .with_obs(obs.clone());
         let started = Instant::now();
         let outcome = planner
             .optimize(&model, &topology, 16 * GIB)
@@ -161,4 +169,9 @@ fn main() {
 
     let path = write_json("fig4", &(scale, space)).expect("write results");
     eprintln!("wrote {}", path.display());
+
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(&path, &registry, false);
+        eprintln!("wrote metrics snapshot to {path}");
+    }
 }

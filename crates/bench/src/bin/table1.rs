@@ -7,12 +7,20 @@
 
 use galvatron_bench::paper;
 use galvatron_bench::render::{agreement, render_cells, write_json};
-use galvatron_bench::{evaluate_table_with_jobs, jobs_from_args, resolve_jobs, TableSpec};
+use galvatron_bench::{
+    evaluate_table_observed, jobs_from_args, metrics_out_from_args, resolve_jobs,
+    write_metrics_snapshot, TableSpec,
+};
 use galvatron_cluster::TestbedPreset;
 use galvatron_core::OptimizerConfig;
+use galvatron_obs::{MetricsRegistry, NullSink, Obs};
+use std::sync::Arc;
 
 fn main() {
     let jobs = jobs_from_args();
+    let metrics_out = metrics_out_from_args();
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::new(registry.clone(), Arc::new(NullSink));
     let budgets = vec![8u32, 12, 16, 20];
     let models = paper::TABLE1_MODELS.to_vec();
     let spec = TableSpec {
@@ -31,7 +39,7 @@ fn main() {
         resolve_jobs(jobs)
     );
     let started = std::time::Instant::now();
-    let cells = evaluate_table_with_jobs(&spec, jobs);
+    let cells = evaluate_table_observed(&spec, jobs, &obs);
     eprintln!("table1: done in {:.1}s", started.elapsed().as_secs_f64());
 
     println!("{}", render_cells(&cells, &models, &budgets));
@@ -53,4 +61,17 @@ fn main() {
 
     let path = write_json("table1", &cells).expect("write results");
     eprintln!("wrote {}", path.display());
+
+    let snap = registry.snapshot();
+    eprintln!(
+        "table1: planner evaluated {} DP cells, pruned {} candidates, cache {}h/{}m",
+        snap.counter("planner_dp_cells_evaluated").unwrap_or(0),
+        snap.counter("planner_candidates_pruned").unwrap_or(0),
+        snap.counter("dp_cache_hits").unwrap_or(0),
+        snap.counter("dp_cache_misses").unwrap_or(0),
+    );
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(&path, &registry, false);
+        eprintln!("wrote metrics snapshot to {path}");
+    }
 }

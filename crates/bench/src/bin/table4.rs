@@ -3,12 +3,20 @@
 
 use galvatron_bench::paper;
 use galvatron_bench::render::{agreement, render_cells, write_json};
-use galvatron_bench::{evaluate_table_with_jobs, jobs_from_args, resolve_jobs, TableSpec};
+use galvatron_bench::{
+    evaluate_table_observed, jobs_from_args, metrics_out_from_args, resolve_jobs,
+    write_metrics_snapshot, TableSpec,
+};
 use galvatron_cluster::{TestbedPreset, MIB};
 use galvatron_core::OptimizerConfig;
+use galvatron_obs::{MetricsRegistry, NullSink, Obs};
+use std::sync::Arc;
 
 fn main() {
     let jobs = jobs_from_args();
+    let metrics_out = metrics_out_from_args();
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::new(registry.clone(), Arc::new(NullSink));
     let budgets = vec![16u32, 32];
     let models = paper::TABLE4_MODELS.to_vec();
     let spec = TableSpec {
@@ -27,7 +35,7 @@ fn main() {
     };
     let started = std::time::Instant::now();
     eprintln!("table4: running on {} threads...", resolve_jobs(jobs));
-    let cells = evaluate_table_with_jobs(&spec, jobs);
+    let cells = evaluate_table_observed(&spec, jobs, &obs);
     eprintln!("table4: done in {:.1}s", started.elapsed().as_secs_f64());
 
     println!("{}", render_cells(&cells, &models, &budgets));
@@ -49,4 +57,9 @@ fn main() {
 
     let path = write_json("table4", &cells).expect("write results");
     eprintln!("wrote {}", path.display());
+
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(&path, &registry, false);
+        eprintln!("wrote metrics snapshot to {path}");
+    }
 }

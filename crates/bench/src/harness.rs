@@ -6,6 +6,7 @@ use galvatron_baselines::{optimizer_config_for, BaselinePlanner, BaselineStrateg
 use galvatron_cluster::{ClusterTopology, GIB};
 use galvatron_core::OptimizerConfig;
 use galvatron_model::{ModelSpec, PaperModel};
+use galvatron_obs::Obs;
 use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
 use galvatron_sim::{Simulator, SimulatorConfig};
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,31 @@ pub fn evaluate_cell_cached(
     config: &OptimizerConfig,
     cache: Option<&DpCache>,
 ) -> CellResult {
+    evaluate_cell_observed(
+        topology,
+        model,
+        budget_gb,
+        strategy,
+        config,
+        cache,
+        &Obs::noop(),
+    )
+}
+
+/// [`evaluate_cell_cached`] with a telemetry handle: the Galvatron rows'
+/// planner records search counters (`planner_dp_cells_evaluated`,
+/// `dp_cache_hits`, …) and `dp_search` spans into it; the simulator records
+/// its own run metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_cell_observed(
+    topology: &ClusterTopology,
+    model: &ModelSpec,
+    budget_gb: u32,
+    strategy: BaselineStrategy,
+    config: &OptimizerConfig,
+    cache: Option<&DpCache>,
+    obs: &Obs,
+) -> CellResult {
     let budget = budget_gb as u64 * GIB;
     let mut cfg = config.clone();
     let mut result = CellResult {
@@ -101,7 +127,8 @@ pub fn evaluate_cell_cached(
                     jobs: 1,
                     use_cache: cache.is_some(),
                     prune: true,
-                });
+                })
+                .with_obs(obs.clone());
                 match cache {
                     Some(cache) => planner.optimize_with_cache(model, topology, budget, cache),
                     None => planner.optimize(model, topology, budget),
@@ -117,7 +144,8 @@ pub fn evaluate_cell_cached(
         let sim = Simulator::new(
             topology.clone(),
             SimulatorConfig::default().with_budget(budget),
-        );
+        )
+        .with_obs(obs.clone());
         match sim.execute(model, &outcome.plan) {
             Ok(report) if !report.oom => {
                 result.throughput = Some(report.throughput);
@@ -148,6 +176,14 @@ pub fn evaluate_table(spec: &TableSpec) -> Vec<CellResult> {
 /// cells share one stage-DP memoization cache, so the Galvatron rows of
 /// different budgets and models reuse each other's Eq. 1 solutions.
 pub fn evaluate_table_with_jobs(spec: &TableSpec, jobs: usize) -> Vec<CellResult> {
+    evaluate_table_observed(spec, jobs, &Obs::noop())
+}
+
+/// [`evaluate_table_with_jobs`] with a telemetry handle shared by every
+/// cell's planner and simulator: after the run, the handle's registry holds
+/// the table-wide search totals (DP cells, cache hits/misses, pruned
+/// candidates) that the `--metrics-out` flag of the table binaries dumps.
+pub fn evaluate_table_observed(spec: &TableSpec, jobs: usize, obs: &Obs) -> Vec<CellResult> {
     let mut cells = Vec::new();
     for &budget in &spec.budgets_gb {
         for &model in &spec.models {
@@ -176,13 +212,14 @@ pub fn evaluate_table_with_jobs(spec: &TableSpec, jobs: usize) -> Vec<CellResult
                     break;
                 }
                 let (budget, model, strategy) = cells[i];
-                let cell = evaluate_cell_cached(
+                let cell = evaluate_cell_observed(
                     &spec.topology,
                     &model.spec(),
                     budget,
                     strategy,
                     &spec.config,
                     Some(&cache),
+                    obs,
                 );
                 out.lock()[i] = Some(cell);
             });

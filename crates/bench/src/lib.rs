@@ -18,6 +18,12 @@
 //! `results/`. Where the paper reports numbers, [`paper`] embeds them so
 //! the binaries can print paper-vs-measured agreement statistics
 //! (EXPERIMENTS.md is generated from these).
+//!
+//! `table1`/`table3`/`table4`/`fig4`/`galvatron-elastic` additionally take
+//! `--metrics-out PATH` to dump the run's telemetry-registry snapshot
+//! (planner DP-cell counts, cache hit rates, prune counts, …) as JSON; the
+//! elastic binary writes the deterministic view, so two runs with the same
+//! seed produce byte-identical files.
 
 #![warn(missing_docs)]
 
@@ -26,8 +32,8 @@ pub mod paper;
 pub mod render;
 
 pub use harness::{
-    evaluate_cell, evaluate_cell_cached, evaluate_table, evaluate_table_with_jobs, CellResult,
-    TableSpec,
+    evaluate_cell, evaluate_cell_cached, evaluate_cell_observed, evaluate_table,
+    evaluate_table_observed, evaluate_table_with_jobs, CellResult, TableSpec,
 };
 pub use render::{render_cells, write_json};
 
@@ -56,4 +62,37 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Parse `--metrics-out PATH` (or `--metrics-out=PATH`) from the process
+/// arguments: where the binary should write its metrics-registry snapshot
+/// as JSON. `None` when the flag is absent.
+pub fn metrics_out_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-out" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
+/// Write the registry's snapshot to `path` as JSON.
+///
+/// `deterministic` drops wall-clock (volatile) metrics first — the view the
+/// elastic demo uses so two seeded runs produce byte-identical files.
+pub fn write_metrics_snapshot(
+    path: &str,
+    registry: &galvatron_obs::MetricsRegistry,
+    deterministic: bool,
+) {
+    let snapshot = if deterministic {
+        registry.snapshot().deterministic()
+    } else {
+        registry.snapshot()
+    };
+    std::fs::write(path, snapshot.to_json()).expect("metrics path is writable");
 }

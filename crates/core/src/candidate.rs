@@ -66,6 +66,12 @@ pub struct CandidateOutcome {
     pub result: CandidateResult,
     /// Eq. 1 queries issued (one per stage attempted).
     pub dp_invocations: usize,
+    /// Eq. 1 DP cells submitted across those queries: Σ over attempted
+    /// stages of `stage_layers × |runnable set|` — the `(layer, strategy)`
+    /// state count of each solve, the unit Figure 4's search-cost argument
+    /// is phrased in. Counted per query issued, so memoization cache hits
+    /// in the parallel planner still count their cells.
+    pub dp_cells: usize,
 }
 
 /// One per-stage Eq. 1 query, with every input that determines its answer.
@@ -260,13 +266,16 @@ pub fn evaluate_candidate(
         return Ok(CandidateOutcome {
             result: CandidateResult::NoRunnableStrategy,
             dp_invocations: 0,
+            dp_cells: 0,
         });
     }
 
     let mut dp_invocations = 0usize;
+    let mut dp_cells = 0usize;
     let mut stage_strategies = Vec::with_capacity(pp);
     for (i, &(start, end)) in spec.bounds.iter().enumerate() {
         dp_invocations += 1;
+        dp_cells += (end - start) * set.len();
         let in_flight = config.schedule.in_flight(i, pp, micro_batches) as u64;
         let act_stash = (micro as u64 * in_flight).min(batch as u64);
         let query = StageDpQuery {
@@ -286,6 +295,7 @@ pub fn evaluate_candidate(
                 return Ok(CandidateOutcome {
                     result: CandidateResult::Infeasible,
                     dp_invocations,
+                    dp_cells,
                 });
             }
         }
@@ -323,6 +333,7 @@ pub fn evaluate_candidate(
             fits,
         },
         dp_invocations,
+        dp_cells,
     })
 }
 
@@ -425,6 +436,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.dp_invocations, 1);
+        // One flat stage: cells = layers × |runnable set|.
+        assert_eq!(
+            out.dp_cells,
+            model.n_layers() * runnable_set(&sets[0].1, 16).len()
+        );
         match out.result {
             CandidateResult::Evaluated {
                 plan,

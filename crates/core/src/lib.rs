@@ -20,6 +20,7 @@
 
 pub mod candidate;
 pub mod dp;
+pub mod explain;
 pub mod optimizer;
 pub mod partition;
 
@@ -28,5 +29,6 @@ pub use candidate::{
     CandidateOutcome, CandidateResult, CandidateSpec, DirectStageDp, StageDp, StageDpQuery,
 };
 pub use dp::{dp_feasible, dp_search, dp_search_with_micro_batches, DpResult};
+pub use explain::{explain_plan, LayerExplanation, PlanExplanation, StageExplanation};
 pub use optimizer::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, SearchStats};
 pub use partition::PipelinePartitioner;

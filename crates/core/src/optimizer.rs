@@ -15,6 +15,7 @@ use crate::partition::PipelinePartitioner;
 use galvatron_cluster::{ClusterError, ClusterTopology, MIB};
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::ModelSpec;
+use galvatron_obs::{MetricsRegistry, Obs};
 use galvatron_strategy::{Paradigm, ParallelPlan, PipelineSchedule};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -89,6 +90,11 @@ pub struct SearchStats {
     pub strategy_set_sizes: Vec<(usize, usize)>,
     /// Eq. 1 invocations.
     pub dp_invocations: usize,
+    /// Eq. 1 DP cells submitted: Σ over stage queries of
+    /// `stage_layers × |runnable set|` (see
+    /// [`CandidateOutcome::dp_cells`](crate::CandidateOutcome)).
+    #[serde(default)]
+    pub dp_cells_evaluated: usize,
     /// Complete candidate plans evaluated.
     pub candidate_plans: usize,
     /// Wall-clock search seconds.
@@ -125,6 +131,44 @@ impl SearchStats {
     /// The slowest single candidate evaluation, seconds.
     pub fn max_candidate_seconds(&self) -> f64 {
         self.candidate_seconds.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Publish these stats into a metrics registry. `SearchStats` stays
+    /// the per-search snapshot view; the registry accumulates across
+    /// searches (a plan service handling many requests sums naturally).
+    /// Logical counters are deterministic; the wall-clock latencies go to
+    /// volatile histograms that
+    /// [`MetricsSnapshot::deterministic`](galvatron_obs::MetricsSnapshot::deterministic)
+    /// drops.
+    pub fn record_to(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("planner_batches_explored")
+            .inc_by(self.batches_explored as u64);
+        registry
+            .counter("planner_dp_invocations")
+            .inc_by(self.dp_invocations as u64);
+        registry
+            .counter("planner_dp_cells_evaluated")
+            .inc_by(self.dp_cells_evaluated as u64);
+        registry
+            .counter("planner_candidate_plans")
+            .inc_by(self.candidate_plans as u64);
+        registry
+            .counter("planner_candidates_pruned")
+            .inc_by(self.pruned_candidates as u64);
+        registry
+            .counter("dp_cache_hits")
+            .inc_by(self.cache_hits as u64);
+        registry
+            .counter("dp_cache_misses")
+            .inc_by(self.cache_misses as u64);
+        registry
+            .wall_histogram("planner_search_seconds")
+            .observe(self.search_seconds);
+        let candidate_hist = registry.wall_histogram("planner_candidate_seconds");
+        for &s in &self.candidate_seconds {
+            candidate_hist.observe(s);
+        }
     }
 }
 
@@ -166,12 +210,24 @@ pub fn batch_candidates(step: usize, max: usize, sub_step: bool) -> Vec<usize> {
 #[derive(Debug, Clone)]
 pub struct GalvatronOptimizer {
     config: OptimizerConfig,
+    obs: Obs,
 }
 
 impl GalvatronOptimizer {
     /// Build a planner.
     pub fn new(config: OptimizerConfig) -> Self {
-        GalvatronOptimizer { config }
+        GalvatronOptimizer {
+            config,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Attach a telemetry handle: every [`optimize`](Self::optimize) call
+    /// records its [`SearchStats`] into the registry and emits a
+    /// `dp_search` span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration.
@@ -246,6 +302,7 @@ impl GalvatronOptimizer {
                             stats.candidate_seconds.push(secs);
                         }
                         stats.dp_invocations += out.dp_invocations;
+                        stats.dp_cells_evaluated += out.dp_cells;
                         match out.result {
                             CandidateResult::NoRunnableStrategy | CandidateResult::Infeasible => {
                                 continue
@@ -296,6 +353,16 @@ impl GalvatronOptimizer {
         }
 
         stats.search_seconds = started.elapsed().as_secs_f64();
+        stats.record_to(self.obs.registry());
+        self.obs
+            .span("dp_search")
+            .field("model", model.name.as_str())
+            .field("n_devices", n)
+            .field("batches_explored", stats.batches_explored)
+            .field("dp_invocations", stats.dp_invocations)
+            .field("dp_cells", stats.dp_cells_evaluated)
+            .field("feasible", best.is_some())
+            .finish();
         Ok(best.map(|mut outcome| {
             outcome.stats = stats;
             outcome

@@ -25,6 +25,7 @@ use crate::fault::{FaultKind, FaultSchedule};
 use crate::migrate::{plan_migration, MigrationConfig, MigrationReport};
 use galvatron_cluster::{ClusterError, ClusterTopology, DeviceId};
 use galvatron_model::ModelSpec;
+use galvatron_obs::Obs;
 use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
 use galvatron_sim::{ExecutionReport, SimError, Simulator, SimulatorConfig};
 use galvatron_strategy::ParallelPlan;
@@ -234,13 +235,29 @@ struct ClusterView {
 pub struct ElasticRuntime {
     config: ElasticConfig,
     service: PlanService,
+    obs: Obs,
 }
 
 impl ElasticRuntime {
     /// Build a runtime.
     pub fn new(config: ElasticConfig) -> Self {
         let service = PlanService::new(config.planner.clone());
-        ElasticRuntime { config, service }
+        ElasticRuntime {
+            config,
+            service,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Attach a telemetry handle, shared with the plan service and every
+    /// simulation. Recoveries emit `detect`/`replan`/`migrate` spans on the
+    /// **simulated** clock and count into `elastic_replans_total` /
+    /// `migration_bytes_modeled`; all elastic metrics are deterministic
+    /// (only the planner's wall-clock latencies are volatile).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.service = PlanService::new(self.config.planner.clone()).with_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// The configuration.
@@ -325,7 +342,8 @@ impl ElasticRuntime {
                 .sim
                 .clone()
                 .with_budget(self.config.budget_bytes),
-        );
+        )
+        .with_obs(self.obs.clone());
         Ok(sim.execute(model, plan)?)
     }
 
@@ -370,6 +388,10 @@ impl ElasticRuntime {
             if injected_until <= step {
                 let mut soft_changed = false;
                 for event in faults.at(step) {
+                    self.obs
+                        .registry()
+                        .counter("elastic_faults_injected_total")
+                        .inc();
                     first_fault_wall.get_or_insert(wall);
                     pending.push((wall, step, event.kind));
                     match event.kind {
@@ -453,6 +475,7 @@ impl ElasticRuntime {
             }
 
             // -- 3. One training step. -----------------------------------
+            self.obs.registry().counter("elastic_steps_total").inc();
             wall += report.iteration_time;
             samples += plan.global_batch as u64;
             completed.push((wall, plan.global_batch as u64));
@@ -564,6 +587,48 @@ impl ElasticRuntime {
         *plan = new_plan;
         *report = self.simulate(model, view, plan)?;
         detector.rebaseline(report.iteration_time);
+
+        // Telemetry: everything below is on the simulated clock / from the
+        // closed-form migration cost, so it stays deterministic.
+        let registry = self.obs.registry();
+        registry.counter("elastic_replans_total").inc();
+        registry.counter("migration_bytes_modeled").inc_by(
+            migration.gathered_bytes + migration.relocated_bytes + migration.restored_bytes,
+        );
+        registry
+            .counter("elastic_steps_lost_total")
+            .inc_by(lost as u64);
+        registry
+            .histogram("elastic_time_to_detect_seconds")
+            .observe(time_to_detect);
+        registry
+            .histogram("elastic_outage_seconds")
+            .observe(outage_seconds);
+        self.obs.record_span(
+            "detect",
+            injected_wall,
+            time_to_detect,
+            vec![("trigger".into(), trigger.as_str().into())],
+        );
+        self.obs.record_span(
+            "replan",
+            detected_wall,
+            self.config.replan_charge_seconds,
+            vec![
+                ("survivors".into(), view.map.len().into()),
+                ("plan".into(), plan.summary().into()),
+            ],
+        );
+        self.obs.record_span(
+            "migrate",
+            detected_wall + self.config.replan_charge_seconds,
+            migration.seconds,
+            vec![
+                ("gathered_bytes".into(), migration.gathered_bytes.into()),
+                ("relocated_bytes".into(), migration.relocated_bytes.into()),
+                ("restored_bytes".into(), migration.restored_bytes.into()),
+            ],
+        );
 
         recoveries.push(RecoveryRecord {
             trigger,

@@ -1,0 +1,190 @@
+//! The shared Chrome Trace Event writer.
+//!
+//! One incremental JSON-array writer behind every Perfetto export in the
+//! workspace: the simulator's timeline (`galvatron_sim::to_chrome_trace*`),
+//! the span sink ([`write_spans`]), and combined files mixing both — e.g.
+//! planner search spans on one "process" and the simulated iteration
+//! timeline on another, loadable as a single trace.
+
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// An incremental Trace Event Format writer: an append-only JSON array of
+/// `"M"` metadata and `"X"` complete events. Times are microseconds, the
+/// format's native unit.
+#[derive(Debug)]
+pub struct ChromeTraceWriter {
+    out: String,
+    any: bool,
+}
+
+impl Default for ChromeTraceWriter {
+    fn default() -> Self {
+        ChromeTraceWriter::new()
+    }
+}
+
+impl ChromeTraceWriter {
+    /// Start a new (empty) trace.
+    pub fn new() -> Self {
+        ChromeTraceWriter {
+            out: String::from("[\n"),
+            any: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.out.push_str(",\n");
+        }
+        self.any = true;
+    }
+
+    /// Name a process (`pid`) for the trace viewer.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.sep();
+        write!(
+            self.out,
+            "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \
+             \"args\": {{\"name\": {name:?}}}}}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    /// Name a thread (`pid`, `tid`) for the trace viewer.
+    pub fn thread_name(&mut self, pid: u32, tid: u64, name: &str) {
+        self.sep();
+        write!(
+            self.out,
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": {name:?}}}}}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    /// Emit one complete (`"X"`) event. `args` are pre-rendered JSON
+    /// fragments per key (see
+    /// [`FieldValue::to_json_fragment`](crate::FieldValue::to_json_fragment)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_event(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u32,
+        tid: u64,
+        ts_micros: f64,
+        dur_micros: f64,
+        args: &[(String, String)],
+    ) {
+        self.sep();
+        write!(
+            self.out,
+            "  {{\"name\": {name:?}, \"cat\": {cat:?}, \"ph\": \"X\", \
+             \"ts\": {ts_micros:.3}, \"dur\": {dur_micros:.3}, \"pid\": {pid}, \"tid\": {tid}"
+        )
+        .expect("writing to a String cannot fail");
+        if !args.is_empty() {
+            self.out.push_str(", \"args\": {");
+            for (i, (k, fragment)) in args.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                write!(self.out, "{k:?}: {fragment}").expect("writing to a String cannot fail");
+            }
+            self.out.push('}');
+        }
+        self.out.push('}');
+    }
+
+    /// Close the array and return the JSON document.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n]\n");
+        self.out
+    }
+}
+
+/// Write a batch of span records as `"X"` events under (`pid`, `tid`),
+/// span fields becoming event args. Span times (seconds) are converted to
+/// trace microseconds.
+pub fn write_spans(writer: &mut ChromeTraceWriter, pid: u32, tid: u64, spans: &[SpanRecord]) {
+    for span in spans {
+        let args: Vec<(String, String)> = span
+            .fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_fragment()))
+            .collect();
+        writer.complete_event(
+            &span.name,
+            "span",
+            pid,
+            tid,
+            span.start_seconds * 1e6,
+            span.duration_seconds * 1e6,
+            &args,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FieldValue;
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let json = ChromeTraceWriter::new().finish();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_and_metadata_render_as_valid_json() {
+        let mut w = ChromeTraceWriter::new();
+        w.process_name(1, "planner");
+        w.thread_name(1, 0, "search");
+        w.complete_event(
+            "dp \"quoted\"",
+            "span",
+            1,
+            0,
+            0.0,
+            1500.0,
+            &[
+                ("pp_deg".into(), "4".into()),
+                ("model".into(), "\"bert\"".into()),
+            ],
+        );
+        let json = w.finish();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["ph"], "M");
+        assert_eq!(events[2]["name"], "dp \"quoted\"");
+        assert_eq!(events[2]["args"]["pp_deg"], 4);
+        assert_eq!(events[2]["args"]["model"], "bert");
+        assert_eq!(events[2]["dur"].as_f64().unwrap(), 1500.0);
+    }
+
+    #[test]
+    fn spans_convert_seconds_to_microseconds() {
+        let mut w = ChromeTraceWriter::new();
+        write_spans(
+            &mut w,
+            2,
+            7,
+            &[SpanRecord {
+                name: "sweep".into(),
+                start_seconds: 0.5,
+                duration_seconds: 0.25,
+                fields: vec![("jobs".into(), FieldValue::U64(4))],
+            }],
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&w.finish()).unwrap();
+        let e = &parsed.as_array().unwrap()[0];
+        assert_eq!(e["ts"].as_f64().unwrap(), 0.5e6);
+        assert_eq!(e["dur"].as_f64().unwrap(), 0.25e6);
+        assert_eq!(e["pid"], 2);
+        assert_eq!(e["tid"], 7);
+        assert_eq!(e["args"]["jobs"], 4);
+    }
+}

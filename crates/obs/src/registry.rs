@@ -1,0 +1,617 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are lock-cheap: every update is a relaxed atomic on a shared
+//! cell, and the registry mutex is only taken at registration (once per
+//! metric) and at snapshot time. Snapshots order metrics by
+//! `(name, labels)`, so two snapshots of equal registries render
+//! byte-identically — the property the elastic determinism guard tests.
+//!
+//! Metrics recording *wall-clock* quantities (host seconds, which differ
+//! between otherwise identical runs) are registered as **volatile**;
+//! [`MetricsSnapshot::deterministic`] drops them so seeded runs export
+//! byte-identical JSON while the full snapshot keeps the latency data.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of finite histogram buckets. Bucket `i` covers observations up to
+/// [`bucket_bound`]`(i)`; larger observations land in the implicit `+Inf`
+/// bucket (exported via the total count).
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Upper bound of finite bucket `i`: a fixed log scale, `1e-6 · 4^i`
+/// (1 µs up to ~17.9 minutes). One geometry for every histogram keeps
+/// snapshots comparable across metrics and runs.
+pub fn bucket_bound(i: usize) -> f64 {
+    1e-6 * 4f64.powi(i as i32)
+}
+
+/// Atomically add `v` to an `f64` stored as bits.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCore {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCore {
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Non-cumulative per-bucket counts; overflow observations only
+    /// increment `count`.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<CounterCore>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Add `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: an instantaneous `f64` that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<GaugeCore>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add to the value.
+    pub fn add(&self, v: f64) {
+        add_f64(&self.0.bits, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle with the registry's fixed log-scale buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        for i in 0..HISTOGRAM_BUCKETS {
+            if v <= bucket_bound(i) {
+                self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        add_f64(&self.0.sum_bits, v);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// What a registered metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log-bucket distribution.
+    Histogram,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Slot {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Slot::Counter(_) => MetricKind::Counter,
+            Slot::Gauge(_) => MetricKind::Gauge,
+            Slot::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registered {
+    slot: Slot,
+    volatile: AtomicBool,
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+/// The process-wide (or per-run) metrics registry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<MetricKey, Registered>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        (
+            name.to_string(),
+            labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatile: bool,
+        make: impl FnOnce() -> Slot,
+        view: impl FnOnce(&Slot) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.metrics.lock();
+        let entry = metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Registered {
+                slot: make(),
+                volatile: AtomicBool::new(volatile),
+            });
+        if volatile {
+            entry.volatile.store(true, Ordering::Relaxed);
+        }
+        view(&entry.slot).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {:?}",
+                entry.slot.kind()
+            )
+        })
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.register(
+            name,
+            labels,
+            false,
+            || Slot::Counter(Arc::default()),
+            |s| match s {
+                Slot::Counter(c) => Some(Counter(c.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or register a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.register(
+            name,
+            labels,
+            false,
+            || Slot::Gauge(Arc::default()),
+            |s| match s {
+                Slot::Gauge(g) => Some(Gauge(g.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or register a labelled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.hist_impl(name, labels, false)
+    }
+
+    /// Get or register a histogram for *wall-clock* observations. Marked
+    /// volatile: dropped by [`MetricsSnapshot::deterministic`], since host
+    /// timings differ between otherwise identical runs.
+    pub fn wall_histogram(&self, name: &str) -> Histogram {
+        self.hist_impl(name, &[], true)
+    }
+
+    fn hist_impl(&self, name: &str, labels: &[(&str, &str)], volatile: bool) -> Histogram {
+        self.register(
+            name,
+            labels,
+            volatile,
+            || Slot::Histogram(Arc::default()),
+            |s| match s {
+                Slot::Histogram(h) => Some(Histogram(h.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Snapshot every metric in deterministic `(name, labels)` order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock();
+        let samples = metrics
+            .iter()
+            .map(|((name, labels), reg)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: reg.slot.kind(),
+                volatile: reg.volatile.load(Ordering::Relaxed),
+                value: match &reg.slot {
+                    Slot::Counter(c) => SampleValue::Counter(c.value.load(Ordering::Relaxed)),
+                    Slot::Gauge(g) => {
+                        SampleValue::Gauge(f64::from_bits(g.bits.load(Ordering::Relaxed)))
+                    }
+                    Slot::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let buckets = (0..HISTOGRAM_BUCKETS)
+                            .map(|i| {
+                                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                                BucketCount {
+                                    le: bucket_bound(i),
+                                    count: cumulative,
+                                }
+                            })
+                            .collect();
+                        SampleValue::Histogram(HistogramSample {
+                            buckets,
+                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                            count: h.count.load(Ordering::Relaxed),
+                        })
+                    }
+                },
+            })
+            .collect();
+        MetricsSnapshot { metrics: samples }
+    }
+}
+
+/// One cumulative histogram bucket: observations `≤ le`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound.
+    pub le: f64,
+    /// Cumulative count of observations `≤ le`.
+    pub count: u64,
+}
+
+/// A histogram's exported state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSample {
+    /// Cumulative finite buckets in bound order. The implicit `+Inf`
+    /// bucket equals `count`.
+    pub buckets: Vec<BucketCount>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Total observations (the `+Inf` bucket).
+    pub count: u64,
+}
+
+/// A sampled metric value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSample),
+}
+
+/// One metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted as registered.
+    pub labels: Vec<(String, String)>,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Whether the metric records wall-clock (run-dependent) quantities.
+    pub volatile: bool,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time view of a registry, ordered by `(name, labels)`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// The sampled metrics.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot without volatile (wall-clock) metrics: what a seeded
+    /// run can export byte-identically.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|m| !m.volatile)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Look up a counter's value by name (unlabelled).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match &m.value {
+            SampleValue::Counter(v) if m.name == name && m.labels.is_empty() => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Render as pretty JSON (with a trailing newline). Byte-identical for
+    /// equal snapshots.
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("snapshots always serialize");
+        out.push('\n');
+        out
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in &self.metrics {
+            if last_name != Some(m.name.as_str()) {
+                let kind = match m.kind {
+                    MetricKind::Counter => "counter",
+                    MetricKind::Gauge => "gauge",
+                    MetricKind::Histogram => "histogram",
+                };
+                writeln!(out, "# TYPE {} {kind}", m.name).expect("string write");
+                last_name = Some(m.name.as_str());
+            }
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    writeln!(out, "{}{} {v}", m.name, label_set(&m.labels, &[]))
+                        .expect("string write");
+                }
+                SampleValue::Gauge(v) => {
+                    writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        label_set(&m.labels, &[]),
+                        fmt_f64(*v)
+                    )
+                    .expect("string write");
+                }
+                SampleValue::Histogram(h) => {
+                    for b in &h.buckets {
+                        writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_set(&m.labels, &[("le", &fmt_f64(b.le))]),
+                            b.count
+                        )
+                        .expect("string write");
+                    }
+                    writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_set(&m.labels, &[("le", "+Inf")]),
+                        h.count
+                    )
+                    .expect("string write");
+                    writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        label_set(&m.labels, &[]),
+                        fmt_f64(h.sum)
+                    )
+                    .expect("string write");
+                    writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_set(&m.labels, &[]),
+                        h.count
+                    )
+                    .expect("string write");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format an `f64` for the text format: shortest round-trip decimal.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a `{k="v",...}` label set (empty string when there are no
+/// labels). `extra` pairs are appended after the metric's own labels.
+fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let mut push = |k: &str, v: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    };
+    for (k, v) in labels {
+        push(k, v, &mut out);
+    }
+    for &(k, v) in extra {
+        push(k, v, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total").inc_by(3);
+        reg.counter("requests_total").inc(); // same handle family
+        reg.gauge("queue_depth").set(2.5);
+        let h = reg.histogram("step_seconds");
+        h.observe(0.5e-6); // bucket 0
+        h.observe(3e-6); // bucket 1 (≤ 4e-6)
+        h.observe(1e9); // overflow → +Inf only
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests_total"), Some(4));
+        let hist = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "step_seconds")
+            .unwrap();
+        let SampleValue::Histogram(h) = &hist.value else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0].count, 1);
+        assert_eq!(h.buckets[1].count, 2); // cumulative
+        assert_eq!(h.buckets.last().unwrap().count, 2); // overflow excluded
+        assert!((h.sum - (0.5e-6 + 3e-6 + 1e9)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshot_order_is_name_then_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("b_total", &[("model", "vit")]).inc();
+        reg.counter_with("b_total", &[("model", "bert")]).inc();
+        reg.counter("a_total").inc();
+        let names: Vec<String> = reg
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|m| format!("{}{:?}", m.name, m.labels))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "a_total[]",
+                "b_total[(\"model\", \"bert\")]",
+                "b_total[(\"model\", \"vit\")]"
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_view_drops_wall_clock_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("cells").inc();
+        reg.wall_histogram("search_wall_seconds").observe(0.123);
+        let snap = reg.snapshot();
+        assert_eq!(snap.metrics.len(), 2);
+        let det = snap.deterministic();
+        assert_eq!(det.metrics.len(), 1);
+        assert_eq!(det.metrics[0].name, "cells");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn bucket_bounds_are_log_scale() {
+        assert!((bucket_bound(0) - 1e-6).abs() < 1e-18);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!((bucket_bound(i) / bucket_bound(i - 1) - 4.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Structured spans and events with pluggable sinks.
+//!
+//! A [`Span`] is an RAII guard: [`crate::Obs::span`] opens it,
+//! [`Span::field`] attaches key/value context, and dropping it records a
+//! [`SpanRecord`] — start and duration relative to the `Obs` epoch — into
+//! the configured [`SpanSink`]. Phases that live in *simulated* time (the
+//! elastic runtime's detect/re-plan/migrate outage) bypass the wall clock
+//! with [`crate::Obs::record_span`], so their records are deterministic.
+//!
+//! Sinks: [`NullSink`] (the no-op default), [`RingBufferSink`] (bounded
+//! in-memory recorder for tests), [`StderrSink`] (human-readable
+//! narration), [`ChromeSpanSink`] (collects records for export through
+//! [`crate::chrome::ChromeTraceWriter`], so planner spans and simulator
+//! timelines can land in one Perfetto file).
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A span field value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    /// Render as a JSON fragment (numbers and booleans bare, text quoted).
+    pub fn to_json_fragment(&self) -> String {
+        match self {
+            FieldValue::U64(v) => format!("{v}"),
+            FieldValue::I64(v) => format!("{v}"),
+            FieldValue::F64(v) if v.is_finite() => format!("{v}"),
+            FieldValue::F64(v) => format!("{:?}", format!("{v}")),
+            FieldValue::Bool(v) => format!("{v}"),
+            FieldValue::Str(v) => format!("{v:?}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A finished span (or zero-duration event) as delivered to a sink.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Start, seconds since the `Obs` epoch (or simulated seconds for
+    /// manually recorded spans).
+    pub start_seconds: f64,
+    /// Duration in the same clock, `0` for events.
+    pub duration_seconds: f64,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Where finished spans go.
+pub trait SpanSink: Send + Sync {
+    /// Deliver one finished span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// Discards every span: the default sink.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record(&self, _span: SpanRecord) {}
+}
+
+/// Keeps the most recent `capacity` spans in memory; the test recorder.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingBufferSink {
+    /// A recorder bounded to `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The recorded spans, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Recorded spans with a given name.
+    pub fn named(&self, name: &str) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .iter()
+            .filter(|r| r.name == name)
+            .cloned()
+            .collect()
+    }
+}
+
+impl SpanSink for RingBufferSink {
+    fn record(&self, span: SpanRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span);
+    }
+}
+
+/// Pretty-prints each span to stderr, one line per span — the narration
+/// channel for binaries (library crates never print directly).
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn record(&self, span: SpanRecord) {
+        let mut line = format!(
+            "[obs] {} {:.3}ms @ {:.3}s",
+            span.name,
+            span.duration_seconds * 1e3,
+            span.start_seconds
+        );
+        for (k, v) in &span.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push('\n');
+        let stderr = std::io::stderr();
+        let _ = stderr.lock().write_all(line.as_bytes());
+    }
+}
+
+/// Collects spans for Chrome-trace export (see
+/// [`crate::chrome::write_spans`]).
+#[derive(Debug, Default)]
+pub struct ChromeSpanSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl ChromeSpanSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ChromeSpanSink::default()
+    }
+
+    /// The collected spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+}
+
+impl SpanSink for ChromeSpanSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().push(span);
+    }
+}
+
+/// Broadcasts each span to every inner sink — e.g. narrate to stderr *and*
+/// collect for a trace file.
+pub struct FanoutSink(Vec<Arc<dyn SpanSink>>);
+
+impl FanoutSink {
+    /// A sink delivering to all of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn SpanSink>>) -> Self {
+        FanoutSink(sinks)
+    }
+}
+
+impl SpanSink for FanoutSink {
+    fn record(&self, span: SpanRecord) {
+        for sink in &self.0 {
+            sink.record(span.clone());
+        }
+    }
+}
+
+impl fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FanoutSink({} sinks)", self.0.len())
+    }
+}
+
+/// An in-flight wall-clock span. Created by [`crate::Obs::span`] (or
+/// [`Span::enter`]); recorded into the sink when dropped or
+/// [`Span::finish`]ed.
+pub struct Span {
+    sink: Arc<dyn SpanSink>,
+    name: String,
+    start_seconds: f64,
+    started: Instant,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span {
+    pub(crate) fn new(sink: Arc<dyn SpanSink>, name: &str, start_seconds: f64) -> Self {
+        Span {
+            sink,
+            name: name.to_string(),
+            start_seconds,
+            started: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Open a span on `obs` — sugar for [`crate::Obs::span`], so call
+    /// sites read `Span::enter(&obs, "dp_search").field("pp_deg", 4)`.
+    pub fn enter(obs: &crate::Obs, name: &str) -> Span {
+        obs.span(name)
+    }
+
+    /// Attach a field (builder style).
+    pub fn field(mut self, name: &str, value: impl Into<FieldValue>) -> Self {
+        self.add_field(name, value);
+        self
+    }
+
+    /// Attach a field in place (for spans held across statements).
+    pub fn add_field(&mut self, name: &str, value: impl Into<FieldValue>) {
+        self.fields.push((name.to_string(), value.into()));
+    }
+
+    /// Close the span now (otherwise it closes when dropped).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.sink.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_seconds: self.start_seconds,
+            duration_seconds: self.started.elapsed().as_secs_f64(),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("fields", &self.fields)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_keeps_the_newest() {
+        let sink = RingBufferSink::new(2);
+        for i in 0..3u64 {
+            sink.record(SpanRecord {
+                name: format!("s{i}"),
+                start_seconds: i as f64,
+                duration_seconds: 0.0,
+                fields: vec![],
+            });
+        }
+        let names: Vec<String> = sink.records().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn field_values_render_as_json_fragments() {
+        assert_eq!(FieldValue::from(4usize).to_json_fragment(), "4");
+        assert_eq!(FieldValue::from(true).to_json_fragment(), "true");
+        assert_eq!(FieldValue::from("a\"b").to_json_fragment(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::from(2.5).to_json_fragment(), "2.5");
+        assert_eq!(FieldValue::F64(f64::INFINITY).to_json_fragment(), "\"inf\"");
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink() {
+        let a = Arc::new(RingBufferSink::new(8));
+        let b = Arc::new(RingBufferSink::new(8));
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(SpanRecord {
+            name: "x".into(),
+            start_seconds: 0.0,
+            duration_seconds: 1.0,
+            fields: vec![],
+        });
+        assert_eq!(a.records().len(), 1);
+        assert_eq!(b.records().len(), 1);
+    }
+}

@@ -35,6 +35,7 @@ use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_core::{OptimizeOutcome, OptimizerConfig};
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
+use galvatron_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -69,12 +70,24 @@ impl Default for PlannerConfig {
 #[derive(Debug, Clone)]
 pub struct ParallelPlanner {
     config: PlannerConfig,
+    obs: Obs,
 }
 
 impl ParallelPlanner {
     /// Build a planner.
     pub fn new(config: PlannerConfig) -> Self {
-        ParallelPlanner { config }
+        ParallelPlanner {
+            config,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Attach a telemetry handle: sweeps emit `enumerate_candidates` /
+    /// `evaluate_candidates` phase spans and every search records its
+    /// [`SearchStats`](galvatron_core::SearchStats) into the registry.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// A planner with default parallelism over a given search
@@ -132,6 +145,12 @@ impl ParallelPlanner {
         cache: Option<&DpCache>,
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
         let started = Instant::now();
+        let mut search_span = self
+            .obs
+            .span("dp_search")
+            .field("model", model.name.as_str())
+            .field("n_devices", topology.n_devices())
+            .field("jobs", self.effective_jobs());
         let estimator =
             CostEstimator::new(topology.clone(), self.config.optimizer.estimator.clone());
         let usable = topology.usable_budget(budget_bytes);
@@ -145,6 +164,7 @@ impl ParallelPlanner {
             self.effective_jobs(),
             cache,
             self.config.prune,
+            &self.obs,
         )?;
         let mut stats = output.stats;
         if let (Some(cache), Some(before)) = (cache, counters_before) {
@@ -153,6 +173,12 @@ impl ParallelPlanner {
             stats.cache_misses = delta.misses;
         }
         stats.search_seconds = started.elapsed().as_secs_f64();
+        stats.record_to(self.obs.registry());
+        search_span.add_field("dp_invocations", stats.dp_invocations);
+        search_span.add_field("dp_cells", stats.dp_cells_evaluated);
+        search_span.add_field("pruned", stats.pruned_candidates);
+        search_span.add_field("feasible", output.best.is_some());
+        search_span.finish();
         Ok(output
             .best
             .map(|(plan, throughput, iteration_time)| OptimizeOutcome {

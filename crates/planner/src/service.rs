@@ -15,6 +15,7 @@ use crate::{DpCache, ParallelPlanner, PlannerConfig};
 use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_core::OptimizeOutcome;
 use galvatron_model::ModelSpec;
+use galvatron_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -48,6 +49,7 @@ pub struct PlanResponse {
 pub struct PlanService {
     planner: ParallelPlanner,
     cache: DpCache,
+    obs: Obs,
 }
 
 impl PlanService {
@@ -56,7 +58,18 @@ impl PlanService {
         PlanService {
             planner: ParallelPlanner::new(config),
             cache: DpCache::new(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attach a telemetry handle, shared with the underlying planner:
+    /// requests emit `plan_request` spans and count into
+    /// `plan_requests_total`; the `dp_cache_entries` gauge tracks the
+    /// shared cache's size.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.planner = self.planner.clone().with_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// The underlying planner.
@@ -72,6 +85,10 @@ impl PlanService {
     /// Answer one request against the shared cache.
     pub fn submit(&self, request: &PlanRequest) -> Result<PlanResponse, ClusterError> {
         let started = Instant::now();
+        let mut span = self
+            .obs
+            .span("plan_request")
+            .field("request", request.name.as_str());
         let outcome = if self.planner.config().use_cache {
             self.planner.optimize_with_cache(
                 &request.model,
@@ -83,10 +100,21 @@ impl PlanService {
             self.planner
                 .optimize(&request.model, &request.topology, request.budget_bytes)?
         };
+        let seconds = started.elapsed().as_secs_f64();
+        let registry = self.obs.registry();
+        registry.counter("plan_requests_total").inc();
+        registry
+            .gauge("dp_cache_entries")
+            .set(self.cache.len() as f64);
+        registry
+            .wall_histogram("plan_request_seconds")
+            .observe(seconds);
+        span.add_field("feasible", outcome.is_some());
+        span.finish();
         Ok(PlanResponse {
             name: request.name.clone(),
             outcome,
-            seconds: started.elapsed().as_secs_f64(),
+            seconds,
         })
     }
 

@@ -36,6 +36,7 @@ use galvatron_core::{
 };
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
+use galvatron_obs::Obs;
 use galvatron_strategy::{ParallelPlan, StrategySet};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,7 @@ struct EvalRecord {
     iteration_time: f64,
     seconds: f64,
     dp_invocations: usize,
+    dp_cells: usize,
     evaluated: bool,
 }
 
@@ -161,10 +163,16 @@ pub(crate) fn run_sweep(
     jobs: usize,
     cache: Option<&DpCache>,
     prune: bool,
+    obs: &Obs,
 ) -> Result<SweepOutput, ClusterError> {
     let mut stats = SearchStats::default();
+    let mut phase_a = obs.span("enumerate_candidates");
     let (sets, items) = enumerate(config, estimator, model, topology, usable, &mut stats);
     let n_items = items.len();
+    phase_a.add_field("batches", stats.batches_explored);
+    phase_a.add_field("feasible_candidates", n_items);
+    phase_a.finish();
+    let mut phase_b = obs.span("evaluate_candidates");
 
     let context = cache.map(|c| c.intern(&context_fingerprint(estimator, model)));
     let queue: Injector<WorkItem> = Injector::new();
@@ -230,6 +238,7 @@ pub(crate) fn run_sweep(
                         iteration_time: 0.0,
                         seconds,
                         dp_invocations: outcome.dp_invocations,
+                        dp_cells: outcome.dp_cells,
                         evaluated: false,
                     };
                     if let CandidateResult::Evaluated {
@@ -267,6 +276,7 @@ pub(crate) fn run_sweep(
             continue;
         };
         stats.dp_invocations += record.dp_invocations;
+        stats.dp_cells_evaluated += record.dp_cells;
         if record.dp_invocations > 0 {
             stats.dp_seconds += record.seconds;
             stats.candidate_seconds.push(record.seconds);
@@ -283,5 +293,9 @@ pub(crate) fn run_sweep(
             }
         }
     }
+    phase_b.add_field("workers", workers);
+    phase_b.add_field("evaluated", n_items - stats.pruned_candidates);
+    phase_b.add_field("pruned", stats.pruned_candidates);
+    phase_b.finish();
     Ok(SweepOutput { best, stats })
 }

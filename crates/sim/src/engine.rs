@@ -7,6 +7,7 @@
 //! recomputes rates and jumps to the next completion.
 
 use crate::task::{StreamId, TaskGraph, TaskId, TaskKind};
+use galvatron_obs::Obs;
 use galvatron_strategy::PlanError;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -97,6 +98,7 @@ pub struct Engine {
     graph: TaskGraph,
     alpha: f64,
     trace: Option<Vec<TraceEntry>>,
+    obs: Obs,
 }
 
 impl Engine {
@@ -107,12 +109,23 @@ impl Engine {
             graph,
             alpha,
             trace: None,
+            obs: Obs::noop(),
         }
     }
 
     /// Record a per-task execution timeline during [`Engine::run`].
     pub fn with_trace(mut self) -> Self {
         self.trace = Some(Vec::new());
+        self
+    }
+
+    /// Attach a telemetry handle: each [`Engine::run`] then counts
+    /// `sim_engine_runs_total` / `sim_tasks_executed_total`, feeds the
+    /// `sim_makespan_seconds` histogram, and records an `engine_run` span
+    /// in *simulated* time — all quantities are derived from the seeded
+    /// simulation, so they stay deterministic across runs.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -255,6 +268,22 @@ impl Engine {
                 &mut completed,
             )?;
         }
+
+        let registry = self.obs.registry();
+        registry.counter("sim_engine_runs_total").inc();
+        registry
+            .counter("sim_tasks_executed_total")
+            .inc_by(n_tasks as u64);
+        registry.histogram("sim_makespan_seconds").observe(time);
+        self.obs.record_span(
+            "engine_run",
+            0.0,
+            time,
+            vec![
+                ("stages".to_string(), n_stages.into()),
+                ("tasks".to_string(), n_tasks.into()),
+            ],
+        );
 
         Ok(EngineOutcome {
             makespan: time,

@@ -39,10 +39,14 @@ pub use config::SimulatorConfig;
 pub use engine::{Engine, SimError, TraceEntry};
 pub use report::ExecutionReport;
 pub use task::{StreamId, Task, TaskGraph, TaskId, TaskKind};
-pub use trace::{to_chrome_trace, to_chrome_trace_named, trace_stats, TraceStats};
+pub use trace::{
+    to_chrome_trace, to_chrome_trace_named, trace_stats, write_trace_events, write_trace_metadata,
+    TraceStats,
+};
 
 use galvatron_cluster::{ClusterTopology, CommGroupPool};
 use galvatron_model::ModelSpec;
+use galvatron_obs::Obs;
 use galvatron_strategy::ParallelPlan;
 use std::sync::Arc;
 
@@ -75,6 +79,7 @@ pub struct Simulator {
     topology: ClusterTopology,
     config: SimulatorConfig,
     pool: Arc<CommGroupPool>,
+    obs: Obs,
 }
 
 impl Simulator {
@@ -88,7 +93,15 @@ impl Simulator {
             topology,
             config,
             pool: Arc::new(pool),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attach a telemetry handle, forwarded to the engine of every
+    /// execution (see [`Engine::with_obs`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The communication-group pool (for statistics and reuse).
@@ -146,7 +159,8 @@ impl Simulator {
             Some(&self.pool),
         )
         .map_err(SimError::Cluster)?;
-        let mut engine = Engine::new(graph, self.config.overlap_slowdown);
+        let mut engine =
+            Engine::new(graph, self.config.overlap_slowdown).with_obs(self.obs.clone());
         if traced {
             engine = engine.with_trace();
         }

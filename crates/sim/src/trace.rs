@@ -3,91 +3,91 @@
 //! The engine can record every executed task's `(start, end)`;
 //! [`to_chrome_trace`] renders that timeline in the Trace Event Format so a
 //! simulated iteration can be inspected visually — compute and comm streams
-//! appear as separate "threads" per pipeline stage.
+//! appear as separate "threads" per pipeline stage. All rendering goes
+//! through the workspace-shared
+//! [`ChromeTraceWriter`](galvatron_obs::ChromeTraceWriter); callers that
+//! want a combined file (e.g. planner search spans next to the simulated
+//! timeline) can drive [`write_trace_events`] /
+//! [`write_trace_metadata`] against their own writer instead.
 
 use crate::engine::TraceEntry;
 use crate::task::TaskKind;
-use std::fmt::Write as _;
+use galvatron_obs::ChromeTraceWriter;
 
-/// Render a recorded timeline as Chrome Trace Event JSON (an array of
-/// complete `"X"` events; load via `chrome://tracing` or Perfetto).
-///
-/// Times are exported in microseconds, the format's native unit. Multi-stage
-/// tasks (boundary sends) are emitted once per stage they occupied.
-pub fn to_chrome_trace(entries: &[TraceEntry]) -> String {
-    let mut out = String::from("[\n");
-    let mut first = true;
-    for entry in entries {
-        for &stage in &entry.stages {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            let tid = stage * 2 + usize::from(entry.on_comm_stream);
-            let cat = match entry.kind {
-                TaskKind::Compute => "compute",
-                TaskKind::Comm => "comm",
-                TaskKind::Barrier => "barrier",
-            };
-            write!(
-                out,
-                "  {{\"name\": {:?}, \"cat\": \"{cat}\", \"ph\": \"X\", \
-                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {tid}}}",
-                entry.label,
-                entry.start * 1e6,
-                (entry.end - entry.start) * 1e6,
-            )
-            .expect("writing to a String cannot fail");
-        }
+/// The trace-viewer category of a task kind.
+fn category(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Compute => "compute",
+        TaskKind::Comm => "comm",
+        TaskKind::Barrier => "barrier",
     }
-    out.push_str("\n]\n");
-    out
 }
 
-/// Like [`to_chrome_trace`], but additionally emits metadata (`"M"`)
-/// events naming the process and every stage's compute/comm stream, so
-/// Perfetto shows "stage 2 comm" instead of a bare thread id. Use this for
-/// traces meant to be read by humans (e.g. elastic recovery inspections).
-pub fn to_chrome_trace_named(entries: &[TraceEntry], process_name: &str) -> String {
-    let mut tids: Vec<usize> = entries
+/// The viewer thread id of a (stage, stream) pair: compute and comm
+/// streams of stage `s` map to tids `2s` and `2s + 1`.
+fn tid(stage: usize, on_comm_stream: bool) -> u64 {
+    (stage * 2 + usize::from(on_comm_stream)) as u64
+}
+
+/// Append a recorded timeline's `"X"` events to `writer` under process
+/// `pid`. Times are exported in microseconds, the format's native unit.
+/// Multi-stage tasks (boundary sends) are emitted once per stage they
+/// occupied.
+pub fn write_trace_events(writer: &mut ChromeTraceWriter, entries: &[TraceEntry], pid: u32) {
+    for entry in entries {
+        for &stage in &entry.stages {
+            writer.complete_event(
+                &entry.label,
+                category(entry.kind),
+                pid,
+                tid(stage, entry.on_comm_stream),
+                entry.start * 1e6,
+                (entry.end - entry.start) * 1e6,
+                &[],
+            );
+        }
+    }
+}
+
+/// Append `"M"` metadata events naming process `pid` and every
+/// stage/stream thread the timeline touches, so Perfetto shows
+/// "stage 2 comm" instead of a bare thread id.
+pub fn write_trace_metadata(
+    writer: &mut ChromeTraceWriter,
+    entries: &[TraceEntry],
+    pid: u32,
+    process_name: &str,
+) {
+    let mut tids: Vec<u64> = entries
         .iter()
-        .flat_map(|e| {
-            e.stages
-                .iter()
-                .map(move |&s| s * 2 + usize::from(e.on_comm_stream))
-        })
+        .flat_map(|e| e.stages.iter().map(move |&s| tid(s, e.on_comm_stream)))
         .collect();
     tids.sort_unstable();
     tids.dedup();
+    writer.process_name(pid, process_name);
+    for t in tids {
+        let stream = if t % 2 == 0 { "compute" } else { "comm" };
+        writer.thread_name(pid, t, &format!("stage {} {stream}", t / 2));
+    }
+}
 
-    let mut out = String::from("[\n");
-    write!(
-        out,
-        "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
-         \"args\": {{\"name\": {process_name:?}}}}}"
-    )
-    .expect("writing to a String cannot fail");
-    for tid in tids {
-        let stream = if tid % 2 == 0 { "compute" } else { "comm" };
-        write!(
-            out,
-            ",\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \
-             \"args\": {{\"name\": \"stage {} {stream}\"}}}}",
-            tid / 2,
-        )
-        .expect("writing to a String cannot fail");
-    }
-    let events = to_chrome_trace(entries);
-    let body = events
-        .strip_prefix("[\n")
-        .and_then(|s| s.strip_suffix("\n]\n"))
-        .expect("to_chrome_trace emits a bracketed array");
-    if !body.is_empty() {
-        out.push_str(",\n");
-        out.push_str(body);
-    }
-    out.push_str("\n]\n");
-    out
+/// Render a recorded timeline as Chrome Trace Event JSON (an array of
+/// complete `"X"` events; load via `chrome://tracing` or Perfetto).
+pub fn to_chrome_trace(entries: &[TraceEntry]) -> String {
+    let mut writer = ChromeTraceWriter::new();
+    write_trace_events(&mut writer, entries, 0);
+    writer.finish()
+}
+
+/// Like [`to_chrome_trace`], but additionally emits metadata (`"M"`)
+/// events naming the process and every stage's compute/comm stream. Use
+/// this for traces meant to be read by humans (e.g. elastic recovery
+/// inspections).
+pub fn to_chrome_trace_named(entries: &[TraceEntry], process_name: &str) -> String {
+    let mut writer = ChromeTraceWriter::new();
+    write_trace_metadata(&mut writer, entries, 0, process_name);
+    write_trace_events(&mut writer, entries, 0);
+    writer.finish()
 }
 
 /// Aggregate statistics computed from a timeline.
@@ -95,25 +95,32 @@ pub fn to_chrome_trace_named(entries: &[TraceEntry], process_name: &str) -> Stri
 pub struct TraceStats {
     /// Number of recorded task executions.
     pub tasks: usize,
-    /// Total busy seconds across compute streams.
+    /// Total busy seconds summed over compute *streams*: a task occupying
+    /// `k` stages' compute streams contributes `k × duration`.
     pub compute_busy: f64,
-    /// Total busy seconds across comm streams.
+    /// Total busy seconds summed over comm streams, with the same
+    /// per-occupied-stream convention (boundary sends hold two stages'
+    /// comm streams and count twice).
     pub comm_busy: f64,
     /// The longest single task and its duration.
     pub longest: Option<(String, f64)>,
 }
 
-/// Summarise a timeline.
+/// Summarise a timeline. Busy time is accounted per occupied *stream*
+/// (matching the per-stage `busy_compute`/`busy_comm` arrays of the
+/// engine): a multi-stage task contributes its duration once per stage it
+/// held, on both the compute and the comm side.
 pub fn trace_stats(entries: &[TraceEntry]) -> TraceStats {
     let mut compute_busy = 0.0;
     let mut comm_busy = 0.0;
     let mut longest: Option<(String, f64)> = None;
     for entry in entries {
         let dur = entry.end - entry.start;
+        let stream_seconds = dur * entry.stages.len() as f64;
         if entry.on_comm_stream {
-            comm_busy += dur * entry.stages.len() as f64;
+            comm_busy += stream_seconds;
         } else {
-            compute_busy += dur;
+            compute_busy += stream_seconds;
         }
         if longest.as_ref().is_none_or(|(_, d)| dur > *d) {
             longest = Some((entry.label.clone(), dur));
@@ -186,6 +193,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_stage_entries_count_once_per_occupied_stream() {
+        // A boundary send holding two stages' comm streams and a (synthetic)
+        // two-stage compute task: both must contribute duration × stages,
+        // symmetrically.
+        let mut send = entry("send", true, 0.0, 0.5);
+        send.stages = vec![0, 1];
+        let mut fused = entry("fused", false, 0.0, 0.25);
+        fused.stages = vec![0, 1];
+        let stats = trace_stats(&[send, fused]);
+        assert!((stats.comm_busy - 1.0).abs() < 1e-12, "{}", stats.comm_busy);
+        assert!(
+            (stats.compute_busy - 0.5).abs() < 1e-12,
+            "{}",
+            stats.compute_busy
+        );
+    }
+
+    #[test]
     fn named_traces_carry_process_and_thread_metadata() {
         let entries = vec![
             entry("fwd L0 µ0", false, 0.0, 0.5),
@@ -201,6 +226,21 @@ mod tests {
         assert_eq!(events[1]["args"]["name"], "stage 0 compute");
         assert_eq!(events[2]["args"]["name"], "stage 0 comm");
         assert_eq!(events[4]["ph"], "X");
+    }
+
+    #[test]
+    fn named_traces_match_the_unnamed_event_stream() {
+        // The named variant is metadata + the same events, byte for byte —
+        // the shared-writer guarantee that replaced prefix stripping.
+        let entries = vec![entry("fwd", false, 0.0, 0.5), entry("ar", true, 0.5, 0.7)];
+        let plain = to_chrome_trace(&entries);
+        let named = to_chrome_trace_named(&entries, "p");
+        let plain_body = plain
+            .strip_prefix("[\n")
+            .unwrap()
+            .strip_suffix("\n]\n")
+            .unwrap();
+        assert!(named.contains(plain_body));
     }
 
     #[test]

@@ -18,6 +18,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
+echo "==> no eprintln! in library code (binaries under crates/*/src/bin are exempt)"
+if grep -rn 'eprintln!' crates/*/src --include='*.rs' | grep -v '/src/bin/'; then
+    echo "library crates must log through the obs span sinks, not eprintln!" >&2
+    exit 1
+fi
+
+echo "==> cargo build --all-features"
+cargo build "${CARGO_FLAGS[@]}" --workspace --all-features
+
+echo "==> cargo test --doc"
+cargo test "${CARGO_FLAGS[@]}" --workspace --doc -q
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build "${CARGO_FLAGS[@]}" --release
 cargo test "${CARGO_FLAGS[@]}" -q

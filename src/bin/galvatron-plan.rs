@@ -10,8 +10,10 @@
 //! ```
 
 use galvatron::prelude::*;
+use galvatron_obs::write_spans;
 use galvatron_strategy::Paradigm;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +25,10 @@ struct Options {
     restrict: Option<String>,
     jobs: usize,
     simulate: bool,
+    explain: bool,
     trace_path: Option<String>,
     json_path: Option<String>,
+    metrics_path: Option<String>,
 }
 
 impl Default for Options {
@@ -37,8 +41,10 @@ impl Default for Options {
             restrict: None,
             jobs: 0,
             simulate: false,
+            explain: false,
             trace_path: None,
             json_path: None,
+            metrics_path: None,
         }
     }
 }
@@ -59,8 +65,12 @@ OPTIONS:
     --restrict <SPACE>   limit the search space: dp-tp | dp-pp
     --jobs <N>           planner worker threads (0 = all cores)  [0]
     --simulate           execute the plan on the discrete-event simulator
-    --trace <FILE>       with --simulate: write a Chrome-trace timeline
+    --explain            per-layer table: chosen strategy, compute/comm/memory
+                         split, runner-up strategy and margin
+    --trace <FILE>       with --simulate: write a Chrome-trace timeline with
+                         the planner's search spans alongside (Perfetto)
     --json <FILE>        write the plan as JSON
+    --metrics-out <FILE> write the telemetry registry as Prometheus text
     -h, --help           print this help
 ";
 
@@ -93,8 +103,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--jobs expects an integer".to_string())?
             }
             "--simulate" => opts.simulate = true,
+            "--explain" => opts.explain = true,
             "--trace" => opts.trace_path = Some(value("--trace")?),
             "--json" => opts.json_path = Some(value("--json")?),
+            "--metrics-out" => opts.metrics_path = Some(value("--metrics-out")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -214,7 +226,14 @@ fn main() -> ExitCode {
         opts.budget_gb
     );
 
-    let planner = planner_for(&opts);
+    // One telemetry handle for the whole invocation: the planner's search
+    // spans and the simulated timeline end up in one Perfetto file, the
+    // metrics registry in one Prometheus snapshot.
+    let registry = Arc::new(MetricsRegistry::new());
+    let span_sink = Arc::new(ChromeSpanSink::new());
+    let obs = Obs::new(registry.clone(), span_sink.clone());
+
+    let planner = planner_for(&opts).with_obs(obs.clone());
     let outcome = match planner.optimize(&model, &cluster, opts.budget_gb * GIB) {
         Ok(Some(outcome)) => outcome,
         Ok(None) => {
@@ -257,6 +276,25 @@ fn main() -> ExitCode {
     );
     println!("\n{}", outcome.plan.summary());
 
+    if opts.explain {
+        let estimator = CostEstimator::new(
+            cluster.clone(),
+            planner.config().optimizer.estimator.clone(),
+        );
+        match explain_plan(
+            &estimator,
+            &model,
+            &outcome.plan,
+            &planner.config().optimizer,
+        ) {
+            Ok(explanation) => println!("\n{}", explanation.render()),
+            Err(e) => {
+                eprintln!("could not explain the plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(path) = &opts.json_path {
         match serde_json::to_string_pretty(&outcome.plan) {
             Ok(json) => {
@@ -274,7 +312,8 @@ fn main() -> ExitCode {
         let sim = Simulator::new(
             cluster.clone(),
             SimulatorConfig::default().with_budget(opts.budget_gb * GIB),
-        );
+        )
+        .with_obs(obs.clone());
         match sim.execute_traced(&model, &outcome.plan) {
             Ok((report, trace)) => {
                 println!(
@@ -284,8 +323,22 @@ fn main() -> ExitCode {
                     if report.oom { ", OOM!" } else { "" }
                 );
                 if let Some(path) = &opts.trace_path {
-                    let json = galvatron_sim::to_chrome_trace(&trace);
-                    if let Err(e) = std::fs::write(path, json) {
+                    // One Perfetto file: the simulated timeline as process
+                    // 0, the planner's search spans as process 1.
+                    let mut writer = ChromeTraceWriter::new();
+                    galvatron_sim::write_trace_metadata(
+                        &mut writer,
+                        &trace,
+                        0,
+                        &format!(
+                            "simulated iteration: {}",
+                            outcome.plan.summary().lines().next().unwrap_or_default()
+                        ),
+                    );
+                    galvatron_sim::write_trace_events(&mut writer, &trace, 0);
+                    writer.process_name(1, "planner search");
+                    write_spans(&mut writer, 1, 0, &span_sink.records());
+                    if let Err(e) = std::fs::write(path, writer.finish()) {
                         eprintln!("could not write {path}: {e}");
                         return ExitCode::FAILURE;
                     }
@@ -297,6 +350,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = &opts.metrics_path {
+        if let Err(e) = std::fs::write(path, registry.snapshot().to_prometheus()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
     }
     ExitCode::SUCCESS
 }
@@ -319,7 +380,8 @@ mod tests {
     fn full_argument_set_parses() {
         let opts = parse_args(&argv(
             "--model vit-huge-32 --cluster a100-64 --budget-gb 8 --max-batch 64 \
-             --restrict dp-tp --simulate --trace t.json --json p.json",
+             --restrict dp-tp --simulate --explain --trace t.json --json p.json \
+             --metrics-out m.prom",
         ))
         .unwrap();
         assert_eq!(opts.model, "vit-huge-32");
@@ -328,8 +390,10 @@ mod tests {
         assert_eq!(opts.max_batch, 64);
         assert_eq!(opts.restrict.as_deref(), Some("dp-tp"));
         assert!(opts.simulate);
+        assert!(opts.explain);
         assert_eq!(opts.trace_path.as_deref(), Some("t.json"));
         assert_eq!(opts.json_path.as_deref(), Some("p.json"));
+        assert_eq!(opts.metrics_path.as_deref(), Some("m.prom"));
     }
 
     #[test]
@@ -338,6 +402,7 @@ mod tests {
         assert!(parse_args(&argv("--mystery")).is_err());
         assert!(parse_args(&argv("--restrict everything")).is_err());
         assert!(parse_args(&argv("--model")).is_err());
+        assert!(parse_args(&argv("--metrics-out")).is_err());
     }
 
     #[test]

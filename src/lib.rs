@@ -15,6 +15,9 @@
 //!   communication-group pool.
 //! * [`model`] — the Transformer model zoo with analytic parameter /
 //!   activation / FLOP accounting (Table 2).
+//! * [`obs`] — the telemetry layer: lock-cheap metrics registry
+//!   (Prometheus/JSON exporters), structured spans with pluggable sinks,
+//!   and the shared Chrome-trace writer.
 //! * [`strategy`] — hybrid strategies, the decision-tree decomposition with
 //!   Takeaways 1–3, activation layouts and Slice-Gather.
 //! * [`estimator`] — the cost model, including the compute/communication
@@ -61,6 +64,7 @@ pub use galvatron_elastic as elastic;
 pub use galvatron_estimator as estimator;
 pub use galvatron_exec as exec;
 pub use galvatron_model as model;
+pub use galvatron_obs as obs;
 pub use galvatron_planner as planner;
 pub use galvatron_sim as sim;
 pub use galvatron_strategy as strategy;
@@ -72,13 +76,18 @@ pub mod prelude {
         ClusterTopology, CommGroupPool, GpuSpec, Link, LinkClass, TestbedPreset, GIB, MIB,
     };
     pub use galvatron_core::{
-        GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, PipelinePartitioner,
+        explain_plan, GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, PipelinePartitioner,
+        PlanExplanation,
     };
     pub use galvatron_elastic::{
         ElasticConfig, ElasticOutcome, ElasticRuntime, FaultEvent, FaultKind, FaultSchedule,
     };
     pub use galvatron_estimator::{CostEstimator, EstimatorConfig};
     pub use galvatron_model::{ModelSpec, PaperModel};
+    pub use galvatron_obs::{
+        ChromeSpanSink, ChromeTraceWriter, MetricsRegistry, MetricsSnapshot, Obs, RingBufferSink,
+        Span, SpanSink,
+    };
     pub use galvatron_planner::{
         DpCache, ParallelPlanner, PlanRequest, PlanResponse, PlanService, PlannerConfig,
     };
