@@ -48,6 +48,7 @@ fn planner(jobs: usize, use_cache: bool) -> ParallelPlanner {
         jobs,
         use_cache,
         prune: true,
+        incremental: false,
     })
 }
 

@@ -1,0 +1,331 @@
+//! The incremental-DP sweep benchmark: Algorithm 1's Table-1 study (the
+//! paper's 8-GPU testbed, every Table-1 model × the 8/12/16/20 GB budget
+//! grid) planned three ways —
+//!
+//! * `serial` — the serial [`GalvatronOptimizer`], one independent search
+//!   per point (the pre-incremental baseline);
+//! * `incremental-cold` — the same sweep through the production stack
+//!   (planner + shared [`DpCache`] + shared [`IncrementalEngine`]),
+//!   starting from empty reuse structures;
+//! * `incremental-warm` — the same sweep again against the now-warm
+//!   structures, i.e. what a plan service or an elastic re-planner pays for
+//!   a repeated study.
+//!
+//! Every point's plan is asserted byte-identical to the serial baseline
+//! (the bench *fails* on divergence — this is the CI gate `scripts/check.sh`
+//! relies on), a Table-4 spot check pins the 64-GPU path too, and the
+//! timings land in `BENCH_planner_sweep.json` at the workspace root. The
+//! run asserts the warm incremental sweep is ≥1.5× faster than the serial
+//! baseline; on multi-core hosts the cold rows gain further from the
+//! work-stealing sweep, which this single-shot measurement deliberately
+//! does not rely on (`jobs = 1`).
+
+use criterion::{criterion_group, Criterion};
+use galvatron_cluster::{TestbedPreset, GIB};
+use galvatron_core::{GalvatronOptimizer, IncrementalEngine, OptimizeOutcome, OptimizerConfig};
+use galvatron_model::PaperModel;
+use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const BUDGETS_GIB: [u64; 4] = [8, 12, 16, 20];
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn config() -> OptimizerConfig {
+    // max_batch 32 keeps the smoke sweep quick; the reuse structure is the
+    // same at the paper's 512 cap, just with more batch points.
+    OptimizerConfig {
+        max_batch: 32,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn planner() -> ParallelPlanner {
+    ParallelPlanner::new(PlannerConfig {
+        optimizer: config(),
+        jobs: 1,
+        use_cache: true,
+        prune: true,
+        incremental: true,
+    })
+}
+
+/// All Table-1 points, in study order.
+fn sweep_points() -> Vec<(PaperModel, u64)> {
+    let mut points = Vec::new();
+    for &budget in &BUDGETS_GIB {
+        for model in PaperModel::TABLE1 {
+            points.push((model, budget));
+        }
+    }
+    points
+}
+
+fn assert_same(
+    baseline: &Option<OptimizeOutcome>,
+    candidate: &Option<OptimizeOutcome>,
+    what: &str,
+) {
+    match (baseline, candidate) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.plan, b.plan, "{what}: plan diverged from serial");
+            assert_eq!(
+                a.throughput_samples_per_sec.to_bits(),
+                b.throughput_samples_per_sec.to_bits(),
+                "{what}: throughput diverged from serial"
+            );
+            assert_eq!(
+                a.iteration_time.to_bits(),
+                b.iteration_time.to_bits(),
+                "{what}: iteration time diverged from serial"
+            );
+        }
+        (a, b) => panic!(
+            "{what}: feasibility diverged (serial {}, incremental {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    configuration: String,
+    seconds: f64,
+    speedup_vs_serial: f64,
+    points: usize,
+    feasible_points: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    intern_hits: usize,
+    intern_misses: usize,
+    ledger_hits: usize,
+    warm_start_prunes: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepReport {
+    testbed: String,
+    models: Vec<String>,
+    budgets_gib: Vec<u64>,
+    max_batch: usize,
+    speedup_floor: f64,
+    rows: Vec<SweepRow>,
+}
+
+/// Find the workspace root (the directory whose Cargo.toml declares the
+/// workspace) so the artifact lands at a stable path regardless of where
+/// cargo runs the bench from.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn run_table1_sweep() {
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let points = sweep_points();
+
+    // Serial baseline: one independent Algorithm-1 search per point.
+    let serial = GalvatronOptimizer::new(config());
+    let started = Instant::now();
+    let baseline: Vec<Option<OptimizeOutcome>> = points
+        .iter()
+        .map(|&(model, budget)| {
+            serial
+                .optimize(&model.spec(), &topology, budget * GIB)
+                .expect("well-formed testbed")
+        })
+        .collect();
+    let serial_secs = started.elapsed().as_secs_f64();
+    let feasible = baseline.iter().filter(|o| o.is_some()).count();
+
+    let planner = planner();
+    let cache = DpCache::new();
+    let engine = IncrementalEngine::new();
+    let mut rows = vec![SweepRow {
+        configuration: "serial".to_string(),
+        seconds: serial_secs,
+        speedup_vs_serial: 1.0,
+        points: points.len(),
+        feasible_points: feasible,
+        cache_hits: 0,
+        cache_misses: 0,
+        intern_hits: 0,
+        intern_misses: 0,
+        ledger_hits: 0,
+        warm_start_prunes: 0,
+    }];
+
+    for pass in ["incremental-cold", "incremental-warm"] {
+        let cache_before = cache.counters();
+        let engine_before = engine.counters();
+        let started = Instant::now();
+        let outcomes: Vec<Option<OptimizeOutcome>> = points
+            .iter()
+            .map(|&(model, budget)| {
+                planner
+                    .optimize_with_reuse(
+                        &model.spec(),
+                        &topology,
+                        budget * GIB,
+                        Some(&cache),
+                        Some(&engine),
+                    )
+                    .expect("well-formed testbed")
+            })
+            .collect();
+        let seconds = started.elapsed().as_secs_f64();
+        for (i, (outcome, reference)) in outcomes.iter().zip(&baseline).enumerate() {
+            let (model, budget) = points[i];
+            assert_same(
+                reference,
+                outcome,
+                &format!("{pass}: {} @ {budget}G", model.name()),
+            );
+        }
+        let cache_delta = cache.counters().since(&cache_before);
+        let engine_delta = engine.counters().since(&engine_before);
+        rows.push(SweepRow {
+            configuration: pass.to_string(),
+            seconds,
+            speedup_vs_serial: serial_secs / seconds,
+            points: points.len(),
+            feasible_points: outcomes.iter().filter(|o| o.is_some()).count(),
+            cache_hits: cache_delta.hits,
+            cache_misses: cache_delta.misses,
+            intern_hits: engine_delta.intern_hits,
+            intern_misses: engine_delta.intern_misses,
+            ledger_hits: engine_delta.ledger_hits,
+            warm_start_prunes: engine_delta.warm_start_prunes,
+        });
+    }
+
+    // Table-4 spot check: the 64-GPU A100 path must agree with the serial
+    // optimizer through the incremental stack too (equality only — the
+    // timing study is the 8-GPU sweep above).
+    let a100 = TestbedPreset::A100x64.topology();
+    for model in galvatron_bench::paper::TABLE4_MODELS {
+        let spec = model.spec();
+        let reference = serial
+            .optimize(&spec, &a100, 16 * GIB)
+            .expect("well-formed");
+        let candidate = planner
+            .optimize_with_reuse(&spec, &a100, 16 * GIB, Some(&cache), Some(&engine))
+            .expect("well-formed");
+        assert_same(
+            &reference,
+            &candidate,
+            &format!("table4: {} @ 16G", model.name()),
+        );
+    }
+
+    println!(
+        "\nplanner_sweep: Table-1 study ({} points, serial {serial_secs:.3}s)",
+        points.len()
+    );
+    for row in &rows {
+        println!(
+            "  {:<17} {:.3}s  ({:.2}x; cache {}h/{}m, intern {}h/{}m, {} ledger hits, {} warm prunes)",
+            row.configuration,
+            row.seconds,
+            row.speedup_vs_serial,
+            row.cache_hits,
+            row.cache_misses,
+            row.intern_hits,
+            row.intern_misses,
+            row.ledger_hits,
+            row.warm_start_prunes,
+        );
+    }
+
+    let report = SweepReport {
+        testbed: "rtx-titan-8".to_string(),
+        models: PaperModel::TABLE1
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect(),
+        budgets_gib: BUDGETS_GIB.to_vec(),
+        max_batch: config().max_batch,
+        speedup_floor: SPEEDUP_FLOOR,
+        rows,
+    };
+    let path = workspace_root().join("BENCH_planner_sweep.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_planner_sweep.json");
+    eprintln!("wrote {}", path.display());
+
+    let warm = report
+        .rows
+        .iter()
+        .find(|r| r.configuration == "incremental-warm")
+        .expect("warm row recorded");
+    assert!(
+        warm.speedup_vs_serial >= SPEEDUP_FLOOR,
+        "warm incremental sweep must be ≥{SPEEDUP_FLOOR}× the serial baseline, \
+         measured {:.2}×",
+        warm.speedup_vs_serial
+    );
+}
+
+fn bench_sweep_point(c: &mut Criterion) {
+    // Criterion smoke: one representative point, serial vs incremental-warm,
+    // so the harness tracks per-search latency over time.
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::BertHuge32.spec();
+
+    let mut group = c.benchmark_group("planner_sweep");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+
+    let serial = GalvatronOptimizer::new(config());
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            serial
+                .optimize(black_box(&model), &topology, 16 * GIB)
+                .unwrap()
+        })
+    });
+
+    let planner = planner();
+    let cache = DpCache::new();
+    let engine = IncrementalEngine::new();
+    planner
+        .optimize_with_reuse(&model, &topology, 16 * GIB, Some(&cache), Some(&engine))
+        .unwrap();
+    group.bench_function("incremental-warm", |b| {
+        b.iter(|| {
+            planner
+                .optimize_with_reuse(
+                    black_box(&model),
+                    &topology,
+                    16 * GIB,
+                    Some(&cache),
+                    Some(&engine),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_point);
+
+fn main() {
+    benches();
+    run_table1_sweep();
+}

@@ -41,6 +41,7 @@ fn planner_config(jobs: usize) -> PlannerConfig {
         jobs,
         use_cache: true,
         prune: true,
+        incremental: true,
     }
 }
 

@@ -141,6 +141,7 @@ fn main() {
             jobs,
             use_cache: true,
             prune: true,
+            incremental: true,
         })
         .with_obs(obs.clone());
         let started = Instant::now();

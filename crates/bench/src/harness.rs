@@ -127,6 +127,7 @@ pub fn evaluate_cell_observed(
                     jobs: 1,
                     use_cache: cache.is_some(),
                     prune: true,
+                    incremental: false,
                 })
                 .with_obs(obs.clone());
                 match cache {

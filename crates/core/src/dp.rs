@@ -21,10 +21,114 @@
 //! holds unchanged.
 
 use galvatron_cluster::{ClusterError, DeviceId};
-use galvatron_estimator::CostEstimator;
+use galvatron_estimator::{CostEstimator, LayerCost, LayerMemory};
 use galvatron_model::ModelSpec;
 use galvatron_strategy::{IntraStageStrategy, StrategySet};
 use std::ops::Range;
+
+/// Where the DP obtains its three cost kernels — per-layer cost `c(l, s)`,
+/// per-layer memory `O(l, s)` and the Slice-Gather transformation
+/// `R(l, s_i, s_j)`.
+///
+/// [`DirectCosts`] calls the estimator every time (the historical
+/// behaviour); the incremental engine
+/// ([`EvalTable`](crate::incremental::EvalTable)) substitutes a
+/// structure-shared intern table so Algorithm 1's outer sweep reuses kernel
+/// evaluations across adjacent batch sizes, PP degrees, partitioner
+/// guidelines and stage shapes. Implementations must return **exactly** the
+/// estimator's values (a memoized result is the estimator's own earlier
+/// return), which keeps every DP answer bit-identical to a direct solve.
+///
+/// Layer coordinates are *global* model-layer indices (`model.layers[l]`),
+/// so evaluations interned for one stage shape are reusable by any other
+/// stage whose range overlaps it.
+pub trait StageCostProvider {
+    /// `c(l, s)` for a micro-batch of `micro` samples on the group starting
+    /// at `base`.
+    fn layer_cost(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        micro: u64,
+        base: DeviceId,
+    ) -> Result<LayerCost, ClusterError>;
+
+    /// `O(l, s)` with activations charged for `act_stash_batch` samples.
+    fn layer_memory(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        act_stash_batch: u64,
+    ) -> LayerMemory;
+
+    /// `R(l, s_prev, s_next)` across the boundary after global layer
+    /// `prev_layer`, for the whole stage batch.
+    #[allow(clippy::too_many_arguments)]
+    fn transformation(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        prev_layer: usize,
+        prev: &IntraStageStrategy,
+        next: &IntraStageStrategy,
+        stage_batch: u64,
+        base: DeviceId,
+    ) -> Result<f64, ClusterError>;
+}
+
+/// The pass-through [`StageCostProvider`]: every kernel evaluation calls
+/// the estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectCosts;
+
+impl StageCostProvider for DirectCosts {
+    fn layer_cost(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        micro: u64,
+        base: DeviceId,
+    ) -> Result<LayerCost, ClusterError> {
+        estimator.layer_cost(&model.layers[layer], model.dtype, strategy, micro, base)
+    }
+
+    fn layer_memory(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        act_stash_batch: u64,
+    ) -> LayerMemory {
+        estimator.layer_memory(&model.layers[layer], model.dtype, strategy, act_stash_batch)
+    }
+
+    fn transformation(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        prev_layer: usize,
+        prev: &IntraStageStrategy,
+        next: &IntraStageStrategy,
+        stage_batch: u64,
+        base: DeviceId,
+    ) -> Result<f64, ClusterError> {
+        estimator.transformation_cost(
+            &model.layers[prev_layer],
+            model.dtype,
+            prev,
+            next,
+            stage_batch,
+            base,
+        )
+    }
+}
 
 /// Outcome of a per-stage search.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +191,40 @@ pub fn dp_search_with_micro_batches(
     micro_batches: usize,
     act_stash_batch: u64,
 ) -> Result<Option<DpResult>, ClusterError> {
+    dp_search_with_provider(
+        estimator,
+        model,
+        layer_range,
+        base_device,
+        set,
+        stage_batch,
+        usable_budget,
+        granularity,
+        micro_batches,
+        act_stash_batch,
+        &DirectCosts,
+    )
+}
+
+/// [`dp_search_with_micro_batches`] with the three cost kernels routed
+/// through a [`StageCostProvider`]. With [`DirectCosts`] this *is* the
+/// historical solver; with the incremental engine's intern table every
+/// kernel value is the memoized result of an identical earlier estimator
+/// call, so the answer is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_search_with_provider(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    provider: &dyn StageCostProvider,
+) -> Result<Option<DpResult>, ClusterError> {
     assert!(granularity > 0);
     let layers: Vec<usize> = layer_range.collect();
     let n_layers = layers.len();
@@ -106,11 +244,10 @@ pub fn dp_search_with_micro_batches(
     let mut reserve = 0u64;
     let micro = (stage_batch / micro_batches.max(1) as u64).max(1);
     for (li, &l) in layers.iter().enumerate() {
-        let layer = &model.layers[l];
         for (si, s) in set.iter().enumerate() {
-            let c = estimator.layer_cost(layer, model.dtype, s, micro, base_device)?;
+            let c = provider.layer_cost(estimator, model, l, s, micro, base_device)?;
             cost[li][si] = c.total_with_micro_batches(estimator.config(), micro_batches);
-            let m = estimator.layer_memory(layer, model.dtype, s, act_stash_batch);
+            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
             mem_units[li][si] =
                 u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
             reserve = reserve.max(m.transient);
@@ -125,12 +262,12 @@ pub fn dp_search_with_micro_batches(
     // Transformation costs between consecutive layers: r[li][s_prev][s_next].
     let mut r = vec![vec![vec![0.0f64; n_strats]; n_strats]; n_layers];
     for (li, &l) in layers.iter().enumerate().skip(1) {
-        let prev_layer = &model.layers[l - 1];
         for (pi, p) in set.iter().enumerate() {
             for (si, s) in set.iter().enumerate() {
-                r[li][pi][si] = estimator.transformation_cost(
-                    prev_layer,
-                    model.dtype,
+                r[li][pi][si] = provider.transformation(
+                    estimator,
+                    model,
+                    l - 1,
                     p,
                     s,
                     stage_batch,
@@ -266,6 +403,33 @@ pub fn dp_feasible(
     granularity: u64,
     act_stash_batch: u64,
 ) -> bool {
+    dp_feasible_with_provider(
+        estimator,
+        model,
+        layer_range,
+        set,
+        usable_budget,
+        granularity,
+        act_stash_batch,
+        &DirectCosts,
+    )
+}
+
+/// [`dp_feasible`] with the memory kernel routed through a
+/// [`StageCostProvider`] — the incremental engine points this at its intern
+/// table so the enumeration phase's feasibility screen and the later DP
+/// solves share one set of `O(l, s)` evaluations.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_feasible_with_provider(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    set: &StrategySet,
+    usable_budget: u64,
+    granularity: u64,
+    act_stash_batch: u64,
+    provider: &dyn StageCostProvider,
+) -> bool {
     assert!(granularity > 0);
     let layers: Vec<usize> = layer_range.collect();
     if layers.is_empty() || set.is_empty() {
@@ -274,10 +438,9 @@ pub fn dp_feasible(
     let mut reserve = 0u64;
     let mut min_units: Vec<u64> = Vec::with_capacity(layers.len());
     for &l in &layers {
-        let layer = &model.layers[l];
         let mut best = u32::MAX;
         for s in set.iter() {
-            let m = estimator.layer_memory(layer, model.dtype, s, act_stash_batch);
+            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
             let units = u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
             reserve = reserve.max(m.transient);
             best = best.min(units);

@@ -1,0 +1,710 @@
+//! The incremental DP engine: structure-shared kernel interning plus
+//! monotone-memory warm-starts for Algorithm 1's outer sweep.
+//!
+//! Algorithm 1 re-runs the Eq. 1 DP from scratch for every
+//! `(batch, PP degree, stage bounds, micro-batch count)` candidate, yet
+//! adjacent candidates share almost all of their per-layer cost structure:
+//!
+//! * the per-layer cost kernel `c(l, s)` depends on the *micro*-batch, and
+//!   the same micro-batch recurs across many `(batch, m)` pairs
+//!   (`batch=8, m=1` and `batch=16, m=2` price identical micro-batches);
+//! * the memory kernel `O(l, s)` depends on the activation-stash batch,
+//!   which likewise recurs across batches, schedules and stage depths;
+//! * the transformation kernel `R(l, s_i, s_j)` depends only on the stage
+//!   batch, shared by every PP degree and partitioner guideline at that
+//!   batch.
+//!
+//! [`EvalTable`] interns each kernel evaluation once per
+//! (model, topology, estimator-config) *context* and replays the exact
+//! stored value on every later query, so a DP solve through the table is
+//! bit-identical to a direct solve — the table stores the estimator's own
+//! earlier returns, never an approximation.
+//!
+//! [`FeasibilityLedger`] exploits the monotonicity the paper itself leans
+//! on (memory use is monotone in batch size, Algorithm 1 lines 14–18): if a
+//! stage query was memory-infeasible at activation stash `b`, it is
+//! infeasible at every `b' ≥ b`, and if it was feasible at `b`, it is
+//! feasible at every `b' ≤ b`. The ledger keeps, per
+//! `(context, stage shape, strategy set, budget, granularity)`, the largest
+//! stash known feasible and the smallest known infeasible, and answers
+//! queries outside the unknown window without touching the estimator — the
+//! "warm-start from the previous batch's feasible set" of the incremental
+//! sweep. Eq. 1 admits an assignment exactly when the cheapest-memory
+//! strategy per layer fits the quantized budget (time never gates
+//! reachability), so feasibility of the *solve* and of the
+//! [`dp_feasible`](crate::dp::dp_feasible) screen coincide; the
+//! `estimator_invariants` property suite checks the monotonicity
+//! assumption, and the `dp_oracle` conformance suite checks every path
+//! against brute force.
+
+use crate::candidate::{StageDp, StageDpQuery};
+use crate::dp::{dp_feasible_with_provider, dp_search_with_provider, DpResult, StageCostProvider};
+use galvatron_cluster::{ClusterError, DeviceId};
+use galvatron_estimator::{CostEstimator, LayerCost, LayerMemory};
+use galvatron_model::ModelSpec;
+use galvatron_strategy::{IntraStageStrategy, StrategySet};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const SHARDS: usize = 16;
+
+/// The fingerprint of everything a kernel evaluation depends on beyond its
+/// own coordinates: the model, the topology (prefixed with its structural
+/// hash so degraded clusters can never share entries with healthy ones) and
+/// the estimator configuration. Equal strings ⇒ equal evaluation functions.
+pub fn context_fingerprint(estimator: &CostEstimator, model: &ModelSpec) -> String {
+    format!(
+        "topo#{:016x}|{:?}|{:?}|{:?}",
+        estimator.topology().fingerprint(),
+        model,
+        estimator.topology(),
+        estimator.config()
+    )
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CostKey {
+    ctx: u32,
+    layer: u32,
+    strat: u32,
+    micro: u64,
+    base: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemKey {
+    ctx: u32,
+    layer: u32,
+    strat: u32,
+    act_stash: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct XformKey {
+    ctx: u32,
+    prev_layer: u32,
+    prev: u32,
+    next: u32,
+    stage_batch: u64,
+    base: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LedgerKey {
+    ctx: u32,
+    layer_start: u32,
+    layer_end: u32,
+    set: u32,
+    usable_budget: u64,
+    granularity: u64,
+}
+
+/// A sharded hash map: short critical sections, concurrent shards.
+#[derive(Debug)]
+struct Sharded<K, V> {
+    shards: [Mutex<HashMap<K, V>>; SHARDS],
+}
+
+impl<K, V> Default for Sharded<K, V> {
+    fn default() -> Self {
+        Sharded {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Sharded<K, V> {
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Reuse accounting of an [`IncrementalEngine`], cumulative since
+/// construction. Use [`since`](IncrementalCounters::since) for per-search
+/// deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalCounters {
+    /// Kernel evaluations answered from the intern table.
+    pub intern_hits: usize,
+    /// Kernel evaluations that called the estimator (and were interned).
+    pub intern_misses: usize,
+    /// Feasibility questions answered by the monotone-memory ledger.
+    pub ledger_hits: usize,
+    /// Feasibility questions that had to be computed.
+    pub ledger_misses: usize,
+    /// Full stage-DP solves short-circuited to `None` because the ledger
+    /// already knew a smaller stash was infeasible.
+    pub warm_start_prunes: usize,
+}
+
+impl IncrementalCounters {
+    /// Counter difference (for per-search deltas).
+    pub fn since(&self, earlier: &IncrementalCounters) -> IncrementalCounters {
+        IncrementalCounters {
+            intern_hits: self.intern_hits - earlier.intern_hits,
+            intern_misses: self.intern_misses - earlier.intern_misses,
+            ledger_hits: self.ledger_hits - earlier.ledger_hits,
+            ledger_misses: self.ledger_misses - earlier.ledger_misses,
+            warm_start_prunes: self.warm_start_prunes - earlier.warm_start_prunes,
+        }
+    }
+
+    /// Intern-table hit rate in `[0, 1]`, or `None` when nothing was asked.
+    pub fn intern_hit_rate(&self) -> Option<f64> {
+        let total = self.intern_hits + self.intern_misses;
+        (total > 0).then(|| self.intern_hits as f64 / total as f64)
+    }
+}
+
+/// The structure-shared kernel intern table (see module docs). Thread-safe;
+/// one instance is shared by every worker of a sweep and, through the plan
+/// service, across requests.
+#[derive(Debug, Default)]
+pub struct EvalTable {
+    contexts: Mutex<HashMap<String, u32>>,
+    strategies: Mutex<HashMap<IntraStageStrategy, u32>>,
+    sets: Mutex<HashMap<(usize, Vec<u32>), u32>>,
+    costs: Sharded<CostKey, LayerCost>,
+    mems: Sharded<MemKey, LayerMemory>,
+    xforms: Sharded<XformKey, f64>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl EvalTable {
+    fn intern_context(&self, fingerprint: &str) -> u32 {
+        let mut contexts = self.contexts.lock();
+        if let Some(&id) = contexts.get(fingerprint) {
+            return id;
+        }
+        let id = u32::try_from(contexts.len()).expect("context interner overflow");
+        contexts.insert(fingerprint.to_string(), id);
+        id
+    }
+
+    fn intern_strategy(&self, strategy: &IntraStageStrategy) -> u32 {
+        let mut strategies = self.strategies.lock();
+        if let Some(&id) = strategies.get(strategy) {
+            return id;
+        }
+        let id = u32::try_from(strategies.len()).expect("strategy interner overflow");
+        strategies.insert(strategy.clone(), id);
+        id
+    }
+
+    /// Intern a strategy set as (group size, ordered member ids). Order is
+    /// part of the identity: the DP's tie-breaking follows set order.
+    fn intern_set(&self, set: &StrategySet) -> u32 {
+        let ids: Vec<u32> = set.iter().map(|s| self.intern_strategy(s)).collect();
+        let key = (set.group_size(), ids);
+        let mut sets = self.sets.lock();
+        if let Some(&id) = sets.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(sets.len()).expect("set interner overflow");
+        sets.insert(key, id);
+        id
+    }
+
+    /// Interned kernel evaluations currently held.
+    pub fn len(&self) -> usize {
+        self.costs.len() + self.mems.len() + self.xforms.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FeasibilityWindow {
+    /// Largest activation stash known feasible.
+    max_feasible: Option<u64>,
+    /// Smallest activation stash known infeasible.
+    min_infeasible: Option<u64>,
+}
+
+/// The monotone-memory warm-start ledger (see module docs).
+#[derive(Debug, Default)]
+pub struct FeasibilityLedger {
+    windows: Sharded<LedgerKey, FeasibilityWindow>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    prunes: AtomicUsize,
+}
+
+impl FeasibilityLedger {
+    /// The ledger's answer for `act_stash`, if the monotone window covers
+    /// it: `Some(true)` below the feasible watermark, `Some(false)` above
+    /// the infeasible one, `None` inside the unknown gap.
+    fn lookup(&self, key: &LedgerKey, act_stash: u64) -> Option<bool> {
+        let window = self.windows.get(key)?;
+        if window.max_feasible.is_some_and(|b| act_stash <= b) {
+            return Some(true);
+        }
+        if window.min_infeasible.is_some_and(|b| act_stash >= b) {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Record an observed feasibility answer, widening the window.
+    fn record(&self, key: &LedgerKey, act_stash: u64, feasible: bool) {
+        let shard = self.windows.shard(key);
+        let mut guard = shard.lock();
+        let window = guard.entry(key.clone()).or_default();
+        if feasible {
+            window.max_feasible = Some(window.max_feasible.map_or(act_stash, |b| b.max(act_stash)));
+        } else {
+            window.min_infeasible = Some(
+                window
+                    .min_infeasible
+                    .map_or(act_stash, |b| b.min(act_stash)),
+            );
+        }
+    }
+
+    /// Tracked (context, stage shape, set, budget) windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The incremental DP engine: one [`EvalTable`] plus one
+/// [`FeasibilityLedger`], shared across candidates, batches, workers and —
+/// when owned by a plan service — requests.
+#[derive(Debug, Default)]
+pub struct IncrementalEngine {
+    table: EvalTable,
+    ledger: FeasibilityLedger,
+}
+
+impl IncrementalEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        IncrementalEngine::default()
+    }
+
+    /// Bind the engine to one (estimator, model) context. The returned
+    /// handle implements both [`StageCostProvider`] (kernel interning) and
+    /// [`StageDp`] (ledger-gated incremental solving).
+    pub fn bind<'a>(
+        &'a self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+    ) -> BoundIncrementalDp<'a> {
+        let ctx = self
+            .table
+            .intern_context(&context_fingerprint(estimator, model));
+        BoundIncrementalDp { engine: self, ctx }
+    }
+
+    /// Cumulative reuse counters.
+    pub fn counters(&self) -> IncrementalCounters {
+        IncrementalCounters {
+            intern_hits: self.table.hits.load(Ordering::Relaxed),
+            intern_misses: self.table.misses.load(Ordering::Relaxed),
+            ledger_hits: self.ledger.hits.load(Ordering::Relaxed),
+            ledger_misses: self.ledger.misses.load(Ordering::Relaxed),
+            warm_start_prunes: self.ledger.prunes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The kernel intern table.
+    pub fn table(&self) -> &EvalTable {
+        &self.table
+    }
+
+    /// The warm-start ledger.
+    pub fn ledger(&self) -> &FeasibilityLedger {
+        &self.ledger
+    }
+}
+
+/// An [`IncrementalEngine`] bound to one (estimator, model) context.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundIncrementalDp<'a> {
+    engine: &'a IncrementalEngine,
+    ctx: u32,
+}
+
+impl BoundIncrementalDp<'_> {
+    fn ledger_key(
+        &self,
+        layer_range: &Range<usize>,
+        set_id: u32,
+        budget: u64,
+        gran: u64,
+    ) -> LedgerKey {
+        LedgerKey {
+            ctx: self.ctx,
+            layer_start: layer_range.start as u32,
+            layer_end: layer_range.end as u32,
+            set: set_id,
+            usable_budget: budget,
+            granularity: gran,
+        }
+    }
+
+    /// Ledger-accelerated [`dp_feasible`](crate::dp::dp_feasible): answer
+    /// from the monotone window when possible, otherwise compute through
+    /// the intern table and widen the window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn feasible(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer_range: Range<usize>,
+        set: &StrategySet,
+        usable_budget: u64,
+        granularity: u64,
+        act_stash_batch: u64,
+    ) -> bool {
+        let set_id = self.engine.table.intern_set(set);
+        let key = self.ledger_key(&layer_range, set_id, usable_budget, granularity);
+        if let Some(answer) = self.engine.ledger.lookup(&key, act_stash_batch) {
+            self.engine.ledger.hits.fetch_add(1, Ordering::Relaxed);
+            return answer;
+        }
+        self.engine.ledger.misses.fetch_add(1, Ordering::Relaxed);
+        let answer = dp_feasible_with_provider(
+            estimator,
+            model,
+            layer_range,
+            set,
+            usable_budget,
+            granularity,
+            act_stash_batch,
+            self,
+        );
+        self.engine.ledger.record(&key, act_stash_batch, answer);
+        answer
+    }
+}
+
+impl StageCostProvider for BoundIncrementalDp<'_> {
+    fn layer_cost(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        micro: u64,
+        base: DeviceId,
+    ) -> Result<LayerCost, ClusterError> {
+        let key = CostKey {
+            ctx: self.ctx,
+            layer: layer as u32,
+            strat: self.engine.table.intern_strategy(strategy),
+            micro,
+            base: base as u32,
+        };
+        if let Some(found) = self.engine.table.costs.get(&key) {
+            self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.engine.table.misses.fetch_add(1, Ordering::Relaxed);
+        let computed =
+            estimator.layer_cost(&model.layers[layer], model.dtype, strategy, micro, base)?;
+        self.engine.table.costs.insert(key, computed);
+        Ok(computed)
+    }
+
+    fn layer_memory(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        act_stash_batch: u64,
+    ) -> LayerMemory {
+        let key = MemKey {
+            ctx: self.ctx,
+            layer: layer as u32,
+            strat: self.engine.table.intern_strategy(strategy),
+            act_stash: act_stash_batch,
+        };
+        if let Some(found) = self.engine.table.mems.get(&key) {
+            self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        self.engine.table.misses.fetch_add(1, Ordering::Relaxed);
+        let computed =
+            estimator.layer_memory(&model.layers[layer], model.dtype, strategy, act_stash_batch);
+        self.engine.table.mems.insert(key, computed);
+        computed
+    }
+
+    fn transformation(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        prev_layer: usize,
+        prev: &IntraStageStrategy,
+        next: &IntraStageStrategy,
+        stage_batch: u64,
+        base: DeviceId,
+    ) -> Result<f64, ClusterError> {
+        let key = XformKey {
+            ctx: self.ctx,
+            prev_layer: prev_layer as u32,
+            prev: self.engine.table.intern_strategy(prev),
+            next: self.engine.table.intern_strategy(next),
+            stage_batch,
+            base: base as u32,
+        };
+        if let Some(found) = self.engine.table.xforms.get(&key) {
+            self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.engine.table.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = estimator.transformation_cost(
+            &model.layers[prev_layer],
+            model.dtype,
+            prev,
+            next,
+            stage_batch,
+            base,
+        )?;
+        self.engine.table.xforms.insert(key, computed);
+        Ok(computed)
+    }
+}
+
+impl StageDp for BoundIncrementalDp<'_> {
+    fn solve(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        q: &StageDpQuery<'_>,
+    ) -> Result<Option<DpResult>, ClusterError> {
+        let range = q.layer_start..q.layer_end;
+        let set_id = self.engine.table.intern_set(q.set);
+        let key = self.ledger_key(&range, set_id, q.usable_budget, q.granularity);
+        // Monotone-memory warm start: a stash already known infeasible at a
+        // smaller batch cannot become feasible at a larger one, so skip the
+        // whole solve. (`Some(true)` still requires the full solve — the
+        // ledger knows feasibility, not the optimum.)
+        if self.engine.ledger.lookup(&key, q.act_stash_batch) == Some(false) {
+            self.engine.ledger.prunes.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let out = dp_search_with_provider(
+            estimator,
+            model,
+            range,
+            q.base_device,
+            q.set,
+            q.stage_batch,
+            q.usable_budget,
+            q.granularity,
+            q.micro_batches,
+            q.act_stash_batch,
+            self,
+        )?;
+        self.engine
+            .ledger
+            .record(&key, q.act_stash_batch, out.is_some());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::DirectStageDp;
+    use crate::dp::dp_search_with_micro_batches;
+    use galvatron_cluster::{rtx_titan_node, GIB, MIB};
+    use galvatron_estimator::EstimatorConfig;
+    use galvatron_model::BertConfig;
+    use galvatron_strategy::DecisionTreeBuilder;
+
+    fn estimator() -> CostEstimator {
+        CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default())
+    }
+
+    fn tiny_bert(layers: usize) -> ModelSpec {
+        BertConfig {
+            layers,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("tiny")
+    }
+
+    fn query<'a>(set: &'a StrategySet, model: &ModelSpec, stash: u64) -> StageDpQuery<'a> {
+        StageDpQuery {
+            layer_start: 0,
+            layer_end: model.n_layers(),
+            base_device: 0,
+            set,
+            stage_batch: 16,
+            usable_budget: 12 * GIB,
+            granularity: 32 * MIB,
+            micro_batches: 2,
+            act_stash_batch: stash,
+        }
+    }
+
+    #[test]
+    fn interned_solve_is_bit_identical_to_direct() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let engine = IncrementalEngine::new();
+        let bound = engine.bind(&est, &model);
+        for stash in [4u64, 8, 16] {
+            let q = query(&set, &model, stash);
+            let direct = DirectStageDp.solve(&est, &model, &q).unwrap();
+            let incremental = bound.solve(&est, &model, &q).unwrap();
+            assert_eq!(direct, incremental, "stash {stash}");
+            // And again, now fully from the intern table.
+            let replay = bound.solve(&est, &model, &q).unwrap();
+            assert_eq!(direct, replay, "stash {stash} (replay)");
+        }
+        let counters = engine.counters();
+        assert!(counters.intern_hits > 0, "{counters:?}");
+        assert!(counters.intern_misses > 0, "{counters:?}");
+    }
+
+    #[test]
+    fn ledger_prunes_monotonically_infeasible_solves() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let engine = IncrementalEngine::new();
+        let bound = engine.bind(&est, &model);
+        // A budget so tight that stash 32 is infeasible.
+        let mut q = query(&set, &model, 32);
+        q.usable_budget = 2 * GIB;
+        let direct = DirectStageDp.solve(&est, &model, &q).unwrap();
+        assert!(direct.is_none(), "budget chosen to be infeasible");
+        assert!(bound.solve(&est, &model, &q).unwrap().is_none());
+        assert_eq!(engine.counters().warm_start_prunes, 0);
+        // A larger stash must be pruned without a solve, and still agree
+        // with the direct path.
+        q.act_stash_batch = 64;
+        assert!(DirectStageDp.solve(&est, &model, &q).unwrap().is_none());
+        assert!(bound.solve(&est, &model, &q).unwrap().is_none());
+        assert_eq!(engine.counters().warm_start_prunes, 1);
+    }
+
+    #[test]
+    fn ledger_feasibility_matches_dp_feasible() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let engine = IncrementalEngine::new();
+        let bound = engine.bind(&est, &model);
+        let granularity = 32 * MIB;
+        for budget in [2 * GIB, 6 * GIB, 12 * GIB] {
+            // Descending stash order: the second and third answers come
+            // straight from the monotone window when the first was decisive.
+            for stash in [32u64, 16, 8] {
+                let expected = crate::dp::dp_feasible(
+                    &est,
+                    &model,
+                    0..model.n_layers(),
+                    &set,
+                    budget,
+                    granularity,
+                    stash,
+                );
+                let got = bound.feasible(
+                    &est,
+                    &model,
+                    0..model.n_layers(),
+                    &set,
+                    budget,
+                    granularity,
+                    stash,
+                );
+                assert_eq!(got, expected, "budget {budget} stash {stash}");
+            }
+        }
+        let counters = engine.counters();
+        assert!(counters.ledger_hits > 0, "{counters:?}");
+        assert!(counters.ledger_misses > 0, "{counters:?}");
+    }
+
+    #[test]
+    fn contexts_do_not_share_entries() {
+        let est = estimator();
+        let model_a = tiny_bert(2);
+        let model_b = tiny_bert(4);
+        let engine = IncrementalEngine::new();
+        let a = engine.bind(&est, &model_a);
+        let b = engine.bind(&est, &model_b);
+        assert_ne!(a.ctx, b.ctx);
+        // Same model re-bound → same context.
+        assert_eq!(engine.bind(&est, &model_a).ctx, a.ctx);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let qa = query(&set, &model_a, 8);
+        a.solve(&est, &model_a, &qa).unwrap();
+        let before = engine.counters();
+        let qb = query(&set, &model_b, 8);
+        b.solve(&est, &model_b, &qb).unwrap();
+        let delta = engine.counters().since(&before);
+        assert_eq!(
+            delta.intern_hits, 0,
+            "a different model must not hit the other context's entries"
+        );
+    }
+
+    #[test]
+    fn stale_batch_results_are_not_replayed_across_micro_shapes() {
+        // Same stash, different micro-batch count: the intern table may
+        // share memory kernels but costs are keyed by micro, so the solve
+        // must match direct in both shapes.
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let engine = IncrementalEngine::new();
+        let bound = engine.bind(&est, &model);
+        for micro_batches in [1usize, 2, 4] {
+            let direct = dp_search_with_micro_batches(
+                &est,
+                &model,
+                0..model.n_layers(),
+                0,
+                &set,
+                16,
+                12 * GIB,
+                32 * MIB,
+                micro_batches,
+                16,
+            )
+            .unwrap();
+            let mut q = query(&set, &model, 16);
+            q.micro_batches = micro_batches;
+            let incremental = bound.solve(&est, &model, &q).unwrap();
+            assert_eq!(direct, incremental, "micro_batches {micro_batches}");
+        }
+    }
+}

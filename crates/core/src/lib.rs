@@ -21,6 +21,7 @@
 pub mod candidate;
 pub mod dp;
 pub mod explain;
+pub mod incremental;
 pub mod optimizer;
 pub mod partition;
 
@@ -28,7 +29,14 @@ pub use candidate::{
     evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets, strategy_sets,
     CandidateOutcome, CandidateResult, CandidateSpec, DirectStageDp, StageDp, StageDpQuery,
 };
-pub use dp::{dp_feasible, dp_search, dp_search_with_micro_batches, DpResult};
+pub use dp::{
+    dp_feasible, dp_feasible_with_provider, dp_search, dp_search_with_micro_batches,
+    dp_search_with_provider, DirectCosts, DpResult, StageCostProvider,
+};
 pub use explain::{explain_plan, LayerExplanation, PlanExplanation, StageExplanation};
+pub use incremental::{
+    context_fingerprint, BoundIncrementalDp, EvalTable, FeasibilityLedger, IncrementalCounters,
+    IncrementalEngine,
+};
 pub use optimizer::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, SearchStats};
 pub use partition::PipelinePartitioner;

@@ -9,8 +9,9 @@
 
 use crate::candidate::{
     evaluate_candidate, micro_batch_candidates, stage_bound_sets, strategy_sets, CandidateResult,
-    CandidateSpec, DirectStageDp,
+    CandidateSpec, DirectStageDp, StageDp,
 };
+use crate::incremental::IncrementalEngine;
 use crate::partition::PipelinePartitioner;
 use galvatron_cluster::{ClusterError, ClusterTopology, MIB};
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
@@ -119,6 +120,26 @@ pub struct SearchStats {
     /// Stage-DP memoization cache misses (0 without a cache).
     #[serde(default)]
     pub cache_misses: usize,
+    /// Kernel evaluations answered from the incremental engine's intern
+    /// table (0 without an engine).
+    #[serde(default)]
+    pub intern_hits: usize,
+    /// Kernel evaluations the incremental engine had to compute and intern
+    /// (0 without an engine).
+    #[serde(default)]
+    pub intern_misses: usize,
+    /// Feasibility questions answered by the monotone-memory ledger
+    /// (0 without an engine).
+    #[serde(default)]
+    pub ledger_hits: usize,
+    /// Feasibility questions the ledger had to compute (0 without an
+    /// engine).
+    #[serde(default)]
+    pub ledger_misses: usize,
+    /// Full stage-DP solves skipped outright because the ledger already
+    /// knew a smaller batch was infeasible (0 without an engine).
+    #[serde(default)]
+    pub warm_start_prunes: usize,
 }
 
 impl SearchStats {
@@ -126,6 +147,13 @@ impl SearchStats {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Intern-table hit rate in `[0, 1]`, or `None` when no incremental
+    /// engine was consulted.
+    pub fn intern_hit_rate(&self) -> Option<f64> {
+        let total = self.intern_hits + self.intern_misses;
+        (total > 0).then(|| self.intern_hits as f64 / total as f64)
     }
 
     /// The slowest single candidate evaluation, seconds.
@@ -163,6 +191,21 @@ impl SearchStats {
             .counter("dp_cache_misses")
             .inc_by(self.cache_misses as u64);
         registry
+            .counter("dp_intern_hits")
+            .inc_by(self.intern_hits as u64);
+        registry
+            .counter("dp_intern_misses")
+            .inc_by(self.intern_misses as u64);
+        registry
+            .counter("dp_ledger_hits")
+            .inc_by(self.ledger_hits as u64);
+        registry
+            .counter("dp_ledger_misses")
+            .inc_by(self.ledger_misses as u64);
+        registry
+            .counter("dp_warm_start_prunes")
+            .inc_by(self.warm_start_prunes as u64);
+        registry
             .wall_histogram("planner_search_seconds")
             .observe(self.search_seconds);
         let candidate_hist = registry.wall_histogram("planner_candidate_seconds");
@@ -186,16 +229,22 @@ pub struct OptimizeOutcome {
 }
 
 /// The global-batch candidates Algorithm 1 sweeps: multiples of the step,
-/// optionally preceded by the powers of two below it (`sub_step`; the
+/// optionally merged with the powers of two up to `max` (`sub_step`; the
 /// paper's 8-GPU sweep uses multiples of 8 only, while its 64-GPU Table 4
-/// reports batches as small as 2).
+/// reports batches as small as 2). A power of two that is also a multiple
+/// of the step (e.g. 16 with `step = 4`) would appear in both ladders, so
+/// the merged list is deduplicated — every candidate batch is explored
+/// exactly once, in ascending order.
 pub fn batch_candidates(step: usize, max: usize, sub_step: bool) -> Vec<usize> {
     let mut out = Vec::new();
     if sub_step {
         let mut b = 1usize;
-        while b < step && b <= max {
+        while b <= max {
             out.push(b);
-            b *= 2;
+            match b.checked_mul(2) {
+                Some(next) => b = next,
+                None => break,
+            }
         }
     }
     let mut b = step;
@@ -203,6 +252,8 @@ pub fn batch_candidates(step: usize, max: usize, sub_step: bool) -> Vec<usize> {
         out.push(b);
         b += step;
     }
+    out.sort_unstable();
+    out.dedup();
     out
 }
 
@@ -244,11 +295,47 @@ impl GalvatronOptimizer {
         topology: &ClusterTopology,
         budget_bytes: u64,
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        self.optimize_inner(model, topology, budget_bytes, None)
+    }
+
+    /// [`optimize`](Self::optimize) through an [`IncrementalEngine`]: the
+    /// same sweep, but every kernel evaluation is interned in the engine's
+    /// shared table and memory-infeasible stage queries are pruned by its
+    /// monotone ledger. Plans are bit-identical to the serial path (the
+    /// table replays the estimator's own earlier returns); the engine
+    /// outlives the call, so a second search over the same (model,
+    /// topology) context — or a neighbouring batch sweep — starts warm.
+    /// Reuse accounting lands in the outcome's
+    /// [`SearchStats::intern_hits`] / [`SearchStats::ledger_hits`] /
+    /// [`SearchStats::warm_start_prunes`].
+    pub fn optimize_incremental(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+        engine: &IncrementalEngine,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        self.optimize_inner(model, topology, budget_bytes, Some(engine))
+    }
+
+    fn optimize_inner(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+        engine: Option<&IncrementalEngine>,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
         let started = Instant::now();
         let estimator = CostEstimator::new(topology.clone(), self.config.estimator.clone());
         let usable = topology.usable_budget(budget_bytes);
         let n = topology.n_devices();
         let mut stats = SearchStats::default();
+        let counters_before = engine.map(|e| e.counters());
+        let bound = engine.map(|e| e.bind(&estimator, model));
+        let dp: &dyn StageDp = match &bound {
+            Some(b) => b,
+            None => &DirectStageDp,
+        };
 
         // Candidate PP degrees (Algorithm 1 line 4), their strategy sets
         // (line 7) and the stage-bound alternatives — none depend on the
@@ -294,7 +381,7 @@ impl GalvatronOptimizer {
                             full_set,
                             &spec,
                             usable,
-                            &DirectStageDp,
+                            dp,
                         )?;
                         if out.dp_invocations > 0 {
                             let secs = candidate_started.elapsed().as_secs_f64();
@@ -353,6 +440,14 @@ impl GalvatronOptimizer {
         }
 
         stats.search_seconds = started.elapsed().as_secs_f64();
+        if let (Some(before), Some(engine)) = (counters_before, engine) {
+            let delta = engine.counters().since(&before);
+            stats.intern_hits = delta.intern_hits;
+            stats.intern_misses = delta.intern_misses;
+            stats.ledger_hits = delta.ledger_hits;
+            stats.ledger_misses = delta.ledger_misses;
+            stats.warm_start_prunes = delta.warm_start_prunes;
+        }
         stats.record_to(self.obs.registry());
         self.obs
             .span("dp_search")
@@ -469,6 +564,66 @@ mod tests {
                 limited.plan.origin
             );
         }
+    }
+
+    #[test]
+    fn batch_candidates_never_repeat_a_batch() {
+        // Regression: with a non-power-of-two step, a power-of-two batch
+        // that is also a step multiple (e.g. 8 with step 4) used to be able
+        // to enter through both ladders; the merged list must explore every
+        // batch exactly once, ascending.
+        for step in [3usize, 4, 6, 8, 12] {
+            for max in [1usize, 7, 8, 31, 64, 100] {
+                for sub_step in [false, true] {
+                    let got = batch_candidates(step, max, sub_step);
+                    let mut unique = got.clone();
+                    unique.sort_unstable();
+                    unique.dedup();
+                    assert_eq!(got, unique, "step {step} max {max} sub {sub_step}");
+                    assert!(got.iter().all(|&b| b >= 1 && b <= max));
+                }
+            }
+        }
+        // The default power-of-two step is unchanged by the dedupe…
+        assert_eq!(batch_candidates(8, 32, true), vec![1, 2, 4, 8, 16, 24, 32]);
+        assert_eq!(batch_candidates(8, 32, false), vec![8, 16, 24, 32]);
+        // …while overlapping ladders now merge instead of duplicating.
+        assert_eq!(batch_candidates(4, 16, true), vec![1, 2, 4, 8, 12, 16]);
+        assert_eq!(
+            batch_candidates(6, 20, true),
+            vec![1, 2, 4, 6, 8, 12, 16, 18]
+        );
+    }
+
+    #[test]
+    fn incremental_optimize_matches_serial_bit_for_bit() {
+        let topo = rtx_titan_node(8);
+        let model = PaperModel::VitHuge32.spec();
+        let opt = GalvatronOptimizer::new(fast_config());
+        let serial = opt
+            .optimize(&model, &topo, 8 * GIB)
+            .unwrap()
+            .expect("feasible");
+        let engine = IncrementalEngine::new();
+        let cold = opt
+            .optimize_incremental(&model, &topo, 8 * GIB, &engine)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(serial.plan, cold.plan);
+        assert_eq!(
+            serial.throughput_samples_per_sec,
+            cold.throughput_samples_per_sec
+        );
+        assert_eq!(serial.iteration_time, cold.iteration_time);
+        assert!(cold.stats.intern_hits > 0, "{:?}", cold.stats);
+        // A second search over the live engine is warm: still the same
+        // plan, now with a higher intern hit rate.
+        let warm = opt
+            .optimize_incremental(&model, &topo, 8 * GIB, &engine)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(serial.plan, warm.plan);
+        assert_eq!(warm.stats.intern_misses, 0, "{:?}", warm.stats);
     }
 
     #[test]

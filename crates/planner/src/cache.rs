@@ -135,34 +135,37 @@ impl DpCache {
 /// ([`ClusterTopology::fingerprint`](galvatron_cluster::ClusterTopology::fingerprint))
 /// so any degradation — a lost device, a throttled link, a straggler spec —
 /// keys a disjoint cache region and re-planning can never hit stale
-/// entries from the healthy cluster.
+/// entries from the healthy cluster. (Shared with the incremental engine's
+/// kernel intern table, which keys its contexts identically.)
 pub fn context_fingerprint(estimator: &CostEstimator, model: &ModelSpec) -> String {
-    format!(
-        "topo#{:016x}|{:?}|{:?}|{:?}",
-        estimator.topology().fingerprint(),
-        model,
-        estimator.topology(),
-        estimator.config()
-    )
+    galvatron_core::context_fingerprint(estimator, model)
 }
 
 /// The memoizing [`StageDp`]: look the query up in the shared cache, run
-/// the real DP on a miss, and store the answer.
+/// the wrapped solver on a miss, and store the answer. The wrapped solver
+/// defaults to the direct DP but can be the incremental engine's
+/// [`BoundIncrementalDp`](galvatron_core::BoundIncrementalDp) — whole-query
+/// memoization then layers over kernel interning.
 pub struct CachedStageDp<'a> {
     cache: &'a DpCache,
     context: usize,
-    inner: galvatron_core::DirectStageDp,
+    inner: &'a dyn StageDp,
 }
 
 impl<'a> CachedStageDp<'a> {
-    /// Build a cached solver for one (estimator, model) context. The
-    /// context id must come from [`DpCache::intern`] of
+    /// Build a cached solver over the direct DP for one (estimator, model)
+    /// context. The context id must come from [`DpCache::intern`] of
     /// [`context_fingerprint`] on the same cache.
     pub fn new(cache: &'a DpCache, context: usize) -> Self {
+        CachedStageDp::over(cache, context, &galvatron_core::DirectStageDp)
+    }
+
+    /// Build a cached solver that delegates misses to `inner`.
+    pub fn over(cache: &'a DpCache, context: usize, inner: &'a dyn StageDp) -> Self {
         CachedStageDp {
             cache,
             context,
-            inner: galvatron_core::DirectStageDp,
+            inner,
         }
     }
 }

@@ -32,7 +32,7 @@ pub use cache::{CacheCounters, CachedStageDp, DpCache};
 pub use service::{PlanRequest, PlanResponse, PlanService};
 
 use galvatron_cluster::{ClusterError, ClusterTopology};
-use galvatron_core::{OptimizeOutcome, OptimizerConfig};
+use galvatron_core::{IncrementalEngine, OptimizeOutcome, OptimizerConfig};
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
 use galvatron_obs::Obs;
@@ -51,6 +51,15 @@ pub struct PlannerConfig {
     pub use_cache: bool,
     /// Skip candidates whose throughput upper bound cannot beat the best.
     pub prune: bool,
+    /// Route kernel evaluations through the incremental engine's shared
+    /// intern table and feasibility checks through its monotone-memory
+    /// ledger (bit-identical plans; see
+    /// [`IncrementalEngine`](galvatron_core::IncrementalEngine)). Configs
+    /// serialized before this field existed deserialize to `false`
+    /// (engine off), the conservative pre-existing behaviour; fresh
+    /// `PlannerConfig::default()` turns it on.
+    #[serde(default)]
+    pub incremental: bool,
 }
 
 impl Default for PlannerConfig {
@@ -60,6 +69,7 @@ impl Default for PlannerConfig {
             jobs: 0,
             use_cache: true,
             prune: true,
+            incremental: true,
         }
     }
 }
@@ -118,15 +128,22 @@ impl ParallelPlanner {
         topology: &ClusterTopology,
         budget_bytes: u64,
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
-        if self.config.use_cache {
-            self.optimize_with_cache(model, topology, budget_bytes, &DpCache::new())
-        } else {
-            self.run(model, topology, budget_bytes, None)
-        }
+        let cache = self.config.use_cache.then(DpCache::new);
+        let engine = self.config.incremental.then(IncrementalEngine::new);
+        self.run(
+            model,
+            topology,
+            budget_bytes,
+            cache.as_ref(),
+            engine.as_ref(),
+        )
     }
 
     /// [`ParallelPlanner::optimize`] against an existing (possibly warm)
-    /// shared cache — the building block of [`PlanService`].
+    /// shared cache — the building block of [`PlanService`]. A fresh
+    /// incremental engine is used per call when the config enables one; use
+    /// [`optimize_with_reuse`](Self::optimize_with_reuse) to keep the
+    /// kernel intern table warm across searches too.
     pub fn optimize_with_cache(
         &self,
         model: &ModelSpec,
@@ -134,7 +151,23 @@ impl ParallelPlanner {
         budget_bytes: u64,
         cache: &DpCache,
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
-        self.run(model, topology, budget_bytes, Some(cache))
+        let engine = self.config.incremental.then(IncrementalEngine::new);
+        self.run(model, topology, budget_bytes, Some(cache), engine.as_ref())
+    }
+
+    /// The fully explicit entry point: run one search against caller-owned
+    /// reuse structures — a (possibly warm) stage-DP memoization cache
+    /// and/or a (possibly warm) incremental engine. Both outlive the call,
+    /// so later searches over the same context start warm.
+    pub fn optimize_with_reuse(
+        &self,
+        model: &ModelSpec,
+        topology: &ClusterTopology,
+        budget_bytes: u64,
+        cache: Option<&DpCache>,
+        engine: Option<&IncrementalEngine>,
+    ) -> Result<Option<OptimizeOutcome>, ClusterError> {
+        self.run(model, topology, budget_bytes, cache, engine)
     }
 
     fn run(
@@ -143,6 +176,7 @@ impl ParallelPlanner {
         topology: &ClusterTopology,
         budget_bytes: u64,
         cache: Option<&DpCache>,
+        engine: Option<&IncrementalEngine>,
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
         let started = Instant::now();
         let mut search_span = self
@@ -155,6 +189,7 @@ impl ParallelPlanner {
             CostEstimator::new(topology.clone(), self.config.optimizer.estimator.clone());
         let usable = topology.usable_budget(budget_bytes);
         let counters_before = cache.map(|c| c.counters());
+        let engine_before = engine.map(|e| e.counters());
         let output = sweep::run_sweep(
             &self.config.optimizer,
             &estimator,
@@ -163,6 +198,7 @@ impl ParallelPlanner {
             usable,
             self.effective_jobs(),
             cache,
+            engine,
             self.config.prune,
             &self.obs,
         )?;
@@ -171,6 +207,14 @@ impl ParallelPlanner {
             let delta = cache.counters().since(&before);
             stats.cache_hits = delta.hits;
             stats.cache_misses = delta.misses;
+        }
+        if let (Some(engine), Some(before)) = (engine, engine_before) {
+            let delta = engine.counters().since(&before);
+            stats.intern_hits = delta.intern_hits;
+            stats.intern_misses = delta.intern_misses;
+            stats.ledger_hits = delta.ledger_hits;
+            stats.ledger_misses = delta.ledger_misses;
+            stats.warm_start_prunes = delta.warm_start_prunes;
         }
         stats.search_seconds = started.elapsed().as_secs_f64();
         stats.record_to(self.obs.registry());
@@ -237,6 +281,7 @@ mod tests {
             jobs: 4,
             use_cache: true,
             prune: true,
+            incremental: true,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()
@@ -258,6 +303,7 @@ mod tests {
             jobs: 2,
             use_cache: true,
             prune: false,
+            incremental: true,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()
@@ -279,6 +325,7 @@ mod tests {
             jobs: 2,
             use_cache: true,
             prune: true,
+            incremental: true,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()

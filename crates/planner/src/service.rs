@@ -13,7 +13,7 @@
 
 use crate::{DpCache, ParallelPlanner, PlannerConfig};
 use galvatron_cluster::{ClusterError, ClusterTopology};
-use galvatron_core::OptimizeOutcome;
+use galvatron_core::{IncrementalEngine, OptimizeOutcome};
 use galvatron_model::ModelSpec;
 use galvatron_obs::Obs;
 use serde::{Deserialize, Serialize};
@@ -44,11 +44,14 @@ pub struct PlanResponse {
 }
 
 /// A planning front-end that serves many requests from one shared
-/// memoization cache.
+/// memoization cache and one shared incremental engine (kernel intern
+/// table + monotone-memory feasibility ledger), so both whole-query
+/// answers and individual kernel evaluations stay warm across requests.
 #[derive(Debug)]
 pub struct PlanService {
     planner: ParallelPlanner,
     cache: DpCache,
+    engine: IncrementalEngine,
     obs: Obs,
 }
 
@@ -58,6 +61,7 @@ impl PlanService {
         PlanService {
             planner: ParallelPlanner::new(config),
             cache: DpCache::new(),
+            engine: IncrementalEngine::new(),
             obs: Obs::noop(),
         }
     }
@@ -82,30 +86,35 @@ impl PlanService {
         &self.cache
     }
 
-    /// Answer one request against the shared cache.
+    /// The shared incremental engine (e.g. to inspect reuse counters).
+    pub fn engine(&self) -> &IncrementalEngine {
+        &self.engine
+    }
+
+    /// Answer one request against the shared cache and engine.
     pub fn submit(&self, request: &PlanRequest) -> Result<PlanResponse, ClusterError> {
         let started = Instant::now();
         let mut span = self
             .obs
             .span("plan_request")
             .field("request", request.name.as_str());
-        let outcome = if self.planner.config().use_cache {
-            self.planner.optimize_with_cache(
-                &request.model,
-                &request.topology,
-                request.budget_bytes,
-                &self.cache,
-            )?
-        } else {
-            self.planner
-                .optimize(&request.model, &request.topology, request.budget_bytes)?
-        };
+        let config = self.planner.config();
+        let outcome = self.planner.optimize_with_reuse(
+            &request.model,
+            &request.topology,
+            request.budget_bytes,
+            config.use_cache.then_some(&self.cache),
+            config.incremental.then_some(&self.engine),
+        )?;
         let seconds = started.elapsed().as_secs_f64();
         let registry = self.obs.registry();
         registry.counter("plan_requests_total").inc();
         registry
             .gauge("dp_cache_entries")
             .set(self.cache.len() as f64);
+        registry
+            .gauge("dp_intern_entries")
+            .set(self.engine.table().len() as f64);
         registry
             .wall_histogram("plan_request_seconds")
             .observe(seconds);
@@ -165,6 +174,7 @@ mod tests {
             jobs: 2,
             use_cache: true,
             prune: true,
+            incremental: true,
         })
     }
 

@@ -31,8 +31,8 @@ use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_core::optimizer::batch_candidates;
 use galvatron_core::{
     dp_feasible, evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets,
-    strategy_sets, CandidateResult, CandidateSpec, DirectStageDp, OptimizerConfig, SearchStats,
-    StageDp,
+    strategy_sets, BoundIncrementalDp, CandidateResult, CandidateSpec, DirectStageDp,
+    IncrementalEngine, OptimizerConfig, SearchStats, StageDp,
 };
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
@@ -72,13 +72,18 @@ pub(crate) struct SweepOutput {
     pub stats: SearchStats,
 }
 
-/// Phase A: enumerate the feasible candidates in serial order.
+/// Phase A: enumerate the feasible candidates in serial order. With a
+/// bound incremental engine the per-stage feasibility checks go through
+/// its monotone-memory ledger, so neighbouring batches of the sweep (and
+/// earlier searches over the same context) answer most checks without
+/// touching the estimator.
 fn enumerate(
     config: &OptimizerConfig,
     estimator: &CostEstimator,
     model: &ModelSpec,
     topology: &ClusterTopology,
     usable: u64,
+    incremental: Option<&BoundIncrementalDp<'_>>,
     stats: &mut SearchStats,
 ) -> (Vec<(usize, StrategySet)>, Vec<WorkItem>) {
     let n = topology.n_devices();
@@ -109,15 +114,26 @@ fn enumerate(
                     let feasible = bounds.iter().enumerate().all(|(i, &(start, end))| {
                         let in_flight = config.schedule.in_flight(i, *pp, micro_batches) as u64;
                         let act_stash = (micro as u64 * in_flight).min(batch as u64);
-                        dp_feasible(
-                            estimator,
-                            model,
-                            start..end,
-                            &set,
-                            usable,
-                            config.memory_granularity,
-                            act_stash,
-                        )
+                        match incremental {
+                            Some(bound) => bound.feasible(
+                                estimator,
+                                model,
+                                start..end,
+                                &set,
+                                usable,
+                                config.memory_granularity,
+                                act_stash,
+                            ),
+                            None => dp_feasible(
+                                estimator,
+                                model,
+                                start..end,
+                                &set,
+                                usable,
+                                config.memory_granularity,
+                                act_stash,
+                            ),
+                        }
                     });
                     if feasible {
                         any_feasible = true;
@@ -152,7 +168,9 @@ fn enumerate(
 
 /// Run the full sweep with `jobs` workers. `cache` of `None` evaluates
 /// every stage DP directly; `prune` of `false` disables the upper-bound
-/// gate. Output is identical for every combination.
+/// gate; `engine` of `Some` routes kernels through the shared intern table
+/// and feasibility through the monotone ledger. Output is identical for
+/// every combination.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sweep(
     config: &OptimizerConfig,
@@ -162,12 +180,22 @@ pub(crate) fn run_sweep(
     usable: u64,
     jobs: usize,
     cache: Option<&DpCache>,
+    engine: Option<&IncrementalEngine>,
     prune: bool,
     obs: &Obs,
 ) -> Result<SweepOutput, ClusterError> {
     let mut stats = SearchStats::default();
+    let bound = engine.map(|e| e.bind(estimator, model));
     let mut phase_a = obs.span("enumerate_candidates");
-    let (sets, items) = enumerate(config, estimator, model, topology, usable, &mut stats);
+    let (sets, items) = enumerate(
+        config,
+        estimator,
+        model,
+        topology,
+        usable,
+        bound.as_ref(),
+        &mut stats,
+    );
     let n_items = items.len();
     phase_a.add_field("batches", stats.batches_explored);
     phase_a.add_field("feasible_candidates", n_items);
@@ -190,11 +218,19 @@ pub(crate) fn run_sweep(
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
+                // Solver stack, innermost out: the incremental engine's
+                // kernel-interning DP (when enabled), then the whole-query
+                // memoization cache (when enabled). Workers share both
+                // structures; each layer is bit-identical to the direct DP.
                 let direct = DirectStageDp;
-                let cached = context.map(|ctx| CachedStageDp::new(cache.unwrap(), ctx));
+                let inner: &dyn StageDp = match &bound {
+                    Some(b) => b,
+                    None => &direct,
+                };
+                let cached = context.map(|ctx| CachedStageDp::over(cache.unwrap(), ctx, inner));
                 let dp: &dyn StageDp = match &cached {
                     Some(c) => c,
-                    None => &direct,
+                    None => inner,
                 };
                 loop {
                     let item = match queue.steal() {

@@ -34,4 +34,14 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build "${CARGO_FLAGS[@]}" --release
 cargo test "${CARGO_FLAGS[@]}" -q
 
+echo "==> oracle conformance: brute force vs every DP path (serial/cached/incremental)"
+cargo test "${CARGO_FLAGS[@]}" --test dp_oracle -q
+
+echo "==> planner_sweep smoke bench (fails if incremental and serial plans diverge)"
+# Writes BENCH_planner_sweep.json at the workspace root; the bench itself
+# panics (non-zero exit) on any plan divergence or a warm-sweep speedup
+# below the 1.5x floor.
+cargo bench "${CARGO_FLAGS[@]}" -p galvatron-bench --bench planner_sweep
+test -s BENCH_planner_sweep.json || { echo "BENCH_planner_sweep.json missing" >&2; exit 1; }
+
 echo "==> all checks passed"

@@ -183,6 +183,7 @@ fn planner_for(opts: &Options) -> ParallelPlanner {
         jobs: opts.jobs,
         use_cache: true,
         prune: true,
+        incremental: true,
     })
 }
 

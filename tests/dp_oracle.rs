@@ -1,0 +1,311 @@
+//! The exhaustive-oracle conformance suite.
+//!
+//! Eq. 1's solver is the planner's foundation: every plan the optimizer,
+//! the parallel planner, the memoization cache and the incremental engine
+//! emit is built from its per-stage answers. This suite checks the solver
+//! against an oracle that cannot be wrong: brute-force enumeration of every
+//! per-layer strategy assignment on tiny instances (≤4 devices, ≤6 layers),
+//! with the *same* quantized memory accounting the DP uses. Each seeded
+//! random workload asserts that
+//!
+//! * the serial path (`dp_search_with_micro_batches`),
+//! * the memoizing path (`CachedStageDp`, cold and warm),
+//! * the incremental path (`IncrementalEngine`, cold and replayed from the
+//!   intern table), and
+//! * the composed path (cache over incremental — the planner's production
+//!   stack)
+//!
+//! all agree bit-for-bit with each other and match the brute-force optimum,
+//! including on infeasible instances (everyone must say `None`).
+
+use galvatron_cluster::{rtx_titan_node, MIB};
+use galvatron_core::{
+    dp_search_with_micro_batches, DirectStageDp, DpResult, IncrementalEngine, StageDp, StageDpQuery,
+};
+use galvatron_estimator::{CostEstimator, EstimatorConfig};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_planner::cache::context_fingerprint;
+use galvatron_planner::{CachedStageDp, DpCache};
+use galvatron_strategy::{DecisionTreeBuilder, StrategySet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One randomly drawn tiny workload.
+struct Instance {
+    estimator: CostEstimator,
+    model: ModelSpec,
+    set: StrategySet,
+    stage_batch: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+}
+
+fn draw_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ≤4 devices: group sizes 2 or 4 on a 4-GPU PCIe node.
+    let group = [2usize, 4][rng.gen_range(0usize..2)];
+    let estimator = CostEstimator::new(rtx_titan_node(4), EstimatorConfig::default());
+    // ≤6 layers: embed + 1..=4 encoders + head.
+    let heads = [4u64, 8][rng.gen_range(0usize..2)];
+    let model = BertConfig {
+        layers: rng.gen_range(1..=4),
+        hidden: heads * 64,
+        heads,
+        seq: [64u64, 128][rng.gen_range(0usize..2)],
+        vocab: 30522,
+    }
+    .build(&format!("oracle-{seed}"));
+
+    // A random non-empty subset of the decision-tree candidates keeps the
+    // tie-break structure varied across instances.
+    let full = DecisionTreeBuilder::new(group).strategies();
+    let mut kept: Vec<_> = full
+        .iter()
+        .filter(|_| rng.gen_range(0..4) > 0)
+        .cloned()
+        .collect();
+    if kept.is_empty() {
+        kept = full.strategies().to_vec();
+    }
+    let set = StrategySet::new(group, kept);
+
+    let stage_batch = (group as u64) << rng.gen_range(0..=2);
+    // Keep the micro-batch at least the group size so every candidate's
+    // data split divides it.
+    let micro_batches = if stage_batch >= 2 * group as u64 && rng.gen_range(0..2) == 1 {
+        2
+    } else {
+        1
+    };
+    let act_stash_batch = stage_batch;
+    // A bimodal draw straddles the feasibility boundary for these shapes:
+    // the low mode (16 MiB .. 0.5 GiB) is mostly hopeless, the high mode
+    // (up to ~4.3 GiB) mostly comfortable.
+    let usable_budget = if rng.gen_range(0u32..2) == 0 {
+        rng.gen_range(1u64..=32) * 16 * MIB
+    } else {
+        rng.gen_range(1u64..=68) * 64 * MIB
+    };
+    let granularity = [16 * MIB, 64 * MIB][rng.gen_range(0usize..2)];
+    Instance {
+        estimator,
+        model,
+        set,
+        stage_batch,
+        micro_batches,
+        act_stash_batch,
+        usable_budget,
+        granularity,
+    }
+}
+
+/// Brute force: the true optimum over every per-layer assignment, with the
+/// DP's exact quantized accounting (per-layer `div_ceil` memory units, the
+/// 2× transient reserve, the `e_max` clamp).
+fn brute_force(inst: &Instance) -> Option<f64> {
+    let est = &inst.estimator;
+    let model = &inst.model;
+    let n_layers = model.n_layers();
+    let n = inst.set.len();
+    let micro = (inst.stage_batch / inst.micro_batches as u64).max(1);
+
+    let mut cost = vec![vec![0.0f64; n]; n_layers];
+    let mut units = vec![vec![0u64; n]; n_layers];
+    let mut reserve = 0u64;
+    for (li, layer) in model.layers.iter().enumerate() {
+        for (si, s) in inst.set.iter().enumerate() {
+            let c = est.layer_cost(layer, model.dtype, s, micro, 0).unwrap();
+            cost[li][si] = c.total_with_micro_batches(est.config(), inst.micro_batches);
+            let m = est.layer_memory(layer, model.dtype, s, inst.act_stash_batch);
+            units[li][si] = m.persistent().div_ceil(inst.granularity);
+            reserve = reserve.max(m.transient);
+        }
+    }
+    let e_max = (inst.usable_budget.saturating_sub(2 * reserve) / inst.granularity).min(1 << 22);
+    let mut r = vec![vec![vec![0.0f64; n]; n]; n_layers];
+    for (li, r_li) in r.iter_mut().enumerate().skip(1) {
+        for (pi, p) in inst.set.iter().enumerate() {
+            for (si, s) in inst.set.iter().enumerate() {
+                r_li[pi][si] = est
+                    .transformation_cost(
+                        &model.layers[li - 1],
+                        model.dtype,
+                        p,
+                        s,
+                        inst.stage_batch,
+                        0,
+                    )
+                    .unwrap();
+            }
+        }
+    }
+
+    let mut best: Option<f64> = None;
+    let mut assignment = vec![0usize; n_layers];
+    loop {
+        let mut mem = 0u64;
+        let mut time = 0.0f64;
+        for (li, &si) in assignment.iter().enumerate() {
+            mem += units[li][si];
+            time += cost[li][si];
+            if li > 0 {
+                time += r[li][assignment[li - 1]][si];
+            }
+        }
+        if mem <= e_max {
+            best = Some(best.map_or(time, |b| b.min(time)));
+        }
+        // Odometer increment.
+        let mut i = 0;
+        while i < n_layers {
+            assignment[i] += 1;
+            if assignment[i] < n {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+        if i == n_layers {
+            break;
+        }
+    }
+    best
+}
+
+fn query<'a>(inst: &'a Instance) -> StageDpQuery<'a> {
+    StageDpQuery {
+        layer_start: 0,
+        layer_end: inst.model.n_layers(),
+        base_device: 0,
+        set: &inst.set,
+        stage_batch: inst.stage_batch,
+        usable_budget: inst.usable_budget,
+        granularity: inst.granularity,
+        micro_batches: inst.micro_batches,
+        act_stash_batch: inst.act_stash_batch,
+    }
+}
+
+fn assert_same_result(a: &Option<DpResult>, b: &Option<DpResult>, what: &str, seed: u64) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.cost.to_bits(),
+                b.cost.to_bits(),
+                "seed {seed}: {what} cost diverged ({} vs {})",
+                a.cost,
+                b.cost
+            );
+            assert_eq!(
+                a.strategies, b.strategies,
+                "seed {seed}: {what} strategies diverged"
+            );
+            assert_eq!(
+                a.memory_bytes, b.memory_bytes,
+                "seed {seed}: {what} memory diverged"
+            );
+        }
+        _ => panic!(
+            "seed {seed}: {what} feasibility diverged ({} vs {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+#[test]
+fn every_dp_path_matches_brute_force_on_200_seeded_instances() {
+    const INSTANCES: u64 = 220;
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    // One long-lived engine and cache across all instances — exactly the
+    // plan-service situation, and the harshest test of context keying:
+    // entries interned for one instance must never leak into another.
+    let engine = IncrementalEngine::new();
+    let cache = DpCache::new();
+
+    for seed in 0..INSTANCES {
+        let inst = draw_instance(seed);
+        let q = query(&inst);
+
+        let serial = dp_search_with_micro_batches(
+            &inst.estimator,
+            &inst.model,
+            0..inst.model.n_layers(),
+            0,
+            &inst.set,
+            inst.stage_batch,
+            inst.usable_budget,
+            inst.granularity,
+            inst.micro_batches,
+            inst.act_stash_batch,
+        )
+        .unwrap();
+
+        // Incremental path, cold then replayed from the intern table.
+        let bound = engine.bind(&inst.estimator, &inst.model);
+        let incremental = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
+        let replayed = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
+        assert_same_result(&serial, &incremental, "incremental", seed);
+        assert_same_result(&serial, &replayed, "incremental replay", seed);
+
+        // Memoizing path, cold then warm.
+        let ctx = cache.intern(&context_fingerprint(&inst.estimator, &inst.model));
+        let cached_dp = CachedStageDp::new(&cache, ctx);
+        let cached = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+        let warm = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+        assert_same_result(&serial, &cached, "cached", seed);
+        assert_same_result(&serial, &warm, "warm cache", seed);
+
+        // The production stack: whole-query memoization over the
+        // incremental engine.
+        let composed_dp = CachedStageDp::over(&cache, ctx, &bound);
+        let composed = composed_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+        assert_same_result(&serial, &composed, "cache∘incremental", seed);
+
+        // The explicit solver, for completeness of the trait plumbing.
+        let direct = DirectStageDp
+            .solve(&inst.estimator, &inst.model, &q)
+            .unwrap();
+        assert_same_result(&serial, &direct, "DirectStageDp", seed);
+
+        // And the oracle itself.
+        let oracle = brute_force(&inst);
+        match (&serial, oracle) {
+            (Some(dp), Some(bf)) => {
+                feasible += 1;
+                assert!(
+                    (dp.cost - bf).abs() <= 1e-9 * bf.max(1.0),
+                    "seed {seed}: dp {} vs brute force {bf}",
+                    dp.cost
+                );
+            }
+            (None, None) => infeasible += 1,
+            (dp, bf) => panic!(
+                "seed {seed}: feasibility diverged (dp {}, oracle {})",
+                dp.is_some(),
+                bf.is_some()
+            ),
+        }
+    }
+
+    // The draw must exercise both sides of the memory boundary, or the
+    // suite silently stops testing half the contract.
+    assert!(
+        feasible >= 40 && infeasible >= 40,
+        "skewed instance draw: {feasible} feasible, {infeasible} infeasible"
+    );
+    let counters = engine.counters();
+    assert!(
+        counters.intern_hits > 0,
+        "replays must hit the table: {counters:?}"
+    );
+    // Replaying an infeasible query is answered by the ledger alone.
+    assert!(
+        counters.warm_start_prunes >= infeasible,
+        "infeasible replays must short-circuit: {counters:?}"
+    );
+}

@@ -1,0 +1,185 @@
+//! Property tests for the estimator invariants the incremental engine's
+//! warm-starts rely on.
+//!
+//! The monotone-memory ledger prunes a stage query at activation stash `b'`
+//! whenever a smaller stash `b ≤ b'` was already infeasible. That is only
+//! sound if modeled memory is monotone in the batch (the paper's
+//! Algorithm 1 lines 14–18 lean on the same fact to stop the sweep), and
+//! only complete if `dp_feasible` — the O(L·S) screen the parallel planner
+//! and the ledger both use — answers exactly `dp_search(..).is_some()`.
+//! This suite pins both, plus the layer-count monotonicity that makes
+//! stage-prefix costs well behaved.
+
+use galvatron_cluster::{rtx_titan_node, GIB, MIB};
+use galvatron_core::{dp_feasible, dp_search_with_micro_batches};
+use galvatron_estimator::{CostEstimator, EstimatorConfig};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_strategy::DecisionTreeBuilder;
+use proptest::prelude::*;
+
+fn estimator() -> CostEstimator {
+    CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default())
+}
+
+fn model(layers: usize) -> ModelSpec {
+    BertConfig {
+        layers,
+        hidden: 1024,
+        heads: 16,
+        seq: 256,
+        vocab: 30522,
+    }
+    .build("invariants")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// Modeled per-layer memory (persistent and peak) never decreases in
+    /// the batch size, for every layer kind and every strategy.
+    #[test]
+    fn layer_memory_is_monotone_in_batch(
+        layers in 1usize..=3,
+        batch_exp in 0u32..=5,
+    ) {
+        let est = estimator();
+        let spec = model(layers);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let b1 = 1u64 << batch_exp;
+        let b2 = b1 * 2;
+        for layer in &spec.layers {
+            for s in set.iter() {
+                let small = est.layer_memory(layer, spec.dtype, s, b1);
+                let large = est.layer_memory(layer, spec.dtype, s, b2);
+                prop_assert!(
+                    small.persistent() <= large.persistent(),
+                    "{s}: persistent {} @ {b1} > {} @ {b2}",
+                    small.persistent(),
+                    large.persistent()
+                );
+                prop_assert!(
+                    small.peak() <= large.peak(),
+                    "{s}: peak {} @ {b1} > {} @ {b2}",
+                    small.peak(),
+                    large.peak()
+                );
+            }
+        }
+    }
+
+    /// Modeled per-layer time never decreases in the micro-batch size.
+    #[test]
+    fn layer_cost_is_monotone_in_batch(
+        layers in 1usize..=3,
+        batch_exp in 0u32..=5,
+    ) {
+        let est = estimator();
+        let spec = model(layers);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let b1 = 1u64 << batch_exp;
+        let b2 = b1 * 2;
+        for layer in &spec.layers {
+            for s in set.iter() {
+                let small = est.layer_cost(layer, spec.dtype, s, b1, 0).unwrap();
+                let large = est.layer_cost(layer, spec.dtype, s, b2, 0).unwrap();
+                prop_assert!(
+                    small.total(est.config()) <= large.total(est.config()) + 1e-12,
+                    "{s}: cost {} @ {b1} > {} @ {b2}",
+                    small.total(est.config()),
+                    large.total(est.config())
+                );
+            }
+        }
+    }
+
+    /// Stage-prefix monotonicity in the layer count: a feasible stage stays
+    /// feasible when layers are removed from its end, and its optimum never
+    /// gets more expensive.
+    #[test]
+    fn dp_is_monotone_in_layer_count(
+        layers in 2usize..=4,
+        batch_exp in 3u32..=5,
+        budget_gib in 4u64..=16,
+    ) {
+        let est = estimator();
+        let spec = model(layers);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let batch = 1u64 << batch_exp;
+        let budget = budget_gib * GIB;
+        let n = spec.n_layers();
+        let mut prev_cost: Option<f64> = None;
+        // Walk prefixes longest-first: feasibility may only *appear* and the
+        // optimum may only shrink as layers are dropped.
+        for end in (1..=n).rev() {
+            let out = dp_search_with_micro_batches(
+                &est, &spec, 0..end, 0, &set, batch, budget, 32 * MIB, 1, batch,
+            )
+            .unwrap();
+            if let Some(prev) = prev_cost {
+                let out = out.as_ref().expect("shorter prefix lost feasibility");
+                prop_assert!(
+                    out.cost <= prev + 1e-12,
+                    "prefix 0..{end}: {} > {prev}",
+                    out.cost
+                );
+            }
+            prev_cost = out.map(|o| o.cost).or(prev_cost);
+        }
+    }
+
+    /// The warm-start soundness property itself: once a query is
+    /// memory-infeasible at stash `b`, it stays infeasible at every larger
+    /// stash — for both `dp_feasible` and the full solve.
+    #[test]
+    fn infeasibility_is_monotone_in_batch(
+        layers in 1usize..=3,
+        budget_mib in 64u64..=4096,
+        gran_exp in 4u32..=6,
+    ) {
+        let est = estimator();
+        let spec = model(layers);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let budget = budget_mib * MIB;
+        let granularity = (1u64 << gran_exp) * MIB;
+        let mut seen_infeasible = false;
+        for batch in [1u64, 2, 4, 8, 16, 32, 64] {
+            let quick = dp_feasible(&est, &spec, 0..spec.n_layers(), &set, budget, granularity, batch);
+            let full = dp_search_with_micro_batches(
+                &est, &spec, 0..spec.n_layers(), 0, &set, batch, budget, granularity, 1, batch,
+            )
+            .unwrap()
+            .is_some();
+            prop_assert_eq!(quick, full, "screen vs solve at batch {}", batch);
+            if seen_infeasible {
+                prop_assert!(!full, "batch {} feasible after a smaller batch was not", batch);
+            }
+            seen_infeasible |= !full;
+        }
+    }
+
+    /// `dp_feasible` answers exactly `dp_search(..).is_some()` across the
+    /// (budget × batch × micro-batch) grid, including the quantization
+    /// boundary region.
+    #[test]
+    fn feasibility_screen_agrees_with_the_solver(
+        layers in 1usize..=3,
+        budget_mib in 128u64..=8192,
+        batch_exp in 0u32..=5,
+        micro_batches in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let est = estimator();
+        let spec = model(layers);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let budget = budget_mib * MIB;
+        let batch = 8u64 << batch_exp;
+        let quick = dp_feasible(&est, &spec, 0..spec.n_layers(), &set, budget, 32 * MIB, batch);
+        let full = dp_search_with_micro_batches(
+            &est, &spec, 0..spec.n_layers(), 0, &set, batch, budget, 32 * MIB, micro_batches, batch,
+        )
+        .unwrap()
+        .is_some();
+        prop_assert_eq!(quick, full);
+    }
+}

@@ -4,7 +4,7 @@
 //! worker count, and cache hits must never change the selected plan.
 
 use galvatron::prelude::*;
-use galvatron_core::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig};
+use galvatron_core::{GalvatronOptimizer, IncrementalEngine, OptimizeOutcome, OptimizerConfig};
 use galvatron_planner::{DpCache, ParallelPlanner, PlannerConfig};
 use proptest::prelude::*;
 
@@ -18,11 +18,16 @@ fn config() -> OptimizerConfig {
 }
 
 fn planner(jobs: usize, use_cache: bool, prune: bool) -> ParallelPlanner {
+    planner_inc(jobs, use_cache, prune, false)
+}
+
+fn planner_inc(jobs: usize, use_cache: bool, prune: bool, incremental: bool) -> ParallelPlanner {
     ParallelPlanner::new(PlannerConfig {
         optimizer: config(),
         jobs,
         use_cache,
         prune,
+        incremental,
     })
 }
 
@@ -83,16 +88,50 @@ fn outcome_is_invariant_in_the_worker_count() {
         .unwrap();
     for jobs in [2usize, 4, 8] {
         for (use_cache, prune) in [(false, false), (true, false), (false, true), (true, true)] {
-            let candidate = planner(jobs, use_cache, prune)
-                .optimize(&model, &topology, 16 * GIB)
+            for incremental in [false, true] {
+                let candidate = planner_inc(jobs, use_cache, prune, incremental)
+                    .optimize(&model, &topology, 16 * GIB)
+                    .unwrap();
+                assert_same(
+                    &reference,
+                    &candidate,
+                    &format!(
+                        "jobs={jobs} cache={use_cache} prune={prune} incremental={incremental}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_incremental_engine_reproduces_the_serial_plan() {
+    // The ledger's monotone warm-starts and the intern table's replayed
+    // kernels must not shift any plan, even when the engine is carried
+    // across budgets and models (distinct contexts) in one sweep study.
+    let topology = TestbedPreset::RtxTitan8.topology();
+    let serial = GalvatronOptimizer::new(config());
+    let planner = planner_inc(2, true, true, true);
+    let engine = IncrementalEngine::new();
+    let cache = DpCache::new();
+    for model in [PaperModel::BertHuge32, PaperModel::VitHuge32] {
+        let spec = model.spec();
+        for budget_gb in [8u64, 12, 8] {
+            let budget = budget_gb * GIB;
+            let reference = serial.optimize(&spec, &topology, budget).unwrap();
+            let candidate = planner
+                .optimize_with_reuse(&spec, &topology, budget, Some(&cache), Some(&engine))
                 .unwrap();
             assert_same(
                 &reference,
                 &candidate,
-                &format!("jobs={jobs} cache={use_cache} prune={prune}"),
+                &format!("warm engine, {} @ {budget_gb}G", model.name()),
             );
         }
     }
+    let counters = engine.counters();
+    assert!(counters.intern_hits > 0, "engine saw reuse: {counters:?}");
+    assert!(counters.ledger_hits > 0, "ledger saw reuse: {counters:?}");
 }
 
 #[test]
