@@ -49,6 +49,8 @@ fn planner(jobs: usize, use_cache: bool) -> ParallelPlanner {
         use_cache,
         prune: true,
         incremental: false,
+        cache_max_entries: None,
+        intern_max_entries: None,
     })
 }
 

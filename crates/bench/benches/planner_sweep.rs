@@ -49,6 +49,8 @@ fn planner() -> ParallelPlanner {
         use_cache: true,
         prune: true,
         incremental: true,
+        cache_max_entries: None,
+        intern_max_entries: None,
     })
 }
 

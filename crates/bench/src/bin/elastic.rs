@@ -42,6 +42,8 @@ fn planner_config(jobs: usize) -> PlannerConfig {
         use_cache: true,
         prune: true,
         incremental: true,
+        cache_max_entries: None,
+        intern_max_entries: None,
     }
 }
 

@@ -142,6 +142,8 @@ fn main() {
             use_cache: true,
             prune: true,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         })
         .with_obs(obs.clone());
         let started = Instant::now();

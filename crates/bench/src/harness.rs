@@ -128,6 +128,8 @@ pub fn evaluate_cell_observed(
                     use_cache: cache.is_some(),
                     prune: true,
                     incremental: false,
+                    cache_max_entries: None,
+                    intern_max_entries: None,
                 })
                 .with_obs(obs.clone());
                 match cache {

@@ -32,7 +32,9 @@ pub use collectives::{CollectiveAlgorithm, CollectiveKind, CollectiveOp};
 pub use group::{CommGroup, CommGroupPool, GroupId};
 pub use link::{Link, LinkClass};
 pub use presets::{a100_cluster, rtx_titan_node, rtx_titan_nodes, TestbedPreset};
-pub use topology::{ClusterError, ClusterTopology, DegradedTopology, DeviceId, GpuSpec};
+pub use topology::{
+    ClusterError, ClusterTopology, DegradedTopology, DeviceId, GpuSpec, TopologyLevel,
+};
 
 /// One binary gigabyte, the unit memory budgets are quoted in throughout the
 /// paper ("8G", "12G", ...).

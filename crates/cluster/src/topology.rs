@@ -180,6 +180,28 @@ impl ClusterTopology {
         Ok(topo)
     }
 
+    /// Re-run the constructor invariants on an already-built value.
+    ///
+    /// Serde deserialization fills the fields directly and never goes
+    /// through [`ClusterTopology::new`], so a topology received over a
+    /// wire (the plan-serving daemon's request path) or read from disk can
+    /// violate every structural invariant the rest of the stack assumes.
+    /// Call this before planning on an untrusted topology; it checks the
+    /// level nesting, the device-count cover, and (heterogeneous clusters)
+    /// that exactly one spec per device is present.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        ClusterTopology::new(self.gpu.clone(), self.n_devices, self.levels.clone())?;
+        if let Some(specs) = &self.device_specs {
+            if specs.len() != self.n_devices {
+                return Err(ClusterError::SizeMismatch {
+                    covered: specs.len(),
+                    declared: self.n_devices,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Whether per-device specs differ.
     pub fn is_heterogeneous(&self) -> bool {
         self.device_specs
@@ -317,6 +339,35 @@ impl ClusterTopology {
     /// Two topologies with the same fingerprint present the same planning
     /// problem; any degradation (lost device, slowed device, throttled
     /// link) changes it. Used to key shared planner caches.
+    ///
+    /// ## Stability contract
+    ///
+    /// The fingerprint is a **persistent identity**, not a session token:
+    /// the plan-serving daemon keys its response cache and single-flight
+    /// coalescing on it, and persists those keys to disk for warm
+    /// restarts. Holding that up requires, and this function guarantees:
+    ///
+    /// 1. **Restart stability** — the value is a pure function of the
+    ///    topology's semantic fields, computed with an explicitly coded
+    ///    FNV-1a over a fixed field order and little-endian encodings.
+    ///    It never depends on `std`'s `DefaultHasher` (randomized per
+    ///    process), pointer values, or field memory layout, so the same
+    ///    topology fingerprints identically in every process, on every
+    ///    platform, forever (`cluster/tests/fingerprint_stability.rs`
+    ///    pins golden values).
+    /// 2. **Serialization round-trips** — serde round-trips preserve every
+    ///    fingerprinted field exactly (floats travel as shortest-round-trip
+    ///    decimals, which re-parse to identical bits), so
+    ///    `deserialize(serialize(t)).fingerprint() == t.fingerprint()`.
+    /// 3. **Degradations separate** — any change to a fingerprinted field
+    ///    (a lost device, a throttled link, a straggler spec) changes the
+    ///    input byte stream; collisions are the generic 64-bit birthday
+    ///    bound, not structural.
+    ///
+    /// Changing the field order, the encoding, or the hash constants below
+    /// is a **breaking change** for every persisted cache: bump/invalidate
+    /// persisted artifacts if it ever becomes necessary, and update the
+    /// golden-value tests.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a, explicit so the value is stable across platforms and
         // std hasher changes.

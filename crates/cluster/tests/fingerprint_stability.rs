@@ -1,0 +1,155 @@
+//! The stability contract of [`ClusterTopology::fingerprint`].
+//!
+//! The plan-serving daemon keys its response cache and its single-flight
+//! coalescing map on `(model, topology fingerprint, budget)` and persists
+//! those keys to disk across restarts, so the fingerprint must be a pure,
+//! process-independent function of the topology's semantic fields. These
+//! tests pin that contract three ways: golden values (catching any change
+//! to the hash constants, field order or encodings), serde round-trips
+//! (the wire/disk path the daemon actually takes), and separation of
+//! degraded topologies.
+
+use galvatron_cluster::{
+    a100_cluster, rtx_titan_node, rtx_titan_nodes, ClusterTopology, GpuSpec, Link, LinkClass,
+    TopologyLevel,
+};
+
+/// Golden fingerprints for the preset testbeds. These values are part of
+/// the on-disk cache compatibility surface: if this test fails, the hash
+/// function changed, and every persisted serve cache in the wild is
+/// silently invalid. Do not "fix" the constants without bumping the
+/// persistence format (see `ClusterTopology::fingerprint` docs).
+#[test]
+fn preset_fingerprints_are_pinned() {
+    let pinned: [(&str, ClusterTopology, u64); 3] = [
+        (
+            "rtx_titan_node(8)",
+            rtx_titan_node(8),
+            0xb661_6bb2_725d_723d,
+        ),
+        (
+            "rtx_titan_nodes(2, 8)",
+            rtx_titan_nodes(2, 8),
+            0xe3c0_45cc_6312_a950,
+        ),
+        (
+            "a100_cluster(8, 8)",
+            a100_cluster(8, 8),
+            0xc658_75a1_eb4b_fc9d,
+        ),
+    ];
+    for (name, topo, expected) in pinned {
+        assert_eq!(
+            topo.fingerprint(),
+            expected,
+            "{name}: fingerprint drifted from its pinned value — this \
+             breaks every persisted serve cache"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_is_deterministic_within_a_process() {
+    let topo = rtx_titan_nodes(2, 8);
+    let first = topo.fingerprint();
+    for _ in 0..100 {
+        assert_eq!(topo.clone().fingerprint(), first);
+    }
+}
+
+#[test]
+fn json_round_trip_preserves_the_fingerprint() {
+    let topologies = vec![
+        rtx_titan_node(8),
+        rtx_titan_nodes(2, 8),
+        a100_cluster(8, 8),
+        // Degradations exercise throttled-link floats and per-device specs.
+        rtx_titan_node(8).with_degraded_link(0, 0.3).unwrap(),
+        rtx_titan_node(8).with_straggler(3, 1.7).unwrap(),
+        rtx_titan_nodes(2, 8)
+            .without_devices(&[3])
+            .unwrap()
+            .topology,
+    ];
+    for topo in topologies {
+        let json = serde_json::to_string(&topo).expect("serialize");
+        let back: ClusterTopology = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(
+            back.fingerprint(),
+            topo.fingerprint(),
+            "round trip changed the fingerprint of {topo:?}"
+        );
+        assert_eq!(back, topo, "round trip changed the topology itself");
+        back.validate()
+            .expect("a round-tripped valid topology validates");
+    }
+}
+
+#[test]
+fn double_round_trip_is_stable() {
+    // serialize → deserialize → serialize must be byte-identical: the
+    // persisted cache re-saves what it loaded.
+    let topo = rtx_titan_node(8).with_straggler(1, 2.5).unwrap();
+    let once = serde_json::to_string(&topo).unwrap();
+    let back: ClusterTopology = serde_json::from_str(&once).unwrap();
+    let twice = serde_json::to_string(&back).unwrap();
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn every_fingerprinted_field_separates() {
+    let base = rtx_titan_node(8);
+    let mut spec_more_mem = GpuSpec::rtx_titan();
+    spec_more_mem.memory_bytes += 1;
+    let mut spec_renamed = GpuSpec::rtx_titan();
+    spec_renamed.name.push('!');
+    let variants = vec![
+        rtx_titan_node(4),
+        base.with_degraded_link(0, 0.999).unwrap(),
+        base.with_straggler(0, 1.001).unwrap(),
+        ClusterTopology::flat(spec_more_mem, 8, Link::of_class(LinkClass::Pcie3)).unwrap(),
+        ClusterTopology::flat(spec_renamed, 8, Link::of_class(LinkClass::Pcie3)).unwrap(),
+        ClusterTopology::flat(
+            GpuSpec::rtx_titan(),
+            8,
+            Link::of_class(LinkClass::InfiniBand100),
+        )
+        .unwrap(),
+        ClusterTopology::new(
+            GpuSpec::rtx_titan(),
+            8,
+            vec![
+                TopologyLevel {
+                    group_size: 4,
+                    link: Link::of_class(LinkClass::Pcie3),
+                },
+                TopologyLevel {
+                    group_size: 8,
+                    link: Link::of_class(LinkClass::Pcie3),
+                },
+            ],
+        )
+        .unwrap(),
+    ];
+    for variant in &variants {
+        assert_ne!(
+            variant.fingerprint(),
+            base.fingerprint(),
+            "variant indistinguishable from base: {variant:?}"
+        );
+    }
+}
+
+#[test]
+fn validate_rejects_deserialized_garbage() {
+    // Serde fills fields directly, bypassing the constructor — the wire
+    // path must catch structural violations via validate().
+    let good = serde_json::to_string(&rtx_titan_node(8)).unwrap();
+    // Declared device count disagrees with the level cover.
+    let bad = good.replace("\"n_devices\":8", "\"n_devices\":12");
+    let parsed: ClusterTopology = serde_json::from_str(&bad).expect("fields still parse");
+    assert!(parsed.validate().is_err(), "invalid topology validated");
+    // The original validates fine.
+    let ok: ClusterTopology = serde_json::from_str(&good).unwrap();
+    ok.validate().unwrap();
+}

@@ -48,7 +48,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 const SHARDS: usize = 16;
 
@@ -103,37 +103,109 @@ struct LedgerKey {
     granularity: u64,
 }
 
+/// An interned value plus its last-touch stamp (a tick of the table-wide
+/// logical clock), the recency order bounded tables evict by.
+#[derive(Debug, Clone)]
+struct Stamped<V> {
+    value: V,
+    stamp: u64,
+}
+
 /// A sharded hash map: short critical sections, concurrent shards.
+/// Unbounded by default; [`Sharded::set_cap`] arms per-shard LRU eviction
+/// for long-lived owners (the serve daemon's engine), with evictions
+/// counted in the shared counter. Evicting only forgets a memoized kernel
+/// — the estimator recomputes the identical value on the next ask — so no
+/// cap setting can change a plan.
 #[derive(Debug)]
 struct Sharded<K, V> {
-    shards: [Mutex<HashMap<K, V>>; SHARDS],
+    shards: [Mutex<HashMap<K, Stamped<V>>>; SHARDS],
+    clock: AtomicU64,
+    evictions: AtomicUsize,
+    /// Maximum entries per shard; `None` is unbounded.
+    shard_cap: Option<usize>,
 }
 
 impl<K, V> Default for Sharded<K, V> {
     fn default() -> Self {
         Sharded {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            clock: AtomicU64::new(0),
+            evictions: AtomicUsize::new(0),
+            shard_cap: None,
         }
     }
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Sharded<K, V> {
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+    fn set_cap(&mut self, max_entries: usize) {
+        self.shard_cap = Some((max_entries / SHARDS).max(1));
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Stamped<V>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().get(key).cloned()
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock();
+        shard.get_mut(key).map(|entry| {
+            entry.stamp = stamp;
+            entry.value.clone()
+        })
     }
 
     fn insert(&self, key: K, value: V) {
-        self.shard(&key).lock().insert(key, value);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock();
+        shard.insert(key, Stamped { value, stamp });
+        if let Some(cap) = self.shard_cap {
+            while shard.len() > cap {
+                let oldest = shard
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.stamp)
+                    .map(|(key, _)| key.clone())
+                    .expect("non-empty shard above its cap");
+                shard.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone + Default> Sharded<K, V> {
+    /// Mutate (inserting a default first if absent) the value under `key`,
+    /// refreshing its recency stamp and applying the eviction policy.
+    fn update(&self, key: &K, mutate: impl FnOnce(&mut V)) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock();
+        let entry = shard.entry(key.clone()).or_insert_with(|| Stamped {
+            value: V::default(),
+            stamp,
+        });
+        entry.stamp = stamp;
+        mutate(&mut entry.value);
+        if let Some(cap) = self.shard_cap {
+            while shard.len() > cap {
+                let oldest = shard
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.stamp)
+                    .map(|(key, _)| key.clone())
+                    .expect("non-empty shard above its cap");
+                shard.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -224,9 +296,27 @@ impl EvalTable {
         id
     }
 
+    /// Arm per-kernel-table LRU bounds: at most `max_entries` interned
+    /// evaluations across the cost, memory and transformation tables (each
+    /// gets a third). The id interners (contexts, strategies, sets) stay
+    /// unbounded — they are tiny and ids must stay stable for the lifetime
+    /// of the engine.
+    fn set_cap(&mut self, max_entries: usize) {
+        let per_table = (max_entries / 3).max(1);
+        self.costs.set_cap(per_table);
+        self.mems.set_cap(per_table);
+        self.xforms.set_cap(per_table);
+    }
+
     /// Interned kernel evaluations currently held.
     pub fn len(&self) -> usize {
         self.costs.len() + self.mems.len() + self.xforms.len()
+    }
+
+    /// Kernel evaluations evicted by the LRU bound so far (always 0 for an
+    /// unbounded table).
+    pub fn evictions(&self) -> usize {
+        self.costs.evictions() + self.mems.evictions() + self.xforms.evictions()
     }
 
     /// Whether nothing has been interned yet.
@@ -269,23 +359,28 @@ impl FeasibilityLedger {
 
     /// Record an observed feasibility answer, widening the window.
     fn record(&self, key: &LedgerKey, act_stash: u64, feasible: bool) {
-        let shard = self.windows.shard(key);
-        let mut guard = shard.lock();
-        let window = guard.entry(key.clone()).or_default();
-        if feasible {
-            window.max_feasible = Some(window.max_feasible.map_or(act_stash, |b| b.max(act_stash)));
-        } else {
-            window.min_infeasible = Some(
-                window
-                    .min_infeasible
-                    .map_or(act_stash, |b| b.min(act_stash)),
-            );
-        }
+        self.windows.update(key, |window| {
+            if feasible {
+                window.max_feasible =
+                    Some(window.max_feasible.map_or(act_stash, |b| b.max(act_stash)));
+            } else {
+                window.min_infeasible = Some(
+                    window
+                        .min_infeasible
+                        .map_or(act_stash, |b| b.min(act_stash)),
+                );
+            }
+        });
     }
 
     /// Tracked (context, stage shape, set, budget) windows.
     pub fn len(&self) -> usize {
         self.windows.len()
+    }
+
+    /// Windows evicted by the LRU bound so far (always 0 unbounded).
+    pub fn evictions(&self) -> usize {
+        self.windows.evictions()
     }
 
     /// Whether no window has been recorded yet.
@@ -304,9 +399,28 @@ pub struct IncrementalEngine {
 }
 
 impl IncrementalEngine {
-    /// An empty engine.
+    /// An empty, unbounded engine (one-shot studies: nothing memoized is
+    /// ever wasted).
     pub fn new() -> Self {
         IncrementalEngine::default()
+    }
+
+    /// An empty engine whose kernel intern tables hold at most
+    /// `max_entries` evaluations and whose feasibility ledger holds at most
+    /// `max_entries` windows, both with LRU-ish eviction — what a
+    /// long-lived daemon needs to keep its footprint flat. Evictions only
+    /// forget memoized work (the estimator recomputes identical values), so
+    /// plans are unaffected; [`IncrementalEngine::evictions`] counts them.
+    pub fn bounded(max_entries: usize) -> Self {
+        let mut engine = IncrementalEngine::default();
+        engine.table.set_cap(max_entries);
+        engine.ledger.windows.set_cap(max_entries);
+        engine
+    }
+
+    /// Entries evicted across the kernel tables and the ledger so far.
+    pub fn evictions(&self) -> usize {
+        self.table.evictions() + self.ledger.evictions()
     }
 
     /// Bind the engine to one (estimator, model) context. The returned
@@ -591,6 +705,32 @@ mod tests {
         let counters = engine.counters();
         assert!(counters.intern_hits > 0, "{counters:?}");
         assert!(counters.intern_misses > 0, "{counters:?}");
+    }
+
+    #[test]
+    fn bounded_engine_evicts_but_stays_bit_identical() {
+        // A cap far below the working set: the tables thrash, yet every
+        // solve still replays exact estimator values or recomputes them —
+        // the answers must match the direct DP bit for bit.
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let engine = IncrementalEngine::bounded(48);
+        let bound = engine.bind(&est, &model);
+        for stash in [4u64, 8, 16, 4, 8, 16] {
+            let q = query(&set, &model, stash);
+            let direct = DirectStageDp.solve(&est, &model, &q).unwrap();
+            let incremental = bound.solve(&est, &model, &q).unwrap();
+            assert_eq!(direct, incremental, "stash {stash}");
+        }
+        assert!(engine.evictions() > 0, "cap of 48 must force evictions");
+        assert!(
+            engine.table().len() <= 48 + 3,
+            "table size {} far exceeds the bound",
+            engine.table().len()
+        );
+        // Unbounded engines never evict.
+        assert_eq!(IncrementalEngine::new().evictions(), 0);
     }
 
     #[test]

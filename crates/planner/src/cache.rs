@@ -20,9 +20,18 @@ use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 const SHARDS: usize = 16;
+
+/// A memoized entry plus its last-touch stamp (a tick of the cache-wide
+/// logical clock, bumped on every hit and insert — the recency order LRU
+/// eviction walks).
+#[derive(Debug, Clone)]
+struct Stamped<V> {
+    value: V,
+    stamp: u64,
+}
 
 /// The complete input of one stage-DP query. `context` and `set` are
 /// interner ids standing for the full (model, topology, estimator config)
@@ -64,18 +73,48 @@ impl CacheCounters {
 /// A sharded, thread-safe memoization cache for Eq. 1 stage solutions,
 /// shared by every worker of a sweep and (through [`crate::PlanService`])
 /// across requests.
+///
+/// By default the cache grows without bound — correct for one-shot studies,
+/// where every memoized answer may still be asked again. Long-lived owners
+/// (the plan service behind `galvatron-serve`) construct it with
+/// [`DpCache::bounded`], which evicts the least-recently-touched entries
+/// once the entry count exceeds the bound. Eviction only forgets memoized
+/// work — a later identical query recomputes the same bit-identical answer
+/// — so no bound setting can ever change a plan.
 #[derive(Debug, Default)]
 pub struct DpCache {
     interner: Mutex<HashMap<String, usize>>,
-    shards: [Mutex<HashMap<StageDpKey, Option<DpResult>>>; SHARDS],
+    shards: [Mutex<HashMap<StageDpKey, Stamped<Option<DpResult>>>>; SHARDS],
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    clock: AtomicU64,
+    /// Maximum entries per shard; `None` is unbounded.
+    shard_cap: Option<usize>,
 }
 
 impl DpCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         DpCache::default()
+    }
+
+    /// An empty cache that holds at most `max_entries` memoized stage
+    /// solutions, evicting least-recently-used entries beyond that. The
+    /// bound is enforced per shard (`max_entries / 16`, at least 1), so the
+    /// total can transiently undershoot the configured value when the key
+    /// distribution is skewed; it never overshoots.
+    pub fn bounded(max_entries: usize) -> Self {
+        DpCache {
+            shard_cap: Some((max_entries / SHARDS).max(1)),
+            ..DpCache::default()
+        }
+    }
+
+    /// Entries evicted by the [`bounded`](DpCache::bounded) LRU policy so
+    /// far (always 0 for an unbounded cache).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Intern a full textual representation, returning a compact id. Equal
@@ -108,14 +147,21 @@ impl DpCache {
         }
     }
 
-    fn shard(&self, key: &StageDpKey) -> &Mutex<HashMap<StageDpKey, Option<DpResult>>> {
+    fn shard(&self, key: &StageDpKey) -> &Mutex<HashMap<StageDpKey, Stamped<Option<DpResult>>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
     fn get(&self, key: &StageDpKey) -> Option<Option<DpResult>> {
-        let found = self.shard(key).lock().get(key).cloned();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let found = {
+            let mut shard = self.shard(key).lock();
+            shard.get_mut(key).map(|entry| {
+                entry.stamp = stamp;
+                entry.value.clone()
+            })
+        };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -124,7 +170,20 @@ impl DpCache {
     }
 
     fn insert(&self, key: StageDpKey, value: Option<DpResult>) {
-        self.shard(&key).lock().insert(key, value);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock();
+        shard.insert(key, Stamped { value, stamp });
+        if let Some(cap) = self.shard_cap {
+            while shard.len() > cap {
+                let oldest = shard
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.stamp)
+                    .map(|(key, _)| key.clone())
+                    .expect("non-empty shard above its cap");
+                shard.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -280,5 +339,70 @@ mod tests {
         let counters = cache.counters();
         assert_eq!((counters.hits, counters.misses), (1, 1));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    fn key_with_budget(budget: u64) -> StageDpKey {
+        StageDpKey {
+            context: 0,
+            set: 0,
+            layer_start: 0,
+            layer_end: 4,
+            base_device: 0,
+            stage_batch: 8,
+            usable_budget: budget,
+            granularity: 1 << 24,
+            micro_batches: 1,
+            act_stash_batch: 8,
+        }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        // Per-shard cap of 1 (16 / SHARDS): every shard holds its most
+        // recently touched entry only.
+        let cache = DpCache::bounded(16);
+        for budget in 0..64u64 {
+            cache.insert(key_with_budget(budget), None);
+        }
+        assert!(cache.len() <= 16, "len {} exceeds the bound", cache.len());
+        assert_eq!(cache.evictions(), 64 - cache.len());
+        // The newest entry of its shard survived; re-inserting an evicted
+        // key works and stays within the bound.
+        let before = cache.counters();
+        cache.insert(key_with_budget(0), None);
+        assert!(cache.len() <= 16);
+        assert!(cache.get(&key_with_budget(0)).is_some());
+        assert_eq!(cache.counters().since(&before).hits, 1);
+    }
+
+    #[test]
+    fn recently_touched_entries_survive_eviction() {
+        // Two entries per shard; three keys landing in one shard. Touching
+        // the first before the third insert makes the *second* the victim.
+        let cache = DpCache::bounded(2 * SHARDS);
+        let keys: Vec<StageDpKey> = (0..1024u64).map(key_with_budget).collect();
+        let shard_of = |k: &StageDpKey| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        let target = shard_of(&keys[0]);
+        let same_shard: Vec<&StageDpKey> = keys
+            .iter()
+            .filter(|k| shard_of(k) == target)
+            .take(3)
+            .collect();
+        assert_eq!(same_shard.len(), 3, "need three colliding keys");
+        cache.insert(same_shard[0].clone(), None);
+        cache.insert(same_shard[1].clone(), None);
+        cache.get(same_shard[0]); // refresh: [1] is now least recent
+        cache.insert(same_shard[2].clone(), None);
+        assert!(
+            cache.get(same_shard[0]).is_some(),
+            "refreshed entry evicted"
+        );
+        assert!(cache.get(same_shard[1]).is_none(), "LRU entry survived");
+        assert!(cache.get(same_shard[2]).is_some());
     }
 }

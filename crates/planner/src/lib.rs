@@ -60,6 +60,19 @@ pub struct PlannerConfig {
     /// `PlannerConfig::default()` turns it on.
     #[serde(default)]
     pub incremental: bool,
+    /// Entry bound on the long-lived stage-DP memoization cache a
+    /// [`PlanService`] owns, with LRU-ish eviction beyond it. `None` (the
+    /// default, and what configs serialized before this field existed
+    /// deserialize to) keeps the cache unbounded — the pre-existing
+    /// behaviour, right for one-shot studies but not for a daemon.
+    /// Eviction only forgets memoized work, so plans are unaffected.
+    #[serde(default)]
+    pub cache_max_entries: Option<usize>,
+    /// Entry bound on the service's incremental engine (kernel intern
+    /// tables and feasibility ledger), mirroring
+    /// [`cache_max_entries`](Self::cache_max_entries). `None` = unbounded.
+    #[serde(default)]
+    pub intern_max_entries: Option<usize>,
 }
 
 impl Default for PlannerConfig {
@@ -70,6 +83,8 @@ impl Default for PlannerConfig {
             use_cache: true,
             prune: true,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         }
     }
 }
@@ -282,6 +297,8 @@ mod tests {
             use_cache: true,
             prune: true,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()
@@ -304,6 +321,8 @@ mod tests {
             use_cache: true,
             prune: false,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()
@@ -326,6 +345,8 @@ mod tests {
             use_cache: true,
             prune: true,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         })
         .optimize(&model, &topo, 8 * GIB)
         .unwrap()

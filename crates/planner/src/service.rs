@@ -56,12 +56,22 @@ pub struct PlanService {
 }
 
 impl PlanService {
-    /// Build a service.
+    /// Build a service. The long-lived cache and engine honour the
+    /// config's `cache_max_entries` / `intern_max_entries` bounds (both
+    /// unbounded by default).
     pub fn new(config: PlannerConfig) -> Self {
+        let cache = match config.cache_max_entries {
+            Some(max) => DpCache::bounded(max),
+            None => DpCache::new(),
+        };
+        let engine = match config.intern_max_entries {
+            Some(max) => IncrementalEngine::bounded(max),
+            None => IncrementalEngine::new(),
+        };
         PlanService {
             planner: ParallelPlanner::new(config),
-            cache: DpCache::new(),
-            engine: IncrementalEngine::new(),
+            cache,
+            engine,
             obs: Obs::noop(),
         }
     }
@@ -115,6 +125,14 @@ impl PlanService {
         registry
             .gauge("dp_intern_entries")
             .set(self.engine.table().len() as f64);
+        // Counters only move forward: top each up to the structure's
+        // cumulative eviction count.
+        let cache_evictions = registry.counter("dp_cache_evictions_total");
+        cache_evictions
+            .inc_by((self.cache.evictions() as u64).saturating_sub(cache_evictions.get()));
+        let intern_evictions = registry.counter("dp_intern_evictions_total");
+        intern_evictions
+            .inc_by((self.engine.evictions() as u64).saturating_sub(intern_evictions.get()));
         registry
             .wall_histogram("plan_request_seconds")
             .observe(seconds);
@@ -175,6 +193,8 @@ mod tests {
             use_cache: true,
             prune: true,
             incremental: true,
+            cache_max_entries: None,
+            intern_max_entries: None,
         })
     }
 

@@ -1,0 +1,296 @@
+//! `galvatron-bench-serve` — load generator for the plan-serving daemon.
+//!
+//! Starts an in-process daemon (so the bench is self-contained and CI can
+//! run it offline) and drives four phases over real loopback TCP:
+//!
+//! 1. **cold** — a zoo of distinct requests against an empty cache: every
+//!    answer is a full Algorithm 1 run.
+//! 2. **warm** — the identical zoo again: every answer is a response-cache
+//!    hit.
+//! 3. **herd** — many clients ask the *same* question concurrently while
+//!    the worker pool is briefly paused, so the requests demonstrably
+//!    overlap: single-flight must collapse them to one computation.
+//! 4. **shed** — with workers paused, distinct requests are offered past
+//!    the queue capacity: the excess must be refused with `Overloaded`.
+//!
+//! Results go to a JSON report (default `BENCH_serve.json`). The bench
+//! exits non-zero if warm-cache throughput is below 5× cold throughput —
+//! the serving layer's reason to exist.
+
+use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_core::OptimizerConfig;
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_obs::Obs;
+use galvatron_planner::PlannerConfig;
+use galvatron_serve::{ErrorCode, PlanClient, PlanServer, ServeConfig, WireResult};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PhaseReport {
+    requests: usize,
+    seconds: f64,
+    requests_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct HerdReport {
+    clients: usize,
+    coalesced: u64,
+    computed_delta: u64,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ShedReport {
+    queue_capacity: usize,
+    offered: usize,
+    shed: u64,
+    accepted: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    distinct_requests: usize,
+    max_batch: usize,
+    cold: PhaseReport,
+    warm: PhaseReport,
+    warm_over_cold_speedup: f64,
+    herd: HerdReport,
+    shed: ShedReport,
+}
+
+fn workload() -> Vec<(String, ModelSpec, u64)> {
+    let mut requests = Vec::new();
+    for layers in [2usize, 4, 6] {
+        let model = BertConfig {
+            layers,
+            hidden: 512,
+            heads: 8,
+            seq: 128,
+            vocab: 30522,
+        }
+        .build(&format!("bert-{layers}"));
+        for budget_gib in [6u64, 8] {
+            requests.push((
+                format!("bert-{layers}@{budget_gib}g"),
+                model.clone(),
+                budget_gib * GIB,
+            ));
+        }
+    }
+    requests
+}
+
+fn run_phase(
+    addr: std::net::SocketAddr,
+    requests: &[(String, ModelSpec, u64)],
+) -> std::io::Result<PhaseReport> {
+    let topology = rtx_titan_node(8);
+    let mut client = PlanClient::connect(addr)?;
+    let started = Instant::now();
+    for (name, model, budget) in requests {
+        let response = client.plan(name, model.clone(), topology.clone(), *budget)?;
+        if let WireResult::Error(e) = &response.result {
+            if e.code != ErrorCode::Infeasible {
+                return Err(std::io::Error::other(format!(
+                    "{name}: unexpected error {e:?}"
+                )));
+            }
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    Ok(PhaseReport {
+        requests: requests.len(),
+        seconds,
+        requests_per_sec: requests.len() as f64 / seconds.max(1e-9),
+    })
+}
+
+fn main() {
+    let mut out = "BENCH_serve.json".to_string();
+    let mut max_batch = 16usize;
+    let mut herd_clients = 12usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--max-batch" => {
+                max_batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-batch requires a number");
+            }
+            "--herd-clients" => {
+                herd_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--herd-clients requires a number");
+            }
+            other => {
+                eprintln!("galvatron-bench-serve: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let queue_capacity = 4usize;
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity,
+        planner: PlannerConfig {
+            optimizer: OptimizerConfig {
+                max_batch,
+                ..OptimizerConfig::default()
+            },
+            ..PlannerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let handle = PlanServer::start(config, Obs::noop()).expect("bind loopback");
+    let addr = handle.addr();
+    let requests = workload();
+    eprintln!(
+        "galvatron-bench-serve: {} distinct requests against {addr}",
+        requests.len()
+    );
+
+    // Phase 1+2: cold, then warm (identical requests, now cached).
+    let cold = run_phase(addr, &requests).expect("cold phase");
+    eprintln!(
+        "  cold: {:.2} req/s ({:.3}s)",
+        cold.requests_per_sec, cold.seconds
+    );
+    let warm = run_phase(addr, &requests).expect("warm phase");
+    eprintln!(
+        "  warm: {:.2} req/s ({:.3}s)",
+        warm.requests_per_sec, warm.seconds
+    );
+
+    // Phase 3: thundering herd on one *uncached* key. Pause the workers so
+    // every client demonstrably overlaps, then release.
+    let herd_model = BertConfig {
+        layers: 3,
+        hidden: 512,
+        heads: 8,
+        seq: 128,
+        vocab: 30522,
+    }
+    .build("bert-herd");
+    let before = handle.stats();
+    handle.pause();
+    let herd_started = Instant::now();
+    let joiners: Vec<_> = (0..herd_clients)
+        .map(|i| {
+            let model = herd_model.clone();
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                client
+                    .plan(&format!("herd-{i}"), model, rtx_titan_node(8), 8 * GIB)
+                    .expect("herd response")
+            })
+        })
+        .collect();
+    // Give the herd a moment to pile onto the flight, then release.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    handle.resume();
+    for joiner in joiners {
+        let response = joiner.join().expect("herd client");
+        assert!(
+            matches!(response.result, WireResult::Plan(_)),
+            "herd client got {:?}",
+            response.result
+        );
+    }
+    let herd_seconds = herd_started.elapsed().as_secs_f64();
+    let after = handle.stats();
+    let herd = HerdReport {
+        clients: herd_clients,
+        coalesced: after.coalesced - before.coalesced,
+        computed_delta: after.computed - before.computed,
+        seconds: herd_seconds,
+    };
+    eprintln!(
+        "  herd: {} clients, {} coalesced, {} computed ({:.3}s)",
+        herd.clients, herd.coalesced, herd.computed_delta, herd.seconds
+    );
+
+    // Phase 4: offer distinct requests past the queue capacity with the
+    // workers paused; the excess must shed deterministically.
+    handle.pause();
+    let before_shed = handle.stats();
+    let offered = queue_capacity + 4;
+    let shed_clients: Vec<_> = (0..offered)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let model = BertConfig {
+                    layers: 2,
+                    hidden: 256 + 64 * i as u64, // distinct models: no coalescing
+                    heads: 8,
+                    seq: 128,
+                    vocab: 30522,
+                }
+                .build(&format!("shed-{i}"));
+                let mut client = PlanClient::connect(addr).expect("connect");
+                client
+                    .plan(&format!("shed-{i}"), model, rtx_titan_node(8), 8 * GIB)
+                    .expect("shed response")
+            })
+        })
+        .collect();
+    // Let every request reach admission control before releasing workers.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    handle.resume();
+    let mut accepted = 0usize;
+    for client in shed_clients {
+        let response = client.join().expect("shed client");
+        match response.result {
+            WireResult::Error(e) if e.code == ErrorCode::Overloaded => {}
+            _ => accepted += 1,
+        }
+    }
+    let after_shed = handle.stats();
+    let shed = ShedReport {
+        queue_capacity,
+        offered,
+        shed: after_shed.shed - before_shed.shed,
+        accepted,
+    };
+    eprintln!(
+        "  shed: {} offered into capacity {}, {} shed, {} accepted",
+        shed.offered, shed.queue_capacity, shed.shed, shed.accepted
+    );
+    handle.shutdown();
+
+    let speedup = warm.requests_per_sec / cold.requests_per_sec.max(1e-9);
+    let report = BenchReport {
+        bench: "galvatron-serve loopback",
+        distinct_requests: requests.len(),
+        max_batch,
+        cold,
+        warm,
+        warm_over_cold_speedup: speedup,
+        herd,
+        shed,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report).unwrap()).unwrap();
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    eprintln!("galvatron-bench-serve: wrote {out} (warm/cold speedup {speedup:.1}×)");
+
+    if speedup < 5.0 {
+        eprintln!("galvatron-bench-serve: FAIL — warm-cache throughput below 5× cold");
+        std::process::exit(1);
+    }
+    if report.herd.computed_delta != 1 {
+        eprintln!(
+            "galvatron-bench-serve: FAIL — herd computed {} times, expected 1",
+            report.herd.computed_delta
+        );
+        std::process::exit(1);
+    }
+    if report.shed.shed == 0 {
+        eprintln!("galvatron-bench-serve: FAIL — no request was shed past capacity");
+        std::process::exit(1);
+    }
+}

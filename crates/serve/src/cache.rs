@@ -1,0 +1,306 @@
+//! The byte-budget LRU response cache, with optional disk persistence.
+//!
+//! Keyed on [`PlanKey`] — the request's semantic identity: the model's
+//! canonical JSON, the topology's stable [`fingerprint`], and the budget.
+//! Values are the *stable* answer ([`WireResult::Plan`] or the
+//! deterministic [`ErrorCode::Infeasible`](crate::protocol::ErrorCode)
+//! error) — never transient failures, which must be retried, and never the
+//! envelope flags.
+//!
+//! Capacity is a **byte** budget, not an entry count: one 64-layer plan
+//! dwarfs a hundred infeasibility verdicts, and the operator reasons in
+//! resident memory. Each entry is charged its serialized key + value size;
+//! inserting past the budget evicts least-recently-used entries until it
+//! fits (an entry larger than the whole budget is simply not cached).
+//!
+//! Persistence is a JSON snapshot (`version`, the serving optimizer
+//! config's fingerprint, the entries). Loading a snapshot whose version or
+//! config fingerprint differs is a silent no-op — a restarted daemon with
+//! different estimator constants must not serve stale plans.
+//!
+//! [`fingerprint`]: galvatron_cluster::ClusterTopology::fingerprint
+//! [`WireResult::Plan`]: crate::protocol::WireResult::Plan
+
+use crate::protocol::{WireResult, PROTOCOL_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The semantic identity of a planning question.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanKey {
+    /// The model's canonical single-line JSON (serde round-trips are
+    /// byte-stable, so this is restart-safe).
+    pub model_json: String,
+    /// [`ClusterTopology::fingerprint`](galvatron_cluster::ClusterTopology::fingerprint),
+    /// stable across processes by contract.
+    pub topology_fingerprint: u64,
+    /// Per-device budget, bytes.
+    pub budget_bytes: u64,
+}
+
+struct Entry {
+    result: WireResult,
+    bytes: u64,
+    stamp: u64,
+}
+
+struct Inner {
+    entries: HashMap<PlanKey, Entry>,
+    total_bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Resident entries.
+    pub entries: usize,
+    /// Bytes charged against the budget.
+    pub bytes: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries evicted to stay under budget.
+    pub evictions: u64,
+}
+
+/// The LRU response cache.
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    max_bytes: u64,
+}
+
+/// The on-disk snapshot format.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    config_fingerprint: String,
+    entries: Vec<SnapshotEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotEntry {
+    key: PlanKey,
+    result: WireResult,
+}
+
+impl ResponseCache {
+    /// A cache bounded at `max_bytes` of serialized key+value payload.
+    pub fn new(max_bytes: u64) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            max_bytes,
+        }
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &PlanKey) -> Option<WireResult> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let result = entry.result.clone();
+                inner.hits += 1;
+                Some(result)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert an answer, evicting LRU entries until the budget holds. An
+    /// answer larger than the whole budget is not cached at all.
+    pub fn insert(&self, key: PlanKey, result: WireResult) {
+        let bytes = entry_cost(&key, &result);
+        if bytes > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.entries.insert(
+            key,
+            Entry {
+                result,
+                bytes,
+                stamp,
+            },
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        while inner.total_bytes > self.max_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(key, _)| key.clone());
+            let Some(victim) = victim else { break };
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.total_bytes -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            entries: inner.entries.len(),
+            bytes: inner.total_bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Write a snapshot to `path`. `config_fingerprint` identifies the
+    /// serving planner configuration (estimator constants included); a
+    /// loader with a different fingerprint ignores the file.
+    pub fn persist(&self, path: &Path, config_fingerprint: &str) -> std::io::Result<()> {
+        let inner = self.inner.lock().unwrap();
+        let mut ordered: Vec<(&PlanKey, &Entry)> = inner.entries.iter().collect();
+        // Oldest first, so a loader that itself evicts keeps the newest.
+        ordered.sort_by_key(|(_, entry)| entry.stamp);
+        let snapshot = Snapshot {
+            version: PROTOCOL_VERSION,
+            config_fingerprint: config_fingerprint.to_string(),
+            entries: ordered
+                .into_iter()
+                .map(|(key, entry)| SnapshotEntry {
+                    key: key.clone(),
+                    result: entry.result.clone(),
+                })
+                .collect(),
+        };
+        drop(inner);
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a snapshot written by [`persist`](ResponseCache::persist).
+    /// Returns the number of entries loaded; mismatched versions or config
+    /// fingerprints (and unreadable/corrupt files) load nothing.
+    pub fn load(&self, path: &Path, config_fingerprint: &str) -> usize {
+        let Ok(json) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        let Ok(snapshot) = serde_json::from_str::<Snapshot>(&json) else {
+            return 0;
+        };
+        if snapshot.version != PROTOCOL_VERSION || snapshot.config_fingerprint != config_fingerprint
+        {
+            return 0;
+        }
+        let mut loaded = 0;
+        for entry in snapshot.entries {
+            self.insert(entry.key, entry.result);
+            loaded += 1;
+        }
+        loaded
+    }
+}
+
+/// Bytes an entry is charged: serialized key + serialized value.
+fn entry_cost(key: &PlanKey, result: &WireResult) -> u64 {
+    let key_bytes = serde_json::to_string(key).map(|s| s.len()).unwrap_or(0);
+    let value_bytes = serde_json::to_string(result).map(|s| s.len()).unwrap_or(0);
+    (key_bytes + value_bytes) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ErrorCode, ServeError};
+
+    fn key(i: u64) -> PlanKey {
+        PlanKey {
+            model_json: format!("{{\"model\":{i}}}"),
+            topology_fingerprint: 0xabcd,
+            budget_bytes: 8 << 30,
+        }
+    }
+
+    fn verdict(i: u64) -> WireResult {
+        WireResult::Error(ServeError {
+            code: ErrorCode::Infeasible,
+            message: format!("nothing fits budget {i}"),
+            retry_after_ms: None,
+        })
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let one_entry = entry_cost(&key(0), &verdict(0));
+        // Room for two entries, not three.
+        let cache = ResponseCache::new(2 * one_entry + one_entry / 2);
+        cache.insert(key(1), verdict(1));
+        cache.insert(key(2), verdict(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), verdict(3));
+        assert!(cache.get(&key(1)).is_some(), "recently used survives");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= 2 * one_entry + one_entry / 2);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = ResponseCache::new(8);
+        cache.insert(key(1), verdict(1));
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn persistence_round_trips_and_gates_on_fingerprint() {
+        let dir = std::env::temp_dir().join("galvatron-serve-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+
+        let cache = ResponseCache::new(1 << 20);
+        cache.insert(key(1), verdict(1));
+        cache.insert(key(2), verdict(2));
+        cache.persist(&path, "config-A").unwrap();
+
+        let warm = ResponseCache::new(1 << 20);
+        assert_eq!(warm.load(&path, "config-A"), 2);
+        assert_eq!(warm.get(&key(1)), Some(verdict(1)));
+        assert_eq!(warm.get(&key(2)), Some(verdict(2)));
+
+        // A daemon running different planner constants must ignore it.
+        let mismatched = ResponseCache::new(1 << 20);
+        assert_eq!(mismatched.load(&path, "config-B"), 0);
+        assert_eq!(mismatched.stats().entries, 0);
+
+        // Corruption loads nothing rather than erroring.
+        std::fs::write(&path, "{not json").unwrap();
+        let corrupt = ResponseCache::new(1 << 20);
+        assert_eq!(corrupt.load(&path, "config-A"), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! A small blocking client for the JSONL protocol.
+//!
+//! One [`PlanClient`] is one TCP connection; requests are answered in
+//! order, so the client is a simple send-line/read-line pair. The bench
+//! load generator and the e2e tests open one client per simulated user.
+
+use crate::protocol::{PlanBody, RequestBody, ServeStats, WireRequest, WireResponse, WireResult};
+use galvatron_cluster::ClusterTopology;
+use galvatron_model::ModelSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A connected client.
+pub struct PlanClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl PlanClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(PlanClient {
+            stream,
+            reader,
+            next_id: 0,
+        })
+    }
+
+    /// Send one raw line and read one response line back. The escape
+    /// hatch for protocol tests (malformed JSON, etc.).
+    pub fn round_trip_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        if response.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    fn round_trip(&mut self, body: RequestBody, name: &str) -> std::io::Result<WireResponse> {
+        self.next_id += 1;
+        let request = WireRequest {
+            id: self.next_id,
+            name: name.to_string(),
+            body,
+        };
+        let line = serde_json::to_string(&request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let answer = self.round_trip_raw(&line)?;
+        serde_json::from_str(&answer)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Ask for a plan.
+    pub fn plan(
+        &mut self,
+        name: &str,
+        model: ModelSpec,
+        topology: ClusterTopology,
+        budget_bytes: u64,
+    ) -> std::io::Result<WireResponse> {
+        self.round_trip(
+            RequestBody::Plan(PlanBody {
+                model,
+                topology,
+                budget_bytes,
+            }),
+            name,
+        )
+    }
+
+    /// Liveness probe; returns the server's protocol version.
+    pub fn ping(&mut self) -> std::io::Result<u32> {
+        match self.round_trip(RequestBody::Ping, "ping")?.result {
+            WireResult::Pong(version) => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch structured serving statistics.
+    pub fn stats(&mut self) -> std::io::Result<ServeStats> {
+        match self.round_trip(RequestBody::Stats, "stats")?.result {
+            WireResult::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the Prometheus text exposition over the JSONL protocol.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        match self.round_trip(RequestBody::Metrics, "metrics")?.result {
+            WireResult::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(result: &WireResult) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected response variant: {result:?}"),
+    )
+}

@@ -1,0 +1,187 @@
+//! Single-flight coalescing of identical in-flight requests.
+//!
+//! When a thundering herd asks the same planning question concurrently,
+//! exactly one request (the *leader*) runs the DP; the rest (*followers*)
+//! block on the leader's [`Flight`] and receive a clone of its answer.
+//! This is admission-side deduplication: followers never occupy a queue
+//! slot, so a herd of `N` identical requests costs one queue slot and one
+//! computation regardless of `N` — which is also why the shed test can
+//! reason about queue occupancy exactly.
+//!
+//! The map holds only *in-flight* keys. Completion removes the key, so a
+//! later identical request either hits the response cache or starts a new
+//! flight; there is no unbounded growth here.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The outcome slot followers wait on.
+struct FlightState<R> {
+    result: Option<R>,
+}
+
+/// One in-flight computation.
+pub struct Flight<R> {
+    state: Mutex<FlightState<R>>,
+    done: Condvar,
+}
+
+impl<R: Clone> Flight<R> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState { result: None }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publish the result and wake all followers.
+    pub fn complete(&self, result: R) {
+        let mut state = self.state.lock().unwrap();
+        state.result = Some(result);
+        drop(state);
+        self.done.notify_all();
+    }
+
+    /// Wait up to `timeout` for the leader's result; `None` on timeout
+    /// (callers re-check shutdown flags and loop).
+    pub fn wait(&self, timeout: Duration) -> Option<R> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(result) = &state.result {
+                return Some(result.clone());
+            }
+            let (guard, waited) = self.done.wait_timeout(state, timeout).unwrap();
+            state = guard;
+            if waited.timed_out() && state.result.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// What [`SingleFlight::begin`] tells the caller it is.
+pub enum Role<R> {
+    /// First asker: compute, then [`SingleFlight::finish`] with the key.
+    Leader(Arc<Flight<R>>),
+    /// Someone else is already computing this key: wait on the flight.
+    Follower(Arc<Flight<R>>),
+}
+
+/// The registry of in-flight computations, keyed by the request identity.
+pub struct SingleFlight<K, R> {
+    inflight: Mutex<HashMap<K, Arc<Flight<R>>>>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, R: Clone> SingleFlight<K, R> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join or start the flight for `key`.
+    pub fn begin(&self, key: &K) -> Role<R> {
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(flight) = inflight.get(key) {
+            return Role::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        inflight.insert(key.clone(), Arc::clone(&flight));
+        Role::Leader(flight)
+    }
+
+    /// Leader-side: publish `result` on `key`'s flight and retire the key.
+    /// Followers already holding the flight still observe the result; new
+    /// askers start fresh.
+    pub fn finish(&self, key: &K, result: R) {
+        let flight = self.inflight.lock().unwrap().remove(key);
+        if let Some(flight) = flight {
+            flight.complete(result);
+        }
+    }
+
+    /// Keys currently in flight (tests and the stats endpoint).
+    pub fn len(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, R: Clone> Default for SingleFlight<K, R> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn herd_of_identical_keys_computes_once() {
+        let flights: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let followers = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let flights = Arc::clone(&flights);
+                let computed = Arc::clone(&computed);
+                let followers = Arc::clone(&followers);
+                thread::spawn(move || match flights.begin(&42) {
+                    Role::Leader(_) => {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the herd to
+                        // pile on, then publish.
+                        thread::sleep(Duration::from_millis(30));
+                        flights.finish(&42, "answer".to_string());
+                        "answer".to_string()
+                    }
+                    Role::Follower(flight) => {
+                        followers.fetch_add(1, Ordering::SeqCst);
+                        flight.wait(Duration::from_secs(5)).unwrap()
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), "answer");
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        assert_eq!(followers.load(Ordering::SeqCst), 15);
+        assert!(flights.is_empty(), "completed key must be retired");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let Role::Leader(_) = flights.begin(&1) else {
+            panic!("first asker must lead");
+        };
+        let Role::Leader(_) = flights.begin(&2) else {
+            panic!("distinct key must get its own flight");
+        };
+        assert_eq!(flights.len(), 2);
+        flights.finish(&1, 10);
+        flights.finish(&2, 20);
+        assert!(flights.is_empty());
+    }
+
+    #[test]
+    fn wait_times_out_without_a_result() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let Role::Leader(flight) = flights.begin(&7) else {
+            panic!("leader expected");
+        };
+        assert_eq!(flight.wait(Duration::from_millis(10)), None);
+        flights.finish(&7, 99);
+        assert_eq!(flight.wait(Duration::from_millis(10)), Some(99));
+    }
+}

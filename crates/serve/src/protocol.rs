@@ -1,0 +1,272 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, in order, over a plain TCP
+//! stream — `nc` is a valid client. Requests are externally tagged serde
+//! enums, so a plan request looks like
+//!
+//! ```json
+//! {"id":1,"name":"bert@8g","body":{"Plan":{"model":{...},"topology":{...},"budget_bytes":8589934592}}}
+//! ```
+//!
+//! and every response carries the request's `id` and `name` back plus a
+//! [`WireResult`]. The `result` payload of a plan answer is **stable
+//! bytes**: it excludes anything volatile (wall-clock timings, per-request
+//! labels), so a cached, a coalesced and a freshly computed answer to the
+//! same question serialize identically, and the loopback conformance test
+//! can require byte equality with a direct [`PlanService`] call. The
+//! `cached`/`coalesced` flags live on the envelope, outside the stable
+//! payload.
+//!
+//! [`PlanService`]: galvatron_planner::PlanService
+
+use galvatron_cluster::ClusterTopology;
+use galvatron_core::OptimizeOutcome;
+use galvatron_model::ModelSpec;
+use galvatron_strategy::ParallelPlan;
+use serde::{Deserialize, Serialize};
+
+/// Protocol version, echoed by `Ping` and stamped into persisted caches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Client-chosen label, echoed in the response (not part of any cache
+    /// key).
+    #[serde(default)]
+    pub name: String,
+    /// What is being asked.
+    pub body: RequestBody,
+}
+
+/// The request kinds the daemon answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Plan a model on a topology under a per-device budget.
+    Plan(PlanBody),
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// The daemon's metrics registry as Prometheus text; answered inline.
+    /// (An HTTP `GET /metrics` on the same port returns the same text for
+    /// scrape configs that insist on HTTP.)
+    Metrics,
+    /// Structured serving statistics; answered inline.
+    Stats,
+}
+
+/// The planning question proper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanBody {
+    /// The model to plan for.
+    pub model: ModelSpec,
+    /// The cluster to plan on. Validated server-side
+    /// ([`ClusterTopology::validate`]) — serde fills fields without
+    /// invariant checks.
+    pub topology: ClusterTopology,
+    /// Per-device memory budget, bytes.
+    pub budget_bytes: u64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The request's label.
+    #[serde(default)]
+    pub name: String,
+    /// Whether the answer came from the response cache.
+    #[serde(default)]
+    pub cached: bool,
+    /// Whether this request was coalesced onto another in-flight request's
+    /// computation (single-flight).
+    #[serde(default)]
+    pub coalesced: bool,
+    /// The answer.
+    pub result: WireResult,
+}
+
+/// The answer payload. For `Plan` requests this is the **stable** part of
+/// the response: identical questions produce byte-identical serializations
+/// regardless of cache or coalescing state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResult {
+    /// The optimal plan.
+    Plan(ServedPlan),
+    /// A structured failure (including "nothing fits the budget").
+    Error(ServeError),
+    /// Answer to `Ping`: the protocol version.
+    Pong(u32),
+    /// Answer to `Metrics`: Prometheus text exposition.
+    Metrics(String),
+    /// Answer to `Stats`.
+    Stats(ServeStats),
+}
+
+/// The deterministic projection of an
+/// [`OptimizeOutcome`](galvatron_core::OptimizeOutcome): the plan and its
+/// estimates, without the volatile search statistics (wall-clock timings
+/// vary run to run and would break response-byte stability).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedPlan {
+    /// The best per-layer hybrid plan.
+    pub plan: ParallelPlan,
+    /// Its estimated throughput, samples/second.
+    pub throughput_samples_per_sec: f64,
+    /// Its estimated iteration time, seconds.
+    pub iteration_time: f64,
+}
+
+impl From<OptimizeOutcome> for ServedPlan {
+    fn from(outcome: OptimizeOutcome) -> Self {
+        ServedPlan {
+            plan: outcome.plan,
+            throughput_samples_per_sec: outcome.throughput_samples_per_sec,
+            iteration_time: outcome.iteration_time,
+        }
+    }
+}
+
+/// A structured error. Clients can branch on `code` without parsing
+/// `message`; `retry_after_ms` is set exactly when retrying later can
+/// succeed (load shedding, shutdown), never for request defects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeError {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// When set, the client should retry after this many milliseconds.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
+}
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line did not parse as a [`WireRequest`].
+    BadRequest,
+    /// The topology violates structural invariants
+    /// ([`ClusterTopology::validate`]).
+    InvalidTopology,
+    /// The search ran and no candidate fits the budget (deterministic —
+    /// cached like a plan).
+    Infeasible,
+    /// The bounded request queue is full; retry after `retry_after_ms`.
+    Overloaded,
+    /// The planner itself errored (topology lookups etc.).
+    PlannerError,
+    /// The daemon is shutting down; retry against a restarted instance.
+    ShuttingDown,
+}
+
+/// Structured serving statistics (the `Stats` answer), for load generators
+/// and tests that would otherwise scrape and parse Prometheus text.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServeStats {
+    /// Requests currently waiting in the bounded queue.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+    /// Whether the worker pool is paused (draining for restart).
+    pub paused: bool,
+    /// Entries in the response cache.
+    pub cache_entries: usize,
+    /// Bytes accounted to the response cache.
+    pub cache_bytes: u64,
+    /// Response-cache hits served.
+    pub cache_hits: u64,
+    /// Response-cache misses.
+    pub cache_misses: u64,
+    /// Response-cache entries evicted by the byte budget.
+    pub cache_evictions: u64,
+    /// Requests answered by joining another request's in-flight
+    /// computation.
+    pub coalesced: u64,
+    /// Requests rejected by load shedding.
+    pub shed: u64,
+    /// Plans actually computed by the plan service.
+    pub computed: u64,
+    /// Total requests handled (all kinds).
+    pub requests: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galvatron_cluster::rtx_titan_node;
+    use galvatron_model::BertConfig;
+
+    fn plan_request() -> WireRequest {
+        WireRequest {
+            id: 7,
+            name: "bert@8g".to_string(),
+            body: RequestBody::Plan(PlanBody {
+                model: BertConfig {
+                    layers: 2,
+                    hidden: 256,
+                    heads: 4,
+                    seq: 64,
+                    vocab: 1000,
+                }
+                .build("tiny"),
+                topology: rtx_titan_node(8),
+                budget_bytes: 8 << 30,
+            }),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            plan_request(),
+            WireRequest {
+                id: 1,
+                name: String::new(),
+                body: RequestBody::Ping,
+            },
+            WireRequest {
+                id: 2,
+                name: String::new(),
+                body: RequestBody::Metrics,
+            },
+            WireRequest {
+                id: 3,
+                name: String::new(),
+                body: RequestBody::Stats,
+            },
+        ] {
+            let line = serde_json::to_string(&request).unwrap();
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back: WireRequest = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip() {
+        let response = WireResponse {
+            id: 9,
+            name: "x".to_string(),
+            cached: false,
+            coalesced: false,
+            result: WireResult::Error(ServeError {
+                code: ErrorCode::Overloaded,
+                message: "queue full (capacity 64)".to_string(),
+                retry_after_ms: Some(50),
+            }),
+        };
+        let line = serde_json::to_string(&response).unwrap();
+        let back: WireResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, response);
+        match back.result {
+            WireResult::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded);
+                assert_eq!(e.retry_after_ms, Some(50));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

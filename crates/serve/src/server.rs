@@ -1,0 +1,599 @@
+//! The plan-serving daemon.
+//!
+//! Thread architecture (all `std::thread` + `std::net`, no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection threads (1/client)
+//!                         │  parse line → inline answers (ping/metrics/stats)
+//!                         │  plan: cache → single-flight → bounded queue
+//!                         ▼                                   │ full ⇒ shed
+//!                      flight.wait ◀── workers ── queue.pop ◀─┘
+//!                                        │ PlanService::submit
+//!                                        ▼
+//!                                  cache.insert + flight.finish
+//! ```
+//!
+//! Connection threads do admission control *before* the queue: a response
+//! cache hit or a coalesced follower never consumes a queue slot, so the
+//! bounded queue holds only distinct, genuinely-new computations. When it
+//! fills, the leader is refused synchronously and every follower of that
+//! flight receives the same structured `Overloaded` answer with a
+//! `retry_after_ms` hint — load shedding is deterministic: capacity `Q`
+//! means at most `Q` queued computations, always.
+//!
+//! Every stage is measured through [`galvatron-obs`](galvatron_obs):
+//! request/queue-wait latency histograms, queue-depth and cache-size
+//! gauges, hit/coalesce/shed counters, and a span per request. An HTTP
+//! `GET /metrics` on the serving port answers with Prometheus text so a
+//! scraper needs no JSONL client.
+
+use crate::cache::{PlanKey, ResponseCache};
+use crate::flight::{Role, SingleFlight};
+use crate::protocol::{
+    ErrorCode, PlanBody, RequestBody, ServeError, ServeStats, WireRequest, WireResponse,
+    WireResult, PROTOCOL_VERSION,
+};
+use crate::queue::{BoundedQueue, PushError};
+use galvatron_obs::Obs;
+use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocked waits sleep before re-checking the stop flag.
+const TICK: Duration = Duration::from_millis(100);
+
+/// What clients are told to wait before retrying a shed request.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks a free loopback port.
+    pub addr: String,
+    /// Worker threads computing plans (minimum 1).
+    pub workers: usize,
+    /// Bounded queue capacity `Q`: at most `Q` distinct computations may
+    /// wait; further leaders are shed.
+    pub queue_capacity: usize,
+    /// Response-cache byte budget.
+    pub cache_max_bytes: u64,
+    /// When set, the response cache is loaded from this file at start and
+    /// written back at shutdown (warm restarts).
+    pub persist_path: Option<PathBuf>,
+    /// The planner the daemon serves with. Its Debug representation
+    /// fingerprints persisted caches: change the config, and old
+    /// snapshots are ignored rather than served stale.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_max_bytes: 16 << 20,
+            persist_path: None,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// One queued computation.
+struct Job {
+    key: PlanKey,
+    body: PlanBody,
+    name: String,
+    enqueued: Instant,
+}
+
+/// State shared by every thread of the daemon.
+struct Shared {
+    service: PlanService,
+    cache: ResponseCache,
+    flights: SingleFlight<PlanKey, WireResult>,
+    queue: BoundedQueue<Job>,
+    obs: Obs,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    computed: AtomicU64,
+    config_fingerprint: String,
+}
+
+impl Shared {
+    /// Point-in-time serving statistics (the `Stats` wire answer).
+    fn stats(&self) -> ServeStats {
+        let cache = self.cache.stats();
+        ServeStats {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            paused: self.queue.is_paused(),
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            coalesced: self.coalesced.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            computed: self.computed.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Push the internal tallies into the metrics registry (counters only
+    /// move forward, so each is topped up to its structure's cumulative
+    /// count rather than set).
+    fn refresh_metrics(&self) {
+        let registry = self.obs.registry();
+        let stats = self.stats();
+        registry
+            .gauge("serve_queue_depth")
+            .set(stats.queue_depth as f64);
+        registry
+            .gauge("serve_cache_entries")
+            .set(stats.cache_entries as f64);
+        registry
+            .gauge("serve_cache_bytes")
+            .set(stats.cache_bytes as f64);
+        for (name, total) in [
+            ("serve_requests_total", stats.requests),
+            ("serve_coalesced_total", stats.coalesced),
+            ("serve_shed_total", stats.shed),
+            ("serve_computed_total", stats.computed),
+            ("serve_cache_hits_total", stats.cache_hits),
+            ("serve_cache_misses_total", stats.cache_misses),
+            ("serve_cache_evictions_total", stats.cache_evictions),
+        ] {
+            let counter = registry.counter(name);
+            counter.inc_by(total.saturating_sub(counter.get()));
+        }
+    }
+
+    fn shutting_down(&self) -> WireResult {
+        WireResult::Error(ServeError {
+            code: ErrorCode::ShuttingDown,
+            message: "daemon is shutting down".to_string(),
+            retry_after_ms: Some(RETRY_AFTER_MS),
+        })
+    }
+}
+
+/// The running daemon. [`start`](PlanServer::start) it, talk to
+/// [`addr`](ServerHandle::addr), [`shutdown`](ServerHandle::shutdown) it.
+pub struct PlanServer;
+
+/// Handle to a running daemon.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    persist_path: Option<PathBuf>,
+}
+
+impl PlanServer {
+    /// Bind, load any persisted cache, and start the acceptor and worker
+    /// threads. Returns once the daemon is accepting connections.
+    pub fn start(config: ServeConfig, obs: Obs) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let config_fingerprint = format!("{:?}", config.planner);
+        let cache = ResponseCache::new(config.cache_max_bytes);
+        if let Some(path) = &config.persist_path {
+            let loaded = cache.load(path, &config_fingerprint);
+            if loaded > 0 {
+                obs.registry()
+                    .counter("serve_cache_loaded_total")
+                    .inc_by(loaded as u64);
+            }
+        }
+        let shared = Arc::new(Shared {
+            service: PlanService::new(config.planner.clone()).with_obs(obs.clone()),
+            cache,
+            flights: SingleFlight::new(),
+            queue: BoundedQueue::new(config.queue_capacity),
+            obs,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            config_fingerprint,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &connections))
+        };
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            connections,
+            persist_path: config.persist_path,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Freeze the worker pool. Queued and future jobs wait; admission
+    /// control (cache hits, coalescing, shedding) keeps running, which is
+    /// exactly what deterministic herd/shed tests need. The pause is
+    /// atomic under the queue lock: once this returns, no worker can
+    /// dequeue another job until [`resume`](ServerHandle::resume).
+    pub fn pause(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Release a paused worker pool.
+    pub fn resume(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Point-in-time serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, drain, join every thread, and (when configured)
+    /// persist the response cache for a warm restart.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.set_paused(false);
+        self.shared.queue.close();
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it re-checks the stop flag per accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().unwrap());
+        for connection in connections {
+            let _ = connection.join();
+        }
+        if let Some(path) = &self.persist_path {
+            let _ = self
+                .shared
+                .cache
+                .persist(path, &self.shared.config_fingerprint);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || connection_loop(stream, &shared));
+        connections.lock().unwrap().push(handle);
+    }
+}
+
+/// Serve one client: read newline-delimited requests, answer each in
+/// order. A leading `GET ` line is answered as a one-shot HTTP Prometheus
+/// scrape instead.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_nodelay(true);
+    let mut pending = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Drain complete lines already buffered.
+        while let Some(at) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=at).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("GET ") {
+                serve_http_metrics(&mut stream, shared);
+                return;
+            }
+            let response = handle_line(line, shared);
+            let Ok(mut out) = serde_json::to_string(&response) else {
+                return;
+            };
+            out.push('\n');
+            if stream.write_all(out.as_bytes()).is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer an HTTP `GET` (assumed `/metrics`) with the Prometheus text
+/// exposition and close.
+fn serve_http_metrics(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    shared.refresh_metrics();
+    let body = shared.obs.registry().snapshot().to_prometheus();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
+/// Parse and answer one request line.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> WireResponse {
+    let request: WireRequest = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.requests.fetch_add(1, Ordering::SeqCst);
+            shared.refresh_metrics();
+            return WireResponse {
+                id: 0,
+                name: String::new(),
+                cached: false,
+                coalesced: false,
+                result: WireResult::Error(ServeError {
+                    code: ErrorCode::BadRequest,
+                    message: format!("unparseable request line: {e}"),
+                    retry_after_ms: None,
+                }),
+            };
+        }
+    };
+    handle_request(request, shared)
+}
+
+fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
+    let started = Instant::now();
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    let mut span = shared
+        .obs
+        .span("serve_request")
+        .field("request", request.name.as_str());
+    let mut cached = false;
+    let mut coalesced = false;
+    let result = match request.body {
+        RequestBody::Ping => WireResult::Pong(PROTOCOL_VERSION),
+        RequestBody::Stats => WireResult::Stats(shared.stats()),
+        RequestBody::Metrics => {
+            shared.refresh_metrics();
+            WireResult::Metrics(shared.obs.registry().snapshot().to_prometheus())
+        }
+        RequestBody::Plan(body) => {
+            let (result, was_cached, was_coalesced) =
+                handle_plan(body, request.name.clone(), shared);
+            cached = was_cached;
+            coalesced = was_coalesced;
+            result
+        }
+    };
+    span.add_field("cached", cached);
+    span.add_field("coalesced", coalesced);
+    span.finish();
+    shared
+        .obs
+        .registry()
+        .wall_histogram("serve_request_seconds")
+        .observe(started.elapsed().as_secs_f64());
+    shared.refresh_metrics();
+    WireResponse {
+        id: request.id,
+        name: request.name,
+        cached,
+        coalesced,
+        result,
+    }
+}
+
+/// The plan path: validate → cache → single-flight → queue (or shed) →
+/// wait. Returns `(result, cached, coalesced)`.
+fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResult, bool, bool) {
+    // serde deserialization bypasses constructor invariants; reject
+    // structurally invalid topologies before they reach the planner.
+    if let Err(e) = body.topology.validate() {
+        return (
+            WireResult::Error(ServeError {
+                code: ErrorCode::InvalidTopology,
+                message: format!("invalid topology: {e}"),
+                retry_after_ms: None,
+            }),
+            false,
+            false,
+        );
+    }
+    let Ok(model_json) = serde_json::to_string(&body.model) else {
+        return (
+            WireResult::Error(ServeError {
+                code: ErrorCode::BadRequest,
+                message: "model does not serialize canonically".to_string(),
+                retry_after_ms: None,
+            }),
+            false,
+            false,
+        );
+    };
+    let key = PlanKey {
+        model_json,
+        topology_fingerprint: body.topology.fingerprint(),
+        budget_bytes: body.budget_bytes,
+    };
+    if let Some(result) = shared.cache.get(&key) {
+        return (result, true, false);
+    }
+    match shared.flights.begin(&key) {
+        Role::Follower(flight) => {
+            shared.coalesced.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if let Some(result) = flight.wait(TICK) {
+                    return (result, false, true);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return (shared.shutting_down(), false, true);
+                }
+            }
+        }
+        Role::Leader(flight) => {
+            let job = Job {
+                key: key.clone(),
+                body,
+                name,
+                enqueued: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => loop {
+                    if let Some(result) = flight.wait(TICK) {
+                        return (result, false, false);
+                    }
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return (shared.shutting_down(), false, false);
+                    }
+                },
+                Err(push_error) => {
+                    let result = match push_error {
+                        PushError::Full => {
+                            shared.shed.fetch_add(1, Ordering::SeqCst);
+                            WireResult::Error(ServeError {
+                                code: ErrorCode::Overloaded,
+                                message: format!(
+                                    "request queue full (capacity {})",
+                                    shared.queue.capacity()
+                                ),
+                                retry_after_ms: Some(RETRY_AFTER_MS),
+                            })
+                        }
+                        PushError::Closed => shared.shutting_down(),
+                    };
+                    // Anyone who coalesced onto this flight in the
+                    // meantime sheds with the leader.
+                    shared.flights.finish(&key, result.clone());
+                    (result, false, false)
+                }
+            }
+        }
+    }
+}
+
+/// A worker: pop a job, compute it once, publish to cache + flight.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) && shared.queue.is_empty() {
+            return;
+        }
+        let Some(job) = shared.queue.pop(TICK) else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        shared
+            .obs
+            .registry()
+            .wall_histogram("serve_queue_wait_seconds")
+            .observe(job.enqueued.elapsed().as_secs_f64());
+        // The cache may have warmed while the job waited (e.g. a persisted
+        // snapshot arriving through admission for an equal key is blocked
+        // by single-flight, but an operator-triggered load is not).
+        let result = match shared.cache.get(&job.key) {
+            Some(result) => result,
+            None => {
+                let (result, cacheable) = compute(shared, &job);
+                if cacheable {
+                    shared.cache.insert(job.key.clone(), result.clone());
+                }
+                result
+            }
+        };
+        shared.flights.finish(&job.key, result);
+        shared.refresh_metrics();
+    }
+}
+
+/// Run the plan service. Returns the stable answer and whether it is
+/// deterministic (plans and infeasibility verdicts are; transient planner
+/// errors are not and must not be cached).
+fn compute(shared: &Arc<Shared>, job: &Job) -> (WireResult, bool) {
+    shared.computed.fetch_add(1, Ordering::SeqCst);
+    let request = PlanRequest {
+        name: job.name.clone(),
+        model: job.body.model.clone(),
+        topology: job.body.topology.clone(),
+        budget_bytes: job.body.budget_bytes,
+    };
+    match shared.service.submit(&request) {
+        Ok(response) => match response.outcome {
+            Some(outcome) => (WireResult::Plan(outcome.into()), true),
+            None => (
+                WireResult::Error(ServeError {
+                    code: ErrorCode::Infeasible,
+                    message: format!(
+                        "no parallel configuration fits {} bytes per device",
+                        job.body.budget_bytes
+                    ),
+                    retry_after_ms: None,
+                }),
+                true,
+            ),
+        },
+        Err(e) => (
+            WireResult::Error(ServeError {
+                code: ErrorCode::PlannerError,
+                message: format!("planner error: {e}"),
+                retry_after_ms: None,
+            }),
+            false,
+        ),
+    }
+}

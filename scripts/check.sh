@@ -44,4 +44,21 @@ echo "==> planner_sweep smoke bench (fails if incremental and serial plans diver
 cargo bench "${CARGO_FLAGS[@]}" -p galvatron-bench --bench planner_sweep
 test -s BENCH_planner_sweep.json || { echo "BENCH_planner_sweep.json missing" >&2; exit 1; }
 
+echo "==> serve crate suites (unit + fingerprint stability contract)"
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-serve -q
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-cluster --test fingerprint_stability -q
+
+echo "==> galvatron-served loopback smoke (bind, announce, quit)"
+# The daemon prints its bound address on stdout and exits on stdin EOF.
+addr=$(echo quit | cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-serve --bin galvatron-served -- --addr 127.0.0.1:0 --workers 1 2>/dev/null)
+case "$addr" in
+    127.0.0.1:*) ;;
+    *) echo "galvatron-served did not announce a bound address (got: $addr)" >&2; exit 1 ;;
+esac
+
+echo "==> serve load bench (fails below 5x warm-over-cold, herd >1 compute, or no shed)"
+# Writes BENCH_serve.json at the workspace root.
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-serve --bin galvatron-bench-serve
+test -s BENCH_serve.json || { echo "BENCH_serve.json missing" >&2; exit 1; }
+
 echo "==> all checks passed"

@@ -184,6 +184,8 @@ fn planner_for(opts: &Options) -> ParallelPlanner {
         use_cache: true,
         prune: true,
         incremental: true,
+        cache_max_entries: None,
+        intern_max_entries: None,
     })
 }
 

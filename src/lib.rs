@@ -34,6 +34,10 @@
 //! * [`elastic`] — the elastic training runtime: deterministic fault
 //!   injection, heartbeat/anomaly detection, online re-planning on the
 //!   surviving topology, and state-migration costing.
+//! * [`serve`] — the plan-serving daemon: JSON-lines TCP protocol,
+//!   single-flight coalescing of identical in-flight requests, a
+//!   byte-budget LRU response cache with warm restarts, and deterministic
+//!   load shedding under a bounded queue.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +70,7 @@ pub use galvatron_exec as exec;
 pub use galvatron_model as model;
 pub use galvatron_obs as obs;
 pub use galvatron_planner as planner;
+pub use galvatron_serve as serve;
 pub use galvatron_sim as sim;
 pub use galvatron_strategy as strategy;
 
@@ -91,6 +96,7 @@ pub mod prelude {
     pub use galvatron_planner::{
         DpCache, ParallelPlanner, PlanRequest, PlanResponse, PlanService, PlannerConfig,
     };
+    pub use galvatron_serve::{PlanClient, PlanServer, ServeConfig, ServeStats};
     pub use galvatron_sim::{ExecutionReport, Simulator, SimulatorConfig};
     pub use galvatron_strategy::{
         DecisionTreeBuilder, Paradigm, ParallelPlan, StrategyAxis, StrategySet,

@@ -35,6 +35,8 @@ fn quick_planner(max_batch: usize) -> PlannerConfig {
         use_cache: true,
         prune: true,
         incremental: true,
+        cache_max_entries: None,
+        intern_max_entries: None,
     }
 }
 

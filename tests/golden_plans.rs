@@ -99,6 +99,8 @@ fn zoo_plans_match_the_golden_snapshots() {
         use_cache: true,
         prune: true,
         incremental: true,
+        cache_max_entries: None,
+        intern_max_entries: None,
     });
     // One warm cache and engine across the whole zoo, exactly like a plan
     // service — so the snapshots also pin that cross-model reuse does not

@@ -28,6 +28,8 @@ fn planner_inc(jobs: usize, use_cache: bool, prune: bool, incremental: bool) -> 
         use_cache,
         prune,
         incremental,
+        cache_max_entries: None,
+        intern_max_entries: None,
     })
 }
 
