@@ -1,0 +1,853 @@
+//! `galvatron-bench-serve` — load generator for the plan-serving layer.
+//!
+//! **Single-daemon mode** (default) starts an in-process
+//! [`PlanServer`](galvatron_serve::PlanServer) and drives four phases over
+//! real loopback TCP — cold, warm, thundering herd, shed — writing
+//! `BENCH_serve.json` and failing unless warm-cache throughput beats cold
+//! by 5×, the herd coalesces to one computation, and overload sheds.
+//!
+//! **Fleet mode** (`--fleet N`) starts N event-driven replicas plus a
+//! consistent-hash router, all in-process over loopback, and drives:
+//!
+//! 1. **connections** — ≥1k concurrent idle connections against one
+//!    replica, every one of which still answers a ping (the event-driven
+//!    connection layer's reason to exist; a thread-per-connection server
+//!    would need a thousand threads).
+//! 2. **cold / warm** — the request zoo through the router, uncached then
+//!    cached, with p50/p99 latency and requests/sec.
+//! 3. **byte-identity** — `FleetCheck` per key: every replica must produce
+//!    byte-identical answer payloads (this also warms every replica).
+//! 4. **zipf** — a zipf(s)-distributed request mix from parallel clients
+//!    through the router, the realistic hot-key workload.
+//! 5. **warm-join** — a brand-new replica pulls a peer snapshot and must
+//!    answer every covered question **without a single cold DP run**.
+//! 6. **kill** — one replica is shut down mid-run; re-asking every key
+//!    through the router must still answer, byte-identical to before.
+//!
+//! Results go to `BENCH_fleet.json`; the bench exits non-zero if any gate
+//! fails.
+
+use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_core::OptimizerConfig;
+use galvatron_fleet::{FleetReplica, FleetRouter, ReplicaConfig, RouterConfig};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_obs::Obs;
+use galvatron_planner::PlannerConfig;
+use galvatron_serve::{ErrorCode, PlanClient, PlanServer, ServeConfig, WireResult};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct PhaseReport {
+    requests: usize,
+    seconds: f64,
+    requests_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct HerdReport {
+    clients: usize,
+    coalesced: u64,
+    computed_delta: u64,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ShedReport {
+    queue_capacity: usize,
+    offered: usize,
+    shed: u64,
+    accepted: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    distinct_requests: usize,
+    max_batch: usize,
+    cold: PhaseReport,
+    warm: PhaseReport,
+    warm_over_cold_speedup: f64,
+    herd: HerdReport,
+    shed: ShedReport,
+}
+
+#[derive(Serialize)]
+struct LatencyReport {
+    requests: usize,
+    seconds: f64,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ConnectionsReport {
+    target: usize,
+    peak: usize,
+    pings_answered: usize,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ByteIdentityReport {
+    keys: usize,
+    replicas: usize,
+    all_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ZipfReport {
+    clients: usize,
+    s: f64,
+    latency: LatencyReport,
+}
+
+#[derive(Serialize)]
+struct WarmJoinReport {
+    imported: usize,
+    computed_before: u64,
+    computed_after: u64,
+    fleet_computed_delta_after_rejoin: u64,
+}
+
+#[derive(Serialize)]
+struct KillReport {
+    killed_id: usize,
+    reanswered: usize,
+    identical: bool,
+    router_failovers: u64,
+}
+
+#[derive(Serialize)]
+struct FleetBenchReport {
+    bench: &'static str,
+    replicas: usize,
+    distinct_requests: usize,
+    max_batch: usize,
+    gossip_fanout: usize,
+    connections: ConnectionsReport,
+    cold: LatencyReport,
+    warm: LatencyReport,
+    byte_identity: ByteIdentityReport,
+    zipf: ZipfReport,
+    warm_join: WarmJoinReport,
+    kill: KillReport,
+    gossip_sent_total: u64,
+    computed_total: u64,
+}
+
+fn workload() -> Vec<(String, ModelSpec, u64)> {
+    let mut requests = Vec::new();
+    for layers in [2usize, 4, 6] {
+        let model = BertConfig {
+            layers,
+            hidden: 512,
+            heads: 8,
+            seq: 128,
+            vocab: 30522,
+        }
+        .build(&format!("bert-{layers}"));
+        for budget_gib in [6u64, 8] {
+            requests.push((
+                format!("bert-{layers}@{budget_gib}g"),
+                model.clone(),
+                budget_gib * GIB,
+            ));
+        }
+    }
+    requests
+}
+
+fn run_phase(
+    addr: SocketAddr,
+    requests: &[(String, ModelSpec, u64)],
+) -> std::io::Result<PhaseReport> {
+    let topology = rtx_titan_node(8);
+    let mut client = PlanClient::connect(addr)?;
+    let started = Instant::now();
+    for (name, model, budget) in requests {
+        let response = client.plan(name, model.clone(), topology.clone(), *budget)?;
+        if let WireResult::Error(e) = &response.result {
+            if e.code != ErrorCode::Infeasible {
+                return Err(std::io::Error::other(format!(
+                    "{name}: unexpected error {e:?}"
+                )));
+            }
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    Ok(PhaseReport {
+        requests: requests.len(),
+        seconds,
+        requests_per_sec: requests.len() as f64 / seconds.max(1e-9),
+    })
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn latency_report(mut per_request_ms: Vec<f64>, seconds: f64) -> LatencyReport {
+    per_request_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LatencyReport {
+        requests: per_request_ms.len(),
+        seconds,
+        requests_per_sec: per_request_ms.len() as f64 / seconds.max(1e-9),
+        p50_ms: percentile(&per_request_ms, 0.50),
+        p99_ms: percentile(&per_request_ms, 0.99),
+    }
+}
+
+/// Run the zoo once through `addr`, timing each request.
+fn run_latency_phase(
+    addr: SocketAddr,
+    requests: &[(String, ModelSpec, u64)],
+) -> std::io::Result<LatencyReport> {
+    let topology = rtx_titan_node(8);
+    let mut client = PlanClient::connect(addr)?;
+    let mut per_request_ms = Vec::with_capacity(requests.len());
+    let started = Instant::now();
+    for (name, model, budget) in requests {
+        let one = Instant::now();
+        let response = client.plan(name, model.clone(), topology.clone(), *budget)?;
+        per_request_ms.push(one.elapsed().as_secs_f64() * 1e3);
+        if let WireResult::Error(e) = &response.result {
+            if e.code != ErrorCode::Infeasible {
+                return Err(std::io::Error::other(format!(
+                    "{name}: unexpected error {e:?}"
+                )));
+            }
+        }
+    }
+    Ok(latency_report(
+        per_request_ms,
+        started.elapsed().as_secs_f64(),
+    ))
+}
+
+struct Flags {
+    out: Option<String>,
+    max_batch: usize,
+    herd_clients: usize,
+    fleet: usize,
+    connections: usize,
+    zipf_requests: usize,
+    zipf_clients: usize,
+    zipf_s: f64,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        out: None,
+        max_batch: 16,
+        herd_clients: 12,
+        fleet: 0,
+        connections: 1100,
+        zipf_requests: 240,
+        zipf_clients: 8,
+        zipf_s: 1.1,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => flags.out = Some(next("--out", &mut args)),
+            "--max-batch" => {
+                flags.max_batch = next("--max-batch", &mut args)
+                    .parse()
+                    .expect("--max-batch requires a number");
+            }
+            "--herd-clients" => {
+                flags.herd_clients = next("--herd-clients", &mut args)
+                    .parse()
+                    .expect("--herd-clients requires a number");
+            }
+            "--fleet" => {
+                flags.fleet = next("--fleet", &mut args)
+                    .parse()
+                    .expect("--fleet requires a replica count");
+            }
+            "--connections" => {
+                flags.connections = next("--connections", &mut args)
+                    .parse()
+                    .expect("--connections requires a number");
+            }
+            "--zipf-requests" => {
+                flags.zipf_requests = next("--zipf-requests", &mut args)
+                    .parse()
+                    .expect("--zipf-requests requires a number");
+            }
+            other => {
+                eprintln!("galvatron-bench-serve: unknown flag {other}");
+                eprintln!(
+                    "usage: galvatron-bench-serve [--fleet N] [--out FILE] [--max-batch B] \
+                     [--herd-clients C] [--connections K] [--zipf-requests Z]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    if flags.fleet > 0 {
+        run_fleet_bench(&flags);
+    } else {
+        run_single_bench(&flags);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet mode
+// ---------------------------------------------------------------------------
+
+fn planner(max_batch: usize) -> PlannerConfig {
+    PlannerConfig {
+        optimizer: OptimizerConfig {
+            max_batch,
+            ..OptimizerConfig::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+/// The zipf(s) inverse CDF over `n` ranks (the vendored `rand` has no
+/// distribution module, so the sampling is explicit).
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("galvatron-bench-serve: FAIL — {message}");
+    std::process::exit(1);
+}
+
+fn run_fleet_bench(flags: &Flags) {
+    let n = flags.fleet;
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let gossip_fanout = 1usize;
+    let requests = workload();
+
+    // Start N replicas, introduce them to each other, front with a router.
+    let replicas: Vec<_> = (0..n)
+        .map(|id| {
+            FleetReplica::start(
+                ReplicaConfig {
+                    id,
+                    workers: 1,
+                    gossip_fanout,
+                    planner: planner(flags.max_batch),
+                    ..ReplicaConfig::default()
+                },
+                Obs::noop(),
+            )
+            .expect("bind replica")
+        })
+        .collect();
+    let members: Vec<(usize, SocketAddr)> = replicas.iter().map(|r| (r.id(), r.addr())).collect();
+    for replica in &replicas {
+        replica.set_peers(&members);
+    }
+    let router = FleetRouter::start(
+        RouterConfig {
+            replicas: members.clone(),
+            ..RouterConfig::default()
+        },
+        Obs::noop(),
+    )
+    .expect("bind router");
+    eprintln!(
+        "galvatron-bench-serve: fleet of {n} replicas behind router {} ({} distinct requests)",
+        router.addr(),
+        requests.len()
+    );
+
+    // Phase 1: ≥1k concurrent idle connections on replica 0, all answering.
+    let connections = connections_phase(&replicas[0], flags.connections);
+    eprintln!(
+        "  connections: {} open (target {}), {} pings answered ({:.2}s)",
+        connections.peak, connections.target, connections.pings_answered, connections.seconds
+    );
+    if connections.target >= 1000 && connections.peak < 1000 {
+        fail("event-driven replica did not sustain 1000 concurrent connections");
+    }
+    if connections.pings_answered < connections.target {
+        fail("not every concurrent connection was answered");
+    }
+
+    // Phase 2: cold then warm, through the router.
+    let cold = run_latency_phase(router.addr(), &requests).expect("cold phase");
+    eprintln!(
+        "  cold: {:.2} req/s, p50 {:.1}ms, p99 {:.1}ms",
+        cold.requests_per_sec, cold.p50_ms, cold.p99_ms
+    );
+    let warm = run_latency_phase(router.addr(), &requests).expect("warm phase");
+    eprintln!(
+        "  warm: {:.2} req/s, p50 {:.1}ms, p99 {:.1}ms",
+        warm.requests_per_sec, warm.p50_ms, warm.p99_ms
+    );
+
+    // Phase 3: cross-replica byte identity (also warms every replica's
+    // cache with every key, which later phases rely on).
+    let mut check_client = PlanClient::connect(router.addr()).expect("connect router");
+    let mut identity_payloads = Vec::with_capacity(requests.len());
+    let mut all_identical = true;
+    for (name, model, budget) in &requests {
+        let report = check_client
+            .fleet_check(name, model.clone(), rtx_titan_node(8), *budget)
+            .expect("fleet check");
+        if report.replicas != n || !report.byte_identical {
+            eprintln!(
+                "  byte-identity: {name}: {} replicas, identical={}",
+                report.replicas, report.byte_identical
+            );
+            all_identical = false;
+        }
+        identity_payloads.push(report.answer_json);
+    }
+    let byte_identity = ByteIdentityReport {
+        keys: requests.len(),
+        replicas: n,
+        all_identical,
+    };
+    eprintln!(
+        "  byte-identity: {} keys × {} replicas, identical={}",
+        byte_identity.keys, byte_identity.replicas, byte_identity.all_identical
+    );
+    if !all_identical {
+        fail("cross-replica answers were not byte-identical");
+    }
+
+    // Phase 4: zipf-distributed hot-key mix from parallel clients.
+    let zipf = zipf_phase(router.addr(), &requests, flags);
+    eprintln!(
+        "  zipf(s={}): {} clients, {:.2} req/s, p50 {:.1}ms, p99 {:.1}ms",
+        zipf.s,
+        zipf.clients,
+        zipf.latency.requests_per_sec,
+        zipf.latency.p50_ms,
+        zipf.latency.p99_ms
+    );
+
+    // Phase 5: warm-join. A new replica pulls a snapshot from replica 0 and
+    // must answer every covered question without a cold DP run.
+    let joiner = FleetReplica::start(
+        ReplicaConfig {
+            id: n,
+            workers: 1,
+            gossip_fanout,
+            planner: planner(flags.max_batch),
+            ..ReplicaConfig::default()
+        },
+        Obs::noop(),
+    )
+    .expect("bind joiner");
+    let mut joined_members = members.clone();
+    joined_members.push((joiner.id(), joiner.addr()));
+    joiner.set_peers(&joined_members);
+    let imported = joiner
+        .warm_join(replicas[0].addr(), usize::MAX)
+        .expect("warm join");
+    let computed_before = joiner.stats().computed;
+    // Ask the joiner directly for every key the snapshot covered.
+    let direct = run_phase(joiner.addr(), &requests).expect("joiner direct phase");
+    let computed_after = joiner.stats().computed;
+    eprintln!(
+        "  warm-join: {imported} entries imported, {} direct answers, {} cold DP runs",
+        direct.requests,
+        computed_after - computed_before
+    );
+    if computed_after > computed_before {
+        fail("warm-joined replica ran cold DP for questions its peer snapshot covered");
+    }
+    // Rejoin the ring: remapped keys must be served from the imported
+    // cache, not recomputed, across the whole fleet.
+    let fleet_computed = |replicas: &[galvatron_fleet::ReplicaHandle]| -> u64 {
+        replicas.iter().map(|r| r.stats().computed).sum::<u64>() + joiner.stats().computed
+    };
+    let computed_before_rejoin = fleet_computed(&replicas);
+    router.add_replica(joiner.id(), joiner.addr());
+    run_phase(router.addr(), &requests).expect("post-join phase");
+    let fleet_computed_delta = fleet_computed(&replicas) - computed_before_rejoin;
+    if fleet_computed_delta > 0 {
+        fail("rejoining the warm replica triggered cold DP runs the snapshot covered");
+    }
+    let warm_join = WarmJoinReport {
+        imported,
+        computed_before,
+        computed_after,
+        fleet_computed_delta_after_rejoin: fleet_computed_delta,
+    };
+
+    // Phase 6: kill replica 1 mid-run; every key must still answer through
+    // the router, byte-identical to the fleet-check payloads.
+    let gossip_sent_total: u64 =
+        replicas.iter().map(|r| r.gossip_sent()).sum::<u64>() + joiner.gossip_sent();
+    let mut replicas = replicas;
+    let killed = replicas.remove(1);
+    let killed_id = killed.id();
+    killed.shutdown();
+    let mut kill_client = PlanClient::connect(router.addr()).expect("connect router");
+    let mut reanswered = 0usize;
+    let mut identical = true;
+    for ((name, model, budget), expected) in requests.iter().zip(&identity_payloads) {
+        let response = kill_client
+            .plan(name, model.clone(), rtx_titan_node(8), *budget)
+            .expect("post-kill answer");
+        let payload = serde_json::to_string(&response.result).expect("serialize payload");
+        if &payload != expected {
+            eprintln!("  kill: {name}: answer changed after failover");
+            identical = false;
+        }
+        reanswered += 1;
+    }
+    let kill = KillReport {
+        killed_id,
+        reanswered,
+        identical,
+        router_failovers: router.failovers(),
+    };
+    eprintln!(
+        "  kill: replica {} down, {} keys reanswered, identical={}, {} failovers",
+        kill.killed_id, kill.reanswered, kill.identical, kill.router_failovers
+    );
+    if !identical {
+        fail("answers changed after killing a replica");
+    }
+
+    let computed_total = fleet_computed(&replicas);
+    router.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+    joiner.shutdown();
+
+    let report = FleetBenchReport {
+        bench: "galvatron-fleet loopback",
+        replicas: n,
+        distinct_requests: requests.len(),
+        max_batch: flags.max_batch,
+        gossip_fanout,
+        connections,
+        cold,
+        warm,
+        byte_identity,
+        zipf,
+        warm_join,
+        kill,
+        gossip_sent_total,
+        computed_total,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report).unwrap()).unwrap();
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    eprintln!("galvatron-bench-serve: wrote {out}");
+}
+
+/// Open `target` concurrent connections against one replica, verify the
+/// gauge reaches the target, then round-trip a ping on every one of them.
+fn connections_phase(replica: &galvatron_fleet::ReplicaHandle, target: usize) -> ConnectionsReport {
+    let started = Instant::now();
+    let addr = replica.addr();
+    let mut streams = Vec::with_capacity(target);
+    for i in 0..target {
+        match TcpStream::connect(addr) {
+            Ok(stream) => streams.push(stream),
+            Err(e) => {
+                eprintln!("  connections: connect {i} failed: {e}");
+                break;
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut peak = replica.connections();
+    while peak < streams.len() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        peak = peak.max(replica.connections());
+    }
+    // Every connection answers a ping while all of them are open.
+    let ping_line = serde_json::to_string(&galvatron_serve::WireRequest {
+        id: 1,
+        name: "conn".to_string(),
+        body: galvatron_serve::RequestBody::Ping,
+    })
+    .unwrap();
+    let mut pings_answered = 0usize;
+    for stream in &mut streams {
+        if stream
+            .write_all(format!("{ping_line}\n").as_bytes())
+            .is_err()
+        {
+            continue;
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && line.contains("Pong") {
+            pings_answered += 1;
+        }
+        peak = peak.max(replica.connections());
+    }
+    ConnectionsReport {
+        target,
+        peak,
+        pings_answered,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Zipf-distributed requests over the (cached) workload from parallel
+/// clients through the router.
+fn zipf_phase(
+    router_addr: SocketAddr,
+    requests: &[(String, ModelSpec, u64)],
+    flags: &Flags,
+) -> ZipfReport {
+    let zipf = Zipf::new(requests.len(), flags.zipf_s);
+    let per_client = flags.zipf_requests / flags.zipf_clients.max(1);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..flags.zipf_clients.max(1))
+        .map(|client_idx| {
+            // Deterministic per-client schedule, sampled up front so the
+            // threads only measure serving latency.
+            let mut rng = StdRng::seed_from_u64(0x5eed_2026 + client_idx as u64);
+            let schedule: Vec<usize> = (0..per_client).map(|_| zipf.sample(&mut rng)).collect();
+            let requests: Vec<(String, ModelSpec, u64)> = schedule
+                .into_iter()
+                .map(|rank| requests[rank].clone())
+                .collect();
+            std::thread::spawn(move || -> Vec<f64> {
+                let topology = rtx_titan_node(8);
+                let mut client = PlanClient::connect(router_addr).expect("connect router");
+                let mut latencies = Vec::with_capacity(requests.len());
+                for (name, model, budget) in requests {
+                    let one = Instant::now();
+                    let response = client
+                        .plan(&name, model, topology.clone(), budget)
+                        .expect("zipf answer");
+                    latencies.push(one.elapsed().as_secs_f64() * 1e3);
+                    assert!(
+                        !matches!(&response.result, WireResult::Error(e)
+                            if e.code != ErrorCode::Infeasible),
+                        "zipf request failed: {:?}",
+                        response.result
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut per_request_ms = Vec::new();
+    for worker in workers {
+        per_request_ms.extend(worker.join().expect("zipf client"));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    ZipfReport {
+        clients: flags.zipf_clients.max(1),
+        s: flags.zipf_s,
+        latency: latency_report(per_request_ms, seconds),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-daemon mode (the original bench, unchanged gates)
+// ---------------------------------------------------------------------------
+
+fn run_single_bench(flags: &Flags) {
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let max_batch = flags.max_batch;
+    let herd_clients = flags.herd_clients;
+    let queue_capacity = 4usize;
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity,
+        planner: planner(max_batch),
+        ..ServeConfig::default()
+    };
+    let handle = PlanServer::start(config, Obs::noop()).expect("bind loopback");
+    let addr = handle.addr();
+    let requests = workload();
+    eprintln!(
+        "galvatron-bench-serve: {} distinct requests against {addr}",
+        requests.len()
+    );
+
+    // Phase 1+2: cold, then warm (identical requests, now cached).
+    let cold = run_phase(addr, &requests).expect("cold phase");
+    eprintln!(
+        "  cold: {:.2} req/s ({:.3}s)",
+        cold.requests_per_sec, cold.seconds
+    );
+    let warm = run_phase(addr, &requests).expect("warm phase");
+    eprintln!(
+        "  warm: {:.2} req/s ({:.3}s)",
+        warm.requests_per_sec, warm.seconds
+    );
+
+    // Phase 3: thundering herd on one *uncached* key. Pause the workers so
+    // every client demonstrably overlaps, then release.
+    let herd_model = BertConfig {
+        layers: 3,
+        hidden: 512,
+        heads: 8,
+        seq: 128,
+        vocab: 30522,
+    }
+    .build("bert-herd");
+    let before = handle.stats();
+    handle.pause();
+    let herd_started = Instant::now();
+    let joiners: Vec<_> = (0..herd_clients)
+        .map(|i| {
+            let model = herd_model.clone();
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                client
+                    .plan(&format!("herd-{i}"), model, rtx_titan_node(8), 8 * GIB)
+                    .expect("herd response")
+            })
+        })
+        .collect();
+    // Give the herd a moment to pile onto the flight, then release.
+    std::thread::sleep(Duration::from_millis(200));
+    handle.resume();
+    for joiner in joiners {
+        let response = joiner.join().expect("herd client");
+        assert!(
+            matches!(response.result, WireResult::Plan(_)),
+            "herd client got {:?}",
+            response.result
+        );
+    }
+    let herd_seconds = herd_started.elapsed().as_secs_f64();
+    let after = handle.stats();
+    let herd = HerdReport {
+        clients: herd_clients,
+        coalesced: after.coalesced - before.coalesced,
+        computed_delta: after.computed - before.computed,
+        seconds: herd_seconds,
+    };
+    eprintln!(
+        "  herd: {} clients, {} coalesced, {} computed ({:.3}s)",
+        herd.clients, herd.coalesced, herd.computed_delta, herd.seconds
+    );
+
+    // Phase 4: offer distinct requests past the queue capacity with the
+    // workers paused; the excess must shed deterministically.
+    handle.pause();
+    let before_shed = handle.stats();
+    let offered = queue_capacity + 4;
+    let shed_clients: Vec<_> = (0..offered)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let model = BertConfig {
+                    layers: 2,
+                    hidden: 256 + 64 * i as u64, // distinct models: no coalescing
+                    heads: 8,
+                    seq: 128,
+                    vocab: 30522,
+                }
+                .build(&format!("shed-{i}"));
+                let mut client = PlanClient::connect(addr).expect("connect");
+                client
+                    .plan(&format!("shed-{i}"), model, rtx_titan_node(8), 8 * GIB)
+                    .expect("shed response")
+            })
+        })
+        .collect();
+    // Let every request reach admission control before releasing workers.
+    std::thread::sleep(Duration::from_millis(500));
+    handle.resume();
+    let mut accepted = 0usize;
+    for client in shed_clients {
+        let response = client.join().expect("shed client");
+        match response.result {
+            WireResult::Error(e) if e.code == ErrorCode::Overloaded => {}
+            _ => accepted += 1,
+        }
+    }
+    let after_shed = handle.stats();
+    let shed = ShedReport {
+        queue_capacity,
+        offered,
+        shed: after_shed.shed - before_shed.shed,
+        accepted,
+    };
+    eprintln!(
+        "  shed: {} offered into capacity {}, {} shed, {} accepted",
+        shed.offered, shed.queue_capacity, shed.shed, shed.accepted
+    );
+    handle.shutdown();
+
+    let speedup = warm.requests_per_sec / cold.requests_per_sec.max(1e-9);
+    let report = BenchReport {
+        bench: "galvatron-serve loopback",
+        distinct_requests: requests.len(),
+        max_batch,
+        cold,
+        warm,
+        warm_over_cold_speedup: speedup,
+        herd,
+        shed,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report).unwrap()).unwrap();
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    eprintln!("galvatron-bench-serve: wrote {out} (warm/cold speedup {speedup:.1}×)");
+
+    if speedup < 5.0 {
+        eprintln!("galvatron-bench-serve: FAIL — warm-cache throughput below 5× cold");
+        std::process::exit(1);
+    }
+    if report.herd.computed_delta != 1 {
+        eprintln!(
+            "galvatron-bench-serve: FAIL — herd computed {} times, expected 1",
+            report.herd.computed_delta
+        );
+        std::process::exit(1);
+    }
+    if report.shed.shed == 0 {
+        eprintln!("galvatron-bench-serve: FAIL — no request was shed past capacity");
+        std::process::exit(1);
+    }
+}

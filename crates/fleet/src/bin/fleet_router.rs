@@ -1,0 +1,243 @@
+//! `galvatron-fleet-router` — run an N-replica plan-serving fleet behind
+//! one consistent-hash router, in one process.
+//!
+//! ```text
+//! galvatron-fleet-router [--replicas N] [--addr HOST:PORT] [--workers W]
+//!                        [--queue-capacity Q] [--gossip-fanout G]
+//!                        [--max-batch B] [--jobs J]
+//! ```
+//!
+//! Machine-readable stdout (for scripts that bind port 0): the first line
+//! is the router address, then one `replica <id> <addr>` line per replica.
+//! Narration goes to stderr. Commands on stdin:
+//!
+//! * `kill <id>` — gracefully drain one replica (the router fails over on
+//!   the next request that needed it).
+//! * `join` — start a fresh replica that warm-joins from the
+//!   lowest-numbered live replica's cache snapshot, then enters the ring;
+//!   prints its `replica <id> <addr>` line on stdout.
+//! * `quit` (or stdin EOF) — drain everything and exit.
+//!
+//! So `echo quit | galvatron-fleet-router --replicas 3` is a complete
+//! smoke test of fleet bring-up and graceful drain.
+
+use galvatron_core::OptimizerConfig;
+use galvatron_fleet::{FleetReplica, FleetRouter, ReplicaConfig, ReplicaHandle, RouterConfig};
+use galvatron_obs::{MetricsRegistry, NullSink, Obs};
+use galvatron_planner::PlannerConfig;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+struct Args {
+    replicas: usize,
+    addr: String,
+    workers: usize,
+    queue_capacity: usize,
+    gossip_fanout: usize,
+    planner: PlannerConfig,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        replicas: 3,
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 64,
+        gossip_fanout: 1,
+        planner: PlannerConfig::default(),
+    };
+    let mut optimizer = OptimizerConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--replicas" => parsed.replicas = parse(&value("--replicas")?, "--replicas")?,
+            "--addr" => parsed.addr = value("--addr")?,
+            "--workers" => parsed.workers = parse(&value("--workers")?, "--workers")?,
+            "--queue-capacity" => {
+                parsed.queue_capacity = parse(&value("--queue-capacity")?, "--queue-capacity")?;
+            }
+            "--gossip-fanout" => {
+                parsed.gossip_fanout = parse(&value("--gossip-fanout")?, "--gossip-fanout")?;
+            }
+            "--max-batch" => optimizer.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
+            "--jobs" => parsed.planner.jobs = parse(&value("--jobs")?, "--jobs")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: galvatron-fleet-router [--replicas N] [--addr HOST:PORT] \
+                     [--workers W] [--queue-capacity Q] [--gossip-fanout G] [--max-batch B] \
+                     [--jobs J]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    parsed.planner.optimizer = optimizer;
+    if parsed.replicas == 0 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+    Ok(parsed)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+}
+
+fn replica_config(args: &Args, id: usize) -> ReplicaConfig {
+    ReplicaConfig {
+        id,
+        workers: args.workers,
+        queue_capacity: args.queue_capacity,
+        gossip_fanout: args.gossip_fanout,
+        planner: args.planner.clone(),
+        ..ReplicaConfig::default()
+    }
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("galvatron-fleet-router: {message}");
+            std::process::exit(2);
+        }
+    };
+    let obs = Obs::new(Arc::new(MetricsRegistry::new()), Arc::new(NullSink));
+
+    let mut replicas: BTreeMap<usize, ReplicaHandle> = BTreeMap::new();
+    for id in 0..args.replicas {
+        let replica = match FleetReplica::start(replica_config(&args, id), obs.clone()) {
+            Ok(replica) => replica,
+            Err(e) => {
+                eprintln!("galvatron-fleet-router: failed to start replica {id}: {e}");
+                std::process::exit(1);
+            }
+        };
+        replicas.insert(id, replica);
+    }
+    let members: Vec<(usize, SocketAddr)> = replicas.values().map(|r| (r.id(), r.addr())).collect();
+    for replica in replicas.values() {
+        replica.set_peers(&members);
+    }
+    let router = match FleetRouter::start(
+        RouterConfig {
+            addr: args.addr.clone(),
+            replicas: members.clone(),
+            ..RouterConfig::default()
+        },
+        obs.clone(),
+    ) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("galvatron-fleet-router: failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    println!("{}", router.addr());
+    for replica in replicas.values() {
+        println!("replica {} {}", replica.id(), replica.addr());
+    }
+    eprintln!(
+        "galvatron-fleet-router: routing {} on a {}-replica ring (gossip fanout {})",
+        router.addr(),
+        replicas.len(),
+        args.gossip_fanout
+    );
+
+    let mut next_id = args.replicas;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("quit") => break,
+            Some("kill") => {
+                let Some(id) = words.next().and_then(|w| w.parse::<usize>().ok()) else {
+                    eprintln!("galvatron-fleet-router: usage: kill <id>");
+                    continue;
+                };
+                let Some(replica) = replicas.remove(&id) else {
+                    eprintln!("galvatron-fleet-router: no live replica {id}");
+                    continue;
+                };
+                router.remove_replica(id);
+                replica.shutdown();
+                let members: Vec<(usize, SocketAddr)> =
+                    replicas.values().map(|r| (r.id(), r.addr())).collect();
+                for replica in replicas.values() {
+                    replica.set_peers(&members);
+                }
+                eprintln!("galvatron-fleet-router: replica {id} drained and removed");
+            }
+            Some("join") => {
+                let id = next_id;
+                next_id += 1;
+                let replica = match FleetReplica::start(replica_config(&args, id), obs.clone()) {
+                    Ok(replica) => replica,
+                    Err(e) => {
+                        eprintln!("galvatron-fleet-router: failed to start replica {id}: {e}");
+                        continue;
+                    }
+                };
+                // Warm-join from the lowest-numbered live replica before
+                // taking traffic.
+                if let Some(peer) = replicas.values().next() {
+                    match replica.warm_join(peer.addr(), usize::MAX) {
+                        Ok(imported) => eprintln!(
+                            "galvatron-fleet-router: replica {id} warm-joined with {imported} \
+                             entries from replica {}",
+                            peer.id()
+                        ),
+                        Err(e) => eprintln!(
+                            "galvatron-fleet-router: replica {id} warm-join failed ({e}); \
+                             joining cold"
+                        ),
+                    }
+                }
+                replicas.insert(id, replica);
+                let members: Vec<(usize, SocketAddr)> =
+                    replicas.values().map(|r| (r.id(), r.addr())).collect();
+                for replica in replicas.values() {
+                    replica.set_peers(&members);
+                }
+                let joined = &replicas[&id];
+                router.add_replica(id, joined.addr());
+                println!("replica {} {}", id, joined.addr());
+            }
+            Some(other) => {
+                eprintln!("galvatron-fleet-router: unknown command {other:?} (kill/join/quit)");
+            }
+            None => {}
+        }
+    }
+
+    let stats: Vec<String> = replicas
+        .values()
+        .map(|r| {
+            let s = r.stats();
+            format!(
+                "replica {}: {} requests, {} computed, {} cache hits",
+                r.id(),
+                s.requests,
+                s.computed,
+                s.cache_hits
+            )
+        })
+        .collect();
+    eprintln!(
+        "galvatron-fleet-router: shutting down — {}",
+        stats.join("; ")
+    );
+    router.shutdown();
+    for (_, replica) in replicas {
+        replica.shutdown();
+    }
+}

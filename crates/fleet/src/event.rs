@@ -1,0 +1,634 @@
+//! Event-driven connection layer on pure `std`.
+//!
+//! The single-daemon server (`galvatron-serve`) spends one thread per
+//! connection; a fleet replica fronting thousands of mostly-idle clients
+//! cannot. This module multiplexes every connection onto **one** sweep
+//! thread using non-blocking sockets: each pass accepts whatever is
+//! pending, reads every readable socket until `WouldBlock`, parses
+//! complete JSON lines, and flushes whatever responses are ready — then
+//! sleeps ~1ms only when an entire pass made no progress. There is no
+//! `epoll`/`kqueue` (nothing beyond `std` is available), so readiness is
+//! discovered by polling; with the short idle sleep this costs a few
+//! thousand syscalls per second while idle and adds at most ~1ms latency,
+//! which is noise next to a DP solve.
+//!
+//! Request handling is decoupled from the loop through [`ResponseSlot`]: the
+//! loop hands each parsed line to a [`LineHandler`] together with a slot,
+//! the handler fills the slot now (inline answers) or later from a worker
+//! thread (planning), and the loop writes slots back **in arrival order**
+//! per connection — the JSONL protocol promises in-order responses, so a
+//! filled slot waits behind its connection's earlier unfilled ones.
+//!
+//! A connection whose first line starts with `GET ` is treated as a
+//! one-shot HTTP scrape (`/metrics`, `/healthz`), answered from
+//! [`LineHandler::on_http_get`] and closed after the flush — the same
+//! dual-protocol trick the single daemon plays, minus the thread.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reject lines longer than this (a plan request with a large model JSON
+/// is ~100 KiB; 32 MiB is a defensive ceiling, not a tuning knob).
+const MAX_LINE_BYTES: usize = 32 << 20;
+
+/// Sleep between sweeps that made no progress.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// How long `stop` waits for in-flight responses to flush before closing
+/// connections anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// A one-response mailbox connecting a worker thread back to the event
+/// loop. The handler clones it freely; the first `fill` wins.
+#[derive(Clone)]
+pub struct ResponseSlot {
+    cell: Arc<Mutex<Option<String>>>,
+}
+
+impl ResponseSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        ResponseSlot {
+            cell: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Deposit the response line (no trailing newline). Later fills of an
+    /// already-filled slot are ignored — the first answer stands.
+    pub fn fill(&self, line: String) {
+        let mut cell = self.cell.lock().unwrap();
+        if cell.is_none() {
+            *cell = Some(line);
+        }
+    }
+
+    /// Whether a response has been deposited.
+    pub fn is_filled(&self) -> bool {
+        self.cell.lock().unwrap().is_some()
+    }
+
+    fn take(&self) -> Option<String> {
+        self.cell.lock().unwrap().take()
+    }
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        ResponseSlot::new()
+    }
+}
+
+/// What the event loop calls with each complete request line and each
+/// HTTP scrape. Implementations must not block the calling thread — hand
+/// slow work (planning) to a worker pool and fill the slot from there.
+pub trait LineHandler: Send + Sync + 'static {
+    /// Handle one JSONL request line. Fill `slot` now or later; the loop
+    /// flushes it in arrival order once filled.
+    fn on_line(&self, line: &str, slot: ResponseSlot);
+
+    /// Answer a one-shot HTTP GET for `path`. Returns
+    /// `(status line, content type, body)`.
+    fn on_http_get(&self, path: &str) -> (String, String, String);
+}
+
+/// Tunables for [`spawn_event_loop`].
+#[derive(Debug, Clone)]
+pub struct EventLoopConfig {
+    /// Hard cap on concurrently open connections; accepts beyond it are
+    /// closed immediately.
+    pub max_connections: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            max_connections: 16_384,
+        }
+    }
+}
+
+/// Handle to a running event loop.
+pub struct EventLoopHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    accepted: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl EventLoopHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently open connections.
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted over the loop's lifetime.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Shared live-connection counter, for embedding in a metrics gauge.
+    pub(crate) fn connections_shared(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.connections)
+    }
+
+    /// Stop accepting, flush pending responses (bounded by an internal
+    /// deadline), close every connection and join the thread. Call only
+    /// after the handler's workers have filled every outstanding slot —
+    /// unfilled slots at the deadline are dropped with their connections.
+    pub fn stop_and_join(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for EventLoopHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Bind `addr` and start the sweep thread.
+pub fn spawn_event_loop(
+    addr: &str,
+    handler: Arc<dyn LineHandler>,
+    config: EventLoopConfig,
+) -> std::io::Result<EventLoopHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(AtomicUsize::new(0));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let connections = Arc::clone(&connections);
+        let accepted = Arc::clone(&accepted);
+        std::thread::Builder::new()
+            .name("fleet-event-loop".to_string())
+            .spawn(move || {
+                let mut state = LoopState {
+                    listener,
+                    handler,
+                    config,
+                    conns: Vec::new(),
+                    stop,
+                    connections,
+                    accepted,
+                };
+                state.run();
+            })?
+    };
+    Ok(EventLoopHandle {
+        addr,
+        stop,
+        connections,
+        accepted,
+        thread: Some(thread),
+    })
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    /// Bytes queued for writing; `out_pos` marks how much already went out.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Slots for parsed-but-unanswered lines, in arrival order.
+    pending: VecDeque<ResponseSlot>,
+    read_closed: bool,
+    /// Set for HTTP scrapes: close once the outbuf drains.
+    close_after_flush: bool,
+    /// Lines handled so far (the HTTP sniff applies only to a connection's
+    /// first bytes).
+    served_lines: u64,
+    dead: bool,
+}
+
+struct LoopState {
+    listener: TcpListener,
+    handler: Arc<dyn LineHandler>,
+    config: EventLoopConfig,
+    conns: Vec<Conn>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    accepted: Arc<AtomicU64>,
+}
+
+impl LoopState {
+    fn run(&mut self) {
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let stopping = self.stop.load(Ordering::SeqCst);
+            let mut progress = false;
+            if !stopping {
+                progress |= self.accept_pending();
+            }
+            progress |= self.sweep_connections(stopping);
+            self.reap(stopping);
+            self.connections.store(self.conns.len(), Ordering::SeqCst);
+            if stopping {
+                let started = *drain_started.get_or_insert_with(Instant::now);
+                let drained = self
+                    .conns
+                    .iter()
+                    .all(|c| c.pending.is_empty() && c.outbuf.len() == c.out_pos);
+                if drained || started.elapsed() >= DRAIN_DEADLINE {
+                    self.conns.clear();
+                    self.connections.store(0, Ordering::SeqCst);
+                    return;
+                }
+            }
+            if !progress {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+
+    fn accept_pending(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    self.accepted.fetch_add(1, Ordering::SeqCst);
+                    if self.conns.len() >= self.config.max_connections {
+                        drop(stream); // over the cap: refuse by closing
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    self.conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        out_pos: 0,
+                        pending: VecDeque::new(),
+                        read_closed: false,
+                        close_after_flush: false,
+                        served_lines: 0,
+                        dead: false,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    fn sweep_connections(&mut self, stopping: bool) -> bool {
+        let mut progress = false;
+        for i in 0..self.conns.len() {
+            let conn = &mut self.conns[i];
+            if conn.dead {
+                continue;
+            }
+            progress |= read_available(conn);
+            // During drain no new work is started; half-received lines
+            // will never complete and are abandoned with the connection.
+            if !stopping {
+                progress |= parse_lines(conn, self.handler.as_ref());
+            }
+            progress |= promote_ready(conn);
+            progress |= flush(conn);
+        }
+        progress
+    }
+
+    /// Drop connections that are finished or broken. During drain, any
+    /// connection with nothing left to say is closed immediately.
+    fn reap(&mut self, stopping: bool) {
+        self.conns.retain(|conn| {
+            if conn.dead {
+                return false;
+            }
+            let flushed = conn.outbuf.len() == conn.out_pos;
+            let idle = conn.pending.is_empty() && flushed;
+            if conn.close_after_flush && idle {
+                return false;
+            }
+            if conn.read_closed && idle {
+                return false;
+            }
+            if stopping && idle {
+                return false;
+            }
+            true
+        });
+    }
+}
+
+fn read_available(conn: &mut Conn) -> bool {
+    if conn.read_closed {
+        return false;
+    }
+    let mut progress = false;
+    let mut chunk = [0u8; 8192];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                progress = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                progress = true;
+                if conn.inbuf.len() > MAX_LINE_BYTES {
+                    conn.dead = true;
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+fn parse_lines(conn: &mut Conn, handler: &dyn LineHandler) -> bool {
+    let mut progress = false;
+    while let Some(newline) = conn.inbuf.iter().position(|&b| b == b'\n') {
+        let line_bytes: Vec<u8> = conn.inbuf.drain(..=newline).collect();
+        let line = String::from_utf8_lossy(&line_bytes);
+        let line = line.trim_end_matches(['\n', '\r']);
+        progress = true;
+        if line.is_empty() {
+            continue;
+        }
+        if conn.served_lines == 0 && conn.pending.is_empty() {
+            if let Some(rest) = line.strip_prefix("GET ") {
+                let path = rest.split_whitespace().next().unwrap_or("/");
+                let (status, content_type, body) = handler.on_http_get(path);
+                conn.outbuf.extend_from_slice(
+                    format!(
+                        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                conn.outbuf.extend_from_slice(body.as_bytes());
+                conn.close_after_flush = true;
+                conn.inbuf.clear(); // remaining HTTP headers are irrelevant
+                return true;
+            }
+        }
+        let slot = ResponseSlot::new();
+        handler.on_line(line, slot.clone());
+        conn.pending.push_back(slot);
+        conn.served_lines += 1;
+    }
+    progress
+}
+
+/// Move filled slots (respecting arrival order) into the write buffer.
+fn promote_ready(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while let Some(front) = conn.pending.front() {
+        match front.take() {
+            Some(line) => {
+                conn.outbuf.extend_from_slice(line.as_bytes());
+                conn.outbuf.push(b'\n');
+                conn.pending.pop_front();
+                progress = true;
+            }
+            None => break,
+        }
+    }
+    progress
+}
+
+fn flush(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.out_pos == conn.outbuf.len() && conn.out_pos > 0 {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    struct Echo;
+    impl LineHandler for Echo {
+        fn on_line(&self, line: &str, slot: ResponseSlot) {
+            slot.fill(format!("echo:{line}"));
+        }
+        fn on_http_get(&self, path: &str) -> (String, String, String) {
+            (
+                "200 OK".to_string(),
+                "text/plain".to_string(),
+                format!("path={path}\n"),
+            )
+        }
+    }
+
+    /// Fills even-numbered lines immediately and odd-numbered ones only
+    /// when `release` flips — exercises in-order flushing.
+    struct Staggered {
+        release: Arc<AtomicBool>,
+        held: Mutex<Vec<(String, ResponseSlot)>>,
+    }
+    impl LineHandler for Staggered {
+        fn on_line(&self, line: &str, slot: ResponseSlot) {
+            let n: u64 = line.parse().unwrap();
+            if n.is_multiple_of(2) {
+                slot.fill(format!("even:{n}"));
+            } else if self.release.load(Ordering::SeqCst) {
+                slot.fill(format!("odd:{n}"));
+            } else {
+                self.held.lock().unwrap().push((line.to_string(), slot));
+            }
+        }
+        fn on_http_get(&self, _path: &str) -> (String, String, String) {
+            (
+                "404 Not Found".to_string(),
+                "text/plain".to_string(),
+                String::new(),
+            )
+        }
+    }
+
+    #[test]
+    fn echoes_lines_and_handles_pipelining() {
+        let handle =
+            spawn_event_loop("127.0.0.1:0", Arc::new(Echo), EventLoopConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Two requests in one write (pipelined), plus a partial third
+        // completed by a second write.
+        stream.write_all(b"one\ntwo\nthr").unwrap();
+        stream.write_all(b"ee\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for expect in ["echo:one", "echo:two", "echo:three"] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), expect);
+        }
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn responses_flush_in_arrival_order() {
+        let release = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(Staggered {
+            release: Arc::clone(&release),
+            held: Mutex::new(Vec::new()),
+        });
+        let handle = spawn_event_loop(
+            "127.0.0.1:0",
+            Arc::clone(&handler) as Arc<dyn LineHandler>,
+            EventLoopConfig::default(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"1\n2\n3\n4\n").unwrap();
+        // Wait until the loop parsed everything: 2 and 4 are filled, 1 and
+        // 3 held. Nothing may be delivered yet — 1 blocks the queue.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handler.held.lock().unwrap().len() < 2 {
+            assert!(Instant::now() < deadline, "handler never saw held lines");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut probe = [0u8; 1];
+        match stream.read(&mut probe) {
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            other => panic!("expected no bytes before slot 1 fills, got {other:?}"),
+        }
+        // Release the held slots; all four responses arrive in order.
+        release.store(true, Ordering::SeqCst);
+        for (line, slot) in handler.held.lock().unwrap().drain(..) {
+            slot.fill(format!("odd:{line}"));
+        }
+        stream.set_read_timeout(None).unwrap();
+        let mut reader = BufReader::new(stream);
+        for expect in ["odd:1", "even:2", "odd:3", "even:4"] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), expect);
+        }
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn http_get_is_answered_and_closed() {
+        let handle =
+            spawn_event_loop("127.0.0.1:0", Arc::new(Echo), EventLoopConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap(); // server closes
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.ends_with("path=/healthz\n"), "{response}");
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn holds_many_idle_connections_without_threads() {
+        let handle =
+            spawn_event_loop("127.0.0.1:0", Arc::new(Echo), EventLoopConfig::default()).unwrap();
+        let mut streams = Vec::new();
+        for _ in 0..256 {
+            streams.push(TcpStream::connect(handle.addr()).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.connections() < 256 {
+            assert!(Instant::now() < deadline, "loop never accepted all conns");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Every connection still answers.
+        let (first, last) = (&mut streams[0], 255);
+        first.write_all(b"hello\n").unwrap();
+        let mut reader = BufReader::new(first.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "echo:hello");
+        let last = &mut streams[last];
+        last.write_all(b"world\n").unwrap();
+        let mut reader = BufReader::new(last.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "echo:world");
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn connection_cap_refuses_extras_but_keeps_serving() {
+        let handle = spawn_event_loop(
+            "127.0.0.1:0",
+            Arc::new(Echo),
+            EventLoopConfig { max_connections: 4 },
+        )
+        .unwrap();
+        let mut keep: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(handle.addr()).unwrap())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.connections() < 4 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The fifth is accepted then closed; reading yields EOF.
+        let mut extra = TcpStream::connect(handle.addr()).unwrap();
+        extra
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(extra.read(&mut buf).unwrap_or(0), 0);
+        // Existing connections are unaffected.
+        keep[0].write_all(b"still-here\n").unwrap();
+        let mut reader = BufReader::new(keep[0].try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "echo:still-here");
+        handle.stop_and_join();
+    }
+}

@@ -1,0 +1,59 @@
+//! `galvatron-fleet`: sharded, replicated plan serving.
+//!
+//! One plan-serving daemon ([`galvatron-serve`](galvatron_serve)) answers
+//! from a single response cache with a thread per connection. This crate
+//! scales that out to an N-replica **fleet** while keeping the wire
+//! protocol, the answers and their exact bytes unchanged:
+//!
+//! * [`event`] — an event-driven connection layer on pure `std`
+//!   (non-blocking sockets, one sweep thread), so a replica holds
+//!   thousands of idle connections without a thread each.
+//! * [`ring`] — a consistent-hash ring over the response-cache key
+//!   `(model JSON, topology fingerprint, budget)` with FNV-1a hashing,
+//!   deterministic across processes; adding a replica to an N-replica
+//!   ring remaps ~1/(N+1) of the keyspace.
+//! * [`replica`] — the event-driven serving replica: waiter-table
+//!   single-flight, bounded-queue workers, and the peer protocol
+//!   (gossip push of fresh answers to ring successors, snapshot export
+//!   for joiners).
+//! * [`router`] — the front-end that owns no cache: it relays raw request
+//!   and response lines between clients and key owners, marks replicas
+//!   dead on forward failure and retries along the ring, and answers
+//!   `FleetCheck` by asking every replica and comparing answer bytes.
+//!
+//! The division of labor with `galvatron-serve` is deliberate: serve owns
+//! the protocol, cache and stable-bytes contract; fleet owns placement,
+//! replication and connection scaling. A fleet of one replica behaves
+//! exactly like the daemon, byte for byte.
+//!
+//! ```no_run
+//! use galvatron_fleet::{FleetReplica, FleetRouter, ReplicaConfig, RouterConfig};
+//! use galvatron_obs::Obs;
+//! use galvatron_serve::PlanClient;
+//!
+//! let replica = FleetReplica::start(ReplicaConfig::default(), Obs::noop()).unwrap();
+//! let router = FleetRouter::start(
+//!     RouterConfig {
+//!         replicas: vec![(replica.id(), replica.addr())],
+//!         ..RouterConfig::default()
+//!     },
+//!     Obs::noop(),
+//! )
+//! .unwrap();
+//! let mut client = PlanClient::connect(router.addr()).unwrap();
+//! assert_eq!(client.ping().unwrap(), galvatron_serve::PROTOCOL_VERSION);
+//! router.shutdown();
+//! replica.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod replica;
+pub mod ring;
+pub mod router;
+
+pub use event::{spawn_event_loop, EventLoopConfig, EventLoopHandle, LineHandler, ResponseSlot};
+pub use replica::{FleetReplica, ReplicaConfig, ReplicaHandle};
+pub use ring::{plan_key_hash, stable_hash, HashRing, DEFAULT_VNODES};
+pub use router::{FleetRouter, RouterConfig, RouterHandle};

@@ -1,0 +1,784 @@
+//! One fleet replica: the event-driven counterpart of
+//! [`PlanServer`](galvatron_serve::PlanServer).
+//!
+//! A replica serves the same JSONL protocol as the single daemon and gives
+//! the same answers — the stable-bytes contract is shared via
+//! [`WireResult`] — but its connection layer is the [`event`](crate::event)
+//! sweep loop instead of a thread per client, so one replica comfortably
+//! fronts thousands of mostly-idle connections. Request admission is
+//! restructured around that: where the daemon's connection thread *blocks*
+//! on a single-flight, the replica records a **waiter** (`ResponseSlot` +
+//! envelope fields) per request and the worker that finishes the
+//! computation fills every waiter's slot; coalescing falls out of the
+//! waiter list — the first waiter for a key enqueues the job, later ones
+//! just append.
+//!
+//! On top of serving, a replica participates in the fleet's cache fabric:
+//!
+//! * **Gossip** — each freshly computed stable answer is pushed
+//!   (best-effort, off the worker's critical path) to the key's ring
+//!   successors, which are exactly the replicas the keyspace would fail
+//!   over to, so a replica death mostly hits warm caches.
+//! * **Warm-join** — [`ReplicaHandle::warm_join`] pulls a peer's hottest
+//!   cache entries (`SnapshotPull`) before taking traffic, replacing cold
+//!   DP runs with imports.
+
+use crate::event::{spawn_event_loop, EventLoopConfig, EventLoopHandle, LineHandler, ResponseSlot};
+use crate::ring::{plan_key_hash, HashRing};
+use galvatron_obs::Obs;
+use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
+use galvatron_serve::{
+    BoundedQueue, CacheEntry, ErrorCode, PlanBody, PlanClient, PlanKey, PushError, RequestBody,
+    ResponseCache, ServeError, ServeStats, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
+};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const TICK: Duration = Duration::from_millis(100);
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Replica configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's fleet-wide id (its position on the hash ring).
+    pub id: usize,
+    /// Bind address; `127.0.0.1:0` picks a free loopback port.
+    pub addr: String,
+    /// Worker threads computing plans (minimum 1).
+    pub workers: usize,
+    /// Bounded queue capacity; leaders beyond it are shed.
+    pub queue_capacity: usize,
+    /// Response-cache byte budget.
+    pub cache_max_bytes: u64,
+    /// The planner served.
+    pub planner: PlannerConfig,
+    /// How many ring successors each freshly computed answer is gossiped
+    /// to. 0 disables gossip.
+    pub gossip_fanout: usize,
+    /// Hard cap on concurrently open connections.
+    pub max_connections: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            id: 0,
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_capacity: 64,
+            cache_max_bytes: 16 << 20,
+            planner: PlannerConfig::default(),
+            gossip_fanout: 1,
+            max_connections: 16_384,
+        }
+    }
+}
+
+/// One request waiting for a computation to finish.
+struct Waiter {
+    id: u64,
+    name: String,
+    coalesced: bool,
+    slot: ResponseSlot,
+}
+
+/// One queued computation.
+struct Job {
+    key: PlanKey,
+    body: PlanBody,
+    name: String,
+}
+
+/// Fleet membership as this replica sees it.
+struct PeerTable {
+    ring: HashRing,
+    addrs: HashMap<usize, SocketAddr>,
+}
+
+struct Shared {
+    id: usize,
+    instance: String,
+    service: PlanService,
+    cache: ResponseCache,
+    waiters: Mutex<HashMap<PlanKey, Vec<Waiter>>>,
+    queue: BoundedQueue<Job>,
+    peers: Mutex<PeerTable>,
+    gossip_tx: Mutex<Option<mpsc::Sender<CacheEntry>>>,
+    obs: Obs,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    computed: AtomicU64,
+    gossip_sent: AtomicU64,
+    gossip_accepted: AtomicU64,
+    warm_join_imported: AtomicU64,
+    /// Live-connection count, wired up from the event loop after spawn.
+    connections: OnceLock<Arc<std::sync::atomic::AtomicUsize>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        let cache = self.cache.stats();
+        ServeStats {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            paused: self.queue.is_paused(),
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            coalesced: self.coalesced.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            computed: self.computed.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Same metric names (and `instance` label discipline) as the single
+    /// daemon, so one Prometheus dashboard covers both, plus the
+    /// fleet-only series (connections, gossip, warm-join).
+    fn refresh_metrics(&self) {
+        let registry = self.obs.registry();
+        let labels = [("instance", self.instance.as_str())];
+        let stats = self.stats();
+        registry
+            .gauge_with("serve_queue_depth", &labels)
+            .set(stats.queue_depth as f64);
+        registry
+            .gauge_with("serve_cache_entries", &labels)
+            .set(stats.cache_entries as f64);
+        registry
+            .gauge_with("serve_cache_bytes", &labels)
+            .set(stats.cache_bytes as f64);
+        if let Some(connections) = self.connections.get() {
+            registry
+                .gauge_with("fleet_connections", &labels)
+                .set(connections.load(Ordering::SeqCst) as f64);
+        }
+        for (name, total) in [
+            ("serve_requests_total", stats.requests),
+            ("serve_coalesced_total", stats.coalesced),
+            ("serve_shed_total", stats.shed),
+            ("serve_computed_total", stats.computed),
+            ("serve_cache_hits_total", stats.cache_hits),
+            ("serve_cache_misses_total", stats.cache_misses),
+            ("serve_cache_evictions_total", stats.cache_evictions),
+            (
+                "fleet_gossip_sent_total",
+                self.gossip_sent.load(Ordering::SeqCst),
+            ),
+            (
+                "serve_gossip_accepted_total",
+                self.gossip_accepted.load(Ordering::SeqCst),
+            ),
+            (
+                "fleet_warm_join_imported_total",
+                self.warm_join_imported.load(Ordering::SeqCst),
+            ),
+        ] {
+            let counter = registry.counter_with(name, &labels);
+            counter.inc_by(total.saturating_sub(counter.get()));
+        }
+    }
+
+    fn shutting_down(&self) -> WireResult {
+        WireResult::Error(ServeError {
+            code: ErrorCode::ShuttingDown,
+            message: "replica is shutting down".to_string(),
+            retry_after_ms: Some(RETRY_AFTER_MS),
+        })
+    }
+
+    /// Fill every waiter registered for `key` with `result` and drop the
+    /// entry. The waiter list is the replica's single-flight: exactly one
+    /// resolver wins the `remove`.
+    fn resolve_waiters(&self, key: &PlanKey, result: &WireResult) {
+        let waiters = self.waiters.lock().unwrap().remove(key);
+        for waiter in waiters.into_iter().flatten() {
+            fill(
+                &waiter.slot,
+                WireResponse {
+                    id: waiter.id,
+                    name: waiter.name,
+                    cached: false,
+                    coalesced: waiter.coalesced,
+                    result: result.clone(),
+                },
+            );
+        }
+    }
+
+    /// Hand a freshly computed stable answer to the gossip thread
+    /// (best-effort; never blocks the worker).
+    fn offer_gossip(&self, key: &PlanKey, result: &WireResult) {
+        if let Some(tx) = self.gossip_tx.lock().unwrap().as_ref() {
+            let _ = tx.send(CacheEntry {
+                key: key.clone(),
+                result: result.clone(),
+            });
+        }
+    }
+}
+
+fn fill(slot: &ResponseSlot, response: WireResponse) {
+    match serde_json::to_string(&response) {
+        Ok(line) => slot.fill(line),
+        // Unserializable responses cannot happen for our own types; emit
+        // a hand-built error rather than leaving the slot hanging.
+        Err(_) => slot.fill(
+            "{\"id\":0,\"name\":\"\",\"result\":{\"Error\":{\"code\":\"PlannerError\",\
+             \"message\":\"response serialization failed\",\"retry_after_ms\":null}}}"
+                .to_string(),
+        ),
+    }
+}
+
+struct ReplicaHandler {
+    shared: Arc<Shared>,
+}
+
+impl LineHandler for ReplicaHandler {
+    fn on_line(&self, line: &str, slot: ResponseSlot) {
+        let shared = &self.shared;
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let request: WireRequest = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => {
+                fill(
+                    &slot,
+                    WireResponse {
+                        id: 0,
+                        name: String::new(),
+                        cached: false,
+                        coalesced: false,
+                        result: WireResult::Error(ServeError {
+                            code: ErrorCode::BadRequest,
+                            message: format!("unparseable request line: {e}"),
+                            retry_after_ms: None,
+                        }),
+                    },
+                );
+                return;
+            }
+        };
+        let (id, name) = (request.id, request.name.clone());
+        let inline = |result: WireResult, cached: bool| {
+            fill(
+                &slot,
+                WireResponse {
+                    id,
+                    name: name.clone(),
+                    cached,
+                    coalesced: false,
+                    result,
+                },
+            );
+        };
+        match request.body {
+            RequestBody::Ping => inline(WireResult::Pong(PROTOCOL_VERSION), false),
+            RequestBody::Stats => inline(WireResult::Stats(shared.stats()), false),
+            RequestBody::Metrics => {
+                shared.refresh_metrics();
+                inline(
+                    WireResult::Metrics(shared.obs.registry().snapshot().to_prometheus()),
+                    false,
+                );
+            }
+            RequestBody::SnapshotPull { max_entries } => {
+                let entries = shared
+                    .cache
+                    .export_recent(max_entries)
+                    .into_iter()
+                    .map(|(key, result)| CacheEntry { key, result })
+                    .collect();
+                inline(WireResult::Snapshot(entries), false);
+            }
+            RequestBody::GossipPush { entries } => {
+                let accepted = shared.cache.import(
+                    entries
+                        .into_iter()
+                        .map(|entry| (entry.key, entry.result))
+                        .collect(),
+                );
+                shared
+                    .gossip_accepted
+                    .fetch_add(accepted as u64, Ordering::SeqCst);
+                inline(WireResult::Ack(accepted as u64), false);
+            }
+            RequestBody::FleetCheck(_) => inline(
+                WireResult::Error(ServeError {
+                    code: ErrorCode::BadRequest,
+                    message: "FleetCheck requires a fleet router; this is a replica".to_string(),
+                    retry_after_ms: None,
+                }),
+                false,
+            ),
+            RequestBody::Plan(body) => handle_plan(shared, body, id, name, slot),
+        }
+    }
+
+    fn on_http_get(&self, path: &str) -> (String, String, String) {
+        let shared = &self.shared;
+        match path {
+            "/metrics" => {
+                shared.refresh_metrics();
+                (
+                    "200 OK".to_string(),
+                    "text/plain; version=0.0.4".to_string(),
+                    shared.obs.registry().snapshot().to_prometheus(),
+                )
+            }
+            "/healthz" | "/health" => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    (
+                        "503 Service Unavailable".to_string(),
+                        "text/plain".to_string(),
+                        format!("draining instance={}\n", shared.instance),
+                    )
+                } else {
+                    (
+                        "200 OK".to_string(),
+                        "text/plain".to_string(),
+                        format!("ok instance={}\n", shared.instance),
+                    )
+                }
+            }
+            _ => (
+                "404 Not Found".to_string(),
+                "text/plain".to_string(),
+                format!("unknown path {path}; try /metrics or /healthz\n"),
+            ),
+        }
+    }
+}
+
+/// The plan path: validate → cache → waiter list (coalesce or lead) →
+/// queue (or shed). Never blocks — the event loop is calling.
+fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot: ResponseSlot) {
+    let error = |code: ErrorCode, message: String, retry: Option<u64>| {
+        fill(
+            &slot,
+            WireResponse {
+                id,
+                name: name.clone(),
+                cached: false,
+                coalesced: false,
+                result: WireResult::Error(ServeError {
+                    code,
+                    message,
+                    retry_after_ms: retry,
+                }),
+            },
+        );
+    };
+    if shared.stop.load(Ordering::SeqCst) {
+        let result = shared.shutting_down();
+        fill(
+            &slot,
+            WireResponse {
+                id,
+                name,
+                cached: false,
+                coalesced: false,
+                result,
+            },
+        );
+        return;
+    }
+    if let Err(e) = body.topology.validate() {
+        error(
+            ErrorCode::InvalidTopology,
+            format!("invalid topology: {e}"),
+            None,
+        );
+        return;
+    }
+    let Ok(model_json) = serde_json::to_string(&body.model) else {
+        error(
+            ErrorCode::BadRequest,
+            "model does not serialize canonically".to_string(),
+            None,
+        );
+        return;
+    };
+    let key = PlanKey {
+        model_json,
+        topology_fingerprint: body.topology.fingerprint(),
+        budget_bytes: body.budget_bytes,
+    };
+    if let Some(result) = shared.cache.get(&key) {
+        fill(
+            &slot,
+            WireResponse {
+                id,
+                name,
+                cached: true,
+                coalesced: false,
+                result,
+            },
+        );
+        return;
+    }
+    // Single flight via the waiter table: the first waiter for a key is
+    // the leader and enqueues; later arrivals coalesce by appending.
+    let is_leader = {
+        let mut waiters = shared.waiters.lock().unwrap();
+        match waiters.get_mut(&key) {
+            Some(list) => {
+                shared.coalesced.fetch_add(1, Ordering::SeqCst);
+                list.push(Waiter {
+                    id,
+                    name: name.clone(),
+                    coalesced: true,
+                    slot,
+                });
+                false
+            }
+            None => {
+                waiters.insert(
+                    key.clone(),
+                    vec![Waiter {
+                        id,
+                        name: name.clone(),
+                        coalesced: false,
+                        slot,
+                    }],
+                );
+                true
+            }
+        }
+    };
+    if !is_leader {
+        return;
+    }
+    let job = Job {
+        key: key.clone(),
+        body,
+        name,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            let result = WireResult::Error(ServeError {
+                code: ErrorCode::Overloaded,
+                message: format!("request queue full (capacity {})", shared.queue.capacity()),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            });
+            // Sheds the leader and anyone who coalesced meanwhile.
+            shared.resolve_waiters(&key, &result);
+        }
+        Err(PushError::Closed) => {
+            let result = shared.shutting_down();
+            shared.resolve_waiters(&key, &result);
+        }
+    }
+}
+
+/// A worker: pop, compute once, publish to cache + waiters + gossip.
+/// Same drain semantics as the single daemon: jobs popped before stop
+/// complete; jobs popped after answer `ShuttingDown`.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) && shared.queue.is_empty() {
+            return;
+        }
+        let Some(job) = shared.queue.pop(TICK) else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            shared.resolve_waiters(&job.key, &shared.shutting_down());
+            continue;
+        }
+        let result = match shared.cache.get(&job.key) {
+            Some(result) => result,
+            None => {
+                let (result, cacheable) = compute(shared, &job);
+                if cacheable {
+                    shared.cache.insert(job.key.clone(), result.clone());
+                    shared.offer_gossip(&job.key, &result);
+                }
+                result
+            }
+        };
+        shared.resolve_waiters(&job.key, &result);
+        shared.refresh_metrics();
+    }
+}
+
+fn compute(shared: &Arc<Shared>, job: &Job) -> (WireResult, bool) {
+    shared.computed.fetch_add(1, Ordering::SeqCst);
+    let request = PlanRequest {
+        name: job.name.clone(),
+        model: job.body.model.clone(),
+        topology: job.body.topology.clone(),
+        budget_bytes: job.body.budget_bytes,
+    };
+    match shared.service.submit(&request) {
+        Ok(response) => match response.outcome {
+            Some(outcome) => (WireResult::Plan(outcome.into()), true),
+            None => (
+                WireResult::Error(ServeError {
+                    code: ErrorCode::Infeasible,
+                    message: format!(
+                        "no parallel configuration fits {} bytes per device",
+                        job.body.budget_bytes
+                    ),
+                    retry_after_ms: None,
+                }),
+                true,
+            ),
+        },
+        Err(e) => (
+            WireResult::Error(ServeError {
+                code: ErrorCode::PlannerError,
+                message: format!("planner error: {e}"),
+                retry_after_ms: None,
+            }),
+            false,
+        ),
+    }
+}
+
+/// Push gossiped entries to their ring successors. Runs on its own thread
+/// with its own peer connections; any failure just drops that push —
+/// gossip is an optimization, correctness never depends on it.
+fn gossip_loop(shared: &Arc<Shared>, rx: mpsc::Receiver<CacheEntry>, fanout: usize) {
+    let mut conns: HashMap<usize, PlanClient> = HashMap::new();
+    for entry in rx {
+        let targets: Vec<(usize, SocketAddr)> = {
+            let peers = shared.peers.lock().unwrap();
+            peers
+                .ring
+                .successors(plan_key_hash(&entry.key), fanout + 1)
+                .into_iter()
+                .filter(|&id| id != shared.id)
+                .take(fanout)
+                .filter_map(|id| peers.addrs.get(&id).map(|&addr| (id, addr)))
+                .collect()
+        };
+        for (peer_id, addr) in targets {
+            let mut pushed = false;
+            // One retry on a fresh connection: the cached one may have
+            // died with a peer restart.
+            for _attempt in 0..2 {
+                let client = match conns.entry(peer_id) {
+                    std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        match PlanClient::connect(addr) {
+                            Ok(client) => entry.insert(client),
+                            Err(_) => break,
+                        }
+                    }
+                };
+                match client.gossip_push(vec![entry.clone()]) {
+                    Ok(_) => {
+                        pushed = true;
+                        break;
+                    }
+                    Err(_) => {
+                        conns.remove(&peer_id);
+                    }
+                }
+            }
+            if pushed {
+                shared.gossip_sent.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// The replica constructor. [`start`](FleetReplica::start) it, then
+/// [`set_peers`](ReplicaHandle::set_peers) once the fleet's addresses are
+/// known (port 0 means addresses exist only after every bind).
+pub struct FleetReplica;
+
+/// Handle to a running replica.
+pub struct ReplicaHandle {
+    shared: Arc<Shared>,
+    event: Option<EventLoopHandle>,
+    workers: Vec<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl FleetReplica {
+    /// Bind and start the event loop, worker pool and gossip thread.
+    pub fn start(config: ReplicaConfig, obs: Obs) -> std::io::Result<ReplicaHandle> {
+        let shared = Arc::new(Shared {
+            id: config.id,
+            instance: format!("replica-{}", config.id),
+            service: PlanService::new(config.planner.clone()).with_obs(obs.clone()),
+            cache: ResponseCache::new(config.cache_max_bytes),
+            waiters: Mutex::new(HashMap::new()),
+            queue: BoundedQueue::new(config.queue_capacity),
+            peers: Mutex::new(PeerTable {
+                ring: HashRing::with_members(&[config.id]),
+                addrs: HashMap::new(),
+            }),
+            gossip_tx: Mutex::new(None),
+            obs,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            gossip_sent: AtomicU64::new(0),
+            gossip_accepted: AtomicU64::new(0),
+            warm_join_imported: AtomicU64::new(0),
+            connections: OnceLock::new(),
+        });
+        let event = spawn_event_loop(
+            &config.addr,
+            Arc::new(ReplicaHandler {
+                shared: Arc::clone(&shared),
+            }),
+            EventLoopConfig {
+                max_connections: config.max_connections,
+            },
+        )?;
+        let _ = shared.connections.set(event.connections_shared());
+        let addr = event.addr();
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let gossip = if config.gossip_fanout > 0 {
+            let (tx, rx) = mpsc::channel();
+            *shared.gossip_tx.lock().unwrap() = Some(tx);
+            let shared = Arc::clone(&shared);
+            let fanout = config.gossip_fanout;
+            Some(std::thread::spawn(move || gossip_loop(&shared, rx, fanout)))
+        } else {
+            None
+        };
+        Ok(ReplicaHandle {
+            shared,
+            event: Some(event),
+            workers,
+            gossip,
+            addr,
+        })
+    }
+}
+
+impl ReplicaHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This replica's fleet id.
+    pub fn id(&self) -> usize {
+        self.shared.id
+    }
+
+    /// The `instance` metric label (`replica-<id>`).
+    pub fn instance(&self) -> String {
+        self.shared.instance.clone()
+    }
+
+    /// Currently open connections on the event loop.
+    pub fn connections(&self) -> usize {
+        self.event.as_ref().map_or(0, |e| e.connections())
+    }
+
+    /// Point-in-time serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Gossip pushes successfully delivered to peers.
+    pub fn gossip_sent(&self) -> u64 {
+        self.shared.gossip_sent.load(Ordering::SeqCst)
+    }
+
+    /// Install the fleet membership: every `(id, addr)` including or
+    /// excluding this replica (it is always on its own ring). Gossip
+    /// targets and ring ownership update immediately.
+    pub fn set_peers(&self, members: &[(usize, SocketAddr)]) {
+        let mut peers = self.shared.peers.lock().unwrap();
+        let mut ids: Vec<usize> = members.iter().map(|&(id, _)| id).collect();
+        ids.push(self.shared.id);
+        peers.ring = HashRing::with_members(&ids);
+        peers.addrs = members
+            .iter()
+            .filter(|&&(id, _)| id != self.shared.id)
+            .copied()
+            .collect();
+    }
+
+    /// Warm-join: pull up to `max_entries` hot cache entries from `peer`
+    /// and import them, so this replica answers from cache instead of
+    /// running cold DP for questions the fleet has already answered.
+    /// Returns how many entries were imported.
+    pub fn warm_join(&self, peer: SocketAddr, max_entries: usize) -> std::io::Result<usize> {
+        let mut client = PlanClient::connect(peer)?;
+        let entries = client.snapshot_pull(max_entries)?;
+        let imported = self.shared.cache.import(
+            entries
+                .into_iter()
+                .map(|entry| (entry.key, entry.result))
+                .collect(),
+        );
+        self.shared
+            .warm_join_imported
+            .fetch_add(imported as u64, Ordering::SeqCst);
+        self.shared.refresh_metrics();
+        Ok(imported)
+    }
+
+    /// Graceful drain, same contract as the single daemon: stop admitting,
+    /// finish in-flight computations, answer queued jobs and their waiters
+    /// with `ShuttingDown`, flush every connection, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Belt and braces: resolve any straggler jobs and waiters so no
+        // slot is left unfilled when the event loop drains.
+        while let Some(job) = self.shared.queue.pop(Duration::ZERO) {
+            self.shared
+                .resolve_waiters(&job.key, &self.shared.shutting_down());
+        }
+        let keys: Vec<PlanKey> = self
+            .shared
+            .waiters
+            .lock()
+            .unwrap()
+            .keys()
+            .cloned()
+            .collect();
+        for key in keys {
+            self.shared
+                .resolve_waiters(&key, &self.shared.shutting_down());
+        }
+        *self.shared.gossip_tx.lock().unwrap() = None; // ends the gossip loop
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
+        }
+        if let Some(event) = self.event.take() {
+            event.stop_and_join();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+}

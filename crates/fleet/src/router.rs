@@ -1,0 +1,683 @@
+//! The fleet front-end: route each plan question to the replica that owns
+//! its cache key, fail over transparently when a replica dies.
+//!
+//! The router speaks the same JSONL protocol as a replica, so clients do
+//! not know (or care) whether they talk to one daemon or a fleet. For a
+//! `Plan` request it computes the key's ring position, forwards the
+//! client's **raw request line** to the owning replica, and relays the
+//! replica's **raw response line** back — no re-serialization anywhere on
+//! the path, so the stable-bytes contract survives the hop untouched
+//! (byte-identical answers whether a client asks a replica directly or
+//! through the router, cached/coalesced envelope flags included).
+//!
+//! Failure handling is reactive, not probed: the first request whose
+//! forward fails (after one reconnect attempt — the pooled connection may
+//! simply be stale) marks the replica dead, removes it from the ring, and
+//! retries against the key's next owner. Consistent hashing makes that
+//! retry exactly the failover the gossip layer pre-warmed: the next ring
+//! successor is where the dead replica's answers were replicated.
+//!
+//! `FleetCheck` is the router-only conformance probe: it puts the same
+//! question to **every** live replica and reports whether the serialized
+//! answers are byte-identical — the cross-replica identity gate the CI
+//! smoke and the fleet bench assert on.
+
+use crate::event::{spawn_event_loop, EventLoopConfig, EventLoopHandle, LineHandler, ResponseSlot};
+use crate::ring::{plan_key_hash, HashRing};
+use galvatron_obs::Obs;
+use galvatron_serve::{
+    BoundedQueue, ErrorCode, FleetCheckReport, PlanBody, PlanClient, PlanKey, PushError,
+    RequestBody, ServeError, ServeStats, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
+};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const TICK: Duration = Duration::from_millis(100);
+
+/// What clients are told to wait before retrying when no replica is live.
+const UNAVAILABLE_RETRY_MS: u64 = 200;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; `127.0.0.1:0` picks a free loopback port.
+    pub addr: String,
+    /// The initial fleet membership.
+    pub replicas: Vec<(usize, SocketAddr)>,
+    /// Forwarder threads (each holds its own pooled connections to every
+    /// replica; minimum 1).
+    pub forwarders: usize,
+    /// Bounded queue of requests waiting for a forwarder.
+    pub queue_capacity: usize,
+    /// Hard cap on concurrently open client connections.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: Vec::new(),
+            forwarders: 4,
+            queue_capacity: 256,
+            max_connections: 16_384,
+        }
+    }
+}
+
+/// Live membership: the ring and the address book shrink together when a
+/// replica is marked dead.
+struct Membership {
+    ring: HashRing,
+    addrs: HashMap<usize, SocketAddr>,
+}
+
+struct RouteJob {
+    /// Envelope identity for router-originated error answers.
+    id: u64,
+    name: String,
+    kind: JobKind,
+    slot: ResponseSlot,
+}
+
+enum JobKind {
+    /// Relay `line` to the owner of `hash`, failing over along the ring.
+    Forward { line: String, hash: u64 },
+    /// `FleetCheck`: ask every live replica and compare answer bytes.
+    Broadcast { body: PlanBody },
+}
+
+struct Shared {
+    membership: Mutex<Membership>,
+    queue: BoundedQueue<RouteJob>,
+    obs: Obs,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Shared {
+    fn live_replicas(&self) -> Vec<(usize, SocketAddr)> {
+        let membership = self.membership.lock().unwrap();
+        let mut live: Vec<(usize, SocketAddr)> = membership
+            .addrs
+            .iter()
+            .map(|(&id, &addr)| (id, addr))
+            .collect();
+        live.sort_unstable_by_key(|&(id, _)| id);
+        live
+    }
+
+    /// Remove a replica that failed a forward. Idempotent — concurrent
+    /// forwarders may both observe the same death.
+    fn mark_dead(&self, id: usize) {
+        let mut membership = self.membership.lock().unwrap();
+        if membership.addrs.remove(&id).is_some() {
+            membership.ring.remove(id);
+            self.failovers.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn refresh_metrics(&self) {
+        let registry = self.obs.registry();
+        let labels = [("instance", "router")];
+        registry
+            .gauge_with("fleet_router_live_replicas", &labels)
+            .set(self.membership.lock().unwrap().addrs.len() as f64);
+        registry
+            .gauge_with("serve_queue_depth", &labels)
+            .set(self.queue.len() as f64);
+        for (name, total) in [
+            ("serve_requests_total", self.requests.load(Ordering::SeqCst)),
+            (
+                "fleet_router_forwarded_total",
+                self.forwarded.load(Ordering::SeqCst),
+            ),
+            (
+                "fleet_router_failovers_total",
+                self.failovers.load(Ordering::SeqCst),
+            ),
+            ("serve_shed_total", self.shed.load(Ordering::SeqCst)),
+        ] {
+            let counter = registry.counter_with(name, &labels);
+            counter.inc_by(total.saturating_sub(counter.get()));
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            shed: self.shed.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+            ..ServeStats::default()
+        }
+    }
+
+    fn error_response(
+        &self,
+        id: u64,
+        name: String,
+        code: ErrorCode,
+        message: String,
+        retry_after_ms: Option<u64>,
+    ) -> WireResponse {
+        WireResponse {
+            id,
+            name,
+            cached: false,
+            coalesced: false,
+            result: WireResult::Error(ServeError {
+                code,
+                message,
+                retry_after_ms,
+            }),
+        }
+    }
+}
+
+fn fill_json(slot: &ResponseSlot, response: &WireResponse) {
+    if let Ok(line) = serde_json::to_string(response) {
+        slot.fill(line);
+    }
+}
+
+struct RouterHandler {
+    shared: Arc<Shared>,
+}
+
+impl LineHandler for RouterHandler {
+    fn on_line(&self, line: &str, slot: ResponseSlot) {
+        let shared = &self.shared;
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let request: WireRequest = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => {
+                fill_json(
+                    &slot,
+                    &shared.error_response(
+                        0,
+                        String::new(),
+                        ErrorCode::BadRequest,
+                        format!("unparseable request line: {e}"),
+                        None,
+                    ),
+                );
+                return;
+            }
+        };
+        let (id, name) = (request.id, request.name.clone());
+        let kind = match request.body {
+            RequestBody::Ping => {
+                fill_json(
+                    &slot,
+                    &WireResponse {
+                        id,
+                        name,
+                        cached: false,
+                        coalesced: false,
+                        result: WireResult::Pong(PROTOCOL_VERSION),
+                    },
+                );
+                return;
+            }
+            RequestBody::Stats => {
+                fill_json(
+                    &slot,
+                    &WireResponse {
+                        id,
+                        name,
+                        cached: false,
+                        coalesced: false,
+                        result: WireResult::Stats(shared.stats()),
+                    },
+                );
+                return;
+            }
+            RequestBody::Metrics => {
+                shared.refresh_metrics();
+                fill_json(
+                    &slot,
+                    &WireResponse {
+                        id,
+                        name,
+                        cached: false,
+                        coalesced: false,
+                        result: WireResult::Metrics(
+                            shared.obs.registry().snapshot().to_prometheus(),
+                        ),
+                    },
+                );
+                return;
+            }
+            RequestBody::SnapshotPull { .. } | RequestBody::GossipPush { .. } => {
+                fill_json(
+                    &slot,
+                    &shared.error_response(
+                        id,
+                        name,
+                        ErrorCode::BadRequest,
+                        "the router holds no cache; address peer-protocol requests to a replica"
+                            .to_string(),
+                        None,
+                    ),
+                );
+                return;
+            }
+            RequestBody::Plan(ref body) => {
+                let Ok(model_json) = serde_json::to_string(&body.model) else {
+                    fill_json(
+                        &slot,
+                        &shared.error_response(
+                            id,
+                            name,
+                            ErrorCode::BadRequest,
+                            "model does not serialize canonically".to_string(),
+                            None,
+                        ),
+                    );
+                    return;
+                };
+                let key = PlanKey {
+                    model_json,
+                    topology_fingerprint: body.topology.fingerprint(),
+                    budget_bytes: body.budget_bytes,
+                };
+                JobKind::Forward {
+                    line: line.to_string(),
+                    hash: plan_key_hash(&key),
+                }
+            }
+            RequestBody::FleetCheck(body) => JobKind::Broadcast { body },
+        };
+        let job = RouteJob {
+            id,
+            name: name.clone(),
+            kind,
+            slot: slot.clone(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full) => {
+                shared.shed.fetch_add(1, Ordering::SeqCst);
+                fill_json(
+                    &slot,
+                    &shared.error_response(
+                        id,
+                        name,
+                        ErrorCode::Overloaded,
+                        format!("router queue full (capacity {})", shared.queue.capacity()),
+                        Some(50),
+                    ),
+                );
+            }
+            Err(PushError::Closed) => {
+                fill_json(
+                    &slot,
+                    &shared.error_response(
+                        id,
+                        name,
+                        ErrorCode::ShuttingDown,
+                        "router is shutting down".to_string(),
+                        Some(50),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_http_get(&self, path: &str) -> (String, String, String) {
+        let shared = &self.shared;
+        match path {
+            "/metrics" => {
+                shared.refresh_metrics();
+                (
+                    "200 OK".to_string(),
+                    "text/plain; version=0.0.4".to_string(),
+                    shared.obs.registry().snapshot().to_prometheus(),
+                )
+            }
+            "/healthz" | "/health" => {
+                let live = shared.membership.lock().unwrap().addrs.len();
+                if shared.stop.load(Ordering::SeqCst) {
+                    (
+                        "503 Service Unavailable".to_string(),
+                        "text/plain".to_string(),
+                        "draining instance=router\n".to_string(),
+                    )
+                } else if live == 0 {
+                    (
+                        "503 Service Unavailable".to_string(),
+                        "text/plain".to_string(),
+                        "no live replicas instance=router\n".to_string(),
+                    )
+                } else {
+                    (
+                        "200 OK".to_string(),
+                        "text/plain".to_string(),
+                        format!("ok instance=router live_replicas={live}\n"),
+                    )
+                }
+            }
+            _ => (
+                "404 Not Found".to_string(),
+                "text/plain".to_string(),
+                format!("unknown path {path}; try /metrics or /healthz\n"),
+            ),
+        }
+    }
+}
+
+/// A forwarder thread: pooled connections to each replica, one request
+/// relayed at a time.
+fn forwarder_loop(shared: &Arc<Shared>) {
+    let mut pool: HashMap<usize, PlanClient> = HashMap::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) && shared.queue.is_empty() {
+            return;
+        }
+        let Some(job) = shared.queue.pop(TICK) else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            fill_json(
+                &job.slot,
+                &shared.error_response(
+                    job.id,
+                    job.name,
+                    ErrorCode::ShuttingDown,
+                    "router is shutting down".to_string(),
+                    Some(50),
+                ),
+            );
+            continue;
+        }
+        match job.kind {
+            JobKind::Forward { line, hash } => {
+                forward(shared, &mut pool, job.id, job.name, &line, hash, &job.slot);
+            }
+            JobKind::Broadcast { body } => {
+                broadcast(shared, &mut pool, job.id, job.name, body, &job.slot);
+            }
+        }
+    }
+}
+
+/// Relay `line` to the owner of `hash`; on failure mark the owner dead and
+/// retry against the next — consistent hashing guarantees the retry lands
+/// on the replica that inherited the key (and, with gossip, its warm
+/// answer).
+fn forward(
+    shared: &Arc<Shared>,
+    pool: &mut HashMap<usize, PlanClient>,
+    id: u64,
+    name: String,
+    line: &str,
+    hash: u64,
+    slot: &ResponseSlot,
+) {
+    // Each live replica gets at most one (reconnect-included) try per
+    // request; when all are gone the client hears `Unavailable`.
+    loop {
+        let target = {
+            let membership = shared.membership.lock().unwrap();
+            membership
+                .ring
+                .route_hash(hash)
+                .and_then(|owner| membership.addrs.get(&owner).map(|&addr| (owner, addr)))
+        };
+        let Some((owner, addr)) = target else {
+            fill_json(
+                slot,
+                &shared.error_response(
+                    id,
+                    name,
+                    ErrorCode::Unavailable,
+                    "no live replica to forward to".to_string(),
+                    Some(UNAVAILABLE_RETRY_MS),
+                ),
+            );
+            return;
+        };
+        match relay_once(pool, owner, addr, line) {
+            Ok(response) => {
+                shared.forwarded.fetch_add(1, Ordering::SeqCst);
+                slot.fill(response);
+                return;
+            }
+            Err(_) => {
+                shared.mark_dead(owner);
+                // Loop: the ring now routes `hash` to the next owner.
+            }
+        }
+    }
+}
+
+/// One relay attempt against a specific replica, reconnecting once in case
+/// the pooled connection went stale across a replica restart.
+fn relay_once(
+    pool: &mut HashMap<usize, PlanClient>,
+    owner: usize,
+    addr: SocketAddr,
+    line: &str,
+) -> std::io::Result<String> {
+    for attempt in 0..2 {
+        let client = match pool.entry(owner) {
+            std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(PlanClient::connect(addr)?)
+            }
+        };
+        match client.round_trip_raw(line) {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                pool.remove(&owner);
+                if attempt == 1 {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    unreachable!("relay_once returns within two attempts")
+}
+
+/// `FleetCheck`: ask every live replica the same plan question and compare
+/// the serialized `result` payloads byte-for-byte.
+fn broadcast(
+    shared: &Arc<Shared>,
+    pool: &mut HashMap<usize, PlanClient>,
+    id: u64,
+    name: String,
+    body: PlanBody,
+    slot: &ResponseSlot,
+) {
+    let request = WireRequest {
+        id,
+        name: name.clone(),
+        body: RequestBody::Plan(body),
+    };
+    let Ok(line) = serde_json::to_string(&request) else {
+        fill_json(
+            slot,
+            &shared.error_response(
+                id,
+                name,
+                ErrorCode::BadRequest,
+                "request does not serialize".to_string(),
+                None,
+            ),
+        );
+        return;
+    };
+    let mut payloads: Vec<String> = Vec::new();
+    for (replica_id, addr) in shared.live_replicas() {
+        match relay_once(pool, replica_id, addr, &line) {
+            Ok(response) => match serde_json::from_str::<WireResponse>(&response) {
+                Ok(parsed) => {
+                    if let Ok(payload) = serde_json::to_string(&parsed.result) {
+                        payloads.push(payload);
+                    }
+                }
+                Err(_) => shared.mark_dead(replica_id),
+            },
+            Err(_) => shared.mark_dead(replica_id),
+        }
+    }
+    if payloads.is_empty() {
+        fill_json(
+            slot,
+            &shared.error_response(
+                id,
+                name,
+                ErrorCode::Unavailable,
+                "no live replica answered the fleet check".to_string(),
+                Some(UNAVAILABLE_RETRY_MS),
+            ),
+        );
+        return;
+    }
+    let byte_identical = payloads.iter().all(|p| p == &payloads[0]);
+    fill_json(
+        slot,
+        &WireResponse {
+            id,
+            name,
+            cached: false,
+            coalesced: false,
+            result: WireResult::Fleet(FleetCheckReport {
+                replicas: payloads.len(),
+                byte_identical,
+                answer_json: payloads.swap_remove(0),
+            }),
+        },
+    );
+}
+
+/// The router constructor.
+pub struct FleetRouter;
+
+/// Handle to a running router.
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    event: Option<EventLoopHandle>,
+    forwarders: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl FleetRouter {
+    /// Bind and start the event loop and forwarder pool.
+    pub fn start(config: RouterConfig, obs: Obs) -> std::io::Result<RouterHandle> {
+        let ids: Vec<usize> = config.replicas.iter().map(|&(id, _)| id).collect();
+        let shared = Arc::new(Shared {
+            membership: Mutex::new(Membership {
+                ring: HashRing::with_members(&ids),
+                addrs: config.replicas.iter().copied().collect(),
+            }),
+            queue: BoundedQueue::new(config.queue_capacity),
+            obs,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        });
+        let event = spawn_event_loop(
+            &config.addr,
+            Arc::new(RouterHandler {
+                shared: Arc::clone(&shared),
+            }),
+            EventLoopConfig {
+                max_connections: config.max_connections,
+            },
+        )?;
+        let addr = event.addr();
+        let forwarders = (0..config.forwarders.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || forwarder_loop(&shared))
+            })
+            .collect();
+        Ok(RouterHandle {
+            shared,
+            event: Some(event),
+            forwarders,
+            addr,
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ids of replicas currently considered live.
+    pub fn live_replicas(&self) -> Vec<usize> {
+        self.shared
+            .live_replicas()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Requests that failed over to another replica after an owner death.
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::SeqCst)
+    }
+
+    /// Add (or re-add) a replica to the ring — e.g. one that just
+    /// warm-joined the fleet.
+    pub fn add_replica(&self, id: usize, addr: SocketAddr) {
+        let mut membership = self.shared.membership.lock().unwrap();
+        membership.ring.add(id);
+        membership.addrs.insert(id, addr);
+    }
+
+    /// Remove a replica administratively (planned drain, as opposed to the
+    /// failure-driven removal forwarders do on their own).
+    pub fn remove_replica(&self, id: usize) {
+        self.shared.mark_dead(id);
+    }
+
+    /// Stop accepting, answer queued requests with `ShuttingDown`, join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        for forwarder in self.forwarders.drain(..) {
+            let _ = forwarder.join();
+        }
+        while let Some(job) = self.shared.queue.pop(Duration::ZERO) {
+            fill_json(
+                &job.slot,
+                &self.shared.error_response(
+                    job.id,
+                    job.name,
+                    ErrorCode::ShuttingDown,
+                    "router is shutting down".to_string(),
+                    Some(50),
+                ),
+            );
+        }
+        if let Some(event) = self.event.take() {
+            event.stop_and_join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+}

@@ -1,0 +1,410 @@
+//! End-to-end tests of the plan-serving fleet over real loopback TCP.
+//!
+//! The fleet's promises, each pinned here:
+//!
+//! * **fidelity through the router** — a plan served via the
+//!   consistent-hash router is byte-identical to the direct
+//!   [`PlanService`] answer, and the cached/coalesced envelope flags pass
+//!   through the relay untouched;
+//! * **gossip warming** — a plan computed on its owning replica shows up
+//!   in the ring successor's cache without that successor ever planning;
+//! * **warm-join** — a fresh replica that pulls a peer snapshot serves
+//!   those keys from cache with zero DP computations of its own;
+//! * **failover** — killing a replica mid-run reroutes its keys to the
+//!   next ring owner and the answers stay byte-identical;
+//! * **observability** — `/healthz` and `/metrics` answer over plain
+//!   HTTP on the event-driven socket, with per-instance labels.
+
+use galvatron_cluster::{rtx_titan_node, ClusterTopology, GIB};
+use galvatron_core::OptimizerConfig;
+use galvatron_fleet::{
+    FleetReplica, FleetRouter, HashRing, ReplicaConfig, ReplicaHandle, RouterConfig, RouterHandle,
+};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_obs::Obs;
+use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
+use galvatron_serve::{PlanClient, PlanKey, ServedPlan, WireResult};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn quick_planner() -> PlannerConfig {
+    PlannerConfig {
+        optimizer: OptimizerConfig {
+            max_batch: 8,
+            ..OptimizerConfig::default()
+        },
+        jobs: 2,
+        ..PlannerConfig::default()
+    }
+}
+
+fn bert(layers: usize, name: &str) -> ModelSpec {
+    BertConfig {
+        layers,
+        hidden: 512,
+        heads: 8,
+        seq: 128,
+        vocab: 30522,
+    }
+    .build(name)
+}
+
+fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) {
+    let started = Instant::now();
+    while !done() {
+        assert!(
+            started.elapsed() < deadline,
+            "condition not reached within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn start_replica(id: usize) -> ReplicaHandle {
+    FleetReplica::start(
+        ReplicaConfig {
+            id,
+            planner: quick_planner(),
+            ..ReplicaConfig::default()
+        },
+        Obs::noop(),
+    )
+    .expect("bind loopback replica")
+}
+
+fn start_fleet(n: usize) -> (Vec<ReplicaHandle>, RouterHandle) {
+    let replicas: Vec<ReplicaHandle> = (0..n).map(start_replica).collect();
+    let members: Vec<(usize, SocketAddr)> = replicas.iter().map(|r| (r.id(), r.addr())).collect();
+    for replica in &replicas {
+        replica.set_peers(&members);
+    }
+    let router = FleetRouter::start(
+        RouterConfig {
+            replicas: members,
+            ..RouterConfig::default()
+        },
+        Obs::noop(),
+    )
+    .expect("bind loopback router");
+    (replicas, router)
+}
+
+/// The cache key exactly as a replica derives it from a wire request —
+/// used to predict ring ownership from the test side.
+fn cache_key(model: &ModelSpec, topology: &ClusterTopology, budget_bytes: u64) -> PlanKey {
+    PlanKey {
+        model_json: serde_json::to_string(model).expect("model serializes"),
+        topology_fingerprint: topology.fingerprint(),
+        budget_bytes,
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// Plans relayed through the router are byte-identical to the direct
+/// `PlanService` answer, and a repeat of the same question comes back
+/// with the `cached` envelope flag set — the relay preserves both the
+/// payload bytes and the envelope.
+#[test]
+fn router_relay_is_byte_identical_to_direct_service() {
+    let (replicas, router) = start_fleet(3);
+    let topology = rtx_titan_node(8);
+    let direct = PlanService::new(quick_planner());
+
+    let mut client = PlanClient::connect(router.addr()).expect("connect router");
+    for (layers, gib) in [(2usize, 8u64), (3, 8), (4, 12)] {
+        let name = format!("bert-{layers}@{gib}g");
+        let model = bert(layers, &format!("bert-{layers}"));
+        let expected = {
+            let response = direct
+                .submit(&PlanRequest {
+                    name: name.clone(),
+                    model: model.clone(),
+                    topology: topology.clone(),
+                    budget_bytes: gib * GIB,
+                })
+                .expect("direct planning succeeds");
+            let outcome = response.outcome.expect("feasible question");
+            serde_json::to_string(&WireResult::Plan(ServedPlan::from(outcome)))
+                .expect("serializable")
+        };
+
+        let first = client
+            .plan(&name, model.clone(), topology.clone(), gib * GIB)
+            .expect("routed answer");
+        assert!(!first.cached, "first ask must be computed, not cached");
+        assert_eq!(
+            serde_json::to_string(&first.result).expect("serializable"),
+            expected,
+            "routed answer differs from direct PlanService for {name}"
+        );
+
+        let second = client
+            .plan(&name, model, topology.clone(), gib * GIB)
+            .expect("routed answer");
+        assert!(second.cached, "second ask must hit the owner's cache");
+        assert_eq!(
+            serde_json::to_string(&second.result).expect("serializable"),
+            expected,
+            "cached routed answer changed bytes for {name}"
+        );
+    }
+
+    router.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+}
+
+/// A plan computed on its owning replica is gossiped to the ring
+/// successor: the successor ends up serving that key from cache having
+/// computed nothing itself.
+#[test]
+fn gossip_warms_the_ring_successor() {
+    let replicas = vec![start_replica(0), start_replica(1)];
+    let members: Vec<(usize, SocketAddr)> = replicas.iter().map(|r| (r.id(), r.addr())).collect();
+    for replica in &replicas {
+        replica.set_peers(&members);
+    }
+
+    let topology = rtx_titan_node(8);
+    let model = bert(2, "bert-gossip");
+    let key = cache_key(&model, &topology, 8 * GIB);
+    let ring = HashRing::with_members(&[0, 1]);
+    let owner = ring.route(&key).expect("non-empty ring");
+    let successor = 1 - owner;
+
+    // Compute on the owner; gossip (fanout 1) must deliver the entry to
+    // the successor's cache.
+    let mut owner_client = PlanClient::connect(replicas[owner].addr()).expect("connect owner");
+    let owned = owner_client
+        .plan("gossip", model.clone(), topology.clone(), 8 * GIB)
+        .expect("owner answers");
+    let expected = serde_json::to_string(&owned.result).expect("serializable");
+
+    let successor_addr = replicas[successor].addr();
+    wait_until(Duration::from_secs(10), || {
+        let mut peek = PlanClient::connect(successor_addr).expect("connect successor");
+        !peek.snapshot_pull(usize::MAX).expect("snapshot").is_empty()
+    });
+
+    let mut successor_client = PlanClient::connect(successor_addr).expect("connect successor");
+    let replicated = successor_client
+        .plan("gossip", model, topology, 8 * GIB)
+        .expect("successor answers");
+    assert!(
+        replicated.cached,
+        "successor must answer from gossiped cache"
+    );
+    assert_eq!(
+        serde_json::to_string(&replicated.result).expect("serializable"),
+        expected,
+        "gossiped entry changed bytes"
+    );
+    let stats = replicas[successor].stats();
+    assert_eq!(stats.computed, 0, "successor must never have planned");
+
+    for replica in replicas {
+        replica.shutdown();
+    }
+}
+
+/// A joining replica that warm-starts from a peer snapshot serves every
+/// snapshotted key from cache — zero cold DP on the joiner.
+#[test]
+fn warm_join_imports_peer_snapshot_instead_of_cold_dp() {
+    let seed = start_replica(0);
+    seed.set_peers(&[(0, seed.addr())]);
+    let topology = rtx_titan_node(8);
+
+    let questions: Vec<(String, ModelSpec, u64)> = [(2usize, 8u64), (3, 8), (4, 12)]
+        .iter()
+        .map(|&(layers, gib)| {
+            (
+                format!("bert-{layers}"),
+                bert(layers, &format!("bert-{layers}")),
+                gib * GIB,
+            )
+        })
+        .collect();
+
+    let mut warm_client = PlanClient::connect(seed.addr()).expect("connect seed");
+    let expected: Vec<String> = questions
+        .iter()
+        .map(|(name, model, budget)| {
+            let response = warm_client
+                .plan(name, model.clone(), topology.clone(), *budget)
+                .expect("seed answers");
+            serde_json::to_string(&response.result).expect("serializable")
+        })
+        .collect();
+
+    let joiner = start_replica(1);
+    let imported = joiner
+        .warm_join(seed.addr(), usize::MAX)
+        .expect("snapshot pull succeeds");
+    assert_eq!(imported, questions.len(), "joiner must import every entry");
+
+    let mut joiner_client = PlanClient::connect(joiner.addr()).expect("connect joiner");
+    for ((name, model, budget), expected) in questions.iter().zip(&expected) {
+        let response = joiner_client
+            .plan(name, model.clone(), topology.clone(), *budget)
+            .expect("joiner answers");
+        assert!(
+            response.cached,
+            "warm-joined key {name} must be a cache hit"
+        );
+        assert_eq!(
+            &serde_json::to_string(&response.result).expect("serializable"),
+            expected,
+            "warm-joined answer changed bytes for {name}"
+        );
+    }
+    assert_eq!(joiner.stats().computed, 0, "joiner must not cold-plan");
+
+    seed.shutdown();
+    joiner.shutdown();
+}
+
+/// Killing a replica mid-run: the router marks it dead on the first
+/// failed relay and retries the next ring owner, so every key keeps
+/// answering — byte-identical to before the death.
+#[test]
+fn router_fails_over_when_a_replica_dies() {
+    let (mut replicas, router) = start_fleet(3);
+    let topology = rtx_titan_node(8);
+
+    let questions: Vec<(String, ModelSpec, u64)> = [(2usize, 8u64), (3, 8), (4, 12)]
+        .iter()
+        .map(|&(layers, gib)| {
+            (
+                format!("bert-{layers}"),
+                bert(layers, &format!("bert-{layers}")),
+                gib * GIB,
+            )
+        })
+        .collect();
+
+    // FleetCheck warms every replica with every key, so post-kill
+    // failovers are cache hits wherever they land.
+    let mut client = PlanClient::connect(router.addr()).expect("connect router");
+    let expected: Vec<String> = questions
+        .iter()
+        .map(|(name, model, budget)| {
+            let report = client
+                .fleet_check(name, model.clone(), topology.clone(), *budget)
+                .expect("fleet check");
+            assert_eq!(report.replicas, 3, "all replicas must answer");
+            assert!(report.byte_identical, "replicas disagree on {name}");
+            report.answer_json
+        })
+        .collect();
+
+    // Kill the replica that owns the first key, without telling the
+    // router: the next relay of that key must fail, trigger mark_dead,
+    // and fail over to the next ring owner.
+    let ring = HashRing::with_members(&[0, 1, 2]);
+    let victim_id = ring
+        .route(&cache_key(&questions[0].1, &topology, questions[0].2))
+        .expect("non-empty ring");
+    let victim_idx = replicas
+        .iter()
+        .position(|r| r.id() == victim_id)
+        .expect("victim is running");
+    replicas.remove(victim_idx).shutdown();
+
+    for ((name, model, budget), expected) in questions.iter().zip(&expected) {
+        let response = client
+            .plan(name, model.clone(), topology.clone(), *budget)
+            .expect("post-kill answer");
+        assert_eq!(
+            &serde_json::to_string(&response.result).expect("serializable"),
+            expected,
+            "failover changed bytes for {name}"
+        );
+    }
+    assert!(
+        !router.live_replicas().contains(&victim_id),
+        "router must have marked the dead replica"
+    );
+    assert!(router.failovers() > 0, "failover counter must have ticked");
+
+    router.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+}
+
+/// `/healthz` and `/metrics` answer over plain HTTP on the same
+/// event-driven socket as the JSONL protocol, and every metric carries
+/// the per-instance label; the router exposes its live-replica gauge.
+#[test]
+fn healthz_and_metrics_answer_over_http_with_instance_labels() {
+    let (replicas, router) = start_fleet(2);
+
+    let health = http_get(replicas[0].addr(), "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "healthz: {health}");
+    assert!(
+        health.contains("ok instance=replica-0"),
+        "healthz must name the instance: {health}"
+    );
+
+    let metrics = http_get(replicas[0].addr(), "/metrics");
+    assert!(
+        metrics.contains("serve_requests_total{instance=\"replica-0\"}"),
+        "replica metrics must be instance-labelled: {metrics}"
+    );
+    assert!(
+        metrics.contains("fleet_connections{instance=\"replica-0\"}"),
+        "replica must export its connection gauge: {metrics}"
+    );
+
+    let router_health = http_get(router.addr(), "/healthz");
+    assert!(
+        router_health.starts_with("HTTP/1.1 200 OK"),
+        "router healthz: {router_health}"
+    );
+    let router_metrics = http_get(router.addr(), "/metrics");
+    assert!(
+        router_metrics.contains("fleet_router_live_replicas{instance=\"router\"} 2"),
+        "router must export its live-replica gauge: {router_metrics}"
+    );
+
+    let missing = http_get(replicas[0].addr(), "/nope");
+    assert!(
+        missing.starts_with("HTTP/1.1 404"),
+        "unknown path: {missing}"
+    );
+
+    router.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+}
+
+/// Shutdown with idle connections still open must not hang: the drain
+/// deadline closes them and `shutdown()` returns promptly.
+#[test]
+fn shutdown_completes_with_idle_connections_open() {
+    let replica = start_replica(7);
+    let addr = replica.addr();
+    let idle: Vec<TcpStream> = (0..8)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    wait_until(Duration::from_secs(5), || replica.connections() >= 8);
+
+    let started = Instant::now();
+    replica.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "shutdown must beat the drain deadline"
+    );
+    drop(idle);
+}

@@ -280,6 +280,13 @@ impl MetricsRegistry {
         self.hist_impl(name, &[], true)
     }
 
+    /// Get or register a labelled wall-clock histogram (volatile, like
+    /// [`wall_histogram`](MetricsRegistry::wall_histogram)). The serving
+    /// fleet uses this to label per-replica latency with `instance`.
+    pub fn wall_histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.hist_impl(name, labels, true)
+    }
+
     fn hist_impl(&self, name: &str, labels: &[(&str, &str)], volatile: bool) -> Histogram {
         self.register(
             name,

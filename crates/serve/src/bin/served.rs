@@ -89,6 +89,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServeConfig, String>
                 config.cache_max_bytes = mib << 20;
             }
             "--persist" => config.persist_path = Some(PathBuf::from(value("--persist")?)),
+            "--instance" => config.instance = value("--instance")?,
             "--max-batch" => optimizer.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
             "--jobs" => planner.jobs = parse(&value("--jobs")?, "--jobs")?,
             "--no-cache" => planner.use_cache = false,
@@ -97,8 +98,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServeConfig, String>
             "--help" | "-h" => {
                 return Err("usage: galvatron-served [--addr HOST:PORT] [--workers N] \
                      [--queue-capacity Q] [--cache-mib M] [--persist FILE] \
-                     [--max-batch B] [--jobs J] [--no-cache] [--no-prune] \
-                     [--no-incremental]"
+                     [--instance NAME] [--max-batch B] [--jobs J] [--no-cache] \
+                     [--no-prune] [--no-incremental]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),

@@ -172,9 +172,52 @@ impl ResponseCache {
         }
     }
 
+    /// Export up to `max_entries` resident answers, **most recently used
+    /// first** — the fleet's cache-warming hook. A gossip push or a
+    /// warm-join snapshot wants the hot end of the cache; an importer that
+    /// itself evicts should insert in reverse (oldest first), which
+    /// [`import`](ResponseCache::import) does.
+    pub fn export_recent(&self, max_entries: usize) -> Vec<(PlanKey, WireResult)> {
+        let inner = self.inner.lock().unwrap();
+        let mut ordered: Vec<(&PlanKey, &Entry)> = inner.entries.iter().collect();
+        ordered.sort_by_key(|(_, entry)| std::cmp::Reverse(entry.stamp));
+        ordered
+            .into_iter()
+            .take(max_entries)
+            .map(|(key, entry)| (key.clone(), entry.result.clone()))
+            .collect()
+    }
+
+    /// Import answers exported by a peer's
+    /// [`export_recent`](ResponseCache::export_recent). Entries are
+    /// inserted coldest-first so that if this cache evicts during the
+    /// import, the peer's hottest entries survive. Only *stable* answers
+    /// are admitted (plans and deterministic `Infeasible` verdicts);
+    /// anything else in the batch is skipped, so a malicious or buggy peer
+    /// cannot poison the cache with transient errors. Returns the number
+    /// of entries accepted.
+    pub fn import(&self, entries: Vec<(PlanKey, WireResult)>) -> usize {
+        let mut imported = 0;
+        for (key, result) in entries.into_iter().rev() {
+            if !result.is_stable_answer() {
+                continue;
+            }
+            self.insert(key, result);
+            imported += 1;
+        }
+        imported
+    }
+
     /// Write a snapshot to `path`. `config_fingerprint` identifies the
     /// serving planner configuration (estimator constants included); a
     /// loader with a different fingerprint ignores the file.
+    ///
+    /// The write is **atomic**: the snapshot goes to a `.tmp` sibling
+    /// first and is renamed into place, so a crash mid-persist leaves
+    /// either the previous complete snapshot or none — never a torn JSON
+    /// file. (A torn file would be rejected by
+    /// [`load`](ResponseCache::load) anyway, but it would silently cost
+    /// the next restart its warm start.)
     pub fn persist(&self, path: &Path, config_fingerprint: &str) -> std::io::Result<()> {
         let inner = self.inner.lock().unwrap();
         let mut ordered: Vec<(&PlanKey, &Entry)> = inner.entries.iter().collect();
@@ -194,12 +237,27 @@ impl ResponseCache {
         drop(inner);
         let json = serde_json::to_string(&snapshot)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(path, json)
+        let tmp = match path.file_name() {
+            Some(name) => {
+                let mut tmp_name = name.to_os_string();
+                tmp_name.push(".tmp");
+                path.with_file_name(tmp_name)
+            }
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "snapshot path has no file name",
+                ))
+            }
+        };
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Load a snapshot written by [`persist`](ResponseCache::persist).
     /// Returns the number of entries loaded; mismatched versions or config
-    /// fingerprints (and unreadable/corrupt files) load nothing.
+    /// fingerprints (and unreadable, truncated, or otherwise corrupt
+    /// files) load nothing.
     pub fn load(&self, path: &Path, config_fingerprint: &str) -> usize {
         let Ok(json) = std::fs::read_to_string(path) else {
             return 0;
@@ -302,5 +360,82 @@ mod tests {
         assert_eq!(corrupt.load(&path, "config-A"), 0);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_is_atomic_and_truncated_snapshots_are_rejected() {
+        let dir = std::env::temp_dir().join(format!(
+            "galvatron-serve-atomic-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+
+        let cache = ResponseCache::new(1 << 20);
+        cache.insert(key(1), verdict(1));
+        cache.insert(key(2), verdict(2));
+        cache.persist(&path, "config-A").unwrap();
+
+        // The temp file must not survive a successful persist.
+        let tmp = dir.join("snapshot.json.tmp");
+        assert!(!tmp.exists(), "temp file must be renamed away");
+
+        // Simulate a crash mid-persist: truncate the snapshot at every
+        // prefix length. A warm restart must reject each cleanly (load 0)
+        // instead of serving from — or choking on — a torn file.
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in [1, full.len() / 4, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let warm = ResponseCache::new(1 << 20);
+            assert_eq!(
+                warm.load(&path, "config-A"),
+                0,
+                "truncated snapshot (cut at {cut}) must load nothing"
+            );
+            assert_eq!(warm.stats().entries, 0);
+        }
+
+        // And a persist over a corrupt file replaces it wholesale: the new
+        // snapshot round-trips even though the old bytes were garbage.
+        cache.persist(&path, "config-A").unwrap();
+        let recovered = ResponseCache::new(1 << 20);
+        assert_eq!(recovered.load(&path, "config-A"), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_recent_is_mru_first_and_import_round_trips() {
+        let cache = ResponseCache::new(1 << 20);
+        cache.insert(key(1), verdict(1));
+        cache.insert(key(2), verdict(2));
+        cache.insert(key(3), verdict(3));
+        // Touch 1 so recency order is 1 > 3 > 2.
+        assert!(cache.get(&key(1)).is_some());
+
+        let hot = cache.export_recent(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, key(1), "hottest entry first");
+        assert_eq!(hot[1].0, key(3));
+
+        let peer = ResponseCache::new(1 << 20);
+        assert_eq!(peer.import(hot), 2);
+        assert!(peer.get(&key(1)).is_some());
+        assert!(peer.get(&key(3)).is_some());
+        assert!(peer.get(&key(2)).is_none(), "cold tail not exported");
+    }
+
+    #[test]
+    fn import_rejects_unstable_answers() {
+        let cache = ResponseCache::new(1 << 20);
+        let transient = WireResult::Error(ServeError {
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+            retry_after_ms: Some(50),
+        });
+        let accepted = cache.import(vec![(key(1), transient), (key(2), verdict(2))]);
+        assert_eq!(accepted, 1, "only the stable verdict is admitted");
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
     }
 }

@@ -4,7 +4,10 @@
 //! order, so the client is a simple send-line/read-line pair. The bench
 //! load generator and the e2e tests open one client per simulated user.
 
-use crate::protocol::{PlanBody, RequestBody, ServeStats, WireRequest, WireResponse, WireResult};
+use crate::protocol::{
+    CacheEntry, FleetCheckReport, PlanBody, RequestBody, ServeStats, WireRequest, WireResponse,
+    WireResult,
+};
 use galvatron_cluster::ClusterTopology;
 use galvatron_model::ModelSpec;
 use std::io::{BufRead, BufReader, Write};
@@ -98,6 +101,55 @@ impl PlanClient {
     pub fn metrics(&mut self) -> std::io::Result<String> {
         match self.round_trip(RequestBody::Metrics, "metrics")?.result {
             WireResult::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fleet peer protocol: pull up to `max_entries` hot response-cache
+    /// entries from this daemon (warm-join).
+    pub fn snapshot_pull(&mut self, max_entries: usize) -> std::io::Result<Vec<CacheEntry>> {
+        match self
+            .round_trip(RequestBody::SnapshotPull { max_entries }, "snapshot-pull")?
+            .result
+        {
+            WireResult::Snapshot(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fleet peer protocol: push cache entries to this daemon; returns how
+    /// many it accepted.
+    pub fn gossip_push(&mut self, entries: Vec<CacheEntry>) -> std::io::Result<u64> {
+        match self
+            .round_trip(RequestBody::GossipPush { entries }, "gossip-push")?
+            .result
+        {
+            WireResult::Ack(accepted) => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask a fleet router to put the question to every live replica and
+    /// report cross-replica byte-identity.
+    pub fn fleet_check(
+        &mut self,
+        name: &str,
+        model: ModelSpec,
+        topology: ClusterTopology,
+        budget_bytes: u64,
+    ) -> std::io::Result<FleetCheckReport> {
+        match self
+            .round_trip(
+                RequestBody::FleetCheck(PlanBody {
+                    model,
+                    topology,
+                    budget_bytes,
+                }),
+                name,
+            )?
+            .result
+        {
+            WireResult::Fleet(report) => Ok(report),
             other => Err(unexpected(&other)),
         }
     }

@@ -51,8 +51,8 @@ pub use cache::{CacheStats, PlanKey, ResponseCache};
 pub use client::PlanClient;
 pub use flight::{Flight, Role, SingleFlight};
 pub use protocol::{
-    ErrorCode, PlanBody, RequestBody, ServeError, ServeStats, ServedPlan, WireRequest,
-    WireResponse, WireResult, PROTOCOL_VERSION,
+    CacheEntry, ErrorCode, FleetCheckReport, PlanBody, RequestBody, ServeError, ServeStats,
+    ServedPlan, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PlanServer, ServeConfig, ServerHandle};

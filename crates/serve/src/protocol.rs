@@ -26,7 +26,9 @@ use galvatron_strategy::ParallelPlan;
 use serde::{Deserialize, Serialize};
 
 /// Protocol version, echoed by `Ping` and stamped into persisted caches.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the fleet peer protocol (`SnapshotPull`, `GossipPush`,
+/// `FleetCheck`) and the `/healthz` HTTP endpoint.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +56,26 @@ pub enum RequestBody {
     Metrics,
     /// Structured serving statistics; answered inline.
     Stats,
+    /// Fleet peer protocol: export up to `max_entries` response-cache
+    /// answers, most-recently-used first. A joining replica warm-starts
+    /// from a peer's answer ([`WireResult::Snapshot`]) instead of cold
+    /// DP runs.
+    SnapshotPull {
+        /// Cap on the number of entries returned.
+        max_entries: usize,
+    },
+    /// Fleet peer protocol: push hot cache entries to a neighbor.
+    /// Answered with [`WireResult::Ack`] carrying the accepted count;
+    /// unstable results in the batch are dropped, never cached.
+    GossipPush {
+        /// The entries being replicated.
+        entries: Vec<CacheEntry>,
+    },
+    /// Router-only: forward the plan question to **every** live replica
+    /// and report whether the serialized answers are byte-identical
+    /// ([`WireResult::Fleet`]). A single daemon answers this with
+    /// `BadRequest` — cross-replica identity needs a router.
+    FleetCheck(PlanBody),
 }
 
 /// The planning question proper.
@@ -103,6 +125,51 @@ pub enum WireResult {
     Metrics(String),
     /// Answer to `Stats`.
     Stats(ServeStats),
+    /// Answer to `SnapshotPull`: the exported cache entries, hottest
+    /// first.
+    Snapshot(Vec<CacheEntry>),
+    /// Answer to `GossipPush`: how many pushed entries were accepted.
+    Ack(u64),
+    /// Answer to `FleetCheck`: the cross-replica byte-identity report.
+    Fleet(FleetCheckReport),
+}
+
+impl WireResult {
+    /// Whether this result is a *stable* answer — deterministic for its
+    /// question and therefore safe to cache, persist, and replicate
+    /// between fleet peers. Plans and `Infeasible` verdicts are stable;
+    /// transient errors (overload, shutdown, planner faults) and
+    /// control-plane answers are not.
+    pub fn is_stable_answer(&self) -> bool {
+        match self {
+            WireResult::Plan(_) => true,
+            WireResult::Error(e) => e.code == ErrorCode::Infeasible,
+            _ => false,
+        }
+    }
+}
+
+/// One replicated response-cache entry, as carried by the fleet peer
+/// protocol (`SnapshotPull` answers and `GossipPush` bodies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The question's identity.
+    pub key: crate::cache::PlanKey,
+    /// The stable answer.
+    pub result: WireResult,
+}
+
+/// The answer to a router `FleetCheck`: every live replica was asked the
+/// same question directly, and their stable answer payloads were compared
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCheckReport {
+    /// Replicas that answered.
+    pub replicas: usize,
+    /// Whether every replica's serialized answer was byte-identical.
+    pub byte_identical: bool,
+    /// The (agreed or first) serialized [`WireResult`] payload.
+    pub answer_json: String,
 }
 
 /// The deterministic projection of an
@@ -160,6 +227,9 @@ pub enum ErrorCode {
     PlannerError,
     /// The daemon is shutting down; retry against a restarted instance.
     ShuttingDown,
+    /// The fleet router has no live replica left to forward to; retry
+    /// after `retry_after_ms`.
+    Unavailable,
 }
 
 /// Structured serving statistics (the `Stats` answer), for load generators

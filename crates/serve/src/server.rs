@@ -30,8 +30,8 @@
 use crate::cache::{PlanKey, ResponseCache};
 use crate::flight::{Role, SingleFlight};
 use crate::protocol::{
-    ErrorCode, PlanBody, RequestBody, ServeError, ServeStats, WireRequest, WireResponse,
-    WireResult, PROTOCOL_VERSION,
+    CacheEntry, ErrorCode, PlanBody, RequestBody, ServeError, ServeStats, WireRequest,
+    WireResponse, WireResult, PROTOCOL_VERSION,
 };
 use crate::queue::{BoundedQueue, PushError};
 use galvatron_obs::Obs;
@@ -49,6 +49,12 @@ const TICK: Duration = Duration::from_millis(100);
 
 /// What clients are told to wait before retrying a shed request.
 const RETRY_AFTER_MS: u64 = 50;
+
+/// How long a client already waiting on a flight keeps waiting after the
+/// stop flag rises. Workers resolve every flight during drain (with the
+/// computed answer for in-flight jobs, `ShuttingDown` for queued ones), so
+/// this deadline only fires if a worker died mid-computation.
+const DRAIN_GRACE: Duration = Duration::from_secs(30);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +75,10 @@ pub struct ServeConfig {
     /// fingerprints persisted caches: change the config, and old
     /// snapshots are ignored rather than served stale.
     pub planner: PlannerConfig,
+    /// Instance name stamped as the `instance` label on every serve
+    /// metric, so per-replica Prometheus scrapes of a fleet are
+    /// distinguishable. Also reported by `GET /healthz`.
+    pub instance: String,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +90,7 @@ impl Default for ServeConfig {
             cache_max_bytes: 16 << 20,
             persist_path: None,
             planner: PlannerConfig::default(),
+            instance: "serve-0".to_string(),
         }
     }
 }
@@ -105,6 +116,7 @@ struct Shared {
     shed: AtomicU64,
     computed: AtomicU64,
     config_fingerprint: String,
+    instance: String,
 }
 
 impl Shared {
@@ -129,18 +141,20 @@ impl Shared {
 
     /// Push the internal tallies into the metrics registry (counters only
     /// move forward, so each is topped up to its structure's cumulative
-    /// count rather than set).
+    /// count rather than set). Every serve metric carries the `instance`
+    /// label so per-replica scrapes of a fleet are distinguishable.
     fn refresh_metrics(&self) {
         let registry = self.obs.registry();
+        let labels = [("instance", self.instance.as_str())];
         let stats = self.stats();
         registry
-            .gauge("serve_queue_depth")
+            .gauge_with("serve_queue_depth", &labels)
             .set(stats.queue_depth as f64);
         registry
-            .gauge("serve_cache_entries")
+            .gauge_with("serve_cache_entries", &labels)
             .set(stats.cache_entries as f64);
         registry
-            .gauge("serve_cache_bytes")
+            .gauge_with("serve_cache_bytes", &labels)
             .set(stats.cache_bytes as f64);
         for (name, total) in [
             ("serve_requests_total", stats.requests),
@@ -151,7 +165,7 @@ impl Shared {
             ("serve_cache_misses_total", stats.cache_misses),
             ("serve_cache_evictions_total", stats.cache_evictions),
         ] {
-            let counter = registry.counter(name);
+            let counter = registry.counter_with(name, &labels);
             counter.inc_by(total.saturating_sub(counter.get()));
         }
     }
@@ -191,7 +205,10 @@ impl PlanServer {
             let loaded = cache.load(path, &config_fingerprint);
             if loaded > 0 {
                 obs.registry()
-                    .counter("serve_cache_loaded_total")
+                    .counter_with(
+                        "serve_cache_loaded_total",
+                        &[("instance", config.instance.as_str())],
+                    )
                     .inc_by(loaded as u64);
             }
         }
@@ -207,6 +224,7 @@ impl PlanServer {
             shed: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             config_fingerprint,
+            instance: config.instance.clone(),
         });
 
         let workers = (0..config.workers.max(1))
@@ -264,11 +282,17 @@ impl ServerHandle {
         self.shared.stats()
     }
 
-    /// Stop accepting, drain, join every thread, and (when configured)
-    /// persist the response cache for a warm restart.
+    /// Graceful drain: stop accepting, let workers **finish the jobs they
+    /// are computing**, answer every still-queued job with a structured
+    /// `ShuttingDown` error (instead of computing it — or worse, dropping
+    /// the socket), join every thread, and (when configured) persist the
+    /// response cache for a warm restart.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue.set_paused(false);
+        // Closing wakes blocked workers; jobs still queued remain
+        // poppable, and workers drain them as `ShuttingDown` answers
+        // because the stop flag is already set.
         self.shared.queue.close();
         // Unblock the acceptor's blocking accept() with a throwaway
         // connection; it re-checks the stop flag per accept.
@@ -278,6 +302,13 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Belt and braces: if every worker exited mid-drain, answer any
+        // straggler jobs here so no flight is left hanging.
+        while let Some(job) = self.shared.queue.pop(Duration::ZERO) {
+            self.shared
+                .flights
+                .finish(&job.key, self.shared.shutting_down());
         }
         let connections = std::mem::take(&mut *self.connections.lock().unwrap());
         for connection in connections {
@@ -333,8 +364,9 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             if line.is_empty() {
                 continue;
             }
-            if line.starts_with("GET ") {
-                serve_http_metrics(&mut stream, shared);
+            if let Some(rest) = line.strip_prefix("GET ") {
+                let path = rest.split_whitespace().next().unwrap_or("/");
+                serve_http(&mut stream, shared, path);
                 return;
             }
             let response = handle_line(line, shared);
@@ -360,13 +392,44 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Answer an HTTP `GET` (assumed `/metrics`) with the Prometheus text
-/// exposition and close.
-fn serve_http_metrics(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    shared.refresh_metrics();
-    let body = shared.obs.registry().snapshot().to_prometheus();
+/// Answer a one-shot HTTP `GET` and close. `/metrics` serves the
+/// Prometheus text exposition; `/healthz` answers `200 ok` with the
+/// instance name while the daemon accepts work and `503 draining` once
+/// shutdown has begun — exactly what a fleet router or load balancer
+/// polls before routing to a replica.
+fn serve_http(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) {
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            shared.refresh_metrics();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                shared.obs.registry().snapshot().to_prometheus(),
+            )
+        }
+        "/healthz" | "/health" => {
+            if shared.stop.load(Ordering::SeqCst) {
+                (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("draining instance={}\n", shared.instance),
+                )
+            } else {
+                (
+                    "200 OK",
+                    "text/plain",
+                    format!("ok instance={}\n", shared.instance),
+                )
+            }
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("unknown path {path}; try /metrics or /healthz\n"),
+        ),
+    };
     let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
@@ -412,6 +475,37 @@ fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
             shared.refresh_metrics();
             WireResult::Metrics(shared.obs.registry().snapshot().to_prometheus())
         }
+        RequestBody::SnapshotPull { max_entries } => {
+            let entries = shared
+                .cache
+                .export_recent(max_entries)
+                .into_iter()
+                .map(|(key, result)| CacheEntry { key, result })
+                .collect();
+            WireResult::Snapshot(entries)
+        }
+        RequestBody::GossipPush { entries } => {
+            let accepted = shared.cache.import(
+                entries
+                    .into_iter()
+                    .map(|entry| (entry.key, entry.result))
+                    .collect(),
+            );
+            shared
+                .obs
+                .registry()
+                .counter_with(
+                    "serve_gossip_accepted_total",
+                    &[("instance", shared.instance.as_str())],
+                )
+                .inc_by(accepted as u64);
+            WireResult::Ack(accepted as u64)
+        }
+        RequestBody::FleetCheck(_) => WireResult::Error(ServeError {
+            code: ErrorCode::BadRequest,
+            message: "FleetCheck requires a fleet router; this is a single daemon".to_string(),
+            retry_after_ms: None,
+        }),
         RequestBody::Plan(body) => {
             let (result, was_cached, was_coalesced) =
                 handle_plan(body, request.name.clone(), shared);
@@ -426,7 +520,10 @@ fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
     shared
         .obs
         .registry()
-        .wall_histogram("serve_request_seconds")
+        .wall_histogram_with(
+            "serve_request_seconds",
+            &[("instance", shared.instance.as_str())],
+        )
         .observe(started.elapsed().as_secs_f64());
     shared.refresh_metrics();
     WireResponse {
@@ -476,13 +573,9 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
     match shared.flights.begin(&key) {
         Role::Follower(flight) => {
             shared.coalesced.fetch_add(1, Ordering::SeqCst);
-            loop {
-                if let Some(result) = flight.wait(TICK) {
-                    return (result, false, true);
-                }
-                if shared.stop.load(Ordering::SeqCst) {
-                    return (shared.shutting_down(), false, true);
-                }
+            match wait_for_flight(shared, &flight) {
+                Some(result) => (result, false, true),
+                None => (shared.shutting_down(), false, true),
             }
         }
         Role::Leader(flight) => {
@@ -493,13 +586,9 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
                 enqueued: Instant::now(),
             };
             match shared.queue.try_push(job) {
-                Ok(()) => loop {
-                    if let Some(result) = flight.wait(TICK) {
-                        return (result, false, false);
-                    }
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return (shared.shutting_down(), false, false);
-                    }
+                Ok(()) => match wait_for_flight(shared, &flight) {
+                    Some(result) => (result, false, false),
+                    None => (shared.shutting_down(), false, false),
                 },
                 Err(push_error) => {
                     let result = match push_error {
@@ -526,7 +615,36 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
     }
 }
 
+/// Wait for a flight's result. While the daemon runs, waits indefinitely;
+/// once the stop flag rises, in-flight computations are given
+/// [`DRAIN_GRACE`] to publish (graceful drain finishes what it started)
+/// before `None` — "answer `ShuttingDown`" — is returned.
+fn wait_for_flight(
+    shared: &Arc<Shared>,
+    flight: &crate::flight::Flight<WireResult>,
+) -> Option<WireResult> {
+    let mut stop_seen_at: Option<Instant> = None;
+    loop {
+        if let Some(result) = flight.wait(TICK) {
+            return Some(result);
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            let since = stop_seen_at.get_or_insert_with(Instant::now);
+            if since.elapsed() >= DRAIN_GRACE {
+                return None;
+            }
+        }
+    }
+}
+
 /// A worker: pop a job, compute it once, publish to cache + flight.
+///
+/// Shutdown semantics: a job popped *before* the stop flag was raised is
+/// in-flight and completes normally; once stop is observed, remaining
+/// queued jobs are popped and answered with `ShuttingDown` — their clients
+/// get a structured retryable error, not a dropped socket and not a
+/// potentially minutes-long DP run standing between the operator and the
+/// restart.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         if shared.stop.load(Ordering::SeqCst) && shared.queue.is_empty() {
@@ -538,10 +656,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue;
         };
+        if shared.stop.load(Ordering::SeqCst) {
+            shared.flights.finish(&job.key, shared.shutting_down());
+            continue;
+        }
         shared
             .obs
             .registry()
-            .wall_histogram("serve_queue_wait_seconds")
+            .wall_histogram_with(
+                "serve_queue_wait_seconds",
+                &[("instance", shared.instance.as_str())],
+            )
             .observe(job.enqueued.elapsed().as_secs_f64());
         // The cache may have warmed while the job waited (e.g. a persisted
         // snapshot arriving through admission for an equal key is blocked

@@ -48,6 +48,9 @@ echo "==> serve crate suites (unit + fingerprint stability contract)"
 cargo test "${CARGO_FLAGS[@]}" -p galvatron-serve -q
 cargo test "${CARGO_FLAGS[@]}" -p galvatron-cluster --test fingerprint_stability -q
 
+echo "==> fleet crate suites (ring properties + loopback fleet e2e)"
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-fleet -q
+
 echo "==> galvatron-served loopback smoke (bind, announce, quit)"
 # The daemon prints its bound address on stdout and exits on stdin EOF.
 addr=$(echo quit | cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-serve --bin galvatron-served -- --addr 127.0.0.1:0 --workers 1 2>/dev/null)
@@ -56,9 +59,28 @@ case "$addr" in
     *) echo "galvatron-served did not announce a bound address (got: $addr)" >&2; exit 1 ;;
 esac
 
+echo "==> galvatron-fleet-router 3-replica loopback smoke (bind, announce, quit)"
+# First stdout line is the router address, then one line per replica.
+fleet_out=$(echo quit | cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-fleet-router -- --replicas 3 2>/dev/null)
+case "$fleet_out" in
+    127.0.0.1:*) ;;
+    *) echo "galvatron-fleet-router did not announce a router address (got: $fleet_out)" >&2; exit 1 ;;
+esac
+replica_lines=$(printf '%s\n' "$fleet_out" | grep -c '^replica ') || true
+if [ "$replica_lines" -ne 3 ]; then
+    echo "galvatron-fleet-router announced $replica_lines replicas, expected 3" >&2
+    exit 1
+fi
+
 echo "==> serve load bench (fails below 5x warm-over-cold, herd >1 compute, or no shed)"
 # Writes BENCH_serve.json at the workspace root.
-cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-serve --bin galvatron-bench-serve
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-bench-serve
 test -s BENCH_serve.json || { echo "BENCH_serve.json missing" >&2; exit 1; }
+
+echo "==> fleet bench: 3 replicas behind the router (fails on any cross-replica"
+echo "    byte mismatch, cold DP after warm-join, or a dropped answer after a kill)"
+# Writes BENCH_fleet.json at the workspace root.
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-bench-serve -- --fleet 3 --max-batch 8
+test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing" >&2; exit 1; }
 
 echo "==> all checks passed"

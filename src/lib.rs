@@ -38,6 +38,11 @@
 //!   single-flight coalescing of identical in-flight requests, a
 //!   byte-budget LRU response cache with warm restarts, and deterministic
 //!   load shedding under a bounded queue.
+//! * [`fleet`] — the replicated serving fleet: an event-driven connection
+//!   layer (thousands of idle connections per replica without a thread
+//!   each), consistent-hash request routing with failover, gossip cache
+//!   replication between ring neighbors, and warm-join from peer
+//!   snapshots.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +72,7 @@ pub use galvatron_core as core;
 pub use galvatron_elastic as elastic;
 pub use galvatron_estimator as estimator;
 pub use galvatron_exec as exec;
+pub use galvatron_fleet as fleet;
 pub use galvatron_model as model;
 pub use galvatron_obs as obs;
 pub use galvatron_planner as planner;
@@ -88,6 +94,7 @@ pub mod prelude {
         ElasticConfig, ElasticOutcome, ElasticRuntime, FaultEvent, FaultKind, FaultSchedule,
     };
     pub use galvatron_estimator::{CostEstimator, EstimatorConfig};
+    pub use galvatron_fleet::{FleetReplica, FleetRouter, HashRing, ReplicaConfig, RouterConfig};
     pub use galvatron_model::{ModelSpec, PaperModel};
     pub use galvatron_obs::{
         ChromeSpanSink, ChromeTraceWriter, MetricsRegistry, MetricsSnapshot, Obs, RingBufferSink,

@@ -166,13 +166,14 @@ fn loopback_herd_matches_direct_service_with_single_flight() {
     }
     assert_eq!(handle.stats().computed, 3, "cache pass computed nothing");
 
-    // The metrics surface agrees, over both transports.
+    // The metrics surface agrees, over both transports. Every serve
+    // metric carries the per-replica `instance` label.
     let text = client.metrics().expect("metrics over JSONL");
     assert!(text.contains("serve_requests_total"));
-    assert!(text.contains("serve_coalesced_total 6"));
+    assert!(text.contains("serve_coalesced_total{instance=\"serve-0\"} 6"));
     let http = http_get_metrics(addr);
     assert!(http.starts_with("HTTP/1.1 200 OK"));
-    assert!(http.contains("serve_computed_total 3"));
+    assert!(http.contains("serve_computed_total{instance=\"serve-0\"} 3"));
 
     handle.shutdown();
 }
@@ -411,14 +412,114 @@ fn persisted_cache_survives_restart_and_gates_on_config() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Graceful drain: a request being computed when shutdown starts is
+/// finished and answered with its plan; requests still queued are answered
+/// with a structured `ShuttingDown` error — never a dropped socket.
+#[test]
+fn shutdown_drains_in_flight_and_answers_queued_with_shutting_down() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        planner: quick_planner(),
+        ..ServeConfig::default()
+    };
+    let handle = PlanServer::start(config, Obs::noop()).expect("bind loopback");
+    let addr = handle.addr();
+    let topology = rtx_titan_node(8);
+
+    // Admit job A while the worker is frozen, then release it and wait
+    // until the worker has *popped* it — A is now in flight.
+    handle.pause();
+    let in_flight = {
+        let topology = topology.clone();
+        std::thread::spawn(move || {
+            let mut client = PlanClient::connect(addr).expect("connect");
+            client
+                .plan("in-flight", bert(2, "in-flight"), topology, 8 * GIB)
+                .expect("in-flight answer arrives")
+        })
+    };
+    wait_until(Duration::from_secs(10), || handle.queue_len() == 1);
+    handle.resume();
+    wait_until(Duration::from_secs(10), || handle.queue_len() == 0);
+
+    // Re-freeze pops and queue job B behind the busy worker: B cannot be
+    // popped until shutdown() unpauses — by which time the stop flag is
+    // already up, so B's fate is deterministic.
+    handle.pause();
+    let queued = std::thread::spawn(move || {
+        let mut client = PlanClient::connect(addr).expect("connect");
+        client
+            .plan("queued", bert(4, "queued"), topology, 8 * GIB)
+            .expect("queued answer arrives — the socket must not be dropped")
+    });
+    wait_until(Duration::from_secs(10), || handle.queue_len() == 1);
+
+    handle.shutdown();
+
+    let in_flight = in_flight.join().expect("in-flight client");
+    assert!(
+        matches!(in_flight.result, WireResult::Plan(_)),
+        "in-flight computation must finish through the drain, got {:?}",
+        in_flight.result
+    );
+    let queued = queued.join().expect("queued client");
+    match queued.result {
+        WireResult::Error(e) => {
+            assert_eq!(e.code, ErrorCode::ShuttingDown, "{e:?}");
+            assert!(
+                e.retry_after_ms.is_some(),
+                "shutdown answers must carry a retry hint"
+            );
+        }
+        other => panic!("expected ShuttingDown for the queued request, got {other:?}"),
+    }
+}
+
+/// `GET /healthz` answers `200 ok` with the configured instance name, and
+/// unknown paths get a 404 instead of a dropped connection.
+#[test]
+fn healthz_reports_instance_and_unknown_paths_get_404() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        planner: quick_planner(),
+        instance: "serve-az1".to_string(),
+        ..ServeConfig::default()
+    };
+    let handle = PlanServer::start(config, Obs::noop()).expect("bind loopback");
+    let addr = handle.addr();
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("ok instance=serve-az1"), "{health}");
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+
+    // The instance label reaches the metrics exposition too.
+    let mut client = PlanClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("serve_requests_total{instance=\"serve-az1\"}"),
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
 /// A raw HTTP scrape of the serving port.
-fn http_get_metrics(addr: std::net::SocketAddr) -> String {
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
         .expect("send");
     let mut body = String::new();
     stream.read_to_string(&mut body).expect("read");
     body
+}
+
+fn http_get_metrics(addr: std::net::SocketAddr) -> String {
+    http_get(addr, "/metrics")
 }
