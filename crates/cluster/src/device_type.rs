@@ -1,0 +1,219 @@
+//! The device-type catalog: priced GPU classes and mixed-island clusters.
+//!
+//! Everything the planner consumed before this module was a single
+//! [`GpuSpec`] per cluster. Real fleets mix generations — A100 islands next
+//! to RTX TITAN islands with different peak FLOPS, memory capacities, link
+//! tiers and, crucially, rental prices. [`DeviceType`] is the catalog of
+//! known classes with calibrated specs *and* $/device-hour pricing;
+//! [`island_cluster`] and [`mixed_a100_rtx_cluster`] materialize priced
+//! homogeneous and mixed-island topologies from it. The `galvatron-hetero`
+//! crate's throughput-per-dollar objective and cluster advisor sweep over
+//! exactly this catalog.
+
+use crate::link::{Link, LinkClass};
+use crate::topology::{ClusterTopology, GpuSpec, TopologyLevel};
+use serde::{Deserialize, Serialize};
+
+/// A purchasable GPU class: a calibrated [`GpuSpec`] plus a rental price.
+///
+/// The table (sustained FLOP/s, memory, framework overhead) reuses the
+/// paper-calibrated specs; prices are representative cloud on-demand
+/// per-GPU rates (an SXM A100 rents at several $/hour, a consumer-grade
+/// TITAN-class card at well under one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// NVIDIA A100-SXM4-40GB: fast, large, expensive.
+    A100,
+    /// NVIDIA RTX TITAN 24GB: slower, smaller, cheap.
+    RtxTitan,
+}
+
+impl DeviceType {
+    /// Every known device type, in catalog (advisor sweep) order.
+    pub const CATALOG: [DeviceType; 2] = [DeviceType::A100, DeviceType::RtxTitan];
+
+    /// The priced spec of this device type.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            DeviceType::A100 => GpuSpec::a100().priced(self.price_per_hour()),
+            DeviceType::RtxTitan => GpuSpec::rtx_titan().priced(self.price_per_hour()),
+        }
+    }
+
+    /// Rental price, $/device-hour.
+    pub fn price_per_hour(self) -> f64 {
+        match self {
+            DeviceType::A100 => 3.06,
+            DeviceType::RtxTitan => 0.60,
+        }
+    }
+
+    /// The intra-island interconnect this device class ships with.
+    pub fn intra_link(self) -> LinkClass {
+        match self {
+            DeviceType::A100 => LinkClass::NvLink,
+            DeviceType::RtxTitan => LinkClass::Pcie3,
+        }
+    }
+
+    /// Short label used in metrics and reports ("A100", "RTX-TITAN").
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceType::A100 => "A100",
+            DeviceType::RtxTitan => "RTX-TITAN",
+        }
+    }
+}
+
+/// A human-readable label for a device mix, e.g. `"A100x8+RTX-TITANx8"` —
+/// the `mix` metric label the hetero planner reports per candidate.
+pub fn mix_label(counts: &[(DeviceType, usize)]) -> String {
+    let parts: Vec<String> = counts
+        .iter()
+        .filter(|&&(_, n)| n > 0)
+        .map(|&(d, n)| format!("{}x{}", d.label(), n))
+        .collect();
+    if parts.is_empty() {
+        "empty".to_string()
+    } else {
+        parts.join("+")
+    }
+}
+
+/// A priced homogeneous cluster of `islands` islands with `per_island`
+/// devices each, intra-island on the device's native link, islands joined
+/// by 100 Gb InfiniBand. `islands == 1` yields a flat single-island node.
+pub fn island_cluster(device: DeviceType, islands: usize, per_island: usize) -> ClusterTopology {
+    assert!(islands >= 1, "need at least one island");
+    assert!(
+        per_island >= 2 && per_island.is_power_of_two(),
+        "islands must be power-of-two sized, got {per_island}"
+    );
+    let mut levels = vec![TopologyLevel {
+        group_size: per_island,
+        link: Link::of_class(device.intra_link()),
+    }];
+    if islands > 1 {
+        levels.push(TopologyLevel {
+            group_size: islands * per_island,
+            link: Link::of_class(LinkClass::InfiniBand100),
+        });
+    }
+    ClusterTopology::new(device.spec(), islands * per_island, levels)
+        .expect("catalog cluster is valid")
+}
+
+/// A priced **mixed** cluster: `a100_islands` A100 islands followed by
+/// `rtx_islands` RTX TITAN islands, `per_island` devices each. Device ids
+/// follow the convention that consecutive ids share the fastest links, so
+/// the A100 islands occupy the low ids. Islands are joined by 100 Gb
+/// InfiniBand; the intra-island level uses the *slower* of the two native
+/// link classes (the topology hierarchy has one link per level, so the
+/// conservative common class keeps every intra-island cost an upper bound).
+pub fn mixed_a100_rtx_cluster(
+    a100_islands: usize,
+    rtx_islands: usize,
+    per_island: usize,
+) -> ClusterTopology {
+    assert!(
+        a100_islands >= 1 && rtx_islands >= 1,
+        "a mixed cluster needs at least one island of each type"
+    );
+    assert!(
+        per_island >= 2 && per_island.is_power_of_two(),
+        "islands must be power-of-two sized, got {per_island}"
+    );
+    let islands = a100_islands + rtx_islands;
+    let mut specs = vec![DeviceType::A100.spec(); a100_islands * per_island];
+    specs.extend(vec![DeviceType::RtxTitan.spec(); rtx_islands * per_island]);
+    let slower_intra = if DeviceType::A100.intra_link().is_intra_node()
+        && DeviceType::RtxTitan.intra_link() == LinkClass::Pcie3
+    {
+        LinkClass::Pcie3
+    } else {
+        DeviceType::RtxTitan.intra_link()
+    };
+    ClusterTopology::heterogeneous(
+        specs,
+        vec![
+            TopologyLevel {
+                group_size: per_island,
+                link: Link::of_class(slower_intra),
+            },
+            TopologyLevel {
+                group_size: islands * per_island,
+                link: Link::of_class(LinkClass::InfiniBand100),
+            },
+        ],
+    )
+    .expect("catalog mixed cluster is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_specs_validate_and_are_priced() {
+        for device in DeviceType::CATALOG {
+            let spec = device.spec();
+            assert!(spec.price_per_hour > 0.0, "{device:?} is unpriced");
+            island_cluster(device, 1, 8).validate().unwrap();
+            island_cluster(device, 2, 8).validate().unwrap();
+        }
+        assert!(
+            DeviceType::A100.price_per_hour() > DeviceType::RtxTitan.price_per_hour(),
+            "the fast card must cost more or the cost objective is trivial"
+        );
+    }
+
+    #[test]
+    fn mixed_cluster_lays_out_a100_islands_first() {
+        let t = mixed_a100_rtx_cluster(1, 1, 8);
+        t.validate().unwrap();
+        assert!(t.is_heterogeneous());
+        assert_eq!(t.n_devices(), 16);
+        assert_eq!(t.gpu_of(0).unwrap().name, "A100");
+        assert_eq!(t.gpu_of(8).unwrap().name, "RTX TITAN");
+        assert_eq!(t.island_size(), 8);
+        assert_eq!(
+            t.link_between(0, 8).unwrap().class,
+            LinkClass::InfiniBand100
+        );
+        let price = t.price_per_hour();
+        let expected =
+            8.0 * (DeviceType::A100.price_per_hour() + DeviceType::RtxTitan.price_per_hour());
+        assert!((price - expected).abs() < 1e-9, "{price} != {expected}");
+    }
+
+    #[test]
+    fn mix_labels_render_counts() {
+        assert_eq!(
+            mix_label(&[(DeviceType::A100, 8), (DeviceType::RtxTitan, 8)]),
+            "A100x8+RTX-TITANx8"
+        );
+        assert_eq!(mix_label(&[(DeviceType::A100, 0)]), "empty");
+    }
+
+    #[test]
+    fn mixed_and_homogeneous_fingerprints_never_alias() {
+        // Heterogeneity must never alias a homogeneous cache key: a mixed
+        // cluster, its two single-type counterparts of the same shape and
+        // an unpriced testbed all fingerprint apart.
+        let mixed = mixed_a100_rtx_cluster(1, 1, 8);
+        let a100 = island_cluster(DeviceType::A100, 2, 8);
+        let rtx = island_cluster(DeviceType::RtxTitan, 2, 8);
+        let unpriced = crate::presets::rtx_titan_nodes(2, 8);
+        let prints = [
+            mixed.fingerprint(),
+            a100.fingerprint(),
+            rtx.fingerprint(),
+            unpriced.fingerprint(),
+        ];
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "fingerprints {i} and {j} collide");
+            }
+        }
+    }
+}

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod device_type;
 pub mod group;
 pub mod link;
 pub mod presets;
 pub mod topology;
 
 pub use collectives::{CollectiveAlgorithm, CollectiveKind, CollectiveOp};
+pub use device_type::{island_cluster, mix_label, mixed_a100_rtx_cluster, DeviceType};
 pub use group::{CommGroup, CommGroupPool, GroupId};
 pub use link::{Link, LinkClass};
 pub use presets::{a100_cluster, rtx_titan_node, rtx_titan_nodes, TestbedPreset};

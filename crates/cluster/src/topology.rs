@@ -23,6 +23,13 @@ pub struct GpuSpec {
     /// Framework overhead resident on every device (CUDA context, NCCL
     /// buffers, allocator slack) in bytes; subtracted from any budget.
     pub framework_overhead_bytes: u64,
+    /// Rental price of one device in $/hour, the unit cloud GPU pricing is
+    /// quoted in. `0.0` (the default, and what specs serialized before this
+    /// field existed deserialize to) means "unpriced": throughput-per-dollar
+    /// objectives fall back to plain throughput, and the fingerprint ignores
+    /// the field so every pre-existing cache key is preserved.
+    #[serde(default)]
+    pub price_per_hour: f64,
 }
 
 impl GpuSpec {
@@ -35,6 +42,7 @@ impl GpuSpec {
             memory_bytes: 24 * crate::GIB,
             sustained_flops: 16.3e12 * 0.36,
             framework_overhead_bytes: 900 * crate::MIB,
+            price_per_hour: 0.0,
         }
     }
 
@@ -46,7 +54,18 @@ impl GpuSpec {
             memory_bytes: 40 * crate::GIB,
             sustained_flops: 156.0e12 * 0.40,
             framework_overhead_bytes: 1200 * crate::MIB,
+            price_per_hour: 0.0,
         }
+    }
+
+    /// This spec with a rental price attached, $/device-hour. Pricing a
+    /// spec changes its [`fingerprint`](ClusterTopology::fingerprint)
+    /// contribution (differently priced clusters must never share a cache
+    /// key); a price of `0.0` leaves the spec — and the fingerprint —
+    /// exactly as it was.
+    pub fn priced(mut self, price_per_hour: f64) -> Self {
+        self.price_per_hour = price_per_hour;
+        self
     }
 }
 
@@ -91,6 +110,15 @@ pub enum ClusterError {
     /// Removing devices left no usable cluster (fewer than two devices
     /// after island equalization).
     NoSurvivors,
+    /// A device spec with a physically meaningless field (zero/NaN peak
+    /// FLOPS, zero memory, negative or NaN price). `device` is `None` for
+    /// the cluster-wide primary spec, `Some(id)` for a per-device spec.
+    InvalidDeviceSpec {
+        /// The offending device, if a per-device spec.
+        device: Option<DeviceId>,
+        /// The offending field.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -112,11 +140,31 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSurvivors => {
                 write!(f, "no usable cluster survives the device removal")
             }
+            ClusterError::InvalidDeviceSpec { device, field } => match device {
+                Some(d) => write!(f, "device {d} has an invalid spec: {field}"),
+                None => write!(f, "the cluster device spec is invalid: {field}"),
+            },
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+/// The per-field device-spec sanity checks behind
+/// [`ClusterTopology::validate`].
+fn validate_spec(spec: &GpuSpec, device: Option<DeviceId>) -> Result<(), ClusterError> {
+    let bad = |field: &'static str| ClusterError::InvalidDeviceSpec { device, field };
+    if !spec.sustained_flops.is_finite() || spec.sustained_flops <= 0.0 {
+        return Err(bad("sustained_flops must be finite and positive"));
+    }
+    if spec.memory_bytes == 0 {
+        return Err(bad("memory_bytes must be non-zero"));
+    }
+    if !spec.price_per_hour.is_finite() || spec.price_per_hour < 0.0 {
+        return Err(bad("price_per_hour must be finite and non-negative"));
+    }
+    Ok(())
+}
 
 /// A homogeneous, hierarchical cluster of GPUs.
 ///
@@ -187,16 +235,24 @@ impl ClusterTopology {
     /// wire (the plan-serving daemon's request path) or read from disk can
     /// violate every structural invariant the rest of the stack assumes.
     /// Call this before planning on an untrusted topology; it checks the
-    /// level nesting, the device-count cover, and (heterogeneous clusters)
-    /// that exactly one spec per device is present.
+    /// level nesting, the device-count cover, that (heterogeneous clusters)
+    /// exactly one spec per device is present, and that every device spec
+    /// is physically meaningful — positive finite peak FLOPS, non-zero
+    /// memory, and a finite non-negative price (a NaN FLOPS rate or a
+    /// negative $/hour would silently poison every downstream cost and
+    /// throughput-per-dollar computation).
     pub fn validate(&self) -> Result<(), ClusterError> {
         ClusterTopology::new(self.gpu.clone(), self.n_devices, self.levels.clone())?;
+        validate_spec(&self.gpu, None)?;
         if let Some(specs) = &self.device_specs {
             if specs.len() != self.n_devices {
                 return Err(ClusterError::SizeMismatch {
                     covered: specs.len(),
                     declared: self.n_devices,
                 });
+            }
+            for (device, spec) in specs.iter().enumerate() {
+                validate_spec(spec, Some(device))?;
             }
         }
         Ok(())
@@ -334,6 +390,56 @@ impl ClusterTopology {
         budget_bytes.saturating_sub(overhead)
     }
 
+    /// Per-stage usable memory budgets for a pipeline of `pp` equal,
+    /// contiguous device groups (stage `i` owns devices
+    /// `i·(n/pp) .. (i+1)·(n/pp)`, the layout every plan uses).
+    ///
+    /// Homogeneous clusters return the legacy
+    /// [`usable_budget`](Self::usable_budget) for every stage —
+    /// bit-identical values, so every existing DP cache key and plan is
+    /// preserved. Heterogeneous clusters cap each stage at its own island's
+    /// physical memory: per member, `min(budget, memory) − overhead`, and
+    /// the stage gets the minimum over its members (lock-step partners must
+    /// all hold the stage's state). A stage can therefore never be granted
+    /// more activation memory than the device type hosting it provides.
+    pub fn stage_usable_budgets(&self, budget_bytes: u64, pp: usize) -> Vec<u64> {
+        assert!(
+            pp > 0 && self.n_devices.is_multiple_of(pp),
+            "pp {pp} must evenly divide {} devices",
+            self.n_devices
+        );
+        if !self.is_heterogeneous() {
+            return vec![self.usable_budget(budget_bytes); pp];
+        }
+        let specs = self
+            .device_specs
+            .as_ref()
+            .expect("heterogeneous clusters carry per-device specs");
+        let group = self.n_devices / pp;
+        (0..pp)
+            .map(|i| {
+                specs[i * group..(i + 1) * group]
+                    .iter()
+                    .map(|s| {
+                        budget_bytes
+                            .min(s.memory_bytes)
+                            .saturating_sub(s.framework_overhead_bytes)
+                    })
+                    .min()
+                    .expect("non-empty stage group")
+            })
+            .collect()
+    }
+
+    /// Total rental price of the cluster in $/hour: the sum of every
+    /// device's [`GpuSpec::price_per_hour`]. `0.0` for unpriced clusters.
+    pub fn price_per_hour(&self) -> f64 {
+        match &self.device_specs {
+            Some(specs) => specs.iter().map(|s| s.price_per_hour).sum(),
+            None => self.gpu.price_per_hour * self.n_devices as f64,
+        }
+    }
+
     /// A stable 64-bit fingerprint of the topology: device count, level
     /// structure, link classes/bandwidths/latencies and per-device specs.
     /// Two topologies with the same fingerprint present the same planning
@@ -390,6 +496,15 @@ impl ClusterTopology {
             eat(&spec.memory_bytes.to_le_bytes());
             eat(&spec.sustained_flops.to_bits().to_le_bytes());
             eat(&spec.framework_overhead_bytes.to_le_bytes());
+            // Prices entered the spec after fingerprints were already
+            // persisted as cache keys, so an unpriced spec (0.0, the serde
+            // default) must hash exactly as it always did — the field is
+            // eaten only when set, behind a marker byte so a priced spec
+            // can never alias an unpriced one positionally.
+            if spec.price_per_hour != 0.0 {
+                eat(b"$");
+                eat(&spec.price_per_hour.to_bits().to_le_bytes());
+            }
         };
         eat_spec(&self.gpu);
         if let Some(specs) = &self.device_specs {
@@ -783,6 +898,161 @@ mod tests {
         let healthy = t.group_sustained_flops(0, 8).unwrap();
         assert_eq!(d.group_sustained_flops(0, 8).unwrap(), healthy / 4.0);
         assert_eq!(d.group_sustained_flops(8, 8).unwrap(), healthy);
+    }
+
+    fn flat_with_spec(spec: GpuSpec) -> ClusterTopology {
+        ClusterTopology::flat(spec, 8, LinkClass::Pcie3.into()).unwrap()
+    }
+
+    #[test]
+    fn validate_rejects_zero_flops() {
+        let mut spec = GpuSpec::rtx_titan();
+        spec.sustained_flops = 0.0;
+        assert_eq!(
+            flat_with_spec(spec).validate(),
+            Err(ClusterError::InvalidDeviceSpec {
+                device: None,
+                field: "sustained_flops must be finite and positive",
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nan_flops() {
+        let mut spec = GpuSpec::rtx_titan();
+        spec.sustained_flops = f64::NAN;
+        assert!(matches!(
+            flat_with_spec(spec).validate(),
+            Err(ClusterError::InvalidDeviceSpec { device: None, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_memory() {
+        let mut spec = GpuSpec::rtx_titan();
+        spec.memory_bytes = 0;
+        assert_eq!(
+            flat_with_spec(spec).validate(),
+            Err(ClusterError::InvalidDeviceSpec {
+                device: None,
+                field: "memory_bytes must be non-zero",
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_negative_price() {
+        let spec = GpuSpec::rtx_titan().priced(-0.01);
+        assert_eq!(
+            flat_with_spec(spec).validate(),
+            Err(ClusterError::InvalidDeviceSpec {
+                device: None,
+                field: "price_per_hour must be finite and non-negative",
+            })
+        );
+    }
+
+    #[test]
+    fn validate_reports_the_offending_per_device_spec() {
+        let mut specs = vec![GpuSpec::rtx_titan(); 4];
+        specs[2].sustained_flops = f64::INFINITY;
+        let t = ClusterTopology::heterogeneous(
+            specs,
+            vec![TopologyLevel {
+                group_size: 4,
+                link: LinkClass::Pcie3.into(),
+            }],
+        )
+        .unwrap();
+        assert!(matches!(
+            t.validate(),
+            Err(ClusterError::InvalidDeviceSpec {
+                device: Some(2),
+                ..
+            })
+        ));
+        // Valid priced specs pass.
+        let priced = flat_with_spec(GpuSpec::rtx_titan().priced(0.9));
+        priced.validate().unwrap();
+    }
+
+    #[test]
+    fn pricing_changes_the_fingerprint_but_zero_price_does_not() {
+        let unpriced = flat_with_spec(GpuSpec::rtx_titan());
+        let zero = flat_with_spec(GpuSpec::rtx_titan().priced(0.0));
+        let priced = flat_with_spec(GpuSpec::rtx_titan().priced(0.9));
+        let pricier = flat_with_spec(GpuSpec::rtx_titan().priced(1.1));
+        assert_eq!(unpriced.fingerprint(), zero.fingerprint());
+        assert_ne!(unpriced.fingerprint(), priced.fingerprint());
+        assert_ne!(priced.fingerprint(), pricier.fingerprint());
+    }
+
+    #[test]
+    fn cluster_price_sums_device_prices() {
+        assert_eq!(flat_with_spec(GpuSpec::rtx_titan()).price_per_hour(), 0.0);
+        let homo = flat_with_spec(GpuSpec::rtx_titan().priced(0.5));
+        assert_eq!(homo.price_per_hour(), 4.0);
+        let mut specs = vec![GpuSpec::a100().priced(3.0); 2];
+        specs.extend(vec![GpuSpec::rtx_titan().priced(0.5); 2]);
+        let mixed = ClusterTopology::heterogeneous(
+            specs,
+            vec![TopologyLevel {
+                group_size: 4,
+                link: LinkClass::Pcie3.into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(mixed.price_per_hour(), 7.0);
+    }
+
+    #[test]
+    fn homogeneous_stage_budgets_match_the_legacy_value_exactly() {
+        let t = two_nodes();
+        let budget = 8 * crate::GIB;
+        for pp in [1usize, 2, 4, 8, 16] {
+            let budgets = t.stage_usable_budgets(budget, pp);
+            assert_eq!(budgets, vec![t.usable_budget(budget); pp]);
+        }
+        // Stragglers are heterogeneous in speed but share memory/overhead:
+        // budgets at or below physical memory are unchanged.
+        let straggler = t.with_straggler(3, 2.0).unwrap();
+        assert_eq!(
+            straggler.stage_usable_budgets(budget, 4),
+            vec![t.usable_budget(budget); 4]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_stage_budgets_cap_at_island_memory() {
+        let mut specs = vec![GpuSpec::a100(); 4];
+        specs.extend(vec![GpuSpec::rtx_titan(); 4]);
+        let t = ClusterTopology::heterogeneous(
+            specs,
+            vec![TopologyLevel {
+                group_size: 8,
+                link: LinkClass::Pcie3.into(),
+            }],
+        )
+        .unwrap();
+        // A 32 GiB ask: the A100 stage gets the full budget minus its
+        // overhead, the TITAN stage is capped at its 24 GiB card.
+        let budgets = t.stage_usable_budgets(32 * crate::GIB, 2);
+        let a100 = GpuSpec::a100();
+        let titan = GpuSpec::rtx_titan();
+        assert_eq!(
+            budgets,
+            vec![
+                32 * crate::GIB - a100.framework_overhead_bytes,
+                titan.memory_bytes - titan.framework_overhead_bytes,
+            ]
+        );
+        // One stage spanning both islands is gated by the smaller card
+        // with the larger overhead pattern applied per member.
+        let one = t.stage_usable_budgets(32 * crate::GIB, 1);
+        assert_eq!(
+            one,
+            vec![titan.memory_bytes - titan.framework_overhead_bytes]
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! degraded topologies.
 
 use galvatron_cluster::{
-    a100_cluster, rtx_titan_node, rtx_titan_nodes, ClusterTopology, GpuSpec, Link, LinkClass,
-    TopologyLevel,
+    a100_cluster, island_cluster, mixed_a100_rtx_cluster, rtx_titan_node, rtx_titan_nodes,
+    ClusterTopology, DeviceType, GpuSpec, Link, LinkClass, TopologyLevel,
 };
 
 /// Golden fingerprints for the preset testbeds. These values are part of
@@ -48,6 +48,45 @@ fn preset_fingerprints_are_pinned() {
     }
 }
 
+/// Golden fingerprints for the priced mixed-device catalog topologies.
+/// Device pricing is folded into the hash only when non-zero (behind a
+/// `$` marker byte), so the unpriced preset goldens above are untouched
+/// while priced and mixed clusters get their own stable identities — the
+/// serve/fleet caches key heterogeneous plans on these values.
+#[test]
+fn mixed_device_fingerprints_are_pinned() {
+    let pinned: [(&str, ClusterTopology, u64); 4] = [
+        (
+            "mixed_a100_rtx_cluster(1, 1, 8)",
+            mixed_a100_rtx_cluster(1, 1, 8),
+            0xa00d_41f4_99e5_a226,
+        ),
+        (
+            "mixed_a100_rtx_cluster(2, 1, 4)",
+            mixed_a100_rtx_cluster(2, 1, 4),
+            0xe396_f572_423f_486a,
+        ),
+        (
+            "island_cluster(A100, 2, 8)",
+            island_cluster(DeviceType::A100, 2, 8),
+            0x4582_2f7f_d649_d2dc,
+        ),
+        (
+            "island_cluster(RtxTitan, 2, 8)",
+            island_cluster(DeviceType::RtxTitan, 2, 8),
+            0x7506_e755_7e6a_6720,
+        ),
+    ];
+    for (name, topo, expected) in pinned {
+        assert_eq!(
+            topo.fingerprint(),
+            expected,
+            "{name}: fingerprint drifted from its pinned value — this \
+             breaks every persisted serve cache holding hetero plans"
+        );
+    }
+}
+
 #[test]
 fn fingerprint_is_deterministic_within_a_process() {
     let topo = rtx_titan_nodes(2, 8);
@@ -70,6 +109,9 @@ fn json_round_trip_preserves_the_fingerprint() {
             .without_devices(&[3])
             .unwrap()
             .topology,
+        // Priced, per-device-spec mixed clusters take the same wire path.
+        mixed_a100_rtx_cluster(1, 1, 8),
+        island_cluster(DeviceType::A100, 2, 8),
     ];
     for topo in topologies {
         let json = serde_json::to_string(&topo).expect("serialize");

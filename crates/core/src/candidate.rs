@@ -245,13 +245,20 @@ pub fn runnable_set(full_set: &StrategySet, micro: usize) -> StrategySet {
 /// Evaluate one candidate of Algorithm 1's sweep, exactly as the serial
 /// loop does: filter the runnable strategies, run Eq. 1 per stage through
 /// `dp`, assemble the plan and price it with `estimator`.
+///
+/// `stage_budgets` holds the usable per-device budget of each pipeline
+/// stage (`stage_budgets.len() == spec.pp`), as produced by
+/// [`ClusterTopology::stage_usable_budgets`]: identical entries on
+/// homogeneous clusters (so every DP query, cache key and plan is
+/// bit-identical to the historical single-budget path), per-island caps on
+/// heterogeneous ones.
 pub fn evaluate_candidate(
     estimator: &CostEstimator,
     model: &ModelSpec,
     config: &OptimizerConfig,
     full_set: &StrategySet,
     spec: &CandidateSpec,
-    usable: u64,
+    stage_budgets: &[u64],
     dp: &dyn StageDp,
 ) -> Result<CandidateOutcome, ClusterError> {
     let n = estimator.topology().n_devices();
@@ -260,6 +267,7 @@ pub fn evaluate_candidate(
     let batch = spec.batch;
     let micro_batches = spec.micro_batches;
     let micro = batch / micro_batches;
+    debug_assert_eq!(stage_budgets.len(), pp, "one usable budget per stage");
 
     let set = runnable_set(full_set, micro);
     if set.is_empty() {
@@ -284,7 +292,7 @@ pub fn evaluate_candidate(
             base_device: i * group,
             set: &set,
             stage_batch: batch as u64,
-            usable_budget: usable,
+            usable_budget: stage_budgets[i],
             granularity: config.memory_granularity,
             micro_batches,
             act_stash_batch: act_stash,
@@ -324,7 +332,14 @@ pub fn evaluate_candidate(
     debug_assert!(plan.validate(model.n_layers(), n).is_ok());
 
     let cost = estimator.plan_cost(model, &plan)?;
-    let fits = cost.peak_memory() <= usable;
+    // Per-stage re-check: each stage's priced peak against its own budget.
+    // With uniform budgets this is exactly the historical
+    // `peak_memory() <= usable` comparison.
+    let fits = cost
+        .stage_peak_memory
+        .iter()
+        .zip(stage_budgets)
+        .all(|(&peak, &usable)| peak <= usable);
     Ok(CandidateOutcome {
         result: CandidateResult::Evaluated {
             throughput: cost.throughput,
@@ -431,7 +446,7 @@ mod tests {
             &config,
             &sets[0].1,
             &spec,
-            usable,
+            &[usable],
             &DirectStageDp,
         )
         .unwrap();

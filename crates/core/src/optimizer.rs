@@ -327,7 +327,6 @@ impl GalvatronOptimizer {
     ) -> Result<Option<OptimizeOutcome>, ClusterError> {
         let started = Instant::now();
         let estimator = CostEstimator::new(topology.clone(), self.config.estimator.clone());
-        let usable = topology.usable_budget(budget_bytes);
         let n = topology.n_devices();
         let mut stats = SearchStats::default();
         let counters_before = engine.map(|e| e.counters());
@@ -348,6 +347,13 @@ impl GalvatronOptimizer {
             .iter()
             .map(|&(pp, _)| stage_bound_sets(&self.config, model, topology, pp))
             .collect();
+        // Per-stage usable budgets, one vector per PP degree: the legacy
+        // uniform value on homogeneous clusters, per-island memory caps on
+        // heterogeneous ones (see `stage_usable_budgets`).
+        let budgets_per_pp: Vec<Vec<u64>> = sets
+            .iter()
+            .map(|&(pp, _)| topology.stage_usable_budgets(budget_bytes, pp))
+            .collect();
 
         let mut best: Option<OptimizeOutcome> = None;
         let mut consecutive_infeasible = 0usize;
@@ -359,7 +365,9 @@ impl GalvatronOptimizer {
             stats.batches_explored += 1;
             let mut any_feasible = false;
 
-            for ((pp, full_set), bound_sets) in sets.iter().zip(&bound_sets_per_pp) {
+            for (((pp, full_set), bound_sets), stage_budgets) in
+                sets.iter().zip(&bound_sets_per_pp).zip(&budgets_per_pp)
+            {
                 for bounds in bound_sets {
                     // Micro-batch candidates for this (batch, PP) pair. The
                     // per-layer strategy choice, the bubble fraction and the
@@ -380,7 +388,7 @@ impl GalvatronOptimizer {
                             &self.config,
                             full_set,
                             &spec,
-                            usable,
+                            stage_budgets,
                             dp,
                         )?;
                         if out.dp_invocations > 0 {

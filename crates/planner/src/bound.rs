@@ -89,10 +89,10 @@ mod tests {
             },
         );
         let model = PaperModel::BertHuge32.spec();
-        let usable = topo.usable_budget(16 * galvatron_cluster::GIB);
         let sets = strategy_sets(&config, &model, 8);
         for &(pp, ref set) in &sets {
             let bounds = galvatron_core::stage_bound_sets(&config, &model, &topo, pp);
+            let stage_budgets = topo.stage_usable_budgets(16 * galvatron_cluster::GIB, pp);
             for micro_batches in galvatron_core::micro_batch_candidates(16, pp) {
                 let spec = CandidateSpec {
                     batch: 16,
@@ -106,7 +106,7 @@ mod tests {
                     &config,
                     set,
                     &spec,
-                    usable,
+                    &stage_budgets,
                     &DirectStageDp,
                 )
                 .unwrap();

@@ -202,7 +202,6 @@ impl ParallelPlanner {
             .field("jobs", self.effective_jobs());
         let estimator =
             CostEstimator::new(topology.clone(), self.config.optimizer.estimator.clone());
-        let usable = topology.usable_budget(budget_bytes);
         let counters_before = cache.map(|c| c.counters());
         let engine_before = engine.map(|e| e.counters());
         let output = sweep::run_sweep(
@@ -210,7 +209,7 @@ impl ParallelPlanner {
             &estimator,
             model,
             topology,
-            usable,
+            budget_bytes,
             self.effective_jobs(),
             cache,
             engine,

@@ -72,6 +72,11 @@ pub(crate) struct SweepOutput {
     pub stats: SearchStats,
 }
 
+/// Phase A's output: the `(pp, StrategySet)` list, the per-stage usable
+/// budgets for each set (indexed by `set_index`), and the feasible work
+/// items in serial visit order.
+type EnumerateOutput = (Vec<(usize, StrategySet)>, Vec<Vec<u64>>, Vec<WorkItem>);
+
 /// Phase A: enumerate the feasible candidates in serial order. With a
 /// bound incremental engine the per-stage feasibility checks go through
 /// its monotone-memory ledger, so neighbouring batches of the sweep (and
@@ -82,10 +87,10 @@ fn enumerate(
     estimator: &CostEstimator,
     model: &ModelSpec,
     topology: &ClusterTopology,
-    usable: u64,
+    budget_bytes: u64,
     incremental: Option<&BoundIncrementalDp<'_>>,
     stats: &mut SearchStats,
-) -> (Vec<(usize, StrategySet)>, Vec<WorkItem>) {
+) -> EnumerateOutput {
     let n = topology.n_devices();
     let sets = strategy_sets(config, model, n);
     for (p, set) in &sets {
@@ -94,6 +99,14 @@ fn enumerate(
     let bound_sets_per_pp: Vec<Vec<Vec<(usize, usize)>>> = sets
         .iter()
         .map(|&(pp, _)| stage_bound_sets(config, model, topology, pp))
+        .collect();
+    // Per-stage usable budgets, one vector per PP degree — identical
+    // entries on homogeneous clusters (the legacy single value), per-island
+    // memory caps on heterogeneous ones. Indexed by `set_index`, shared
+    // with Phase B through the return value.
+    let budgets_per_set: Vec<Vec<u64>> = sets
+        .iter()
+        .map(|&(pp, _)| topology.stage_usable_budgets(budget_bytes, pp))
         .collect();
 
     let mut items = Vec::new();
@@ -104,6 +117,7 @@ fn enumerate(
         for (set_index, ((pp, full_set), bound_sets)) in
             sets.iter().zip(&bound_sets_per_pp).enumerate()
         {
+            let stage_budgets = &budgets_per_set[set_index];
             for bounds in bound_sets {
                 for micro_batches in micro_batch_candidates(batch, *pp) {
                     let micro = batch / micro_batches;
@@ -120,7 +134,7 @@ fn enumerate(
                                 model,
                                 start..end,
                                 &set,
-                                usable,
+                                stage_budgets[i],
                                 config.memory_granularity,
                                 act_stash,
                             ),
@@ -129,7 +143,7 @@ fn enumerate(
                                 model,
                                 start..end,
                                 &set,
-                                usable,
+                                stage_budgets[i],
                                 config.memory_granularity,
                                 act_stash,
                             ),
@@ -163,7 +177,7 @@ fn enumerate(
             }
         }
     }
-    (sets, items)
+    (sets, budgets_per_set, items)
 }
 
 /// Run the full sweep with `jobs` workers. `cache` of `None` evaluates
@@ -177,7 +191,7 @@ pub(crate) fn run_sweep(
     estimator: &CostEstimator,
     model: &ModelSpec,
     topology: &ClusterTopology,
-    usable: u64,
+    budget_bytes: u64,
     jobs: usize,
     cache: Option<&DpCache>,
     engine: Option<&IncrementalEngine>,
@@ -187,12 +201,12 @@ pub(crate) fn run_sweep(
     let mut stats = SearchStats::default();
     let bound = engine.map(|e| e.bind(estimator, model));
     let mut phase_a = obs.span("enumerate_candidates");
-    let (sets, items) = enumerate(
+    let (sets, budgets_per_set, items) = enumerate(
         config,
         estimator,
         model,
         topology,
-        usable,
+        budget_bytes,
         bound.as_ref(),
         &mut stats,
     );
@@ -255,7 +269,7 @@ pub(crate) fn run_sweep(
                         config,
                         &sets[item.set_index].1,
                         &item.spec,
-                        usable,
+                        &budgets_per_set[item.set_index],
                         dp,
                     ) {
                         Ok(outcome) => outcome,

@@ -72,6 +72,17 @@ if [ "$replica_lines" -ne 3 ]; then
     exit 1
 fi
 
+echo "==> hetero crate suites (unit + property tests) and the 120-instance oracle"
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-hetero -q
+cargo test "${CARGO_FLAGS[@]}" --test hetero_oracle -q
+
+echo "==> hetero acceptance bench (fails unless a mixed deployment beats the best"
+echo "    homogeneous island on samples-per-dollar for >=1 zoo model, or the"
+echo "    cluster-advisor sweep is non-deterministic)"
+# Writes BENCH_hetero.json at the workspace root.
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-hetero --bin galvatron-hetero
+test -s BENCH_hetero.json || { echo "BENCH_hetero.json missing" >&2; exit 1; }
+
 echo "==> serve load bench (fails below 5x warm-over-cold, herd >1 compute, or no shed)"
 # Writes BENCH_serve.json at the workspace root.
 cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-bench-serve

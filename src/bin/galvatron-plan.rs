@@ -10,6 +10,7 @@
 //! ```
 
 use galvatron::prelude::*;
+use galvatron_hetero::enumerate_deployments;
 use galvatron_obs::write_spans;
 use galvatron_strategy::Paradigm;
 use std::process::ExitCode;
@@ -23,6 +24,7 @@ struct Options {
     budget_gb: u64,
     max_batch: usize,
     restrict: Option<String>,
+    objective: Objective,
     jobs: usize,
     simulate: bool,
     explain: bool,
@@ -39,6 +41,7 @@ impl Default for Options {
             budget_gb: 16,
             max_batch: 512,
             restrict: None,
+            objective: Objective::Time,
             jobs: 0,
             simulate: false,
             explain: false,
@@ -59,10 +62,15 @@ OPTIONS:
     --model <NAME>       bert-huge-32|bert-huge-48|bert-xhuge|vit-huge-32|
                          vit-huge-48|vit-xhuge|t5-large-32|t5-large-48|
                          swin-huge-32|swin-huge-48|gpt2-xl  [bert-huge-32]
-    --cluster <NAME>     rtx-titan-8 | rtx-titan-16 | a100-64  [rtx-titan-8]
+    --cluster <NAME>     rtx-titan-8 | rtx-titan-16 | a100-64 | a100-rtx-16
+                         (a100-rtx-16: one priced 8-GPU A100 island plus one
+                         priced 8-GPU RTX TITAN island)  [rtx-titan-8]
     --budget-gb <N>      per-device memory budget in GB  [16]
     --max-batch <N>      largest global batch to explore  [512]
     --restrict <SPACE>   limit the search space: dp-tp | dp-pp
+    --objective <OBJ>    time (max throughput on the full cluster) | cost
+                         (max throughput per dollar over island-aligned
+                         sub-cluster deployments)  [time]
     --jobs <N>           planner worker threads (0 = all cores)  [0]
     --simulate           execute the plan on the discrete-event simulator
     --explain            per-layer table: chosen strategy, compute/comm/memory
@@ -97,6 +105,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--max-batch expects an integer".to_string())?
             }
             "--restrict" => opts.restrict = Some(value("--restrict")?),
+            "--objective" => {
+                opts.objective = match value("--objective")?.as_str() {
+                    "time" => Objective::Time,
+                    "cost" => Objective::Cost,
+                    other => return Err(format!("--objective must be time or cost, got {other}")),
+                }
+            }
             "--jobs" => {
                 opts.jobs = value("--jobs")?
                     .parse()
@@ -156,6 +171,7 @@ fn cluster_by_name(name: &str) -> Option<ClusterTopology> {
         "rtx-titan-8" => Some(TestbedPreset::RtxTitan8.topology()),
         "rtx-titan-16" => Some(TestbedPreset::RtxTitan16.topology()),
         "a100-64" => Some(TestbedPreset::A100x64.topology()),
+        "a100-rtx-16" => Some(mixed_a100_rtx_cluster(1, 1, 8)),
         _ => None,
     }
 }
@@ -221,12 +237,17 @@ fn main() -> ExitCode {
         model.total_param_count() as f64 / 1e6,
         model.activation_bytes_per_sample() as f64 / 1e6
     );
+    // Homogeneous clusters read "8 × RTX TITAN"; mixed ones spell out the
+    // island composition ("A100x8+RTX TITANx8") instead of misattributing
+    // every device to the first island's type.
+    let cluster_desc = if cluster.is_heterogeneous() {
+        galvatron_hetero::topology_mix(&cluster)
+    } else {
+        format!("{} × {}", cluster.n_devices(), cluster.gpu().name)
+    };
     println!(
-        "cluster  {} × {} ({} budget: {} GB/device)",
-        cluster.n_devices(),
-        cluster.gpu().name,
-        opts.cluster,
-        opts.budget_gb
+        "cluster  {} ({} budget: {} GB/device)",
+        cluster_desc, opts.cluster, opts.budget_gb
     );
 
     // One telemetry handle for the whole invocation: the planner's search
@@ -237,18 +258,53 @@ fn main() -> ExitCode {
     let obs = Obs::new(registry.clone(), span_sink.clone());
 
     let planner = planner_for(&opts).with_obs(obs.clone());
-    let outcome = match planner.optimize(&model, &cluster, opts.budget_gb * GIB) {
-        Ok(Some(outcome)) => outcome,
-        Ok(None) => {
-            eprintln!(
-                "no feasible plan: even the smallest batch exceeds {} GB/device",
-                opts.budget_gb
-            );
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("planning failed: {e}");
-            return ExitCode::FAILURE;
+    // Under `--objective cost` the plan may land on a sub-cluster
+    // deployment; everything downstream (explain, simulate) runs against
+    // the topology the plan was actually made for.
+    let (outcome, cluster) = match opts.objective {
+        Objective::Time => match planner.optimize(&model, &cluster, opts.budget_gb * GIB) {
+            Ok(Some(outcome)) => (outcome, cluster),
+            Ok(None) => {
+                eprintln!(
+                    "no feasible plan: even the smallest batch exceeds {} GB/device",
+                    opts.budget_gb
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("planning failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Objective::Cost => {
+            let hetero =
+                HeteroPlanner::new(planner.config().optimizer.clone()).with_obs(obs.clone());
+            match hetero.plan(&model, &cluster, opts.budget_gb * GIB, Objective::Cost) {
+                Ok(Some(h)) => {
+                    println!(
+                        "deployment  {} ({} devices, ${:.2}/h, {:.0} samples/$)",
+                        h.mix, h.n_devices, h.price_per_hour, h.samples_per_dollar
+                    );
+                    let deployed = enumerate_deployments(&cluster)
+                        .into_iter()
+                        .find(|d| d.first_island == h.first_island && d.n_islands == h.n_islands)
+                        .map(|d| d.topology)
+                        .unwrap_or(cluster);
+                    (h.outcome, deployed)
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "no feasible plan on any deployment: even the smallest batch \
+                         exceeds {} GB/device",
+                        opts.budget_gb
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("planning failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
 
@@ -415,6 +471,25 @@ mod tests {
         assert!(model_by_name("resnet").is_none());
         assert!(cluster_by_name("rtx-titan-16").is_some());
         assert!(cluster_by_name("tpu-pod").is_none());
+        let mixed = cluster_by_name("a100-rtx-16").unwrap();
+        assert!(mixed.is_heterogeneous());
+        assert_eq!(mixed.n_devices(), 16);
+        assert!(mixed.price_per_hour() > 0.0);
+    }
+
+    #[test]
+    fn objective_flag_parses_and_rejects_nonsense() {
+        assert_eq!(parse_args(&[]).unwrap().objective, Objective::Time);
+        assert_eq!(
+            parse_args(&argv("--objective cost")).unwrap().objective,
+            Objective::Cost
+        );
+        assert_eq!(
+            parse_args(&argv("--objective time")).unwrap().objective,
+            Objective::Time
+        );
+        assert!(parse_args(&argv("--objective cheapest")).is_err());
+        assert!(parse_args(&argv("--objective")).is_err());
     }
 
     #[test]

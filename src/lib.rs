@@ -43,6 +43,11 @@
 //!   each), consistent-hash request routing with failover, gossip cache
 //!   replication between ring neighbors, and warm-join from peer
 //!   snapshots.
+//! * [`hetero`] — heterogeneous-cluster planning: priced device types and
+//!   mixed A100/RTX-TITAN islands, a dual objective (iteration time vs
+//!   **throughput per dollar** over island-aligned deployments), and the
+//!   cluster advisor ("cheapest device mix that trains this model in under
+//!   T hours").
 //!
 //! ## Quickstart
 //!
@@ -73,6 +78,7 @@ pub use galvatron_elastic as elastic;
 pub use galvatron_estimator as estimator;
 pub use galvatron_exec as exec;
 pub use galvatron_fleet as fleet;
+pub use galvatron_hetero as hetero;
 pub use galvatron_model as model;
 pub use galvatron_obs as obs;
 pub use galvatron_planner as planner;
@@ -84,7 +90,8 @@ pub use galvatron_strategy as strategy;
 pub mod prelude {
     pub use galvatron_baselines::{BaselinePlanner, BaselineStrategy};
     pub use galvatron_cluster::{
-        ClusterTopology, CommGroupPool, GpuSpec, Link, LinkClass, TestbedPreset, GIB, MIB,
+        island_cluster, mixed_a100_rtx_cluster, ClusterTopology, CommGroupPool, DeviceType,
+        GpuSpec, Link, LinkClass, TestbedPreset, GIB, MIB,
     };
     pub use galvatron_core::{
         explain_plan, GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, PipelinePartitioner,
@@ -95,6 +102,9 @@ pub mod prelude {
     };
     pub use galvatron_estimator::{CostEstimator, EstimatorConfig};
     pub use galvatron_fleet::{FleetReplica, FleetRouter, HashRing, ReplicaConfig, RouterConfig};
+    pub use galvatron_hetero::{
+        AdvisorQuery, AdvisorReport, ClusterAdvisor, HeteroOutcome, HeteroPlanner, Objective,
+    };
     pub use galvatron_model::{ModelSpec, PaperModel};
     pub use galvatron_obs::{
         ChromeSpanSink, ChromeTraceWriter, MetricsRegistry, MetricsSnapshot, Obs, RingBufferSink,
