@@ -18,10 +18,19 @@
 //! 3. **byte-identity** — `FleetCheck` per key: every replica must produce
 //!    byte-identical answer payloads (this also warms every replica).
 //! 4. **zipf** — a zipf(s)-distributed request mix from parallel clients
-//!    through the router, the realistic hot-key workload.
-//! 5. **warm-join** — a brand-new replica pulls a peer snapshot and must
+//!    through the router, the realistic hot-key workload. Every zipf
+//!    client carries a seeded trace context, so the fleet's slow-trace
+//!    rings fill with real span trees.
+//! 5. **trace** — one cold, traced, attribution-opted request through the
+//!    router. Its [`AttributionRecord`] phases must sum to within 5% of
+//!    the client-observed wall time, the recorded spans must form one
+//!    linked tree spanning router → replica → planner, and the router's
+//!    `/trace/slow` endpoint must be non-empty after the zipf phase.
+//!    Results go to `BENCH_trace.json`; every span the fleet recorded is
+//!    dumped as JSONL for `galvatron-trace` to replay.
+//! 6. **warm-join** — a brand-new replica pulls a peer snapshot and must
 //!    answer every covered question **without a single cold DP run**.
-//! 6. **kill** — one replica is shut down mid-run; re-asking every key
+//! 7. **kill** — one replica is shut down mid-run; re-asking every key
 //!    through the router must still answer, byte-identical to before.
 //!
 //! Results go to `BENCH_fleet.json`; the bench exits non-zero if any gate
@@ -31,14 +40,25 @@ use galvatron_cluster::{rtx_titan_node, GIB};
 use galvatron_core::OptimizerConfig;
 use galvatron_fleet::{FleetReplica, FleetRouter, ReplicaConfig, RouterConfig};
 use galvatron_model::{BertConfig, ModelSpec};
-use galvatron_obs::Obs;
+use galvatron_obs::trace::record_link;
+use galvatron_obs::{
+    AttributionRecord, MetricsRegistry, Obs, RingBufferSink, SampleValue, SlowTraceEntry,
+    SpanRecord, TraceIdGen,
+};
 use galvatron_planner::PlannerConfig;
-use galvatron_serve::{ErrorCode, PlanClient, PlanServer, ServeConfig, WireResult};
+use galvatron_serve::{
+    ErrorCode, PlanClient, PlanServer, ServeConfig, WireResult, WireTraceContext,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::Serialize;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Spans each fleet instance's ring-buffer sink retains for the dump.
+const SPAN_SINK_CAPACITY: usize = 8192;
 
 #[derive(Serialize)]
 struct PhaseReport {
@@ -104,6 +124,27 @@ struct ZipfReport {
     clients: usize,
     s: f64,
     latency: LatencyReport,
+}
+
+#[derive(Serialize)]
+struct TracePhaseReport {
+    bench: &'static str,
+    trace_id: String,
+    client_ms: f64,
+    attributed_ms: f64,
+    phase_sum_ms: f64,
+    phase_sum_over_client: f64,
+    phases_ms: Vec<(String, f64)>,
+    linked_spans: usize,
+    spans_reaching_client_root: usize,
+    instances_in_tree: usize,
+    slow_trace_entries: usize,
+}
+
+#[derive(Serialize)]
+struct SpanDumpLine {
+    instance: String,
+    span: SpanRecord,
 }
 
 #[derive(Serialize)]
@@ -187,22 +228,28 @@ fn run_phase(
     })
 }
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
+/// p50/p99 via the registry's bucket-interpolated
+/// [`HistogramSample::quantile`](galvatron_obs::HistogramSample::quantile)
+/// — the same estimator the serving fleet exports, so bench numbers and
+/// production metrics agree on semantics.
+fn latency_report(per_request_ms: Vec<f64>, seconds: f64) -> LatencyReport {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.wall_histogram("bench_request_seconds");
+    for ms in &per_request_ms {
+        histogram.observe(ms / 1e3);
     }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx]
-}
-
-fn latency_report(mut per_request_ms: Vec<f64>, seconds: f64) -> LatencyReport {
-    per_request_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let snapshot = registry.snapshot();
+    let sample = snapshot.metrics.iter().find_map(|m| match &m.value {
+        SampleValue::Histogram(h) => Some(h),
+        _ => None,
+    });
+    let quantile_ms = |q: f64| -> f64 { sample.and_then(|h| h.quantile(q)).unwrap_or(0.0) * 1e3 };
     LatencyReport {
         requests: per_request_ms.len(),
         seconds,
         requests_per_sec: per_request_ms.len() as f64 / seconds.max(1e-9),
-        p50_ms: percentile(&per_request_ms, 0.50),
-        p99_ms: percentile(&per_request_ms, 0.99),
+        p50_ms: quantile_ms(0.50),
+        p99_ms: quantile_ms(0.99),
     }
 }
 
@@ -235,6 +282,8 @@ fn run_latency_phase(
 
 struct Flags {
     out: Option<String>,
+    trace_out: Option<String>,
+    spans_out: Option<String>,
     max_batch: usize,
     herd_clients: usize,
     fleet: usize,
@@ -247,6 +296,8 @@ struct Flags {
 fn parse_flags() -> Flags {
     let mut flags = Flags {
         out: None,
+        trace_out: None,
+        spans_out: None,
         max_batch: 16,
         herd_clients: 12,
         fleet: 0,
@@ -263,6 +314,8 @@ fn parse_flags() -> Flags {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => flags.out = Some(next("--out", &mut args)),
+            "--trace-out" => flags.trace_out = Some(next("--trace-out", &mut args)),
+            "--spans-out" => flags.spans_out = Some(next("--spans-out", &mut args)),
             "--max-batch" => {
                 flags.max_batch = next("--max-batch", &mut args)
                     .parse()
@@ -291,8 +344,9 @@ fn parse_flags() -> Flags {
             other => {
                 eprintln!("galvatron-bench-serve: unknown flag {other}");
                 eprintln!(
-                    "usage: galvatron-bench-serve [--fleet N] [--out FILE] [--max-batch B] \
-                     [--herd-clients C] [--connections K] [--zipf-requests Z]"
+                    "usage: galvatron-bench-serve [--fleet N] [--out FILE] [--trace-out FILE] \
+                     [--spans-out FILE] [--max-batch B] [--herd-clients C] [--connections K] \
+                     [--zipf-requests Z]"
                 );
                 std::process::exit(2);
             }
@@ -369,8 +423,14 @@ fn run_fleet_bench(flags: &Flags) {
     let requests = workload();
 
     // Start N replicas, introduce them to each other, front with a router.
+    // Every instance gets a real span sink so the trace phase can stitch
+    // the cross-process tree back together and dump it for the
+    // `galvatron-trace` report.
+    let mut sinks: Vec<(String, Arc<RingBufferSink>)> = Vec::new();
     let replicas: Vec<_> = (0..n)
         .map(|id| {
+            let sink = Arc::new(RingBufferSink::new(SPAN_SINK_CAPACITY));
+            sinks.push((format!("replica-{id}"), sink.clone()));
             FleetReplica::start(
                 ReplicaConfig {
                     id,
@@ -379,7 +439,7 @@ fn run_fleet_bench(flags: &Flags) {
                     planner: planner(flags.max_batch),
                     ..ReplicaConfig::default()
                 },
-                Obs::noop(),
+                Obs::new(Arc::new(MetricsRegistry::new()), sink),
             )
             .expect("bind replica")
         })
@@ -388,12 +448,14 @@ fn run_fleet_bench(flags: &Flags) {
     for replica in &replicas {
         replica.set_peers(&members);
     }
+    let router_sink = Arc::new(RingBufferSink::new(SPAN_SINK_CAPACITY));
+    sinks.push(("router".to_string(), router_sink.clone()));
     let router = FleetRouter::start(
         RouterConfig {
             replicas: members.clone(),
             ..RouterConfig::default()
         },
-        Obs::noop(),
+        Obs::new(Arc::new(MetricsRegistry::new()), router_sink),
     )
     .expect("bind router");
     eprintln!(
@@ -469,7 +531,29 @@ fn run_fleet_bench(flags: &Flags) {
         zipf.latency.p99_ms
     );
 
-    // Phase 5: warm-join. A new replica pulls a snapshot from replica 0 and
+    // Phase 5: one cold traced request with latency attribution, plus the
+    // slow-trace federation gate. Writes BENCH_trace.json and the span
+    // dump `galvatron-trace` replays.
+    let trace_out = flags
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let trace = trace_phase(router.addr(), &sinks);
+    eprintln!(
+        "  trace: {} spans linked ({} reach the client root, {} instances), \
+         phases {:.1}ms vs client {:.1}ms, {} slow traces",
+        trace.linked_spans,
+        trace.spans_reaching_client_root,
+        trace.instances_in_tree,
+        trace.phase_sum_ms,
+        trace.client_ms,
+        trace.slow_trace_entries
+    );
+    let trace_json = serde_json::to_string_pretty(&serde_json::to_value(&trace).unwrap()).unwrap();
+    std::fs::write(&trace_out, format!("{trace_json}\n")).expect("write trace report");
+    eprintln!("galvatron-bench-serve: wrote {trace_out}");
+
+    // Phase 6: warm-join. A new replica pulls a snapshot from replica 0 and
     // must answer every covered question without a cold DP run.
     let joiner = FleetReplica::start(
         ReplicaConfig {
@@ -519,7 +603,7 @@ fn run_fleet_bench(flags: &Flags) {
         fleet_computed_delta_after_rejoin: fleet_computed_delta,
     };
 
-    // Phase 6: kill replica 1 mid-run; every key must still answer through
+    // Phase 7: kill replica 1 mid-run; every key must still answer through
     // the router, byte-identical to the fleet-check payloads.
     let gossip_sent_total: u64 =
         replicas.iter().map(|r| r.gossip_sent()).sum::<u64>() + joiner.gossip_sent();
@@ -561,6 +645,29 @@ fn run_fleet_bench(flags: &Flags) {
         replica.shutdown();
     }
     joiner.shutdown();
+
+    // Dump every span the fleet recorded, one JSONL line per span tagged
+    // with its instance — the input `galvatron-trace` replays into an
+    // attribution table and a merged Chrome trace.
+    let spans_out = flags
+        .spans_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_trace_spans.jsonl".to_string());
+    let mut dump = String::new();
+    let mut dumped = 0usize;
+    for (instance, sink) in &sinks {
+        for span in sink.records() {
+            let line = SpanDumpLine {
+                instance: instance.clone(),
+                span,
+            };
+            dump.push_str(&serde_json::to_string(&line).expect("serialize span"));
+            dump.push('\n');
+            dumped += 1;
+        }
+    }
+    std::fs::write(&spans_out, dump).expect("write span dump");
+    eprintln!("galvatron-bench-serve: wrote {spans_out} ({dumped} spans)");
 
     let report = FleetBenchReport {
         bench: "galvatron-fleet loopback",
@@ -608,6 +715,7 @@ fn connections_phase(replica: &galvatron_fleet::ReplicaHandle, target: usize) ->
     let ping_line = serde_json::to_string(&galvatron_serve::WireRequest {
         id: 1,
         name: "conn".to_string(),
+        trace: None,
         body: galvatron_serve::RequestBody::Ping,
     })
     .unwrap();
@@ -657,8 +765,13 @@ fn zipf_phase(
             std::thread::spawn(move || -> Vec<f64> {
                 let topology = rtx_titan_node(8);
                 let mut client = PlanClient::connect(router_addr).expect("connect router");
+                // Every zipf request is traced with attribution opted in:
+                // seeded ids, so reruns mint the same trace ids and the
+                // fleet's slow-trace rings fill with real span trees.
+                let mut ids = TraceIdGen::new(0x7ace_0000 + client_idx as u64);
                 let mut latencies = Vec::with_capacity(requests.len());
                 for (name, model, budget) in requests {
+                    client.set_trace(WireTraceContext::from_context(ids.next_context(), true));
                     let one = Instant::now();
                     let response = client
                         .plan(&name, model, topology.clone(), budget)
@@ -684,6 +797,174 @@ fn zipf_phase(
         clients: flags.zipf_clients.max(1),
         s: flags.zipf_s,
         latency: latency_report(per_request_ms, seconds),
+    }
+}
+
+fn http_get_body(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send http request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read http response");
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => response,
+    }
+}
+
+/// One cold, traced, attribution-opted request through the router, then
+/// the federation drain. Gates: the attribution phases must sum to within
+/// 5% of the client-observed wall time; the recorded spans must form one
+/// linked tree spanning router → replica → planner; and `/trace/slow`
+/// must be non-empty after the traced zipf phase.
+fn trace_phase(
+    router_addr: SocketAddr,
+    sinks: &[(String, Arc<RingBufferSink>)],
+) -> TracePhaseReport {
+    // A model absent from the workload, so the DP actually runs — and deep
+    // enough that `dp_compute` dominates: the event loops on either side
+    // of the wire sleep up to ~1ms each between sweeps, a bounded slack no
+    // server-side phase can see, so the solve must dwarf it for the 5%
+    // gate to be meaningful rather than noise.
+    let model = BertConfig {
+        layers: 128,
+        hidden: 512,
+        heads: 8,
+        seq: 128,
+        vocab: 30522,
+    }
+    .build("bert-traced");
+    let mut ids = TraceIdGen::new(0x7ace_c01d);
+    let ctx = ids.next_context();
+    let mut client = PlanClient::connect(router_addr).expect("connect router");
+    // Serialize before starting the clock and parse after stopping it:
+    // client-observed latency is the wire round trip, the window the
+    // server-side attribution can actually account for.
+    let request_line = serde_json::to_string(&galvatron_serve::WireRequest {
+        id: 1,
+        name: "bert-traced@8g".to_string(),
+        trace: Some(WireTraceContext::from_context(ctx, true)),
+        body: galvatron_serve::RequestBody::Plan(galvatron_serve::PlanBody {
+            model,
+            topology: rtx_titan_node(8),
+            budget_bytes: 8 * GIB,
+        }),
+    })
+    .expect("serialize traced request");
+    let started = Instant::now();
+    let response_line = client
+        .round_trip_raw(&request_line)
+        .expect("traced request");
+    let client_seconds = started.elapsed().as_secs_f64();
+    let response: galvatron_serve::WireResponse =
+        serde_json::from_str(&response_line).expect("parse traced response");
+    if !matches!(response.result, WireResult::Plan(_)) {
+        fail(&format!(
+            "traced request did not return a plan: {:?}",
+            response.result
+        ));
+    }
+    let attr: AttributionRecord = match response.attribution {
+        Some(attr) => attr,
+        None => fail("traced request carried no attribution record"),
+    };
+    if attr.trace_id != ctx.trace_id.to_hex() {
+        fail("attribution trace id does not match the client's trace context");
+    }
+    let phase_sum = attr.phase_sum();
+    let ratio = phase_sum / client_seconds.max(1e-9);
+    if (ratio - 1.0).abs() > 0.05 {
+        fail(&format!(
+            "attribution phases sum to {:.2}ms but the client observed {:.2}ms \
+             ({:+.1}% off, gate ±5%)",
+            phase_sum * 1e3,
+            client_seconds * 1e3,
+            (ratio - 1.0) * 1e2
+        ));
+    }
+
+    // Stitch the cross-process tree: collect every trace-linked span for
+    // our trace id from every instance's sink and walk parent links back
+    // to the client's root span.
+    let mut linked: Vec<(&str, SpanRecord)> = Vec::new();
+    for (instance, sink) in sinks {
+        for record in sink.records() {
+            if let Some(link) = record_link(&record) {
+                if link.trace_id == ctx.trace_id {
+                    linked.push((instance.as_str(), record));
+                }
+            }
+        }
+    }
+    let parents: HashMap<String, String> = linked
+        .iter()
+        .filter_map(|(_, r)| record_link(r))
+        .map(|link| (link.span_id.to_hex(), link.parent_span_id.to_hex()))
+        .collect();
+    let root = ctx.span_id.to_hex();
+    let reaches_root = |record: &SpanRecord| -> bool {
+        let Some(link) = record_link(record) else {
+            return false;
+        };
+        let mut id = link.span_id.to_hex();
+        for _ in 0..linked.len() + 1 {
+            if id == root {
+                return true;
+            }
+            match parents.get(&id) {
+                Some(parent) => id = parent.clone(),
+                None => return false,
+            }
+        }
+        false
+    };
+    let spans_reaching_client_root = linked.iter().filter(|(_, r)| reaches_root(r)).count();
+    for required in ["route_plan", "serve_request", "dp_compute", "plan_request"] {
+        if !linked
+            .iter()
+            .any(|(_, r)| r.name == required && reaches_root(r))
+        {
+            fail(&format!(
+                "span tree is missing a linked `{required}` span reaching the client root"
+            ));
+        }
+    }
+    let mut instances: Vec<&str> = linked
+        .iter()
+        .filter(|(_, r)| reaches_root(r))
+        .map(|(instance, _)| *instance)
+        .collect();
+    instances.sort_unstable();
+    instances.dedup();
+    if instances.len() < 2 {
+        fail("span tree did not cross processes (expected router + replica)");
+    }
+
+    // Federation: the router merges every live replica's slow-trace ring;
+    // after a fully traced zipf phase it must have entries.
+    let slow_body = http_get_body(router_addr, "/trace/slow");
+    let slow: Vec<SlowTraceEntry> = serde_json::from_str(&slow_body).unwrap_or_default();
+    if slow.is_empty() {
+        fail("/trace/slow returned no entries after the traced zipf phase");
+    }
+
+    TracePhaseReport {
+        bench: "galvatron-trace attribution",
+        trace_id: ctx.trace_id.to_hex(),
+        client_ms: client_seconds * 1e3,
+        attributed_ms: attr.total_seconds * 1e3,
+        phase_sum_ms: phase_sum * 1e3,
+        phase_sum_over_client: ratio,
+        phases_ms: attr
+            .phases
+            .iter()
+            .map(|p| (p.phase.clone(), p.seconds * 1e3))
+            .collect(),
+        linked_spans: linked.len(),
+        spans_reaching_client_root,
+        instances_in_tree: instances.len(),
+        slow_trace_entries: slow.len(),
     }
 }
 

@@ -25,21 +25,30 @@
 
 use crate::event::{spawn_event_loop, EventLoopConfig, EventLoopHandle, LineHandler, ResponseSlot};
 use crate::ring::{plan_key_hash, HashRing};
-use galvatron_obs::Obs;
+use galvatron_obs::trace::{
+    link_fields, PHASE_CACHE_LOOKUP, PHASE_DP_COMPUTE, PHASE_FLIGHT_WAIT, PHASE_QUEUE_WAIT,
+    PHASE_SERIALIZE,
+};
+use galvatron_obs::{
+    AttributionRecord, Obs, SlowRing, SlowTraceEntry, SpanLink, TraceContext, TraceScope,
+};
 use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
 use galvatron_serve::{
     BoundedQueue, CacheEntry, ErrorCode, PlanBody, PlanClient, PlanKey, PushError, RequestBody,
-    ResponseCache, ServeError, ServeStats, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
+    ResponseCache, ServeError, ServeStats, WireRequest, WireResponse, WireResult, WireTraceContext,
+    PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const TICK: Duration = Duration::from_millis(100);
 const RETRY_AFTER_MS: u64 = 50;
+/// K-slowest traced requests kept for `/trace/slow`.
+const SLOW_RING_CAPACITY: usize = 32;
 
 /// Replica configuration.
 #[derive(Debug, Clone)]
@@ -78,12 +87,32 @@ impl Default for ReplicaConfig {
     }
 }
 
+/// Per-waiter trace state: everything needed to attribute the waiter's
+/// latency once the flight it parked on resolves.
+struct WaiterTrace {
+    /// The client's trace position (the parent of this replica's
+    /// `serve_request` span).
+    client: TraceContext,
+    /// This replica's `serve_request` context for the waiter.
+    server: TraceContext,
+    /// Whether the client opted in to an [`AttributionRecord`] on the
+    /// response envelope.
+    want_attribution: bool,
+    /// When the request line was admitted.
+    arrival: Instant,
+    /// `arrival` on the obs epoch clock (span-record time base).
+    arrival_epoch: f64,
+    /// Wall seconds the response-cache probe took.
+    cache_lookup_seconds: f64,
+}
+
 /// One request waiting for a computation to finish.
 struct Waiter {
     id: u64,
     name: String,
     coalesced: bool,
     slot: ResponseSlot,
+    trace: Option<WaiterTrace>,
 }
 
 /// One queued computation.
@@ -91,6 +120,19 @@ struct Job {
     key: PlanKey,
     body: PlanBody,
     name: String,
+    /// The leader's `serve_request` context; the worker's `dp_compute`
+    /// span parents under it.
+    trace: Option<TraceContext>,
+    enqueued: Instant,
+}
+
+/// Timing of the computation that resolved a flight, shared by every
+/// waiter registered on the key.
+#[derive(Default)]
+struct FlightTiming {
+    queue_wait_seconds: f64,
+    compute_seconds: f64,
+    compute_span_id: Option<String>,
 }
 
 /// Fleet membership as this replica sees it.
@@ -98,6 +140,10 @@ struct PeerTable {
     ring: HashRing,
     addrs: HashMap<usize, SocketAddr>,
 }
+
+/// A cache entry queued for gossip, with the trace context (if any) of
+/// the request that computed it so the push is linked into its tree.
+type GossipItem = (CacheEntry, Option<TraceContext>);
 
 struct Shared {
     id: usize,
@@ -107,8 +153,9 @@ struct Shared {
     waiters: Mutex<HashMap<PlanKey, Vec<Waiter>>>,
     queue: BoundedQueue<Job>,
     peers: Mutex<PeerTable>,
-    gossip_tx: Mutex<Option<mpsc::Sender<CacheEntry>>>,
+    gossip_tx: Mutex<Option<mpsc::Sender<GossipItem>>>,
     obs: Obs,
+    slow: SlowRing,
     stop: AtomicBool,
     requests: AtomicU64,
     coalesced: AtomicU64,
@@ -197,10 +244,15 @@ impl Shared {
 
     /// Fill every waiter registered for `key` with `result` and drop the
     /// entry. The waiter list is the replica's single-flight: exactly one
-    /// resolver wins the `remove`.
-    fn resolve_waiters(&self, key: &PlanKey, result: &WireResult) {
+    /// resolver wins the `remove`. Traced waiters are attributed and
+    /// their `serve_request` span trees recorded here.
+    fn resolve_waiters(&self, key: &PlanKey, result: &WireResult, timing: Option<&FlightTiming>) {
         let waiters = self.waiters.lock().unwrap().remove(key);
         for waiter in waiters.into_iter().flatten() {
+            let attribution = waiter.trace.as_ref().and_then(|trace| {
+                let attr = self.attribute(trace, waiter.coalesced, timing, result);
+                trace.want_attribution.then_some(attr)
+            });
             fill(
                 &waiter.slot,
                 WireResponse {
@@ -208,20 +260,90 @@ impl Shared {
                     name: waiter.name,
                     cached: false,
                     coalesced: waiter.coalesced,
+                    attribution,
                     result: result.clone(),
                 },
             );
         }
     }
 
+    /// Build the latency attribution for one traced waiter, record its
+    /// phase histograms and `serve_request` span tree, and offer the tree
+    /// to the slow ring. Phase semantics: leaders own the queue and
+    /// compute slices; coalesced followers (and cache hits) spent their
+    /// whole wait parked on someone else's flight, so the residual lands
+    /// in `flight_wait`. Phases sum to `total_seconds` by construction
+    /// (up to the negative-residual clamp).
+    fn attribute(
+        &self,
+        trace: &WaiterTrace,
+        coalesced: bool,
+        timing: Option<&FlightTiming>,
+        result: &WireResult,
+    ) -> AttributionRecord {
+        let mut attr = AttributionRecord::new(
+            &trace.server.trace_id.to_hex(),
+            &trace.server.span_id.to_hex(),
+            &self.instance,
+        );
+        let (queue_wait, compute) = match timing {
+            Some(t) if !coalesced => (t.queue_wait_seconds, t.compute_seconds),
+            _ => (0.0, 0.0),
+        };
+        attr.compute_span_id = timing.and_then(|t| t.compute_span_id.clone());
+        let serialize_started = Instant::now();
+        let _ = serde_json::to_string(result);
+        let serialize = serialize_started.elapsed().as_secs_f64();
+        let total = trace.arrival.elapsed().as_secs_f64();
+        let flight_wait = total - trace.cache_lookup_seconds - queue_wait - compute - serialize;
+        attr.push_phase(PHASE_CACHE_LOOKUP, trace.cache_lookup_seconds);
+        attr.push_phase(PHASE_QUEUE_WAIT, queue_wait);
+        attr.push_phase(PHASE_FLIGHT_WAIT, flight_wait);
+        attr.push_phase(PHASE_DP_COMPUTE, compute);
+        attr.push_phase(PHASE_SERIALIZE, serialize);
+        attr.total_seconds = total;
+        let registry = self.obs.registry();
+        for phase in &attr.phases {
+            registry
+                .wall_histogram_with(
+                    "serve_phase_seconds",
+                    &[
+                        ("instance", self.instance.as_str()),
+                        ("phase", phase.phase.as_str()),
+                    ],
+                )
+                .observe(phase.seconds);
+        }
+        let spans = attr.to_spans(
+            "serve_request",
+            &trace.client.span_id.to_hex(),
+            trace.arrival_epoch,
+        );
+        for span in &spans {
+            self.obs.sink().record(span.clone());
+        }
+        self.slow.offer(SlowTraceEntry {
+            trace_id: attr.trace_id.clone(),
+            name: "serve_request".to_string(),
+            instance: self.instance.clone(),
+            total_seconds: attr.total_seconds,
+            spans,
+        });
+        attr
+    }
+
     /// Hand a freshly computed stable answer to the gossip thread
-    /// (best-effort; never blocks the worker).
-    fn offer_gossip(&self, key: &PlanKey, result: &WireResult) {
+    /// (best-effort; never blocks the worker). The leader's trace context
+    /// rides along so the push shows up in the request's span tree.
+    fn offer_gossip(&self, key: &PlanKey, result: &WireResult, trace: Option<TraceContext>) {
         if let Some(tx) = self.gossip_tx.lock().unwrap().as_ref() {
-            let _ = tx.send(CacheEntry {
-                key: key.clone(),
-                result: result.clone(),
-            });
+            let _ = tx.send((
+                CacheEntry {
+                    key: key.clone(),
+                    result: result.clone(),
+                },
+                trace,
+            ));
         }
     }
 }
@@ -257,6 +379,7 @@ impl LineHandler for ReplicaHandler {
                         name: String::new(),
                         cached: false,
                         coalesced: false,
+                        attribution: None,
                         result: WireResult::Error(ServeError {
                             code: ErrorCode::BadRequest,
                             message: format!("unparseable request line: {e}"),
@@ -268,6 +391,12 @@ impl LineHandler for ReplicaHandler {
             }
         };
         let (id, name) = (request.id, request.name.clone());
+        // Malformed hex degrades to an untraced request rather than an
+        // error: tracing must never break serving.
+        let trace = request
+            .trace
+            .as_ref()
+            .and_then(|wire| wire.context().map(|ctx| (ctx, wire.attribution)));
         let inline = |result: WireResult, cached: bool| {
             fill(
                 &slot,
@@ -276,6 +405,7 @@ impl LineHandler for ReplicaHandler {
                     name: name.clone(),
                     cached,
                     coalesced: false,
+                    attribution: None,
                     result,
                 },
             );
@@ -290,6 +420,16 @@ impl LineHandler for ReplicaHandler {
                     false,
                 );
             }
+            RequestBody::MetricsPull => {
+                shared.refresh_metrics();
+                inline(
+                    WireResult::MetricsState(shared.obs.registry().snapshot()),
+                    false,
+                );
+            }
+            RequestBody::SlowTracePull => {
+                inline(WireResult::SlowTraces(shared.slow.drain()), false)
+            }
             RequestBody::SnapshotPull { max_entries } => {
                 let entries = shared
                     .cache
@@ -300,6 +440,8 @@ impl LineHandler for ReplicaHandler {
                 inline(WireResult::Snapshot(entries), false);
             }
             RequestBody::GossipPush { entries } => {
+                let receive_started = Instant::now();
+                let receive_epoch = shared.obs.now_seconds();
                 let accepted = shared.cache.import(
                     entries
                         .into_iter()
@@ -309,6 +451,25 @@ impl LineHandler for ReplicaHandler {
                 shared
                     .gossip_accepted
                     .fetch_add(accepted as u64, Ordering::SeqCst);
+                // A traced push gets a `gossip_receive` span parented
+                // under the sender's `gossip_push` context, so the warm
+                // fan-out shows up in the originating request's tree.
+                if let Some((ctx, _)) = trace {
+                    let child = ctx.child("gossip_receive", 0);
+                    let mut fields = link_fields(&SpanLink {
+                        trace_id: ctx.trace_id,
+                        span_id: child.span_id,
+                        parent_span_id: ctx.span_id,
+                    });
+                    fields.push(("instance".to_string(), shared.instance.clone().into()));
+                    fields.push(("accepted".to_string(), (accepted as u64).into()));
+                    shared.obs.record_span(
+                        "gossip_receive",
+                        receive_epoch,
+                        receive_started.elapsed().as_secs_f64(),
+                        fields,
+                    );
+                }
                 inline(WireResult::Ack(accepted as u64), false);
             }
             RequestBody::FleetCheck(_) => inline(
@@ -319,7 +480,7 @@ impl LineHandler for ReplicaHandler {
                 }),
                 false,
             ),
-            RequestBody::Plan(body) => handle_plan(shared, body, id, name, slot),
+            RequestBody::Plan(body) => handle_plan(shared, body, id, name, trace, slot),
         }
     }
 
@@ -335,24 +496,41 @@ impl LineHandler for ReplicaHandler {
                 )
             }
             "/healthz" | "/health" => {
-                if shared.stop.load(Ordering::SeqCst) {
+                let (ring_members, peers_known, vnodes) = {
+                    let peers = shared.peers.lock().unwrap();
                     (
-                        "503 Service Unavailable".to_string(),
-                        "text/plain".to_string(),
-                        format!("draining instance={}\n", shared.instance),
+                        peers.ring.len(),
+                        peers.addrs.len(),
+                        peers.ring.vnodes_per_member(),
                     )
+                };
+                let draining = shared.stop.load(Ordering::SeqCst);
+                let status = if draining { "draining" } else { "ok" };
+                let body = format!(
+                    "{{\"status\":\"{status}\",\"instance\":\"{}\",\"ring_members\":{ring_members},\
+                     \"peers\":{peers_known},\"vnodes\":{vnodes}}}\n",
+                    shared.instance
+                );
+                let code = if draining {
+                    "503 Service Unavailable"
                 } else {
-                    (
-                        "200 OK".to_string(),
-                        "text/plain".to_string(),
-                        format!("ok instance={}\n", shared.instance),
-                    )
-                }
+                    "200 OK"
+                };
+                (code.to_string(), "application/json".to_string(), body)
+            }
+            "/trace/slow" => {
+                let entries = shared.slow.drain();
+                let body = serde_json::to_string(&entries).unwrap_or_else(|_| "[]".to_string());
+                (
+                    "200 OK".to_string(),
+                    "application/json".to_string(),
+                    format!("{body}\n"),
+                )
             }
             _ => (
                 "404 Not Found".to_string(),
                 "text/plain".to_string(),
-                format!("unknown path {path}; try /metrics or /healthz\n"),
+                format!("unknown path {path}; try /metrics, /healthz or /trace/slow\n"),
             ),
         }
     }
@@ -360,7 +538,24 @@ impl LineHandler for ReplicaHandler {
 
 /// The plan path: validate → cache → waiter list (coalesce or lead) →
 /// queue (or shed). Never blocks — the event loop is calling.
-fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot: ResponseSlot) {
+fn handle_plan(
+    shared: &Arc<Shared>,
+    body: PlanBody,
+    id: u64,
+    name: String,
+    trace: Option<(TraceContext, bool)>,
+    slot: ResponseSlot,
+) {
+    let arrival = Instant::now();
+    let arrival_epoch = shared.obs.now_seconds();
+    let mut wtrace = trace.map(|(client, want_attribution)| WaiterTrace {
+        client,
+        server: client.child("serve_request", 0),
+        want_attribution,
+        arrival,
+        arrival_epoch,
+        cache_lookup_seconds: 0.0,
+    });
     let error = |code: ErrorCode, message: String, retry: Option<u64>| {
         fill(
             &slot,
@@ -369,6 +564,7 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                 name: name.clone(),
                 cached: false,
                 coalesced: false,
+                attribution: None,
                 result: WireResult::Error(ServeError {
                     code,
                     message,
@@ -386,6 +582,7 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                 name,
                 cached: false,
                 coalesced: false,
+                attribution: None,
                 result,
             },
         );
@@ -412,7 +609,16 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
         topology_fingerprint: body.topology.fingerprint(),
         budget_bytes: body.budget_bytes,
     };
-    if let Some(result) = shared.cache.get(&key) {
+    let lookup_started = Instant::now();
+    let cached_result = shared.cache.get(&key);
+    if let Some(t) = wtrace.as_mut() {
+        t.cache_lookup_seconds = lookup_started.elapsed().as_secs_f64();
+    }
+    if let Some(result) = cached_result {
+        let attribution = wtrace.as_ref().and_then(|t| {
+            let attr = shared.attribute(t, false, None, &result);
+            t.want_attribution.then_some(attr)
+        });
         fill(
             &slot,
             WireResponse {
@@ -420,11 +626,16 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                 name,
                 cached: true,
                 coalesced: false,
+                attribution,
                 result,
             },
         );
         return;
     }
+    // The leader's serve_request context becomes the job's trace: the
+    // worker's dp_compute span (and the planner spans under it) parent
+    // there, while coalesced followers link in via `compute_span_id`.
+    let job_trace = wtrace.as_ref().map(|t| t.server);
     // Single flight via the waiter table: the first waiter for a key is
     // the leader and enqueues; later arrivals coalesce by appending.
     let is_leader = {
@@ -437,6 +648,7 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                     name: name.clone(),
                     coalesced: true,
                     slot,
+                    trace: wtrace,
                 });
                 false
             }
@@ -448,6 +660,7 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                         name: name.clone(),
                         coalesced: false,
                         slot,
+                        trace: wtrace,
                     }],
                 );
                 true
@@ -461,6 +674,8 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
         key: key.clone(),
         body,
         name,
+        trace: job_trace,
+        enqueued: Instant::now(),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
@@ -472,11 +687,11 @@ fn handle_plan(shared: &Arc<Shared>, body: PlanBody, id: u64, name: String, slot
                 retry_after_ms: Some(RETRY_AFTER_MS),
             });
             // Sheds the leader and anyone who coalesced meanwhile.
-            shared.resolve_waiters(&key, &result);
+            shared.resolve_waiters(&key, &result, None);
         }
         Err(PushError::Closed) => {
             let result = shared.shutting_down();
-            shared.resolve_waiters(&key, &result);
+            shared.resolve_waiters(&key, &result, None);
         }
     }
 }
@@ -495,22 +710,49 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue;
         };
+        let queue_wait_seconds = job.enqueued.elapsed().as_secs_f64();
         if shared.stop.load(Ordering::SeqCst) {
-            shared.resolve_waiters(&job.key, &shared.shutting_down());
+            shared.resolve_waiters(&job.key, &shared.shutting_down(), None);
             continue;
         }
-        let result = match shared.cache.get(&job.key) {
-            Some(result) => result,
+        let (result, timing) = match shared.cache.get(&job.key) {
+            Some(result) => (
+                result,
+                FlightTiming {
+                    queue_wait_seconds,
+                    ..FlightTiming::default()
+                },
+            ),
             None => {
-                let (result, cacheable) = compute(shared, &job);
+                // The dp_compute span parents under the leader's
+                // serve_request context; the planner's own spans (opened
+                // on this thread) parent under dp_compute in turn.
+                let leader_scope = job.trace.map(TraceScope::enter);
+                let compute_span = shared.obs.span("dp_compute");
+                let compute_ctx = compute_span.trace_context();
+                let compute_started = Instant::now();
+                let (result, cacheable) = {
+                    let _compute_scope = compute_ctx.map(TraceScope::enter);
+                    compute(shared, &job)
+                };
+                let compute_seconds = compute_started.elapsed().as_secs_f64();
+                compute_span.finish();
+                drop(leader_scope);
                 if cacheable {
                     shared.cache.insert(job.key.clone(), result.clone());
-                    shared.offer_gossip(&job.key, &result);
+                    shared.offer_gossip(&job.key, &result, job.trace);
                 }
-                result
+                (
+                    result,
+                    FlightTiming {
+                        queue_wait_seconds,
+                        compute_seconds,
+                        compute_span_id: compute_ctx.map(|c| c.span_id.to_hex()),
+                    },
+                )
             }
         };
-        shared.resolve_waiters(&job.key, &result);
+        shared.resolve_waiters(&job.key, &result, Some(&timing));
         shared.refresh_metrics();
     }
 }
@@ -552,9 +794,13 @@ fn compute(shared: &Arc<Shared>, job: &Job) -> (WireResult, bool) {
 /// Push gossiped entries to their ring successors. Runs on its own thread
 /// with its own peer connections; any failure just drops that push —
 /// gossip is an optimization, correctness never depends on it.
-fn gossip_loop(shared: &Arc<Shared>, rx: mpsc::Receiver<CacheEntry>, fanout: usize) {
+fn gossip_loop(
+    shared: &Arc<Shared>,
+    rx: mpsc::Receiver<(CacheEntry, Option<TraceContext>)>,
+    fanout: usize,
+) {
     let mut conns: HashMap<usize, PlanClient> = HashMap::new();
-    for entry in rx {
+    for (entry, trace) in rx {
         let targets: Vec<(usize, SocketAddr)> = {
             let peers = shared.peers.lock().unwrap();
             peers
@@ -566,7 +812,7 @@ fn gossip_loop(shared: &Arc<Shared>, rx: mpsc::Receiver<CacheEntry>, fanout: usi
                 .filter_map(|id| peers.addrs.get(&id).map(|&addr| (id, addr)))
                 .collect()
         };
-        for (peer_id, addr) in targets {
+        for (push_index, (peer_id, addr)) in targets.into_iter().enumerate() {
             let mut pushed = false;
             // One retry on a fresh connection: the cached one may have
             // died with a peer restart.
@@ -580,6 +826,15 @@ fn gossip_loop(shared: &Arc<Shared>, rx: mpsc::Receiver<CacheEntry>, fanout: usi
                         }
                     }
                 };
+                // Propagate the originating request's trace on the push:
+                // the receiver's gossip_receive span parents under this
+                // gossip_push context.
+                if let Some(ctx) = trace {
+                    client.set_trace(WireTraceContext::from_context(
+                        ctx.child("gossip_push", push_index as u64),
+                        false,
+                    ));
+                }
                 match client.gossip_push(vec![entry.clone()]) {
                     Ok(_) => {
                         pushed = true;
@@ -627,6 +882,7 @@ impl FleetReplica {
             }),
             gossip_tx: Mutex::new(None),
             obs,
+            slow: SlowRing::new(SLOW_RING_CAPACITY),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -752,7 +1008,7 @@ impl ReplicaHandle {
         // slot is left unfilled when the event loop drains.
         while let Some(job) = self.shared.queue.pop(Duration::ZERO) {
             self.shared
-                .resolve_waiters(&job.key, &self.shared.shutting_down());
+                .resolve_waiters(&job.key, &self.shared.shutting_down(), None);
         }
         let keys: Vec<PlanKey> = self
             .shared
@@ -764,7 +1020,7 @@ impl ReplicaHandle {
             .collect();
         for key in keys {
             self.shared
-                .resolve_waiters(&key, &self.shared.shutting_down());
+                .resolve_waiters(&key, &self.shared.shutting_down(), None);
         }
         *self.shared.gossip_tx.lock().unwrap() = None; // ends the gossip loop
         if let Some(gossip) = self.gossip.take() {

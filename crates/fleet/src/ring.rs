@@ -131,6 +131,12 @@ impl HashRing {
         self.points.sort_unstable();
     }
 
+    /// Virtual points each member contributes (the ring's vnode
+    /// parameter; [`DEFAULT_VNODES`] unless constructed otherwise).
+    pub fn vnodes_per_member(&self) -> usize {
+        self.vnodes
+    }
+
     /// Member ids, ascending.
     pub fn members(&self) -> Vec<usize> {
         self.members.iter().copied().collect()

@@ -24,22 +24,30 @@
 
 use crate::event::{spawn_event_loop, EventLoopConfig, EventLoopHandle, LineHandler, ResponseSlot};
 use crate::ring::{plan_key_hash, HashRing};
-use galvatron_obs::Obs;
+use galvatron_obs::trace::{link_fields, PHASE_RELAY_HOP};
+use galvatron_obs::{
+    child_span_id, MetricsSnapshot, Obs, SlowRing, SlowTraceEntry, SpanLink, TraceContext,
+};
 use galvatron_serve::{
     BoundedQueue, ErrorCode, FleetCheckReport, PlanBody, PlanClient, PlanKey, PushError,
-    RequestBody, ServeError, ServeStats, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
+    RequestBody, ServeError, ServeStats, WireRequest, WireResponse, WireResult, WireTraceContext,
+    PROTOCOL_VERSION,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const TICK: Duration = Duration::from_millis(100);
 
 /// What clients are told to wait before retrying when no replica is live.
 const UNAVAILABLE_RETRY_MS: u64 = 200;
+
+/// K-slowest traced requests the router keeps (and the cap it applies to
+/// the fleet-merged `/trace/slow` export).
+const SLOW_RING_CAPACITY: usize = 32;
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -70,10 +78,28 @@ impl Default for RouterConfig {
 }
 
 /// Live membership: the ring and the address book shrink together when a
-/// replica is marked dead.
+/// replica is marked dead; dead ids are remembered for `/healthz`.
 struct Membership {
     ring: HashRing,
     addrs: HashMap<usize, SocketAddr>,
+    dead: BTreeSet<usize>,
+}
+
+/// Trace state for one routed request: captured at admission so the
+/// relay-hop slice covers router queueing, the forward and any failover.
+struct RouteTrace {
+    /// The client's trace position (parent of the router's `route_plan`
+    /// span).
+    client: TraceContext,
+    /// The router's `route_plan` context; the downstream replica's
+    /// `serve_request` span parents under it.
+    server: TraceContext,
+    /// Whether the client opted in to an attribution record.
+    want_attribution: bool,
+    /// When the request line was admitted.
+    received: Instant,
+    /// `received` on the obs epoch clock.
+    received_epoch: f64,
 }
 
 struct RouteJob {
@@ -86,7 +112,11 @@ struct RouteJob {
 
 enum JobKind {
     /// Relay `line` to the owner of `hash`, failing over along the ring.
-    Forward { line: String, hash: u64 },
+    Forward {
+        line: String,
+        hash: u64,
+        trace: Option<RouteTrace>,
+    },
     /// `FleetCheck`: ask every live replica and compare answer bytes.
     Broadcast { body: PlanBody },
 }
@@ -95,6 +125,7 @@ struct Shared {
     membership: Mutex<Membership>,
     queue: BoundedQueue<RouteJob>,
     obs: Obs,
+    slow: SlowRing,
     stop: AtomicBool,
     requests: AtomicU64,
     forwarded: AtomicU64,
@@ -120,6 +151,7 @@ impl Shared {
         let mut membership = self.membership.lock().unwrap();
         if membership.addrs.remove(&id).is_some() {
             membership.ring.remove(id);
+            membership.dead.insert(id);
             self.failovers.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -173,6 +205,7 @@ impl Shared {
             name,
             cached: false,
             coalesced: false,
+            attribution: None,
             result: WireResult::Error(ServeError {
                 code,
                 message,
@@ -195,6 +228,8 @@ struct RouterHandler {
 impl LineHandler for RouterHandler {
     fn on_line(&self, line: &str, slot: ResponseSlot) {
         let shared = &self.shared;
+        let received = Instant::now();
+        let received_epoch = shared.obs.now_seconds();
         shared.requests.fetch_add(1, Ordering::SeqCst);
         let request: WireRequest = match serde_json::from_str(line) {
             Ok(request) => request,
@@ -222,6 +257,7 @@ impl LineHandler for RouterHandler {
                         name,
                         cached: false,
                         coalesced: false,
+                        attribution: None,
                         result: WireResult::Pong(PROTOCOL_VERSION),
                     },
                 );
@@ -235,6 +271,7 @@ impl LineHandler for RouterHandler {
                         name,
                         cached: false,
                         coalesced: false,
+                        attribution: None,
                         result: WireResult::Stats(shared.stats()),
                     },
                 );
@@ -249,9 +286,39 @@ impl LineHandler for RouterHandler {
                         name,
                         cached: false,
                         coalesced: false,
+                        attribution: None,
                         result: WireResult::Metrics(
                             shared.obs.registry().snapshot().to_prometheus(),
                         ),
+                    },
+                );
+                return;
+            }
+            RequestBody::MetricsPull => {
+                shared.refresh_metrics();
+                fill_json(
+                    &slot,
+                    &WireResponse {
+                        id,
+                        name,
+                        cached: false,
+                        coalesced: false,
+                        attribution: None,
+                        result: WireResult::MetricsState(shared.obs.registry().snapshot()),
+                    },
+                );
+                return;
+            }
+            RequestBody::SlowTracePull => {
+                fill_json(
+                    &slot,
+                    &WireResponse {
+                        id,
+                        name,
+                        cached: false,
+                        coalesced: false,
+                        attribution: None,
+                        result: WireResult::SlowTraces(shared.slow.drain()),
                     },
                 );
                 return;
@@ -289,9 +356,44 @@ impl LineHandler for RouterHandler {
                     topology_fingerprint: body.topology.fingerprint(),
                     budget_bytes: body.budget_bytes,
                 };
-                JobKind::Forward {
-                    line: line.to_string(),
-                    hash: plan_key_hash(&key),
+                let hash = plan_key_hash(&key);
+                // Traced requests have the forwarded line re-stamped with
+                // the router's `route_plan` context, so the replica's
+                // serve_request span parents under the router and the
+                // client sees one linked tree. Untraced requests keep the
+                // raw-line relay — the v2 byte path is untouched.
+                let trace = request
+                    .trace
+                    .as_ref()
+                    .and_then(|wire| wire.context().map(|ctx| (ctx, wire.attribution)));
+                match trace {
+                    Some((client, want_attribution)) => {
+                        let server = client.child("route_plan", 0);
+                        let downstream = WireRequest {
+                            id,
+                            name: name.clone(),
+                            trace: Some(WireTraceContext::from_context(server, want_attribution)),
+                            body: RequestBody::Plan(body.clone()),
+                        };
+                        let line =
+                            serde_json::to_string(&downstream).unwrap_or_else(|_| line.to_string());
+                        JobKind::Forward {
+                            line,
+                            hash,
+                            trace: Some(RouteTrace {
+                                client,
+                                server,
+                                want_attribution,
+                                received,
+                                received_epoch,
+                            }),
+                        }
+                    }
+                    None => JobKind::Forward {
+                        line: line.to_string(),
+                        hash,
+                        trace: None,
+                    },
                 }
             }
             RequestBody::FleetCheck(body) => JobKind::Broadcast { body },
@@ -336,39 +438,85 @@ impl LineHandler for RouterHandler {
         let shared = &self.shared;
         match path {
             "/metrics" => {
+                // Fleet federation: one scrape of the router answers for
+                // the whole fleet — every live replica's deterministic
+                // snapshot is pulled and merged under its instance label
+                // next to the router's own series.
                 shared.refresh_metrics();
+                let mut parts: Vec<(String, MetricsSnapshot)> =
+                    vec![("router".to_string(), shared.obs.registry().snapshot())];
+                for (id, addr) in shared.live_replicas() {
+                    // A failed scrape just omits that replica; scraping
+                    // is not the failure detector.
+                    if let Ok(snapshot) =
+                        PlanClient::connect(addr).and_then(|mut c| c.metrics_pull())
+                    {
+                        parts.push((format!("replica-{id}"), snapshot));
+                    }
+                }
                 (
                     "200 OK".to_string(),
                     "text/plain; version=0.0.4".to_string(),
-                    shared.obs.registry().snapshot().to_prometheus(),
+                    MetricsSnapshot::merge_labelled(&parts).to_prometheus(),
                 )
             }
             "/healthz" | "/health" => {
-                let live = shared.membership.lock().unwrap().addrs.len();
-                if shared.stop.load(Ordering::SeqCst) {
+                let (live, dead, vnodes) = {
+                    let membership = shared.membership.lock().unwrap();
                     (
-                        "503 Service Unavailable".to_string(),
-                        "text/plain".to_string(),
-                        "draining instance=router\n".to_string(),
+                        membership.addrs.len(),
+                        membership.dead.len(),
+                        membership.ring.len() * membership.ring.vnodes_per_member(),
                     )
+                };
+                let draining = shared.stop.load(Ordering::SeqCst);
+                let status = if draining {
+                    "draining"
                 } else if live == 0 {
-                    (
-                        "503 Service Unavailable".to_string(),
-                        "text/plain".to_string(),
-                        "no live replicas instance=router\n".to_string(),
-                    )
+                    "unavailable"
                 } else {
-                    (
-                        "200 OK".to_string(),
-                        "text/plain".to_string(),
-                        format!("ok instance=router live_replicas={live}\n"),
-                    )
+                    "ok"
+                };
+                let code = if status == "ok" {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                let body = format!(
+                    "{{\"status\":\"{status}\",\"instance\":\"router\",\"live\":{live},\
+                     \"dead\":{dead},\"vnodes\":{vnodes}}}\n"
+                );
+                (code.to_string(), "application/json".to_string(), body)
+            }
+            "/trace/slow" => {
+                // Merge the router's own ring with every live replica's,
+                // slowest first, capped at the ring capacity.
+                let mut entries = shared.slow.drain();
+                for (_, addr) in shared.live_replicas() {
+                    if let Ok(pulled) =
+                        PlanClient::connect(addr).and_then(|mut c| c.slow_trace_pull())
+                    {
+                        entries.extend(pulled);
+                    }
                 }
+                entries.sort_by(|a, b| {
+                    b.total_seconds
+                        .partial_cmp(&a.total_seconds)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.trace_id.cmp(&b.trace_id))
+                });
+                entries.truncate(SLOW_RING_CAPACITY);
+                let body = serde_json::to_string(&entries).unwrap_or_else(|_| "[]".to_string());
+                (
+                    "200 OK".to_string(),
+                    "application/json".to_string(),
+                    format!("{body}\n"),
+                )
             }
             _ => (
                 "404 Not Found".to_string(),
                 "text/plain".to_string(),
-                format!("unknown path {path}; try /metrics or /healthz\n"),
+                format!("unknown path {path}; try /metrics, /healthz or /trace/slow\n"),
             ),
         }
     }
@@ -402,8 +550,17 @@ fn forwarder_loop(shared: &Arc<Shared>) {
             continue;
         }
         match job.kind {
-            JobKind::Forward { line, hash } => {
-                forward(shared, &mut pool, job.id, job.name, &line, hash, &job.slot);
+            JobKind::Forward { line, hash, trace } => {
+                forward(
+                    shared,
+                    &mut pool,
+                    job.id,
+                    job.name,
+                    &line,
+                    hash,
+                    trace.as_ref(),
+                    &job.slot,
+                );
             }
             JobKind::Broadcast { body } => {
                 broadcast(shared, &mut pool, job.id, job.name, body, &job.slot);
@@ -416,6 +573,7 @@ fn forwarder_loop(shared: &Arc<Shared>) {
 /// retry against the next — consistent hashing guarantees the retry lands
 /// on the replica that inherited the key (and, with gossip, its warm
 /// answer).
+#[allow(clippy::too_many_arguments)]
 fn forward(
     shared: &Arc<Shared>,
     pool: &mut HashMap<usize, PlanClient>,
@@ -423,6 +581,7 @@ fn forward(
     name: String,
     line: &str,
     hash: u64,
+    trace: Option<&RouteTrace>,
     slot: &ResponseSlot,
 ) {
     // Each live replica gets at most one (reconnect-included) try per
@@ -451,6 +610,10 @@ fn forward(
         match relay_once(pool, owner, addr, line) {
             Ok(response) => {
                 shared.forwarded.fetch_add(1, Ordering::SeqCst);
+                let response = match trace {
+                    Some(t) => finish_traced_forward(shared, t, response),
+                    None => response,
+                };
                 slot.fill(response);
                 return;
             }
@@ -460,6 +623,85 @@ fn forward(
             }
         }
     }
+}
+
+/// Close out a traced forward: record the router's `route_plan` span and,
+/// when the client asked for attribution, append the `relay_hop` slice
+/// (router wall time minus the replica's total — queueing, forwarding and
+/// any failover) to the replica's record and lift the total to the
+/// router-observed wall time.
+fn finish_traced_forward(shared: &Arc<Shared>, trace: &RouteTrace, response: String) -> String {
+    let total = trace.received.elapsed().as_secs_f64();
+    let mut fields = link_fields(&SpanLink {
+        trace_id: trace.server.trace_id,
+        span_id: trace.server.span_id,
+        parent_span_id: trace.client.span_id,
+    });
+    fields.push(("instance".to_string(), "router".into()));
+    let route_span = galvatron_obs::SpanRecord {
+        name: "route_plan".to_string(),
+        start_seconds: trace.received_epoch,
+        duration_seconds: total,
+        fields,
+    };
+    shared.obs.sink().record(route_span.clone());
+    if !trace.want_attribution {
+        return response;
+    }
+    // Attribution rides the parsed envelope; a response that does not
+    // parse (or carries no record) is relayed untouched.
+    let Ok(mut parsed) = serde_json::from_str::<WireResponse>(&response) else {
+        return response;
+    };
+    let Some(mut attr) = parsed.attribution.take() else {
+        return response;
+    };
+    let relay_hop = (total - attr.total_seconds).max(0.0);
+    attr.push_phase(PHASE_RELAY_HOP, relay_hop);
+    attr.total_seconds = total;
+    shared
+        .obs
+        .registry()
+        .wall_histogram_with(
+            "serve_phase_seconds",
+            &[("instance", "router"), ("phase", PHASE_RELAY_HOP)],
+        )
+        .observe(relay_hop);
+    // The relay slice as its own linked span, so span dumps attribute
+    // every phase — the replica's sink holds the serving phases, this is
+    // the one only the router can measure.
+    let mut relay_fields = link_fields(&SpanLink {
+        trace_id: trace.server.trace_id,
+        span_id: child_span_id(
+            trace.server.trace_id,
+            trace.server.span_id,
+            PHASE_RELAY_HOP,
+            0,
+        ),
+        parent_span_id: trace.server.span_id,
+    });
+    relay_fields.push(("instance".to_string(), "router".into()));
+    shared.obs.sink().record(galvatron_obs::SpanRecord {
+        name: PHASE_RELAY_HOP.to_string(),
+        start_seconds: trace.received_epoch,
+        duration_seconds: relay_hop,
+        fields: relay_fields,
+    });
+    let mut spans = vec![route_span];
+    spans.extend(attr.to_spans(
+        "serve_request",
+        &trace.server.span_id.to_hex(),
+        trace.received_epoch,
+    ));
+    shared.slow.offer(SlowTraceEntry {
+        trace_id: attr.trace_id.clone(),
+        name: "route_plan".to_string(),
+        instance: "router".to_string(),
+        total_seconds: attr.total_seconds,
+        spans,
+    });
+    parsed.attribution = Some(attr);
+    serde_json::to_string(&parsed).unwrap_or(response)
 }
 
 /// One relay attempt against a specific replica, reconnecting once in case
@@ -503,6 +745,7 @@ fn broadcast(
     let request = WireRequest {
         id,
         name: name.clone(),
+        trace: None,
         body: RequestBody::Plan(body),
     };
     let Ok(line) = serde_json::to_string(&request) else {
@@ -553,6 +796,7 @@ fn broadcast(
             name,
             cached: false,
             coalesced: false,
+            attribution: None,
             result: WireResult::Fleet(FleetCheckReport {
                 replicas: payloads.len(),
                 byte_identical,
@@ -581,9 +825,11 @@ impl FleetRouter {
             membership: Mutex::new(Membership {
                 ring: HashRing::with_members(&ids),
                 addrs: config.replicas.iter().copied().collect(),
+                dead: BTreeSet::new(),
             }),
             queue: BoundedQueue::new(config.queue_capacity),
             obs,
+            slow: SlowRing::new(SLOW_RING_CAPACITY),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             forwarded: AtomicU64::new(0),
@@ -641,6 +887,7 @@ impl RouterHandle {
         let mut membership = self.shared.membership.lock().unwrap();
         membership.ring.add(id);
         membership.addrs.insert(id, addr);
+        membership.dead.remove(&id);
     }
 
     /// Remove a replica administratively (planned drain, as opposed to the

@@ -352,8 +352,17 @@ fn healthz_and_metrics_answer_over_http_with_instance_labels() {
     let health = http_get(replicas[0].addr(), "/healthz");
     assert!(health.starts_with("HTTP/1.1 200 OK"), "healthz: {health}");
     assert!(
-        health.contains("ok instance=replica-0"),
-        "healthz must name the instance: {health}"
+        health.contains("application/json"),
+        "healthz must be JSON: {health}"
+    );
+    // Pin the replica health shape: status, instance, ring membership and
+    // own vnode count.
+    assert!(
+        health.contains(
+            "{\"status\":\"ok\",\"instance\":\"replica-0\",\"ring_members\":2,\
+             \"peers\":1,\"vnodes\":64}"
+        ),
+        "replica healthz shape changed: {health}"
     );
 
     let metrics = http_get(replicas[0].addr(), "/metrics");
@@ -370,6 +379,14 @@ fn healthz_and_metrics_answer_over_http_with_instance_labels() {
     assert!(
         router_health.starts_with("HTTP/1.1 200 OK"),
         "router healthz: {router_health}"
+    );
+    // Pin the router health shape: live/dead replica counts plus the
+    // ring's total vnode count (2 members × 64 points).
+    assert!(
+        router_health.contains(
+            "{\"status\":\"ok\",\"instance\":\"router\",\"live\":2,\"dead\":0,\"vnodes\":128}"
+        ),
+        "router healthz shape changed: {router_health}"
     );
     let router_metrics = http_get(router.addr(), "/metrics");
     assert!(

@@ -1,0 +1,172 @@
+//! Trace-propagation determinism: two seeded fleet runs over the same
+//! request sequence — including a kill-failover hop — must produce
+//! byte-identical span-tree *structure*.
+//!
+//! Trace ids come from a seeded [`TraceIdGen`] and every server-side span
+//! id is a deterministic FNV-1a child of its parent, so the only
+//! run-to-run differences are wall-clock durations —
+//! [`structural_digest`] strips those (and every unlinked span, e.g.
+//! planner pool internals), leaving `trace span parent name` lines that
+//! must match exactly.
+
+use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_core::OptimizerConfig;
+use galvatron_fleet::{
+    plan_key_hash, FleetReplica, FleetRouter, HashRing, ReplicaConfig, RouterConfig,
+};
+use galvatron_model::{BertConfig, ModelSpec};
+use galvatron_obs::{structural_digest, MetricsRegistry, Obs, RingBufferSink, TraceIdGen};
+use galvatron_planner::PlannerConfig;
+use galvatron_serve::{PlanClient, PlanKey, WireResult, WireTraceContext};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn sequential_planner() -> PlannerConfig {
+    PlannerConfig {
+        optimizer: OptimizerConfig {
+            max_batch: 8,
+            ..OptimizerConfig::default()
+        },
+        // One planner job: pool threads do not inherit the worker's
+        // ambient trace scope, so keeping the DP single-threaded keeps
+        // every planner span on the traced thread.
+        jobs: 1,
+        ..PlannerConfig::default()
+    }
+}
+
+fn bert(layers: usize, name: &str) -> ModelSpec {
+    BertConfig {
+        layers,
+        hidden: 512,
+        heads: 8,
+        seq: 128,
+        vocab: 30522,
+    }
+    .build(name)
+}
+
+/// The two-request script: one plain traced request, then one whose ring
+/// owner is killed first, forcing a failover hop.
+fn script() -> [(String, ModelSpec, u64); 2] {
+    [
+        ("det-a@8g".to_string(), bert(2, "det-a"), 8 * GIB),
+        ("det-b@8g".to_string(), bert(3, "det-b"), 8 * GIB),
+    ]
+}
+
+/// Run the seeded script against a fresh 3-replica fleet and return the
+/// structural digest of every span any instance recorded.
+fn traced_run() -> (String, u64) {
+    let n = 3usize;
+    let mut sinks: Vec<Arc<RingBufferSink>> = Vec::new();
+    let replicas: Vec<_> = (0..n)
+        .map(|id| {
+            let sink = Arc::new(RingBufferSink::new(1024));
+            sinks.push(sink.clone());
+            FleetReplica::start(
+                ReplicaConfig {
+                    id,
+                    workers: 1,
+                    // No gossip: pushes land asynchronously, so whether
+                    // their spans are recorded before the sinks are read
+                    // is a race — the digest must not depend on one.
+                    gossip_fanout: 0,
+                    planner: sequential_planner(),
+                    ..ReplicaConfig::default()
+                },
+                Obs::new(Arc::new(MetricsRegistry::new()), sink),
+            )
+            .expect("bind replica")
+        })
+        .collect();
+    let members: Vec<(usize, SocketAddr)> = replicas.iter().map(|r| (r.id(), r.addr())).collect();
+    for replica in &replicas {
+        replica.set_peers(&members);
+    }
+    let router_sink = Arc::new(RingBufferSink::new(1024));
+    sinks.push(router_sink.clone());
+    let router = FleetRouter::start(
+        RouterConfig {
+            replicas: members,
+            ..RouterConfig::default()
+        },
+        Obs::new(Arc::new(MetricsRegistry::new()), router_sink),
+    )
+    .expect("bind router");
+
+    let [(name_a, model_a, budget_a), (name_b, model_b, budget_b)] = script();
+    let topology = rtx_titan_node(8);
+    let mut ids = TraceIdGen::new(0xdead_beef_0042);
+    let mut client = PlanClient::connect(router.addr()).expect("connect router");
+
+    client.set_trace(WireTraceContext::from_context(ids.next_context(), true));
+    let response = client
+        .plan(&name_a, model_a, topology.clone(), budget_a)
+        .expect("request a");
+    assert!(matches!(response.result, WireResult::Plan(_)));
+
+    // Kill request B's ring owner, so serving B requires a failover hop.
+    let key_b = PlanKey {
+        model_json: serde_json::to_string(&model_b).expect("model serializes"),
+        topology_fingerprint: topology.fingerprint(),
+        budget_bytes: budget_b,
+    };
+    let owner_b = HashRing::with_members(&[0, 1, 2])
+        .route_hash(plan_key_hash(&key_b))
+        .expect("ring routes");
+    let mut replicas = replicas;
+    let killed = replicas.remove(owner_b);
+    killed.shutdown();
+
+    client.set_trace(WireTraceContext::from_context(ids.next_context(), true));
+    let response = client
+        .plan(&name_b, model_b, topology, budget_b)
+        .expect("request b across failover");
+    assert!(matches!(response.result, WireResult::Plan(_)));
+    let failovers = router.failovers();
+    assert!(
+        failovers > 0,
+        "request b was expected to fail over from the killed owner"
+    );
+
+    router.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+
+    let mut records = Vec::new();
+    for sink in &sinks {
+        records.extend(sink.records());
+    }
+    (structural_digest(&records), failovers)
+}
+
+/// Two seeded runs — same request script, same kill, same trace seeds —
+/// produce byte-identical span-tree structure, failover hop included.
+#[test]
+fn seeded_runs_produce_identical_span_structure_across_failover() {
+    let (first, first_failovers) = traced_run();
+    let (second, second_failovers) = traced_run();
+    assert!(
+        first.lines().count() >= 8,
+        "expected a full span tree per request, got:\n{first}"
+    );
+    for required in [
+        "route_plan",
+        "serve_request",
+        "dp_compute",
+        "plan_request",
+        "relay_hop",
+    ] {
+        assert!(
+            first.lines().any(|l| l.ends_with(required)),
+            "digest is missing a `{required}` span:\n{first}"
+        );
+    }
+    assert_eq!(first_failovers, second_failovers);
+    assert_eq!(
+        first, second,
+        "seeded span-tree structure diverged between runs"
+    );
+}

@@ -1,0 +1,152 @@
+//! `galvatron-trace` — replay a bench run's span dump into a per-phase
+//! latency attribution table and a merged Chrome trace.
+//!
+//! Input: the JSONL file `galvatron-bench-serve --fleet` writes
+//! (`BENCH_trace_spans.jsonl`), one `{"instance": ..., "span": ...}` line
+//! per span any fleet instance recorded. Output: a p50/p99 attribution
+//! table on stdout — quantiles come from the same bucket-interpolated
+//! [`HistogramSample::quantile`](galvatron_obs::HistogramSample::quantile)
+//! the fleet's `/metrics` export uses, so the report and production
+//! metrics agree on semantics — and a merged Chrome Trace Event file with
+//! one pid per instance, loadable in Perfetto as a single fleet timeline.
+
+use galvatron_obs::trace::{
+    PHASE_CACHE_LOOKUP, PHASE_DP_COMPUTE, PHASE_FLIGHT_WAIT, PHASE_QUEUE_WAIT, PHASE_RELAY_HOP,
+    PHASE_SERIALIZE,
+};
+use galvatron_obs::{
+    write_spans, ChromeTraceWriter, HistogramSample, MetricsRegistry, SampleValue, SpanRecord,
+};
+use serde::Deserialize;
+use std::collections::BTreeMap;
+
+/// One line of the bench's span dump.
+#[derive(Deserialize)]
+struct SpanDumpLine {
+    instance: String,
+    span: SpanRecord,
+}
+
+/// Table rows, serving order: the two roots, then the phases a request
+/// passes through.
+const TABLE_ROWS: [&str; 8] = [
+    "route_plan",
+    "serve_request",
+    PHASE_CACHE_LOOKUP,
+    PHASE_QUEUE_WAIT,
+    PHASE_FLIGHT_WAIT,
+    PHASE_DP_COMPUTE,
+    PHASE_SERIALIZE,
+    PHASE_RELAY_HOP,
+];
+
+fn main() {
+    let mut spans_path = "BENCH_trace_spans.jsonl".to_string();
+    let mut chrome_out = Some("TRACE_fleet.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--spans" => spans_path = value("--spans"),
+            "--chrome-out" => {
+                let path = value("--chrome-out");
+                chrome_out = (path != "-").then_some(path);
+            }
+            other => {
+                eprintln!("galvatron-trace: unknown flag {other}");
+                eprintln!(
+                    "usage: galvatron-trace [--spans FILE.jsonl] [--chrome-out FILE.json | \
+                     --chrome-out -]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let raw = match std::fs::read_to_string(&spans_path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("galvatron-trace: cannot read {spans_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut by_instance: BTreeMap<String, Vec<SpanRecord>> = BTreeMap::new();
+    let mut parsed = 0usize;
+    let mut skipped = 0usize;
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        match serde_json::from_str::<SpanDumpLine>(line) {
+            Ok(entry) => {
+                by_instance
+                    .entry(entry.instance)
+                    .or_default()
+                    .push(entry.span);
+                parsed += 1;
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    if parsed == 0 {
+        eprintln!("galvatron-trace: no spans in {spans_path} ({skipped} lines skipped)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "galvatron-trace: {parsed} spans from {} instances ({skipped} lines skipped)",
+        by_instance.len()
+    );
+
+    // Per-phase histograms over every instance's spans, quantiled with the
+    // shared bucket-interpolated estimator.
+    let registry = MetricsRegistry::new();
+    for spans in by_instance.values() {
+        for span in spans {
+            if TABLE_ROWS.contains(&span.name.as_str()) {
+                registry
+                    .wall_histogram_with("trace_phase_seconds", &[("phase", &span.name)])
+                    .observe(span.duration_seconds);
+            }
+        }
+    }
+    let snapshot = registry.snapshot();
+    let sample_for = |row: &str| -> Option<&HistogramSample> {
+        snapshot.metrics.iter().find_map(|m| {
+            let matches = m.labels.iter().any(|(k, v)| k == "phase" && v == row);
+            match (&m.value, matches) {
+                (SampleValue::Histogram(h), true) => Some(h),
+                _ => None,
+            }
+        })
+    };
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>12}",
+        "phase", "count", "p50_ms", "p99_ms", "total_ms"
+    );
+    for row in TABLE_ROWS {
+        let Some(h) = sample_for(row) else { continue };
+        println!(
+            "{:<14} {:>8} {:>10.3} {:>10.3} {:>12.3}",
+            row,
+            h.count,
+            h.quantile(0.50).unwrap_or(0.0) * 1e3,
+            h.quantile(0.99).unwrap_or(0.0) * 1e3,
+            h.sum * 1e3,
+        );
+    }
+
+    // Merged Chrome trace: one pid per instance, every span an "X" event.
+    if let Some(path) = chrome_out {
+        let mut writer = ChromeTraceWriter::new();
+        for (index, (instance, spans)) in by_instance.iter().enumerate() {
+            let pid = index as u32 + 1;
+            writer.process_name(pid, instance);
+            write_spans(&mut writer, pid, 0, spans);
+        }
+        if let Err(e) = std::fs::write(&path, writer.finish()) {
+            eprintln!("galvatron-trace: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("galvatron-trace: wrote {path}");
+    }
+}

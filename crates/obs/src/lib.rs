@@ -42,6 +42,7 @@
 pub mod chrome;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use chrome::{write_spans, ChromeTraceWriter};
 pub use registry::{
@@ -51,6 +52,10 @@ pub use registry::{
 pub use span::{
     ChromeSpanSink, FanoutSink, FieldValue, NullSink, RingBufferSink, Span, SpanRecord, SpanSink,
     StderrSink,
+};
+pub use trace::{
+    child_span_id, structural_digest, AttributionPhase, AttributionRecord, SlowRing,
+    SlowTraceEntry, SpanId, SpanLink, TraceContext, TraceId, TraceIdGen, TraceScope,
 };
 
 use std::fmt;
@@ -99,9 +104,22 @@ impl Obs {
         &self.sink
     }
 
-    /// Open a wall-clock span starting now.
+    /// Open a wall-clock span starting now. When the thread holds an
+    /// ambient [`TraceScope`], the span links itself into the active
+    /// trace: it is minted a deterministic child span id and stamped with
+    /// `trace_id` / `span_id` / `parent_span_id` fields.
     pub fn span(&self, name: &str) -> Span {
-        Span::new(self.sink.clone(), name, self.epoch.elapsed().as_secs_f64())
+        let mut span = Span::new(self.sink.clone(), name, self.epoch.elapsed().as_secs_f64());
+        if let Some(link) = trace::ambient_link(name) {
+            span.set_trace_link(&link);
+        }
+        span
+    }
+
+    /// Seconds since the handle's epoch — the start value for manually
+    /// recorded spans that should share the wall-span time base.
+    pub fn now_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 
     /// Record a zero-duration event at the current wall time.

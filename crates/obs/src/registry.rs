@@ -12,7 +12,7 @@
 //! byte-identical JSON while the full snapshot keeps the latency data.
 
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -142,7 +142,7 @@ impl Histogram {
 }
 
 /// What a registered metric is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MetricKind {
     /// Monotonic counter.
     Counter,
@@ -340,7 +340,7 @@ impl MetricsRegistry {
 }
 
 /// One cumulative histogram bucket: observations `≤ le`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BucketCount {
     /// Inclusive upper bound.
     pub le: f64,
@@ -349,7 +349,7 @@ pub struct BucketCount {
 }
 
 /// A histogram's exported state.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSample {
     /// Cumulative finite buckets in bound order. The implicit `+Inf`
     /// bucket equals `count`.
@@ -360,8 +360,36 @@ pub struct HistogramSample {
     pub count: u64,
 }
 
+impl HistogramSample {
+    /// Bucket-interpolated quantile estimate for `q ∈ [0, 1]`: walk the
+    /// cumulative buckets to the rank `q · count` and interpolate linearly
+    /// inside the bucket that crosses it (Prometheus `histogram_quantile`
+    /// semantics). Observations in the `+Inf` overflow bucket have no
+    /// finite upper bound, so a rank landing there returns the larger of
+    /// the last finite bound and the mean. `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut prev_cum = 0u64;
+        let mut prev_bound = 0.0f64;
+        for b in &self.buckets {
+            if b.count as f64 >= rank && b.count > prev_cum {
+                let in_bucket = (b.count - prev_cum) as f64;
+                let frac = ((rank - prev_cum as f64) / in_bucket).clamp(0.0, 1.0);
+                return Some(prev_bound + frac * (b.le - prev_bound));
+            }
+            prev_cum = b.count;
+            prev_bound = b.le;
+        }
+        let mean = self.sum / self.count as f64;
+        Some(mean.max(prev_bound))
+    }
+}
+
 /// A sampled metric value.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SampleValue {
     /// Counter value.
     Counter(u64),
@@ -372,7 +400,7 @@ pub enum SampleValue {
 }
 
 /// One metric at snapshot time.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricSample {
     /// Metric name.
     pub name: String,
@@ -387,7 +415,7 @@ pub struct MetricSample {
 }
 
 /// A point-in-time view of a registry, ordered by `(name, labels)`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// The sampled metrics.
     pub metrics: Vec<MetricSample>,
@@ -405,6 +433,32 @@ impl MetricsSnapshot {
                 .cloned()
                 .collect(),
         }
+    }
+
+    /// Merge per-instance snapshots into one federated view — the fleet
+    /// router's `/metrics` uses this to fold every live replica's export
+    /// into its own. Samples missing an `instance` label get one injected
+    /// from their part's instance name; the merged set is re-sorted by
+    /// `(name, labels)` (the registry's own snapshot order) and exact
+    /// `(name, labels)` collisions keep the first occurrence, so equal
+    /// inputs render byte-identically.
+    pub fn merge_labelled(parts: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
+        let mut metrics: Vec<MetricSample> = Vec::new();
+        for (instance, snap) in parts {
+            for sample in &snap.metrics {
+                let mut sample = sample.clone();
+                if !sample.labels.iter().any(|(k, _)| k == "instance") {
+                    sample
+                        .labels
+                        .push(("instance".to_string(), instance.clone()));
+                    sample.labels.sort();
+                }
+                metrics.push(sample);
+            }
+        }
+        metrics.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        metrics.dedup_by(|a, b| a.name == b.name && a.labels == b.labels);
+        MetricsSnapshot { metrics }
     }
 
     /// Look up a counter's value by name (unlabelled).
@@ -612,6 +666,94 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x").inc();
         reg.gauge("x");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        // 100 observations spread across bucket 5 (bounds (2.56e-4, 1.024e-3]).
+        for _ in 0..100 {
+            h.observe(5e-4);
+        }
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hs) = &snap.metrics[0].value else {
+            panic!("histogram expected");
+        };
+        let p50 = hs.quantile(0.5).unwrap();
+        let lo = bucket_bound(4);
+        let hi = bucket_bound(5);
+        assert!((p50 - (lo + 0.5 * (hi - lo))).abs() < 1e-12);
+        // q=1 reaches the bucket's upper bound; q=0 its lower.
+        assert!((hs.quantile(1.0).unwrap() - hi).abs() < 1e-12);
+        assert!((hs.quantile(0.0).unwrap() - lo).abs() < 1e-12);
+        // Empty histograms have no quantiles.
+        assert_eq!(
+            HistogramSample {
+                buckets: vec![],
+                sum: 0.0,
+                count: 0
+            }
+            .quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn overflow_quantile_falls_back_to_mean_or_last_bound() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.observe(1e9); // +Inf bucket only
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hs) = &snap.metrics[0].value else {
+            panic!("histogram expected");
+        };
+        assert!((hs.quantile(0.99).unwrap() - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_injects_instance_labels_and_sorts() {
+        let a = MetricsRegistry::new();
+        a.counter("plan_requests_total").inc_by(3);
+        a.counter_with("serve_requests_total", &[("instance", "replica-0")])
+            .inc_by(5);
+        let b = MetricsRegistry::new();
+        b.counter("plan_requests_total").inc_by(2);
+        let merged = MetricsSnapshot::merge_labelled(&[
+            ("replica-0".to_string(), a.snapshot()),
+            ("replica-1".to_string(), b.snapshot()),
+        ]);
+        let keys: Vec<String> = merged
+            .metrics
+            .iter()
+            .map(|m| format!("{}{:?}", m.name, m.labels))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                "plan_requests_total[(\"instance\", \"replica-0\")]",
+                "plan_requests_total[(\"instance\", \"replica-1\")]",
+                "serve_requests_total[(\"instance\", \"replica-0\")]",
+            ]
+        );
+        // Merging equal inputs is idempotent byte-wise.
+        let again = MetricsSnapshot::merge_labelled(&[
+            ("replica-0".to_string(), a.snapshot()),
+            ("replica-1".to_string(), b.snapshot()),
+        ]);
+        assert_eq!(merged.to_prometheus(), again.to_prometheus());
+    }
+
+    #[test]
+    fn snapshots_deserialize_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").observe(2e-6);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! [`crate::chrome::ChromeTraceWriter`], so planner spans and simulator
 //! timelines can land in one Perfetto file).
 
+use crate::trace::{SpanLink, TraceContext};
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write as _;
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A span field value.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FieldValue {
     /// Unsigned integer.
     U64(u64),
@@ -104,7 +105,7 @@ impl From<String> for FieldValue {
 }
 
 /// A finished span (or zero-duration event) as delivered to a sink.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanRecord {
     /// Span name.
     pub name: String,
@@ -254,6 +255,7 @@ pub struct Span {
     start_seconds: f64,
     started: Instant,
     fields: Vec<(String, FieldValue)>,
+    ctx: Option<TraceContext>,
 }
 
 impl Span {
@@ -264,7 +266,26 @@ impl Span {
             start_seconds,
             started: Instant::now(),
             fields: Vec::new(),
+            ctx: None,
         }
+    }
+
+    /// Link this span into a trace: stamp the trace fields and remember
+    /// the context so callers can parent further work under this span.
+    pub(crate) fn set_trace_link(&mut self, link: &SpanLink) {
+        self.ctx = Some(TraceContext {
+            trace_id: link.trace_id,
+            span_id: link.span_id,
+        });
+        for (k, v) in crate::trace::link_fields(link) {
+            self.fields.push((k, v));
+        }
+    }
+
+    /// The span's trace position (its own id as the parent for children),
+    /// when it was opened under an ambient [`crate::trace::TraceScope`].
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.ctx
     }
 
     /// Open a span on `obs` — sugar for [`crate::Obs::span`], so call

@@ -6,10 +6,11 @@
 
 use crate::protocol::{
     CacheEntry, FleetCheckReport, PlanBody, RequestBody, ServeStats, WireRequest, WireResponse,
-    WireResult,
+    WireResult, WireTraceContext,
 };
 use galvatron_cluster::ClusterTopology;
 use galvatron_model::ModelSpec;
+use galvatron_obs::{MetricsSnapshot, SlowTraceEntry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
@@ -18,6 +19,9 @@ pub struct PlanClient {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    /// Trace context stamped onto the next request (one-shot; see
+    /// [`PlanClient::set_trace`]).
+    next_trace: Option<WireTraceContext>,
 }
 
 impl PlanClient {
@@ -30,7 +34,14 @@ impl PlanClient {
             stream,
             reader,
             next_id: 0,
+            next_trace: None,
         })
+    }
+
+    /// Stamp a trace context onto the **next** request sent through this
+    /// client (one-shot — each traced request carries its own ids).
+    pub fn set_trace(&mut self, trace: WireTraceContext) {
+        self.next_trace = Some(trace);
     }
 
     /// Send one raw line and read one response line back. The escape
@@ -54,6 +65,7 @@ impl PlanClient {
         let request = WireRequest {
             id: self.next_id,
             name: name.to_string(),
+            trace: self.next_trace.take(),
             body,
         };
         let line = serde_json::to_string(&request)
@@ -101,6 +113,30 @@ impl PlanClient {
     pub fn metrics(&mut self) -> std::io::Result<String> {
         match self.round_trip(RequestBody::Metrics, "metrics")?.result {
             WireResult::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Observability federation: pull the instance's structured metrics
+    /// snapshot (the router merges these across the fleet).
+    pub fn metrics_pull(&mut self) -> std::io::Result<MetricsSnapshot> {
+        match self
+            .round_trip(RequestBody::MetricsPull, "metrics-pull")?
+            .result
+        {
+            WireResult::MetricsState(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Observability federation: drain the instance's slow-trace ring,
+    /// slowest first.
+    pub fn slow_trace_pull(&mut self) -> std::io::Result<Vec<SlowTraceEntry>> {
+        match self
+            .round_trip(RequestBody::SlowTracePull, "slow-trace-pull")?
+            .result
+        {
+            WireResult::SlowTraces(entries) => Ok(entries),
             other => Err(unexpected(&other)),
         }
     }

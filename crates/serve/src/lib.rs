@@ -52,7 +52,7 @@ pub use client::PlanClient;
 pub use flight::{Flight, Role, SingleFlight};
 pub use protocol::{
     CacheEntry, ErrorCode, FleetCheckReport, PlanBody, RequestBody, ServeError, ServeStats,
-    ServedPlan, WireRequest, WireResponse, WireResult, PROTOCOL_VERSION,
+    ServedPlan, WireRequest, WireResponse, WireResult, WireTraceContext, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PlanServer, ServeConfig, ServerHandle};

@@ -22,13 +22,57 @@
 use galvatron_cluster::ClusterTopology;
 use galvatron_core::OptimizeOutcome;
 use galvatron_model::ModelSpec;
+use galvatron_obs::{
+    AttributionRecord, MetricsSnapshot, SlowTraceEntry, SpanId, TraceContext, TraceId,
+};
 use galvatron_strategy::ParallelPlan;
 use serde::{Deserialize, Serialize};
 
 /// Protocol version, echoed by `Ping` and stamped into persisted caches.
 /// Version 2 added the fleet peer protocol (`SnapshotPull`, `GossipPush`,
-/// `FleetCheck`) and the `/healthz` HTTP endpoint.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `FleetCheck`) and the `/healthz` HTTP endpoint. Version 3 added
+/// distributed tracing: the optional `trace` envelope field, the optional
+/// `attribution` response field, and the `MetricsPull` / `SlowTracePull`
+/// federation verbs. All v3 additions are optional fields or new verbs, so
+/// v2 clients (no `trace` field) are served byte-identical `result`
+/// payloads.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Trace context on the request envelope (protocol v3). Ids are minted by
+/// a seeded [`galvatron_obs::TraceIdGen`] on the client — never from the
+/// wall clock — and travel as lowercase hex strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTraceContext {
+    /// The request's 128-bit trace id, 32 hex chars.
+    pub trace_id: String,
+    /// The parent span id (the sender's span for this request), 16 hex
+    /// chars. Server-side spans parent under it.
+    pub span_id: String,
+    /// Opt in to a latency [`AttributionRecord`] on the response
+    /// envelope.
+    #[serde(default)]
+    pub attribution: bool,
+}
+
+impl WireTraceContext {
+    /// Wire form of a typed trace position.
+    pub fn from_context(ctx: TraceContext, attribution: bool) -> Self {
+        WireTraceContext {
+            trace_id: ctx.trace_id.to_hex(),
+            span_id: ctx.span_id.to_hex(),
+            attribution,
+        }
+    }
+
+    /// Parse back into a typed trace position; `None` when either hex id
+    /// is malformed (servers then treat the request as untraced).
+    pub fn context(&self) -> Option<TraceContext> {
+        Some(TraceContext {
+            trace_id: TraceId::parse_hex(&self.trace_id)?,
+            span_id: SpanId::parse_hex(&self.span_id)?,
+        })
+    }
+}
 
 /// One request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +83,9 @@ pub struct WireRequest {
     /// key).
     #[serde(default)]
     pub name: String,
+    /// Optional trace context (protocol v3); absent for v2 clients.
+    #[serde(default)]
+    pub trace: Option<WireTraceContext>,
     /// What is being asked.
     pub body: RequestBody,
 }
@@ -76,6 +123,15 @@ pub enum RequestBody {
     /// ([`WireResult::Fleet`]). A single daemon answers this with
     /// `BadRequest` — cross-replica identity needs a router.
     FleetCheck(PlanBody),
+    /// Observability federation: export the instance's metrics registry
+    /// as a structured snapshot ([`WireResult::MetricsState`]). The fleet
+    /// router's `/metrics` pulls these from every live replica and merges
+    /// them into one instance-labelled exposition.
+    MetricsPull,
+    /// Observability federation: drain the instance's ring of the K
+    /// slowest traced requests ([`WireResult::SlowTraces`]). Backs the
+    /// `/trace/slow` HTTP endpoint.
+    SlowTracePull,
 }
 
 /// The planning question proper.
@@ -106,6 +162,11 @@ pub struct WireResponse {
     /// computation (single-flight).
     #[serde(default)]
     pub coalesced: bool,
+    /// Per-request latency attribution (protocol v3): present exactly
+    /// when the request carried a trace context with `attribution: true`.
+    /// Lives on the envelope, outside the stable `result` payload.
+    #[serde(default)]
+    pub attribution: Option<AttributionRecord>,
     /// The answer.
     pub result: WireResult,
 }
@@ -132,6 +193,12 @@ pub enum WireResult {
     Ack(u64),
     /// Answer to `FleetCheck`: the cross-replica byte-identity report.
     Fleet(FleetCheckReport),
+    /// Answer to `MetricsPull`: the instance's structured metrics
+    /// snapshot.
+    MetricsState(MetricsSnapshot),
+    /// Answer to `SlowTracePull`: the drained slow-trace ring, slowest
+    /// first.
+    SlowTraces(Vec<SlowTraceEntry>),
 }
 
 impl WireResult {
@@ -273,6 +340,7 @@ mod tests {
         WireRequest {
             id: 7,
             name: "bert@8g".to_string(),
+            trace: None,
             body: RequestBody::Plan(PlanBody {
                 model: BertConfig {
                     layers: 2,
@@ -295,16 +363,19 @@ mod tests {
             WireRequest {
                 id: 1,
                 name: String::new(),
+                trace: None,
                 body: RequestBody::Ping,
             },
             WireRequest {
                 id: 2,
                 name: String::new(),
+                trace: None,
                 body: RequestBody::Metrics,
             },
             WireRequest {
                 id: 3,
                 name: String::new(),
+                trace: None,
                 body: RequestBody::Stats,
             },
         ] {
@@ -316,12 +387,76 @@ mod tests {
     }
 
     #[test]
+    fn v2_lines_without_trace_fields_still_parse() {
+        // A protocol-v2 client doesn't know the `trace` / `attribution`
+        // fields exist; its lines must parse with both absent.
+        let request_line = r#"{"id":4,"name":"legacy","body":"Ping"}"#;
+        let request: WireRequest = serde_json::from_str(request_line).unwrap();
+        assert_eq!(request.trace, None);
+        assert_eq!(request.body, RequestBody::Ping);
+
+        let response_line = r#"{"id":4,"name":"legacy","result":{"Pong":2}}"#;
+        let response: WireResponse = serde_json::from_str(response_line).unwrap();
+        assert_eq!(response.attribution, None);
+        assert_eq!(response.result, WireResult::Pong(2));
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_parse_back_to_context() {
+        use galvatron_obs::TraceIdGen;
+        let ctx = TraceIdGen::new(0x5eed).next_context();
+        let mut request = plan_request();
+        request.trace = Some(WireTraceContext::from_context(ctx, true));
+        let line = serde_json::to_string(&request).unwrap();
+        let back: WireRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, request);
+        let wire = back.trace.unwrap();
+        assert_eq!(wire.context(), Some(ctx));
+        assert!(wire.attribution);
+        // Malformed hex downgrades to untraced, not an error.
+        let bad = WireTraceContext {
+            trace_id: "nope".to_string(),
+            span_id: wire.span_id.clone(),
+            attribution: false,
+        };
+        assert_eq!(bad.context(), None);
+    }
+
+    #[test]
+    fn federation_verbs_round_trip() {
+        use galvatron_obs::MetricsRegistry;
+        for body in [RequestBody::MetricsPull, RequestBody::SlowTracePull] {
+            let request = WireRequest {
+                id: 11,
+                name: String::new(),
+                trace: None,
+                body: body.clone(),
+            };
+            let line = serde_json::to_string(&request).unwrap();
+            let back: WireRequest = serde_json::from_str(&line).unwrap();
+            assert_eq!(back.body, body);
+        }
+        let reg = MetricsRegistry::new();
+        reg.counter("serve_requests_total").inc_by(2);
+        let result = WireResult::MetricsState(reg.snapshot());
+        let line = serde_json::to_string(&result).unwrap();
+        let back: WireResult = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, result);
+
+        let traces = WireResult::SlowTraces(vec![]);
+        let line = serde_json::to_string(&traces).unwrap();
+        let back: WireResult = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, traces);
+    }
+
+    #[test]
     fn error_responses_round_trip() {
         let response = WireResponse {
             id: 9,
             name: "x".to_string(),
             cached: false,
             coalesced: false,
+            attribution: None,
             result: WireResult::Error(ServeError {
                 code: ErrorCode::Overloaded,
                 message: "queue full (capacity 64)".to_string(),

@@ -34,7 +34,10 @@ use crate::protocol::{
     WireResponse, WireResult, PROTOCOL_VERSION,
 };
 use crate::queue::{BoundedQueue, PushError};
-use galvatron_obs::Obs;
+use galvatron_obs::trace::{
+    PHASE_CACHE_LOOKUP, PHASE_DP_COMPUTE, PHASE_FLIGHT_WAIT, PHASE_QUEUE_WAIT, PHASE_SERIALIZE,
+};
+use galvatron_obs::{AttributionRecord, Obs, SlowRing, SlowTraceEntry, TraceContext, TraceScope};
 use galvatron_planner::{PlanRequest, PlanService, PlannerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +58,10 @@ const RETRY_AFTER_MS: u64 = 50;
 /// computed answer for in-flight jobs, `ShuttingDown` for queued ones), so
 /// this deadline only fires if a worker died mid-computation.
 const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
+/// How many of the slowest traced requests the flight recorder keeps
+/// between `/trace/slow` drains.
+const SLOW_RING_CAPACITY: usize = 32;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -101,13 +108,51 @@ struct Job {
     body: PlanBody,
     name: String,
     enqueued: Instant,
+    /// The leader's server-side span position; the worker computes under
+    /// it so `dp_compute` and the planner spans link into the trace.
+    trace: Option<TraceContext>,
+}
+
+/// What a finished flight publishes: the stable result plus the leader's
+/// timing facts, so every waiter (leader and coalesced followers alike)
+/// can attribute its own wall time and link to the compute span.
+#[derive(Clone)]
+struct FlightOutcome {
+    result: WireResult,
+    queue_wait_seconds: f64,
+    compute_seconds: f64,
+    compute_span_id: Option<String>,
+}
+
+impl FlightOutcome {
+    /// An outcome that never touched the queue or the planner (inline
+    /// errors, drain answers).
+    fn inline(result: WireResult) -> Self {
+        FlightOutcome {
+            result,
+            queue_wait_seconds: 0.0,
+            compute_seconds: 0.0,
+            compute_span_id: None,
+        }
+    }
+}
+
+/// What `handle_plan` measured for one request, envelope-attribution raw
+/// material.
+struct PlanTiming {
+    cache_lookup_seconds: f64,
+    queue_wait_seconds: f64,
+    flight_wait_seconds: f64,
+    compute_seconds: f64,
+    compute_span_id: Option<String>,
 }
 
 /// State shared by every thread of the daemon.
 struct Shared {
     service: PlanService,
     cache: ResponseCache,
-    flights: SingleFlight<PlanKey, WireResult>,
+    flights: SingleFlight<PlanKey, FlightOutcome>,
+    slow: SlowRing,
     queue: BoundedQueue<Job>,
     obs: Obs,
     stop: AtomicBool,
@@ -216,6 +261,7 @@ impl PlanServer {
             service: PlanService::new(config.planner.clone()).with_obs(obs.clone()),
             cache,
             flights: SingleFlight::new(),
+            slow: SlowRing::new(SLOW_RING_CAPACITY),
             queue: BoundedQueue::new(config.queue_capacity),
             obs,
             stop: AtomicBool::new(false),
@@ -308,7 +354,7 @@ impl ServerHandle {
         while let Some(job) = self.shared.queue.pop(Duration::ZERO) {
             self.shared
                 .flights
-                .finish(&job.key, self.shared.shutting_down());
+                .finish(&job.key, FlightOutcome::inline(self.shared.shutting_down()));
         }
         let connections = std::mem::take(&mut *self.connections.lock().unwrap());
         for connection in connections {
@@ -422,10 +468,16 @@ fn serve_http(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) {
                 )
             }
         }
+        "/trace/slow" => {
+            let mut body =
+                serde_json::to_string(&shared.slow.drain()).unwrap_or_else(|_| "[]".to_string());
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }
         _ => (
             "404 Not Found",
             "text/plain",
-            format!("unknown path {path}; try /metrics or /healthz\n"),
+            format!("unknown path {path}; try /metrics, /healthz or /trace/slow\n"),
         ),
     };
     let head = format!(
@@ -448,6 +500,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> WireResponse {
                 name: String::new(),
                 cached: false,
                 coalesced: false,
+                attribution: None,
                 result: WireResult::Error(ServeError {
                     code: ErrorCode::BadRequest,
                     message: format!("unparseable request line: {e}"),
@@ -461,13 +514,27 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> WireResponse {
 
 fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
     let started = Instant::now();
+    let started_epoch = shared.obs.now_seconds();
     shared.requests.fetch_add(1, Ordering::SeqCst);
+    // A traced request makes the client's context ambient for this thread:
+    // the `serve_request` span below links itself under the client's span,
+    // and everything measured inside inherits the trace.
+    let client_ctx = request.trace.as_ref().and_then(|t| t.context());
+    let want_attribution = request.trace.as_ref().is_some_and(|t| t.attribution);
+    let client_parent = request
+        .trace
+        .as_ref()
+        .map(|t| t.span_id.clone())
+        .unwrap_or_default();
+    let _scope = client_ctx.map(TraceScope::enter);
     let mut span = shared
         .obs
         .span("serve_request")
         .field("request", request.name.as_str());
+    let server_ctx = span.trace_context();
     let mut cached = false;
     let mut coalesced = false;
+    let mut timing: Option<PlanTiming> = None;
     let result = match request.body {
         RequestBody::Ping => WireResult::Pong(PROTOCOL_VERSION),
         RequestBody::Stats => WireResult::Stats(shared.stats()),
@@ -475,6 +542,11 @@ fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
             shared.refresh_metrics();
             WireResult::Metrics(shared.obs.registry().snapshot().to_prometheus())
         }
+        RequestBody::MetricsPull => {
+            shared.refresh_metrics();
+            WireResult::MetricsState(shared.obs.registry().snapshot())
+        }
+        RequestBody::SlowTracePull => WireResult::SlowTraces(shared.slow.drain()),
         RequestBody::SnapshotPull { max_entries } => {
             let entries = shared
                 .cache
@@ -507,16 +579,32 @@ fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
             retry_after_ms: None,
         }),
         RequestBody::Plan(body) => {
-            let (result, was_cached, was_coalesced) =
-                handle_plan(body, request.name.clone(), shared);
+            let (result, was_cached, was_coalesced, plan_timing) =
+                handle_plan(body, request.name.clone(), shared, server_ctx);
             cached = was_cached;
             coalesced = was_coalesced;
+            timing = plan_timing;
             result
         }
     };
     span.add_field("cached", cached);
     span.add_field("coalesced", coalesced);
     span.finish();
+    let attribution = if want_attribution {
+        timing.zip(server_ctx).map(|(timing, ctx)| {
+            build_attribution(
+                shared,
+                &client_parent,
+                ctx,
+                timing,
+                &result,
+                started,
+                started_epoch,
+            )
+        })
+    } else {
+        None
+    };
     shared
         .obs
         .registry()
@@ -531,13 +619,70 @@ fn handle_request(request: WireRequest, shared: &Arc<Shared>) -> WireResponse {
         name: request.name,
         cached,
         coalesced,
+        attribution,
         result,
     }
 }
 
+/// Assemble the per-request attribution record: phases in chronological
+/// order (zero-valued phases kept, so the phase-name structure is
+/// deterministic), each observed into the phase-labelled latency
+/// histogram, and the synthesized span skeleton offered to the slow ring.
+fn build_attribution(
+    shared: &Arc<Shared>,
+    client_parent: &str,
+    ctx: TraceContext,
+    timing: PlanTiming,
+    result: &WireResult,
+    started: Instant,
+    started_epoch: f64,
+) -> AttributionRecord {
+    let mut attr = AttributionRecord::new(
+        &ctx.trace_id.to_hex(),
+        &ctx.span_id.to_hex(),
+        &shared.instance,
+    );
+    attr.compute_span_id = timing.compute_span_id;
+    attr.push_phase(PHASE_CACHE_LOOKUP, timing.cache_lookup_seconds);
+    attr.push_phase(PHASE_QUEUE_WAIT, timing.queue_wait_seconds);
+    attr.push_phase(PHASE_FLIGHT_WAIT, timing.flight_wait_seconds);
+    attr.push_phase(PHASE_DP_COMPUTE, timing.compute_seconds);
+    let serialize_started = Instant::now();
+    let _ = serde_json::to_string(result);
+    attr.push_phase(PHASE_SERIALIZE, serialize_started.elapsed().as_secs_f64());
+    attr.total_seconds = started.elapsed().as_secs_f64();
+    let registry = shared.obs.registry();
+    for phase in &attr.phases {
+        registry
+            .wall_histogram_with(
+                "serve_phase_seconds",
+                &[
+                    ("instance", shared.instance.as_str()),
+                    ("phase", phase.phase.as_str()),
+                ],
+            )
+            .observe(phase.seconds);
+    }
+    shared.slow.offer(SlowTraceEntry {
+        trace_id: attr.trace_id.clone(),
+        name: "serve_request".to_string(),
+        instance: shared.instance.clone(),
+        total_seconds: attr.total_seconds,
+        spans: attr.to_spans("serve_request", client_parent, started_epoch),
+    });
+    attr
+}
+
 /// The plan path: validate → cache → single-flight → queue (or shed) →
-/// wait. Returns `(result, cached, coalesced)`.
-fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResult, bool, bool) {
+/// wait. Returns `(result, cached, coalesced, timing)`; `timing` is the
+/// raw material for the attribution record and covers every branch that
+/// reached the cache probe.
+fn handle_plan(
+    body: PlanBody,
+    name: String,
+    shared: &Arc<Shared>,
+    server_ctx: Option<TraceContext>,
+) -> (WireResult, bool, bool, Option<PlanTiming>) {
     // serde deserialization bypasses constructor invariants; reject
     // structurally invalid topologies before they reach the planner.
     if let Err(e) = body.topology.validate() {
@@ -549,6 +694,7 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
             }),
             false,
             false,
+            None,
         );
     }
     let Ok(model_json) = serde_json::to_string(&body.model) else {
@@ -560,6 +706,7 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
             }),
             false,
             false,
+            None,
         );
     };
     let key = PlanKey {
@@ -567,15 +714,33 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
         topology_fingerprint: body.topology.fingerprint(),
         budget_bytes: body.budget_bytes,
     };
-    if let Some(result) = shared.cache.get(&key) {
-        return (result, true, false);
+    let mut timing = PlanTiming {
+        cache_lookup_seconds: 0.0,
+        queue_wait_seconds: 0.0,
+        flight_wait_seconds: 0.0,
+        compute_seconds: 0.0,
+        compute_span_id: None,
+    };
+    let lookup_started = Instant::now();
+    let hit = shared.cache.get(&key);
+    timing.cache_lookup_seconds = lookup_started.elapsed().as_secs_f64();
+    if let Some(result) = hit {
+        return (result, true, false, Some(timing));
     }
     match shared.flights.begin(&key) {
         Role::Follower(flight) => {
             shared.coalesced.fetch_add(1, Ordering::SeqCst);
+            let wait_started = Instant::now();
             match wait_for_flight(shared, &flight) {
-                Some(result) => (result, false, true),
-                None => (shared.shutting_down(), false, true),
+                Some(outcome) => {
+                    // A follower's whole wait is parked on someone else's
+                    // flight; it links to the leader's compute span rather
+                    // than claiming queue or DP time of its own.
+                    timing.flight_wait_seconds = wait_started.elapsed().as_secs_f64();
+                    timing.compute_span_id = outcome.compute_span_id;
+                    (outcome.result, false, true, Some(timing))
+                }
+                None => (shared.shutting_down(), false, true, Some(timing)),
             }
         }
         Role::Leader(flight) => {
@@ -584,12 +749,25 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
                 body,
                 name,
                 enqueued: Instant::now(),
+                trace: server_ctx,
             };
             match shared.queue.try_push(job) {
-                Ok(()) => match wait_for_flight(shared, &flight) {
-                    Some(result) => (result, false, false),
-                    None => (shared.shutting_down(), false, false),
-                },
+                Ok(()) => {
+                    let wait_started = Instant::now();
+                    match wait_for_flight(shared, &flight) {
+                        Some(outcome) => {
+                            let wait_total = wait_started.elapsed().as_secs_f64();
+                            timing.queue_wait_seconds = outcome.queue_wait_seconds;
+                            timing.compute_seconds = outcome.compute_seconds;
+                            timing.compute_span_id = outcome.compute_span_id;
+                            timing.flight_wait_seconds =
+                                (wait_total - outcome.queue_wait_seconds - outcome.compute_seconds)
+                                    .max(0.0);
+                            (outcome.result, false, false, Some(timing))
+                        }
+                        None => (shared.shutting_down(), false, false, Some(timing)),
+                    }
+                }
                 Err(push_error) => {
                     let result = match push_error {
                         PushError::Full => {
@@ -607,8 +785,10 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
                     };
                     // Anyone who coalesced onto this flight in the
                     // meantime sheds with the leader.
-                    shared.flights.finish(&key, result.clone());
-                    (result, false, false)
+                    shared
+                        .flights
+                        .finish(&key, FlightOutcome::inline(result.clone()));
+                    (result, false, false, Some(timing))
                 }
             }
         }
@@ -621,12 +801,12 @@ fn handle_plan(body: PlanBody, name: String, shared: &Arc<Shared>) -> (WireResul
 /// before `None` — "answer `ShuttingDown`" — is returned.
 fn wait_for_flight(
     shared: &Arc<Shared>,
-    flight: &crate::flight::Flight<WireResult>,
-) -> Option<WireResult> {
+    flight: &crate::flight::Flight<FlightOutcome>,
+) -> Option<FlightOutcome> {
     let mut stop_seen_at: Option<Instant> = None;
     loop {
-        if let Some(result) = flight.wait(TICK) {
-            return Some(result);
+        if let Some(outcome) = flight.wait(TICK) {
+            return Some(outcome);
         }
         if shared.stop.load(Ordering::SeqCst) {
             let since = stop_seen_at.get_or_insert_with(Instant::now);
@@ -657,9 +837,12 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         };
         if shared.stop.load(Ordering::SeqCst) {
-            shared.flights.finish(&job.key, shared.shutting_down());
+            shared
+                .flights
+                .finish(&job.key, FlightOutcome::inline(shared.shutting_down()));
             continue;
         }
+        let queue_wait_seconds = job.enqueued.elapsed().as_secs_f64();
         shared
             .obs
             .registry()
@@ -667,21 +850,44 @@ fn worker_loop(shared: &Arc<Shared>) {
                 "serve_queue_wait_seconds",
                 &[("instance", shared.instance.as_str())],
             )
-            .observe(job.enqueued.elapsed().as_secs_f64());
+            .observe(queue_wait_seconds);
         // The cache may have warmed while the job waited (e.g. a persisted
         // snapshot arriving through admission for an equal key is blocked
         // by single-flight, but an operator-triggered load is not).
-        let result = match shared.cache.get(&job.key) {
-            Some(result) => result,
+        let outcome = match shared.cache.get(&job.key) {
+            Some(result) => FlightOutcome {
+                result,
+                queue_wait_seconds,
+                compute_seconds: 0.0,
+                compute_span_id: None,
+            },
             None => {
-                let (result, cacheable) = compute(shared, &job);
+                // Compute under the leader's trace position: the
+                // `dp_compute` span links under `serve_request`, and the
+                // planner's own spans link under `dp_compute`.
+                let leader_scope = job.trace.map(TraceScope::enter);
+                let compute_span = shared.obs.span("dp_compute");
+                let compute_ctx = compute_span.trace_context();
+                let compute_started = Instant::now();
+                let (result, cacheable) = {
+                    let _compute_scope = compute_ctx.map(TraceScope::enter);
+                    compute(shared, &job)
+                };
+                let compute_seconds = compute_started.elapsed().as_secs_f64();
+                compute_span.finish();
+                drop(leader_scope);
                 if cacheable {
                     shared.cache.insert(job.key.clone(), result.clone());
                 }
-                result
+                FlightOutcome {
+                    result,
+                    queue_wait_seconds,
+                    compute_seconds,
+                    compute_span_id: compute_ctx.map(|c| c.span_id.to_hex()),
+                }
             }
         };
-        shared.flights.finish(&job.key, result);
+        shared.flights.finish(&job.key, outcome);
         shared.refresh_metrics();
     }
 }

@@ -51,6 +51,11 @@ cargo test "${CARGO_FLAGS[@]}" -p galvatron-cluster --test fingerprint_stability
 echo "==> fleet crate suites (ring properties + loopback fleet e2e)"
 cargo test "${CARGO_FLAGS[@]}" -p galvatron-fleet -q
 
+echo "==> trace suites (obs trace unit tests + seeded span-structure determinism"
+echo "    across a kill-failover hop)"
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-obs -q
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-fleet --test trace_determinism -q
+
 echo "==> galvatron-served loopback smoke (bind, announce, quit)"
 # The daemon prints its bound address on stdout and exits on stdin EOF.
 addr=$(echo quit | cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-serve --bin galvatron-served -- --addr 127.0.0.1:0 --workers 1 2>/dev/null)
@@ -90,8 +95,19 @@ test -s BENCH_serve.json || { echo "BENCH_serve.json missing" >&2; exit 1; }
 
 echo "==> fleet bench: 3 replicas behind the router (fails on any cross-replica"
 echo "    byte mismatch, cold DP after warm-join, or a dropped answer after a kill)"
-# Writes BENCH_fleet.json at the workspace root.
+# Writes BENCH_fleet.json at the workspace root, plus the trace-phase gate:
+# the traced request's attribution phases must sum to within 5% of the
+# client-observed latency, its spans must form one linked router->replica->
+# planner tree, and /trace/slow must be non-empty after the traced zipf
+# phase (BENCH_trace.json + BENCH_trace_spans.jsonl at the workspace root).
 cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-bench-serve -- --fleet 3 --max-batch 8
 test -s BENCH_fleet.json || { echo "BENCH_fleet.json missing" >&2; exit 1; }
+test -s BENCH_trace.json || { echo "BENCH_trace.json missing" >&2; exit 1; }
+test -s BENCH_trace_spans.jsonl || { echo "BENCH_trace_spans.jsonl missing" >&2; exit 1; }
+
+echo "==> galvatron-trace attribution report (replays the bench span dump)"
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-obs --bin galvatron-trace -- \
+    --spans BENCH_trace_spans.jsonl --chrome-out TRACE_fleet.json
+test -s TRACE_fleet.json || { echo "TRACE_fleet.json missing" >&2; exit 1; }
 
 echo "==> all checks passed"

@@ -288,6 +288,7 @@ fn error_paths_produce_structured_wire_errors() {
     let good = serde_json::to_string(&galvatron::serve::WireRequest {
         id: 41,
         name: "tampered".to_string(),
+        trace: None,
         body: galvatron::serve::RequestBody::Plan(galvatron::serve::PlanBody {
             model: bert(2, "tiny"),
             topology: topology.clone(),
