@@ -6,7 +6,7 @@
 //! order given per table.
 
 use galvatron_baselines::BaselineStrategy;
-use galvatron_model::PaperModel;
+use galvatron_model::{BertConfig, ModelSpec, PaperModel};
 
 /// A reported cell: `(throughput, batch)`, `None` = OOM.
 pub type PaperCell = Option<(f64, u32)>;
@@ -33,6 +33,27 @@ pub const TABLE3_MODELS: [PaperModel; 4] = [
 
 /// Table 4 model columns.
 pub const TABLE4_MODELS: [PaperModel; 2] = [PaperModel::BertXHuge, PaperModel::VitXHuge];
+
+/// Stage-layer count of [`scale_point_model`] (98 encoders plus the
+/// embedding and head layers).
+pub const SCALE_POINT_LAYERS: usize = 100;
+
+/// The 64-GPU/100-layer cold-planning scaling point: a 100-layer
+/// BERT-Huge stack planned on the Table-4 A100×64 testbed. Shared by the
+/// planner-sweep bench, `bench_serve`, and the golden-plan suite so every
+/// consumer pins the same instance.
+pub fn scale_point_model() -> ModelSpec {
+    let spec = BertConfig {
+        layers: SCALE_POINT_LAYERS - 2,
+        hidden: 1280,
+        heads: 20,
+        seq: 512,
+        vocab: 30522,
+    }
+    .build("bert-huge-98");
+    debug_assert_eq!(spec.n_layers(), SCALE_POINT_LAYERS);
+    spec
+}
 
 const fn c(t: f64, b: u32) -> PaperCell {
     Some((t, b))

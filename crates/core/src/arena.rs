@@ -1,0 +1,857 @@
+//! The arena DP solver: the Eq. 1 search of [`dp_search_with_provider`]
+//! rebuilt for the cold planning path, bit-identical by construction.
+//!
+//! [`dp_search_with_provider`](crate::dp::dp_search_with_provider) is the
+//! reference implementation — simple, obviously faithful to Eq. 1, and kept
+//! untouched as the oracle every other path is differenced against. This
+//! module is the production hot path. It computes the exact same
+//! [`DpResult`] (every `f64` bit, every tie-break) while removing the three
+//! dominant costs of a cold solve:
+//!
+//! 1. **Contiguous pre-sized arenas.** All working storage — the
+//!    structure-of-arrays cost/memory kernel tables, the flat
+//!    transformation matrix, the `dp`/`next` wavefronts, the min-plus
+//!    scratch and the backpointers — lives in one reusable [`DpArena`] of
+//!    flat `Vec`s that are resized (never reallocated once warm) per solve.
+//!    No per-cell or per-layer allocation survives on the hot path.
+//!
+//! 2. **Layer-class deduplication.** Kernel values depend on a layer's
+//!    geometry ([`LayerKind`](galvatron_model::LayerKind)), not its display
+//!    name, so the `L` stage layers collapse into `C` *classes* (deep
+//!    uniform transformers have `C ≈ 3`: embedding, encoder, head). Cost,
+//!    memory and transformation kernels are fetched once per class instead
+//!    of once per layer — `O(C·|S|²)` provider queries instead of
+//!    `O(L·|S|²)` — which also shrinks intern-table traffic by the same
+//!    factor. The replayed values are the provider's own returns for a
+//!    layer of identical geometry, so every table entry is bit-equal to
+//!    what the reference solver would have fetched.
+//!
+//! 3. **Dominance prefilter + min-plus inner loop.** Per layer, strategies
+//!    that provably cannot appear in any optimal assignment (see
+//!    [`dominated_mask`]) are dropped before the `O(E·|S|²)` sweep, and the
+//!    inner recurrence is restructured as a shared min-plus pass
+//!    (`g[rem][s] = min_p dp[rem][p] + r[p][s]`) computed once per
+//!    remaining-memory row instead of once per `(e, s)` cell. Both
+//!    transformations preserve the reference solver's first-wins strict-`<`
+//!    tie-breaking exactly — the argmin sequence is unchanged, so the
+//!    reconstruction walks the same backpointers.
+//!
+//! ## The dominance lemma
+//!
+//! For one layer `l` of the stage, say strategy `s_i` *dominates* `s_j`
+//! when `i < j` in set order and, component-wise,
+//!
+//! * `cost(l, s_i) ≤ cost(l, s_j)`,
+//! * `units(l, s_i) ≤ units(l, s_j)` (quantized memory),
+//! * if `l` has a predecessor: `R(l−1, p, s_i) ≤ R(l−1, p, s_j)` for
+//!   **every** `p` in the set,
+//! * if `l` has a successor: `R(l, s_i, q) ≤ R(l, s_j, q)` for **every**
+//!   `q` in the set.
+//!
+//! Then removing `s_j` at layer `l` cannot change the DP's returned value
+//! or plan. Induction over layers: the memory condition gives
+//! `e − units(s_i) ≥ e − units(s_j)`, and `dp[e][·]` is non-increasing in
+//! `e` ("at most `e`" semantics), so every incoming path priced through
+//! `s_j` has a counterpart through `s_i` that is no more expensive —
+//! `dp[e][s_i] ≤ dp[e][s_j]` for all `e`. The outgoing condition extends
+//! the same inequality through the next boundary, so in every strict-`<`
+//! argmin scan (the per-cell predecessor choice and the terminal scan) the
+//! earlier `s_i` is reached first with a value `≤` `s_j`'s: `s_j` can never
+//! be *selected*, and skipping it leaves every computed min value — and the
+//! first-wins argmin — bit-identical. Domination is transitive and the
+//! earliest strategy of any tie group has no earlier dominator, so the
+//! surviving set is never empty. The `dp_fuzz_differential` suite asserts
+//! this lemma empirically against the reference solver on randomized
+//! instances.
+
+use crate::candidate::{StageDp, StageDpQuery};
+use crate::dp::{DpResult, StageCostProvider};
+use galvatron_cluster::{ClusterError, DeviceId};
+use galvatron_estimator::CostEstimator;
+use galvatron_model::ModelSpec;
+use galvatron_strategy::StrategySet;
+use std::cell::RefCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const INF: f64 = f64::INFINITY;
+
+/// Hard cap on strategy-set size on the arena path (backpointers are
+/// `u8`, and the fused inner loop keeps one stack row of this width).
+const MAX_STRATEGIES: usize = 256;
+
+/// Reusable flat scratch for [`dp_search_arena`]. One arena serves any
+/// number of solves of any shape; buffers grow to the high-water mark and
+/// are reused thereafter. Obtain a thread-local instance with
+/// [`with_thread_arena`].
+#[derive(Debug, Default)]
+pub struct DpArena {
+    /// Per stage layer: its class id.
+    class_of: Vec<u32>,
+    /// Per class: the global index of its representative (first) layer.
+    class_rep: Vec<usize>,
+    /// `cost[c·S + s]` — per-class per-strategy stage-time kernel.
+    cost: Vec<f64>,
+    /// `mem[c·S + s]` — per-class per-strategy quantized memory units.
+    mem: Vec<u32>,
+    /// `r[c·S·S + p·S + s]` — transformation across the boundary *after* a
+    /// layer of class `c`.
+    r: Vec<f64>,
+    /// Whether class `c`'s row of `r` has been computed this solve.
+    r_ready: Vec<bool>,
+    /// Deduplicated dominance keys `(prev_class, class, has_next)`;
+    /// `u32::MAX` encodes "no predecessor".
+    keys: Vec<(u32, u32, bool)>,
+    /// Per stage layer: index into `keys`.
+    layer_key: Vec<u32>,
+    /// `active[k·S ..]` — the surviving strategy indices for key `k`
+    /// (ascending set order), `active_len[k]` of them.
+    active: Vec<u8>,
+    active_len: Vec<usize>,
+    /// Per layer: the smallest reachable total memory draw of the prefix
+    /// through that layer (rows below are INF).
+    lo: Vec<usize>,
+    /// Per layer: `min(e_max, largest reachable prefix draw)` — dp rows
+    /// above it are bit-equal to the row at it ("at most e" semantics).
+    hi: Vec<usize>,
+    dp: Vec<f64>,
+    next: Vec<f64>,
+    choice: Vec<u8>,
+    solves: u64,
+    dominated_slots: u64,
+}
+
+impl DpArena {
+    /// A fresh arena (no storage reserved yet).
+    pub fn new() -> Self {
+        DpArena::default()
+    }
+
+    /// Solves run through this arena since construction.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Cumulative `(layer, strategy)` slots removed by the dominance
+    /// prefilter across all solves.
+    pub fn dominated_slots(&self) -> u64 {
+        self.dominated_slots
+    }
+}
+
+thread_local! {
+    static THREAD_ARENA: RefCell<DpArena> = RefCell::new(DpArena::new());
+}
+
+/// Run `f` with this thread's shared [`DpArena`] scratch.
+pub fn with_thread_arena<R>(f: impl FnOnce(&mut DpArena) -> R) -> R {
+    THREAD_ARENA.with(|arena| f(&mut arena.borrow_mut()))
+}
+
+/// The per-layer dominance mask for a stage solve, for differential
+/// testing: `mask[li][sj]` is `true` iff strategy `sj` is *removed* at
+/// stage layer `li` by the dominance prefilter. Uses the same kernel
+/// tables (and therefore the same provider calls) as [`dp_search_arena`].
+#[allow(clippy::too_many_arguments)]
+pub fn dominance_masks(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    provider: &dyn StageCostProvider,
+) -> Result<Vec<Vec<bool>>, ClusterError> {
+    let mut arena = DpArena::new();
+    let n_strats = set.len();
+    let tables = build_tables(
+        estimator,
+        model,
+        layer_range,
+        base_device,
+        set,
+        stage_batch,
+        granularity,
+        micro_batches,
+        act_stash_batch,
+        provider,
+        &mut arena,
+    )?;
+    let Some(Tables { n_layers, .. }) = tables else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::with_capacity(n_layers);
+    for li in 0..n_layers {
+        let k = arena.layer_key[li] as usize;
+        let survivors = &arena.active[k * n_strats..k * n_strats + arena.active_len[k]];
+        let mut mask = vec![true; n_strats];
+        for &s in survivors {
+            mask[s as usize] = false;
+        }
+        out.push(mask);
+    }
+    Ok(out)
+}
+
+/// What [`build_tables`] produced (when the instance is non-trivial).
+struct Tables {
+    n_layers: usize,
+    reserve: u64,
+}
+
+/// Fill the arena's kernel tables, transformation matrix and dominance
+/// lists for one solve. Returns `None` for the trivial empty instance.
+#[allow(clippy::too_many_arguments)]
+fn build_tables(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    provider: &dyn StageCostProvider,
+    arena: &mut DpArena,
+) -> Result<Option<Tables>, ClusterError> {
+    assert!(granularity > 0);
+    let n_layers = layer_range.len();
+    let n_strats = set.len();
+    if n_layers == 0 || n_strats == 0 {
+        return Ok(None);
+    }
+    assert!(
+        n_strats <= u8::MAX as usize,
+        "arena DP caps strategy sets at {} (got {n_strats})",
+        u8::MAX
+    );
+
+    // Layer classes: kernels depend on geometry (`LayerKind`), not the
+    // display name, so equal-kind layers share one table row.
+    arena.class_of.clear();
+    arena.class_rep.clear();
+    for l in layer_range.clone() {
+        let kind = &model.layers[l].kind;
+        match arena
+            .class_rep
+            .iter()
+            .position(|&rep| model.layers[rep].kind == *kind)
+        {
+            Some(c) => arena.class_of.push(c as u32),
+            None => {
+                arena.class_of.push(arena.class_rep.len() as u32);
+                arena.class_rep.push(l);
+            }
+        }
+    }
+    let n_classes = arena.class_rep.len();
+
+    // Per-class cost and quantized-memory kernels, plus the transient
+    // reserve. The max over (class, strategy) equals the reference max
+    // over (layer, strategy): equal-kind layers report equal transients.
+    arena.cost.resize(n_classes * n_strats, 0.0);
+    arena.mem.resize(n_classes * n_strats, 0);
+    let micro = (stage_batch / micro_batches.max(1) as u64).max(1);
+    let mut reserve = 0u64;
+    for c in 0..n_classes {
+        let l = arena.class_rep[c];
+        for (si, s) in set.iter().enumerate() {
+            let lc = provider.layer_cost(estimator, model, l, s, micro, base_device)?;
+            arena.cost[c * n_strats + si] =
+                lc.total_with_micro_batches(estimator.config(), micro_batches);
+            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
+            arena.mem[c * n_strats + si] =
+                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+            reserve = reserve.max(m.transient);
+        }
+    }
+    // Transformation matrix per *predecessor* class: the boundary after
+    // stage layer `li` is priced from `model.layers[global(li)]`, which is
+    // class `class_of[li]`'s geometry.
+    arena.r.resize(n_classes * n_strats * n_strats, 0.0);
+    arena.r_ready.clear();
+    arena.r_ready.resize(n_classes, false);
+    for li in 0..n_layers.saturating_sub(1) {
+        let c = arena.class_of[li] as usize;
+        if arena.r_ready[c] {
+            continue;
+        }
+        arena.r_ready[c] = true;
+        let l = arena.class_rep[c];
+        for (pi, p) in set.iter().enumerate() {
+            for (si, s) in set.iter().enumerate() {
+                arena.r[(c * n_strats + pi) * n_strats + si] =
+                    provider.transformation(estimator, model, l, p, s, stage_batch, base_device)?;
+            }
+        }
+    }
+
+    // Dominance lists, one per (prev_class, class, has_next) key.
+    arena.keys.clear();
+    arena.layer_key.clear();
+    for li in 0..n_layers {
+        let pc = if li > 0 {
+            arena.class_of[li - 1]
+        } else {
+            u32::MAX
+        };
+        let key = (pc, arena.class_of[li], li + 1 < n_layers);
+        let k = match arena.keys.iter().position(|&existing| existing == key) {
+            Some(k) => k,
+            None => {
+                arena.keys.push(key);
+                arena.keys.len() - 1
+            }
+        };
+        arena.layer_key.push(k as u32);
+    }
+    let n_keys = arena.keys.len();
+    arena.active.resize(n_keys * n_strats, 0);
+    arena.active_len.clear();
+    arena.active_len.resize(n_keys, 0);
+    for k in 0..n_keys {
+        let (pc, c, has_next) = arena.keys[k];
+        let c = c as usize;
+        let cost = &arena.cost[c * n_strats..(c + 1) * n_strats];
+        let mem = &arena.mem[c * n_strats..(c + 1) * n_strats];
+        let mut len = 0usize;
+        for sj in 0..n_strats {
+            let dominated = (0..sj).any(|si| {
+                if !(cost[si] <= cost[sj] && mem[si] <= mem[sj]) {
+                    return false;
+                }
+                if pc != u32::MAX {
+                    let rin = &arena.r[(pc as usize) * n_strats * n_strats..];
+                    if !(0..n_strats).all(|p| rin[p * n_strats + si] <= rin[p * n_strats + sj]) {
+                        return false;
+                    }
+                }
+                if has_next {
+                    let rout = &arena.r[c * n_strats * n_strats..];
+                    if !(0..n_strats).all(|q| rout[si * n_strats + q] <= rout[sj * n_strats + q]) {
+                        return false;
+                    }
+                }
+                true
+            });
+            if !dominated {
+                arena.active[k * n_strats + len] = sj as u8;
+                len += 1;
+            }
+        }
+        debug_assert!(len >= 1, "the earliest strategy is never dominated");
+        arena.active_len[k] = len;
+    }
+    for &k in &arena.layer_key {
+        arena.dominated_slots += (n_strats - arena.active_len[k as usize]) as u64;
+    }
+
+    Ok(Some(Tables { n_layers, reserve }))
+}
+
+/// The arena fast path for
+/// [`dp_search_with_provider`](crate::dp::dp_search_with_provider): same
+/// inputs, same provider contract, bit-identical output. See the module
+/// docs for why the answer cannot differ.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_search_arena(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    provider: &dyn StageCostProvider,
+    arena: &mut DpArena,
+) -> Result<Option<DpResult>, ClusterError> {
+    let n_strats = set.len();
+    let tables = build_tables(
+        estimator,
+        model,
+        layer_range,
+        base_device,
+        set,
+        stage_batch,
+        granularity,
+        micro_batches,
+        act_stash_batch,
+        provider,
+        arena,
+    )?;
+    let Some(Tables { n_layers, reserve }) = tables else {
+        return Ok(Some(DpResult {
+            cost: 0.0,
+            strategies: Vec::new(),
+            memory_bytes: 0,
+        }));
+    };
+    arena.solves += 1;
+
+    // Same budget arithmetic as the reference solver, bit for bit.
+    let budget_units = usable_budget.saturating_sub(2 * reserve) / granularity;
+    let e_max = usize::try_from(budget_units)
+        .unwrap_or(usize::MAX)
+        .min(1 << 22);
+    let width = e_max + 1;
+    let cells = width * n_strats;
+
+    // Reachable-memory windows over the surviving *placeable* strategies
+    // (those whose quantized draw fits the budget at all — a strategy
+    // with `need > e_max` can never be assigned, so it cannot widen any
+    // reachable row): through layer `li`, every feasible prefix draws at
+    // least `lo[li]` and at most `Σ max_need` quantized units, so dp rows
+    // below `lo[li]` are INF and rows at or above that max are bit-equal
+    // to each other ("at most e" semantics make dp constant once every
+    // placeable strategy fits). The wavefront therefore only materializes
+    // rows in `[lo, hi]` with `hi = min(e_max, Σ max_need)`; reads above
+    // `hi` clamp to it, which returns the identical bits the full-width
+    // table would hold. Dominance keeps these bounds exact: a dominating
+    // strategy never needs more memory than the one it removes, so the
+    // min over survivors equals the min over the whole set.
+    arena.lo.clear();
+    arena.hi.clear();
+    let mut lo_sum = 0u64;
+    let mut hi_sum = 0u64;
+    for li in 0..n_layers {
+        let c = arena.class_of[li] as usize;
+        let k = arena.layer_key[li] as usize;
+        let act = &arena.active[k * n_strats..k * n_strats + arena.active_len[k]];
+        let mut mn = u64::MAX;
+        let mut mx = 0u64;
+        for &s in act {
+            let m = arena.mem[c * n_strats + s as usize] as u64;
+            if m > e_max as u64 {
+                continue;
+            }
+            mn = mn.min(m);
+            mx = mx.max(m);
+        }
+        // `mn` stays MAX when no strategy is placeable at this layer; the
+        // saturating prefix then exceeds `e_max` and the solve reports
+        // the same infeasibility the reference's all-INF row would.
+        lo_sum = lo_sum.saturating_add(mn);
+        hi_sum = hi_sum.saturating_add(mx);
+        arena.lo.push(usize::try_from(lo_sum).unwrap_or(usize::MAX));
+        arena
+            .hi
+            .push(usize::try_from(hi_sum).unwrap_or(usize::MAX).min(e_max));
+    }
+    if arena.lo[n_layers - 1] > e_max {
+        // Even the minimum-memory assignment exceeds the budget; the
+        // reference solver reaches the same all-INF terminal row.
+        return Ok(None);
+    }
+
+    // Every read is confined to the current layer's `[lo, hi]` window,
+    // which is INF-filled (dp here, next per layer) before use — so the
+    // scratch buffers only ever grow; rows outside the windows may hold
+    // stale bits from earlier solves that are provably never observed.
+    if arena.dp.len() < cells {
+        arena.dp.resize(cells, INF);
+    }
+    if arena.next.len() < cells {
+        arena.next.resize(cells, INF);
+    }
+    // `choice` is only ever read at slots the scatter wrote this solve
+    // (every slot on the optimal path holds a finite dp value, hence was
+    // written), so it needs sizing but not clearing. Debug builds clear
+    // it to keep the missing-backpointer assert meaningful.
+    if arena.choice.len() < n_layers * cells {
+        arena.choice.resize(n_layers * cells, u8::MAX);
+    }
+    #[cfg(debug_assertions)]
+    arena.choice[..n_layers * cells].fill(u8::MAX);
+
+    // Layer 0: every surviving strategy that fits seeds its "at most e"
+    // suffix with its own cost.
+    {
+        let k0 = arena.layer_key[0] as usize;
+        let c0 = arena.class_of[0] as usize;
+        let hi0 = arena.hi[0];
+        arena.dp[arena.lo[0] * n_strats..(hi0 + 1) * n_strats].fill(INF);
+        for i in 0..arena.active_len[k0] {
+            let si = arena.active[k0 * n_strats + i] as usize;
+            let need = arena.mem[c0 * n_strats + si] as usize;
+            if need <= e_max {
+                let v = arena.cost[c0 * n_strats + si];
+                for e in need..=hi0 {
+                    arena.dp[e * n_strats + si] = v;
+                }
+            }
+        }
+    }
+
+    for li in 1..n_layers {
+        let lo_prev = arena.lo[li - 1];
+        let hi_prev = arena.hi[li - 1];
+        let lo_cur = arena.lo[li];
+        let hi_cur = arena.hi[li];
+        arena.next[lo_cur * n_strats..(hi_cur + 1) * n_strats].fill(INF);
+        let c = arena.class_of[li] as usize;
+        let pc = arena.class_of[li - 1] as usize;
+        let k_cur = arena.layer_key[li] as usize;
+        let k_prev = arena.layer_key[li - 1] as usize;
+        let act_cur = &arena.active[k_cur * n_strats..k_cur * n_strats + arena.active_len[k_cur]];
+        let act_prev =
+            &arena.active[k_prev * n_strats..k_prev * n_strats + arena.active_len[k_prev]];
+        // Fused min-plus + scatter over the previous layer's reachable
+        // rows. Per row, g[s] = min over surviving predecessors p of
+        // dp[rem][p] + r[p][s], first-wins on ties — the same scan order
+        // (p ascending) and strict-< update as the reference per-cell
+        // loop, hoisted out of the `e` dimension and held in stack
+        // registers. Each finite g[s] immediately seeds
+        // next[rem + need(s)][s] = g[s] + cost(s); rows past `hi_prev`
+        // would all read the clamped `hi_prev` row, so that row's pass
+        // additionally fills the `(hi_prev + need, hi_cur]` tail.
+        let rbase = &arena.r[pc * n_strats * n_strats..(pc + 1) * n_strats * n_strats];
+        let mut g_row = [INF; MAX_STRATEGIES];
+        let mut gp_row = [u8::MAX; MAX_STRATEGIES];
+        for rem in lo_prev..=hi_prev {
+            let row = rem * n_strats;
+            for &s in act_cur {
+                g_row[s as usize] = INF;
+            }
+            for &p in act_prev {
+                let prior = arena.dp[row + p as usize];
+                if !prior.is_finite() {
+                    continue;
+                }
+                let rrow = &rbase[(p as usize) * n_strats..(p as usize + 1) * n_strats];
+                for &s in act_cur {
+                    let v = prior + rrow[s as usize];
+                    if v < g_row[s as usize] {
+                        g_row[s as usize] = v;
+                        gp_row[s as usize] = p;
+                    }
+                }
+            }
+            for &s in act_cur {
+                let si = s as usize;
+                let v = g_row[si];
+                if !v.is_finite() {
+                    continue;
+                }
+                let need = arena.mem[c * n_strats + si] as usize;
+                let lcost = arena.cost[c * n_strats + si];
+                let e = rem + need;
+                if e <= hi_cur {
+                    arena.next[e * n_strats + si] = v + lcost;
+                    arena.choice[(li * width + e) * n_strats + si] = gp_row[si];
+                }
+                if rem == hi_prev {
+                    for e in (hi_prev + need + 1)..=hi_cur {
+                        arena.next[e * n_strats + si] = v + lcost;
+                        arena.choice[(li * width + e) * n_strats + si] = gp_row[si];
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut arena.dp, &mut arena.next);
+    }
+
+    // Terminal scan: strict-<, ascending set order — dominated strategies
+    // are INF here, and by the lemma they could never have been selected.
+    // Rows above `hi` are bit-equal to the row at `hi`, so scanning the
+    // clamped row is the reference's `e_max` scan.
+    let e_top = arena.hi[n_layers - 1];
+    let mut best = INF;
+    let mut best_s = usize::MAX;
+    for si in 0..n_strats {
+        let v = arena.dp[e_top * n_strats + si];
+        if v < best {
+            best = v;
+            best_s = si;
+        }
+    }
+    if !best.is_finite() {
+        return Ok(None);
+    }
+
+    // Reconstruction, identical to the reference walk.
+    let mut strategies_rev = Vec::with_capacity(n_layers);
+    let mut si = best_s;
+    let mut e = e_max;
+    let mut mem_total_units = 0u64;
+    for li in (0..n_layers).rev() {
+        strategies_rev.push(set.strategies()[si].clone());
+        let need = arena.mem[arena.class_of[li] as usize * n_strats + si] as usize;
+        mem_total_units += need as u64;
+        if li == 0 {
+            break;
+        }
+        let parent = arena.choice[(li * width + e.min(arena.hi[li])) * n_strats + si];
+        debug_assert_ne!(parent, u8::MAX, "backpointer missing");
+        e -= need;
+        si = parent as usize;
+    }
+    strategies_rev.reverse();
+
+    Ok(Some(DpResult {
+        cost: best,
+        strategies: strategies_rev,
+        memory_bytes: mem_total_units * granularity + 2 * reserve,
+    }))
+}
+
+/// The arena-backed [`StageDp`]: every query runs [`dp_search_arena`]
+/// through the thread-local scratch with [`DirectCosts`] kernels. This is
+/// the planner's engine-free fast path; pair it with the incremental
+/// engine via [`BoundIncrementalDp`](crate::BoundIncrementalDp) for kernel
+/// interning on top.
+#[derive(Debug, Default)]
+pub struct ArenaStageDp {
+    solves: AtomicUsize,
+    dominated: AtomicUsize,
+}
+
+impl ArenaStageDp {
+    /// A fresh instance with zeroed counters.
+    pub fn new() -> Self {
+        ArenaStageDp::default()
+    }
+
+    /// Stage solves answered so far.
+    pub fn solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative `(layer, strategy)` slots removed by the dominance
+    /// prefilter.
+    pub fn dominated(&self) -> usize {
+        self.dominated.load(Ordering::Relaxed)
+    }
+}
+
+impl StageDp for ArenaStageDp {
+    fn solve(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        q: &StageDpQuery<'_>,
+    ) -> Result<Option<DpResult>, ClusterError> {
+        with_thread_arena(|arena| {
+            let dominated_before = arena.dominated_slots();
+            let out = dp_search_arena(
+                estimator,
+                model,
+                q.layer_start..q.layer_end,
+                q.base_device,
+                q.set,
+                q.stage_batch,
+                q.usable_budget,
+                q.granularity,
+                q.micro_batches,
+                q.act_stash_batch,
+                &crate::dp::DirectCosts,
+                arena,
+            )?;
+            self.solves.fetch_add(1, Ordering::Relaxed);
+            self.dominated.fetch_add(
+                (arena.dominated_slots() - dominated_before) as usize,
+                Ordering::Relaxed,
+            );
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{dp_search_with_provider, DirectCosts};
+    use galvatron_cluster::{rtx_titan_node, GIB, MIB};
+    use galvatron_estimator::EstimatorConfig;
+    use galvatron_model::BertConfig;
+    use galvatron_strategy::DecisionTreeBuilder;
+
+    fn estimator() -> CostEstimator {
+        CostEstimator::new(rtx_titan_node(8), EstimatorConfig::default())
+    }
+
+    fn tiny_bert(layers: usize) -> ModelSpec {
+        BertConfig {
+            layers,
+            hidden: 1280,
+            heads: 20,
+            seq: 512,
+            vocab: 30522,
+        }
+        .build("tiny")
+    }
+
+    #[test]
+    fn arena_matches_reference_bit_for_bit() {
+        let est = estimator();
+        let model = tiny_bert(6);
+        let mut arena = DpArena::new();
+        for group in [2usize, 4, 8] {
+            let set = DecisionTreeBuilder::new(group).strategies();
+            for budget in [512 * MIB, 2 * GIB, 8 * GIB, 20 * GIB] {
+                for micro_batches in [1usize, 2, 4] {
+                    let reference = dp_search_with_provider(
+                        &est,
+                        &model,
+                        0..model.n_layers(),
+                        0,
+                        &set,
+                        16,
+                        budget,
+                        32 * MIB,
+                        micro_batches,
+                        16,
+                        &DirectCosts,
+                    )
+                    .unwrap();
+                    let fast = dp_search_arena(
+                        &est,
+                        &model,
+                        0..model.n_layers(),
+                        0,
+                        &set,
+                        16,
+                        budget,
+                        32 * MIB,
+                        micro_batches,
+                        16,
+                        &DirectCosts,
+                        &mut arena,
+                    )
+                    .unwrap();
+                    match (&reference, &fast) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                            assert_eq!(a.strategies, b.strategies);
+                            assert_eq!(a.memory_bytes, b.memory_bytes);
+                        }
+                        (None, None) => {}
+                        other => panic!("feasibility drift: {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(arena.solves() > 0);
+    }
+
+    #[test]
+    fn empty_instances_are_trivial() {
+        let est = estimator();
+        let model = tiny_bert(2);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let mut arena = DpArena::new();
+        let out = dp_search_arena(
+            &est,
+            &model,
+            0..0,
+            0,
+            &set,
+            8,
+            GIB,
+            MIB,
+            1,
+            8,
+            &DirectCosts,
+            &mut arena,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(out.cost, 0.0);
+        assert!(out.strategies.is_empty());
+        let empty = StrategySet::new(8, Vec::new());
+        let out = dp_search_arena(
+            &est,
+            &model,
+            0..model.n_layers(),
+            0,
+            &empty,
+            8,
+            GIB,
+            MIB,
+            1,
+            8,
+            &DirectCosts,
+            &mut arena,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(out.strategies.is_empty());
+    }
+
+    #[test]
+    fn dominance_masks_never_remove_the_reference_choice() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        for budget in [2 * GIB, 8 * GIB, 16 * GIB] {
+            let reference = dp_search_with_provider(
+                &est,
+                &model,
+                0..model.n_layers(),
+                0,
+                &set,
+                16,
+                budget,
+                32 * MIB,
+                2,
+                16,
+                &DirectCosts,
+            )
+            .unwrap();
+            let masks = dominance_masks(
+                &est,
+                &model,
+                0..model.n_layers(),
+                0,
+                &set,
+                16,
+                32 * MIB,
+                2,
+                16,
+                &DirectCosts,
+            )
+            .unwrap();
+            if let Some(reference) = reference {
+                for (li, chosen) in reference.strategies.iter().enumerate() {
+                    let si = set.strategies().iter().position(|s| s == chosen).unwrap();
+                    assert!(
+                        !masks[li][si],
+                        "budget {budget}: dominance removed the optimal strategy \
+                         {chosen} at layer {li}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_stage_dp_counts_its_work() {
+        let est = estimator();
+        let model = tiny_bert(4);
+        let set = DecisionTreeBuilder::new(8).strategies();
+        let dp = ArenaStageDp::new();
+        let q = StageDpQuery {
+            layer_start: 0,
+            layer_end: model.n_layers(),
+            base_device: 0,
+            set: &set,
+            stage_batch: 16,
+            usable_budget: 12 * GIB,
+            granularity: 32 * MIB,
+            micro_batches: 2,
+            act_stash_batch: 16,
+        };
+        let direct = crate::candidate::DirectStageDp
+            .solve(&est, &model, &q)
+            .unwrap();
+        let fast = dp.solve(&est, &model, &q).unwrap();
+        assert_eq!(direct, fast);
+        assert_eq!(dp.solves(), 1);
+    }
+}

@@ -37,8 +37,9 @@
 //! assumption, and the `dp_oracle` conformance suite checks every path
 //! against brute force.
 
+use crate::arena::{dp_search_arena, with_thread_arena};
 use crate::candidate::{StageDp, StageDpQuery};
-use crate::dp::{dp_feasible_with_provider, dp_search_with_provider, DpResult, StageCostProvider};
+use crate::dp::{dp_feasible_with_provider, DpResult, StageCostProvider};
 use galvatron_cluster::{ClusterError, DeviceId};
 use galvatron_estimator::{CostEstimator, LayerCost, LayerMemory};
 use galvatron_model::ModelSpec;
@@ -225,6 +226,11 @@ pub struct IncrementalCounters {
     /// Full stage-DP solves short-circuited to `None` because the ledger
     /// already knew a smaller stash was infeasible.
     pub warm_start_prunes: usize,
+    /// Stage solves answered by the arena fast path.
+    pub arena_solves: usize,
+    /// `(layer, strategy)` slots removed by the arena's dominance
+    /// prefilter across those solves.
+    pub dominated_pruned: usize,
 }
 
 impl IncrementalCounters {
@@ -236,6 +242,8 @@ impl IncrementalCounters {
             ledger_hits: self.ledger_hits - earlier.ledger_hits,
             ledger_misses: self.ledger_misses - earlier.ledger_misses,
             warm_start_prunes: self.warm_start_prunes - earlier.warm_start_prunes,
+            arena_solves: self.arena_solves - earlier.arena_solves,
+            dominated_pruned: self.dominated_pruned - earlier.dominated_pruned,
         }
     }
 
@@ -396,6 +404,8 @@ impl FeasibilityLedger {
 pub struct IncrementalEngine {
     table: EvalTable,
     ledger: FeasibilityLedger,
+    arena_solves: AtomicUsize,
+    dominated_pruned: AtomicUsize,
 }
 
 impl IncrementalEngine {
@@ -445,6 +455,8 @@ impl IncrementalEngine {
             ledger_hits: self.ledger.hits.load(Ordering::Relaxed),
             ledger_misses: self.ledger.misses.load(Ordering::Relaxed),
             warm_start_prunes: self.ledger.prunes.load(Ordering::Relaxed),
+            arena_solves: self.arena_solves.load(Ordering::Relaxed),
+            dominated_pruned: self.dominated_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -627,19 +639,33 @@ impl StageDp for BoundIncrementalDp<'_> {
             self.engine.ledger.prunes.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
-        let out = dp_search_with_provider(
-            estimator,
-            model,
-            range,
-            q.base_device,
-            q.set,
-            q.stage_batch,
-            q.usable_budget,
-            q.granularity,
-            q.micro_batches,
-            q.act_stash_batch,
-            self,
-        )?;
+        // The arena fast path (bit-identical to `dp_search_with_provider`;
+        // see `crate::arena`), with kernels still routed through the intern
+        // table — class deduplication shrinks the table traffic, interning
+        // shares the surviving queries across solves.
+        let out = with_thread_arena(|arena| {
+            let dominated_before = arena.dominated_slots();
+            let out = dp_search_arena(
+                estimator,
+                model,
+                range,
+                q.base_device,
+                q.set,
+                q.stage_batch,
+                q.usable_budget,
+                q.granularity,
+                q.micro_batches,
+                q.act_stash_batch,
+                self,
+                arena,
+            )?;
+            self.engine.arena_solves.fetch_add(1, Ordering::Relaxed);
+            self.engine.dominated_pruned.fetch_add(
+                (arena.dominated_slots() - dominated_before) as usize,
+                Ordering::Relaxed,
+            );
+            Ok::<_, ClusterError>(out)
+        })?;
         self.engine
             .ledger
             .record(&key, q.act_stash_batch, out.is_some());

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod candidate;
 pub mod dp;
 pub mod explain;
@@ -25,6 +26,7 @@ pub mod incremental;
 pub mod optimizer;
 pub mod partition;
 
+pub use arena::{dominance_masks, dp_search_arena, with_thread_arena, ArenaStageDp, DpArena};
 pub use candidate::{
     evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets, strategy_sets,
     CandidateOutcome, CandidateResult, CandidateSpec, DirectStageDp, StageDp, StageDpQuery,

@@ -140,6 +140,20 @@ pub struct SearchStats {
     /// knew a smaller batch was infeasible (0 without an engine).
     #[serde(default)]
     pub warm_start_prunes: usize,
+    /// Stage solves answered by the arena fast path (0 on the serial
+    /// reference path, which deliberately keeps the historical solver).
+    #[serde(default)]
+    pub arena_solves: usize,
+    /// `(layer, strategy)` slots removed by the arena's dominance
+    /// prefilter across those solves (0 without the arena).
+    #[serde(default)]
+    pub dominated_pruned: usize,
+    /// FNV-1a digest of the parallel planner's best-first dispatch order
+    /// (candidate slot ordinals in visit order; 0 on the serial path).
+    /// Pinned by the golden search-trace test: an ordering regression is
+    /// caught even when the final plan is unchanged.
+    #[serde(default)]
+    pub visit_order_digest: u64,
 }
 
 impl SearchStats {
@@ -205,6 +219,12 @@ impl SearchStats {
         registry
             .counter("dp_warm_start_prunes")
             .inc_by(self.warm_start_prunes as u64);
+        registry
+            .counter("dp_arena_solves")
+            .inc_by(self.arena_solves as u64);
+        registry
+            .counter("dp_dominated_pruned")
+            .inc_by(self.dominated_pruned as u64);
         registry
             .wall_histogram("planner_search_seconds")
             .observe(self.search_seconds);
@@ -455,6 +475,8 @@ impl GalvatronOptimizer {
             stats.ledger_hits = delta.ledger_hits;
             stats.ledger_misses = delta.ledger_misses;
             stats.warm_start_prunes = delta.warm_start_prunes;
+            stats.arena_solves = delta.arena_solves;
+            stats.dominated_pruned = delta.dominated_pruned;
         }
         stats.record_to(self.obs.registry());
         self.obs

@@ -1,10 +1,12 @@
 //! `galvatron-bench-serve` — load generator for the plan-serving layer.
 //!
 //! **Single-daemon mode** (default) starts an in-process
-//! [`PlanServer`](galvatron_serve::PlanServer) and drives four phases over
-//! real loopback TCP — cold, warm, thundering herd, shed — writing
-//! `BENCH_serve.json` and failing unless warm-cache throughput beats cold
-//! by 5×, the herd coalesces to one computation, and overload sheds.
+//! [`PlanServer`](galvatron_serve::PlanServer) and drives five phases over
+//! real loopback TCP — cold, warm, the 64-GPU/100-layer cold scaling
+//! point, thundering herd, shed — writing `BENCH_serve.json` and failing
+//! unless warm-cache throughput beats cold by 5×, the scale point plans
+//! exactly one cold DP and answers its warm repeat from cache, the herd
+//! coalesces to one computation, and overload sheds.
 //!
 //! **Fleet mode** (`--fleet N`) starts N event-driven replicas plus a
 //! consistent-hash router, all in-process over loopback, and drives:
@@ -36,7 +38,8 @@
 //! Results go to `BENCH_fleet.json`; the bench exits non-zero if any gate
 //! fails.
 
-use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_bench::paper::{scale_point_model, SCALE_POINT_LAYERS};
+use galvatron_cluster::{rtx_titan_node, TestbedPreset, GIB};
 use galvatron_core::OptimizerConfig;
 use galvatron_fleet::{FleetReplica, FleetRouter, ReplicaConfig, RouterConfig};
 use galvatron_model::{BertConfig, ModelSpec};
@@ -84,6 +87,18 @@ struct ShedReport {
 }
 
 #[derive(Serialize)]
+struct ScalePointReport {
+    model: String,
+    layers: usize,
+    devices: usize,
+    budget_gib: u64,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_computed: u64,
+    warm_computed: u64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     bench: &'static str,
     distinct_requests: usize,
@@ -91,6 +106,7 @@ struct BenchReport {
     cold: PhaseReport,
     warm: PhaseReport,
     warm_over_cold_speedup: f64,
+    scale_point: ScalePointReport,
     herd: HerdReport,
     shed: ShedReport,
 }
@@ -1006,7 +1022,70 @@ fn run_single_bench(flags: &Flags) {
         warm.requests_per_sec, warm.seconds
     );
 
-    // Phase 3: thundering herd on one *uncached* key. Pause the workers so
+    // Phase 3: the 64-GPU/100-layer cold scaling point — the arena-DP
+    // rebuild's serving-side face. One uncached plan of the scale model on
+    // the Table-4 A100 testbed must run exactly one DP compute; its warm
+    // repeat must be a pure cache hit.
+    let scale_spec = scale_point_model();
+    assert_eq!(scale_spec.n_layers(), SCALE_POINT_LAYERS);
+    let scale_topology = TestbedPreset::A100x64.topology();
+    let scale_devices = scale_topology.n_devices();
+    let mut scale_client = PlanClient::connect(addr).expect("connect");
+    let before_scale = handle.stats();
+    let scale_started = Instant::now();
+    let scale_cold_response = scale_client
+        .plan(
+            "scale-64gpu-100l",
+            scale_spec.clone(),
+            scale_topology.clone(),
+            16 * GIB,
+        )
+        .expect("scale cold response");
+    let scale_cold_ms = scale_started.elapsed().as_secs_f64() * 1e3;
+    let mid_scale = handle.stats();
+    let scale_started = Instant::now();
+    let scale_warm_response = scale_client
+        .plan(
+            "scale-64gpu-100l",
+            scale_spec.clone(),
+            scale_topology,
+            16 * GIB,
+        )
+        .expect("scale warm response");
+    let scale_warm_ms = scale_started.elapsed().as_secs_f64() * 1e3;
+    let after_scale = handle.stats();
+    for (phase, response) in [
+        ("cold", &scale_cold_response),
+        ("warm", &scale_warm_response),
+    ] {
+        assert!(
+            matches!(response.result, WireResult::Plan(_)),
+            "scale point {phase} request got {:?}",
+            response.result
+        );
+    }
+    let scale_point = ScalePointReport {
+        model: scale_spec.name.clone(),
+        layers: scale_spec.n_layers(),
+        devices: scale_devices,
+        budget_gib: 16,
+        cold_ms: scale_cold_ms,
+        warm_ms: scale_warm_ms,
+        cold_computed: mid_scale.computed - before_scale.computed,
+        warm_computed: after_scale.computed - mid_scale.computed,
+    };
+    eprintln!(
+        "  scale point: {} ({} layers) on {} devices — cold {:.1}ms ({} computed), warm {:.1}ms ({} computed)",
+        scale_point.model,
+        scale_point.layers,
+        scale_point.devices,
+        scale_point.cold_ms,
+        scale_point.cold_computed,
+        scale_point.warm_ms,
+        scale_point.warm_computed
+    );
+
+    // Phase 4: thundering herd on one *uncached* key. Pause the workers so
     // every client demonstrably overlaps, then release.
     let herd_model = BertConfig {
         layers: 3,
@@ -1054,7 +1133,7 @@ fn run_single_bench(flags: &Flags) {
         herd.clients, herd.coalesced, herd.computed_delta, herd.seconds
     );
 
-    // Phase 4: offer distinct requests past the queue capacity with the
+    // Phase 5: offer distinct requests past the queue capacity with the
     // workers paused; the excess must shed deterministically.
     handle.pause();
     let before_shed = handle.stats();
@@ -1109,6 +1188,7 @@ fn run_single_bench(flags: &Flags) {
         cold,
         warm,
         warm_over_cold_speedup: speedup,
+        scale_point,
         herd,
         shed,
     };
@@ -1118,6 +1198,13 @@ fn run_single_bench(flags: &Flags) {
 
     if speedup < 5.0 {
         eprintln!("galvatron-bench-serve: FAIL — warm-cache throughput below 5× cold");
+        std::process::exit(1);
+    }
+    if report.scale_point.cold_computed != 1 || report.scale_point.warm_computed != 0 {
+        eprintln!(
+            "galvatron-bench-serve: FAIL — scale point computed {} cold / {} warm, expected 1 / 0",
+            report.scale_point.cold_computed, report.scale_point.warm_computed
+        );
         std::process::exit(1);
     }
     if report.herd.computed_delta != 1 {

@@ -229,6 +229,8 @@ impl ParallelPlanner {
             stats.ledger_hits = delta.ledger_hits;
             stats.ledger_misses = delta.ledger_misses;
             stats.warm_start_prunes = delta.warm_start_prunes;
+            stats.arena_solves = delta.arena_solves;
+            stats.dominated_pruned = delta.dominated_pruned;
         }
         stats.search_seconds = started.elapsed().as_secs_f64();
         stats.record_to(self.obs.registry());

@@ -31,7 +31,7 @@ use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_core::optimizer::batch_candidates;
 use galvatron_core::{
     dp_feasible, evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets,
-    strategy_sets, BoundIncrementalDp, CandidateResult, CandidateSpec, DirectStageDp,
+    strategy_sets, ArenaStageDp, BoundIncrementalDp, CandidateResult, CandidateSpec,
     IncrementalEngine, OptimizerConfig, SearchStats, StageDp,
 };
 use galvatron_estimator::CostEstimator;
@@ -45,12 +45,15 @@ use std::time::Instant;
 /// One dispatched unit of work: a feasible candidate plus its position in
 /// the serial visit order.
 struct WorkItem {
-    /// Index into the evaluation-slot vector (dense, dispatch order =
-    /// serial order among feasible candidates).
+    /// Index into the evaluation-slot vector (dense, slot order = serial
+    /// order among feasible candidates; *dispatch* order is best-first).
     slot: usize,
     /// Index into the `(pp, StrategySet)` list.
     set_index: usize,
     spec: CandidateSpec,
+    /// The candidate's throughput upper bound — the best-first dispatch
+    /// key, reused by the workers' pruning gate.
+    upper_bound: f64,
 }
 
 /// What one worker recorded for one candidate.
@@ -151,15 +154,18 @@ fn enumerate(
                     });
                     if feasible {
                         any_feasible = true;
+                        let spec = CandidateSpec {
+                            batch,
+                            pp: *pp,
+                            bounds: bounds.clone(),
+                            micro_batches,
+                        };
+                        let upper_bound = throughput_upper_bound(model, topology, &spec);
                         items.push(WorkItem {
                             slot: items.len(),
                             set_index,
-                            spec: CandidateSpec {
-                                batch,
-                                pp: *pp,
-                                bounds: bounds.clone(),
-                                micro_batches,
-                            },
+                            spec,
+                            upper_bound,
                         });
                     }
                 }
@@ -217,6 +223,31 @@ pub(crate) fn run_sweep(
     let mut phase_b = obs.span("evaluate_candidates");
 
     let context = cache.map(|c| c.intern(&context_fingerprint(estimator, model)));
+    // Best-first dispatch: highest upper bound first (ties keep serial
+    // order). The first evaluations are the candidates that *can* win, so
+    // the pruning watermark tightens to near its final value almost
+    // immediately and the long tail of hopeless candidates is skipped.
+    // Correctness is untouched: the reduction below scans completed slots
+    // in serial order, and pruning remains gated on the strict upper-bound
+    // comparison proven sound in `bound`.
+    let mut items = items;
+    items.sort_by(|a, b| {
+        b.upper_bound
+            .partial_cmp(&a.upper_bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.slot.cmp(&b.slot))
+    });
+    // Pin the visit order: FNV-1a over the dispatched slot ordinals. The
+    // golden search-trace test catches ordering regressions even when the
+    // final plan is unchanged.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for item in &items {
+        for byte in (item.slot as u64).to_le_bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    stats.visit_order_digest = digest;
     let queue: Injector<WorkItem> = Injector::new();
     for item in items {
         queue.push(item);
@@ -229,17 +260,21 @@ pub(crate) fn run_sweep(
     let first_error: Mutex<Option<ClusterError>> = Mutex::new(None);
 
     let workers = jobs.max(1).min(n_items.max(1));
+    // The engine-free inner solver: the arena fast path (bit-identical to
+    // the reference DP; see `galvatron_core::arena`), shared so its
+    // dominance counters survive the worker scope.
+    let arena_dp = ArenaStageDp::new();
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 // Solver stack, innermost out: the incremental engine's
-                // kernel-interning DP (when enabled), then the whole-query
-                // memoization cache (when enabled). Workers share both
-                // structures; each layer is bit-identical to the direct DP.
-                let direct = DirectStageDp;
+                // kernel-interning DP (when enabled), otherwise the arena
+                // solver, then the whole-query memoization cache (when
+                // enabled). Workers share both structures; each layer is
+                // bit-identical to the direct DP.
                 let inner: &dyn StageDp = match &bound {
                     Some(b) => b,
-                    None => &direct,
+                    None => &arena_dp,
                 };
                 let cached = context.map(|ctx| CachedStageDp::over(cache.unwrap(), ctx, inner));
                 let dp: &dyn StageDp = match &cached {
@@ -256,9 +291,8 @@ pub(crate) fn run_sweep(
                         continue; // drain the queue, nothing more to do
                     }
                     if prune {
-                        let bound = throughput_upper_bound(model, topology, &item.spec);
                         let best = f64::from_bits(watermark.load(Ordering::Relaxed));
-                        if bound < best {
+                        if item.upper_bound < best {
                             continue; // slot stays empty → counted as pruned
                         }
                     }
@@ -315,6 +349,12 @@ pub(crate) fn run_sweep(
 
     if let Some(error) = first_error.into_inner() {
         return Err(error);
+    }
+    if engine.is_none() {
+        // With an engine, the same counters come off the engine delta in
+        // the caller; without one they live on the shared arena solver.
+        stats.arena_solves = arena_dp.solves();
+        stats.dominated_pruned = arena_dp.dominated();
     }
 
     // Deterministic reduction: serial order, strict improvement — the same

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Repo-wide hygiene gate: formatting, lints, and the tier-1 test suite.
-# Usage: scripts/check.sh [--offline]
+# Usage: scripts/check.sh [--offline] [--full]
+#   --full additionally runs the oracle stress lane
+#   (scripts/oracle_stress.sh: PROPTEST_CASES=2048 differential fuzz plus
+#   the full oracle wall and golden snapshots, release mode).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=()
+FULL=0
 for arg in "$@"; do
     case "$arg" in
         --offline) CARGO_FLAGS+=(--offline) ;;
+        --full) FULL=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -34,13 +39,23 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build "${CARGO_FLAGS[@]}" --release
 cargo test "${CARGO_FLAGS[@]}" -q
 
-echo "==> oracle conformance: brute force vs every DP path (serial/cached/incremental)"
+echo "==> oracle conformance: brute force vs every DP path (serial/arena/cached/incremental)"
 cargo test "${CARGO_FLAGS[@]}" --test dp_oracle -q
 
-echo "==> planner_sweep smoke bench (fails if incremental and serial plans diverge)"
+echo "==> tier-2 (release): oracle wall + differential fuzz + golden snapshots"
+# The same bit-identity suites again, but release-compiled: the arena DP's
+# unsafe-free but heavily windowed hot path must agree with the reference
+# under release codegen (different FP contraction and bounds-check
+# elision), not just under the opt-level-2 test profile.
+cargo test "${CARGO_FLAGS[@]}" --release -q \
+    --test dp_oracle --test dp_fuzz_differential \
+    --test golden_plans --test golden_scale
+
+echo "==> planner_sweep bench (fails on plan divergence or a speedup floor breach)"
 # Writes BENCH_planner_sweep.json at the workspace root; the bench itself
-# panics (non-zero exit) on any plan divergence or a warm-sweep speedup
-# below the 1.5x floor.
+# panics (non-zero exit) on any plan divergence from serial, a cold-sweep
+# speedup below the 10x floor, a 64-GPU/100-layer cold speedup below the
+# 5x floor, or a warm-sweep speedup below the 1.5x floor.
 cargo bench "${CARGO_FLAGS[@]}" -p galvatron-bench --bench planner_sweep
 test -s BENCH_planner_sweep.json || { echo "BENCH_planner_sweep.json missing" >&2; exit 1; }
 
@@ -109,5 +124,15 @@ echo "==> galvatron-trace attribution report (replays the bench span dump)"
 cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-obs --bin galvatron-trace -- \
     --spans BENCH_trace_spans.jsonl --chrome-out TRACE_fleet.json
 test -s TRACE_fleet.json || { echo "TRACE_fleet.json missing" >&2; exit 1; }
+
+if [ "$FULL" -eq 1 ]; then
+    echo "==> oracle stress lane (scripts/oracle_stress.sh, PROPTEST_CASES=2048)"
+    stress_line=$(scripts/oracle_stress.sh)
+    printf '%s\n' "$stress_line"
+    case "$stress_line" in
+        "oracle-stress: ok"*) ;;
+        *) echo "oracle stress lane did not report ok (got: $stress_line)" >&2; exit 1 ;;
+    esac
+fi
 
 echo "==> all checks passed"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Nightly-style DP-oracle stress lane: the full seeded oracle wall, the
+# golden-plan snapshots, and the differential fuzz harness cranked to
+# PROPTEST_CASES=2048, all in release mode.
+#
+# Prints exactly ONE summary line on stdout, e.g.
+#   oracle-stress: ok cases=2048 suites=4 seconds=37
+# (all cargo output goes to stderr), so scripts/check.sh --full — or a cron
+# job — can consume the verdict without parsing test logs. Any failing
+# suite aborts before the summary line is printed (set -e), so a missing
+# or non-"ok" line IS the failure signal.
+#
+# Override the fuzz case count with PROPTEST_CASES=<n>.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CASES="${PROPTEST_CASES:-2048}"
+start=$(date +%s)
+{
+    echo "==> oracle wall (410 seeded instances, release)"
+    cargo test --release -q --test dp_oracle
+    echo "==> differential fuzz, PROPTEST_CASES=$CASES (release)"
+    PROPTEST_CASES="$CASES" cargo test --release -q --test dp_fuzz_differential
+    echo "==> golden plan snapshots (Table-1 zoo + 64-GPU/100-layer scale point)"
+    cargo test --release -q --test golden_plans
+    cargo test --release -q --test golden_scale
+} >&2
+end=$(date +%s)
+
+echo "oracle-stress: ok cases=$CASES suites=4 seconds=$((end - start))"

@@ -4,11 +4,15 @@
 //! the parallel planner, the memoization cache and the incremental engine
 //! emit is built from its per-stage answers. This suite checks the solver
 //! against an oracle that cannot be wrong: brute-force enumeration of every
-//! per-layer strategy assignment on tiny instances (≤4 devices, ≤6 layers),
-//! with the *same* quantized memory accounting the DP uses. Each seeded
-//! random workload asserts that
+//! per-layer strategy assignment on tiny instances (≤12 devices, ≤6
+//! layers), with the *same* quantized memory accounting the DP uses. Each
+//! seeded random workload asserts that
 //!
 //! * the serial path (`dp_search_with_micro_batches`),
+//! * the arena path (`dp_search_arena` — the cold hot path, including its
+//!   dominance prefilter and reachable-memory windows),
+//! * the parallel-worker path (`ArenaStageDp` through per-thread arenas,
+//!   exactly what the work-stealing sweep runs),
 //! * the memoizing path (`CachedStageDp`, cold and warm),
 //! * the incremental path (`IncrementalEngine`, cold and replayed from the
 //!   intern table), and
@@ -17,10 +21,22 @@
 //!
 //! all agree bit-for-bit with each other and match the brute-force optimum,
 //! including on infeasible instances (everyone must say `None`).
+//!
+//! Four seeded families cover the instance space:
+//!
+//! * **base** — the original 220 draws on a power-of-two PCIe node;
+//! * **npo2** — non-power-of-two device counts (6- and 12-GPU clusters
+//!   built from power-of-two islands);
+//! * **mixed** — priced heterogeneous A100+RTX island clusters;
+//! * **degenerate** — 1-layer stage ranges, 1-GPU groups,
+//!   single-strategy sets, and granularities coarser than the budget.
 
-use galvatron_cluster::{rtx_titan_node, MIB};
+use galvatron_cluster::{
+    island_cluster, mixed_a100_rtx_cluster, rtx_titan_node, ClusterTopology, DeviceType, MIB,
+};
 use galvatron_core::{
-    dp_search_with_micro_batches, DirectStageDp, DpResult, IncrementalEngine, StageDp, StageDpQuery,
+    dp_search_arena, dp_search_with_micro_batches, ArenaStageDp, DirectCosts, DirectStageDp,
+    DpArena, DpResult, IncrementalEngine, StageDp, StageDpQuery,
 };
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::{BertConfig, ModelSpec};
@@ -29,11 +45,13 @@ use galvatron_planner::{CachedStageDp, DpCache};
 use galvatron_strategy::{DecisionTreeBuilder, StrategySet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// One randomly drawn tiny workload.
 struct Instance {
     estimator: CostEstimator,
     model: ModelSpec,
+    layer_range: Range<usize>,
     set: StrategySet,
     stage_batch: u64,
     micro_batches: usize,
@@ -42,24 +60,21 @@ struct Instance {
     granularity: u64,
 }
 
-fn draw_instance(seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // ≤4 devices: group sizes 2 or 4 on a 4-GPU PCIe node.
-    let group = [2usize, 4][rng.gen_range(0usize..2)];
-    let estimator = CostEstimator::new(rtx_titan_node(4), EstimatorConfig::default());
-    // ≤6 layers: embed + 1..=4 encoders + head.
+fn tiny_model(rng: &mut StdRng, seed: u64) -> ModelSpec {
     let heads = [4u64, 8][rng.gen_range(0usize..2)];
-    let model = BertConfig {
+    BertConfig {
         layers: rng.gen_range(1..=4),
         hidden: heads * 64,
         heads,
         seq: [64u64, 128][rng.gen_range(0usize..2)],
         vocab: 30522,
     }
-    .build(&format!("oracle-{seed}"));
+    .build(&format!("oracle-{seed}"))
+}
 
-    // A random non-empty subset of the decision-tree candidates keeps the
-    // tie-break structure varied across instances.
+/// A random non-empty subset of the decision-tree candidates keeps the
+/// tie-break structure varied across instances.
+fn random_subset(rng: &mut StdRng, group: usize) -> StrategySet {
     let full = DecisionTreeBuilder::new(group).strategies();
     let mut kept: Vec<_> = full
         .iter()
@@ -69,7 +84,17 @@ fn draw_instance(seed: u64) -> Instance {
     if kept.is_empty() {
         kept = full.strategies().to_vec();
     }
-    let set = StrategySet::new(group, kept);
+    StrategySet::new(group, kept)
+}
+
+/// Family **base**: the original draw on a 4-GPU power-of-two PCIe node.
+fn draw_base(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ≤4 devices: group sizes 2 or 4 on a 4-GPU PCIe node.
+    let group = [2usize, 4][rng.gen_range(0usize..2)];
+    let estimator = CostEstimator::new(rtx_titan_node(4), EstimatorConfig::default());
+    let model = tiny_model(&mut rng, seed);
+    let set = random_subset(&mut rng, group);
 
     let stage_batch = (group as u64) << rng.gen_range(0..=2);
     // Keep the micro-batch at least the group size so every candidate's
@@ -89,13 +114,155 @@ fn draw_instance(seed: u64) -> Instance {
         rng.gen_range(1u64..=68) * 64 * MIB
     };
     let granularity = [16 * MIB, 64 * MIB][rng.gen_range(0usize..2)];
+    let n_layers = model.n_layers();
     Instance {
         estimator,
         model,
+        layer_range: 0..n_layers,
         set,
         stage_batch,
         micro_batches,
         act_stash_batch,
+        usable_budget,
+        granularity,
+    }
+}
+
+/// Family **npo2**: clusters whose device count is *not* a power of two
+/// (built from power-of-two islands, per Takeaway #2 the groups themselves
+/// stay powers of two).
+fn draw_npo2(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (topology, group): (ClusterTopology, usize) = match rng.gen_range(0u32..3) {
+        // 6 GPUs: 3 PCIe islands of 2.
+        0 => (island_cluster(DeviceType::RtxTitan, 3, 2), 2),
+        // 12 GPUs: 3 islands of 4.
+        1 => (
+            island_cluster(DeviceType::RtxTitan, 3, 4),
+            [2, 4][rng.gen_range(0usize..2)],
+        ),
+        // 12 GPUs: 6 islands of 2, groups span island boundaries.
+        _ => (
+            island_cluster(DeviceType::A100, 6, 2),
+            [2, 4][rng.gen_range(0usize..2)],
+        ),
+    };
+    let estimator = CostEstimator::new(topology, EstimatorConfig::default());
+    let model = tiny_model(&mut rng, seed);
+    let set = random_subset(&mut rng, group);
+    let stage_batch = (group as u64) << rng.gen_range(0u32..=2);
+    let micro_batches = if stage_batch >= 2 * group as u64 && rng.gen_range(0..2) == 1 {
+        2
+    } else {
+        1
+    };
+    let usable_budget = if rng.gen_range(0u32..2) == 0 {
+        rng.gen_range(1u64..=32) * 16 * MIB
+    } else {
+        rng.gen_range(1u64..=68) * 64 * MIB
+    };
+    let granularity = [16 * MIB, 64 * MIB][rng.gen_range(0usize..2)];
+    let n_layers = model.n_layers();
+    Instance {
+        estimator,
+        model,
+        layer_range: 0..n_layers,
+        set,
+        stage_batch,
+        micro_batches,
+        act_stash_batch: stage_batch,
+        usable_budget,
+        granularity,
+    }
+}
+
+/// Family **mixed**: priced heterogeneous A100+RTX island clusters (the
+/// galvatron-hetero topologies), including non-power-of-two totals.
+fn draw_mixed(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (topology, group): (ClusterTopology, usize) = match rng.gen_range(0u32..3) {
+        // 4 GPUs: one A100 pair + one RTX pair.
+        0 => (mixed_a100_rtx_cluster(1, 1, 2), 2),
+        // 6 GPUs: one A100 island + two RTX islands.
+        1 => (mixed_a100_rtx_cluster(1, 2, 2), 2),
+        // 12 GPUs: two A100 islands + one RTX island of 4.
+        _ => (
+            mixed_a100_rtx_cluster(2, 1, 4),
+            [2, 4][rng.gen_range(0usize..2)],
+        ),
+    };
+    let estimator = CostEstimator::new(topology, EstimatorConfig::default());
+    let model = tiny_model(&mut rng, seed);
+    let set = random_subset(&mut rng, group);
+    let stage_batch = (group as u64) << rng.gen_range(0..=2);
+    let micro_batches = if stage_batch >= 2 * group as u64 && rng.gen_range(0..2) == 1 {
+        2
+    } else {
+        1
+    };
+    let usable_budget = if rng.gen_range(0u32..2) == 0 {
+        rng.gen_range(1u64..=32) * 16 * MIB
+    } else {
+        rng.gen_range(1u64..=68) * 64 * MIB
+    };
+    let granularity = [16 * MIB, 64 * MIB][rng.gen_range(0usize..2)];
+    // Mixed clusters price links by position: start some stages off the
+    // first island to exercise base-device-dependent kernels.
+    let n_layers = model.n_layers();
+    Instance {
+        estimator,
+        model,
+        layer_range: 0..n_layers,
+        set,
+        stage_batch,
+        micro_batches,
+        act_stash_batch: stage_batch,
+        usable_budget,
+        granularity,
+    }
+}
+
+/// Family **degenerate**: the edges — 1-layer stage ranges, the 1-GPU
+/// group (a single serial strategy), single-strategy sets, and
+/// granularities coarser than the whole budget.
+fn draw_degenerate(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let estimator = CostEstimator::new(rtx_titan_node(2), EstimatorConfig::default());
+    let model = tiny_model(&mut rng, seed);
+    let n_layers = model.n_layers();
+    let variant = rng.gen_range(0u32..4);
+    // 1-GPU group in half the variants; a single kept strategy in another.
+    let (group, set) = match variant {
+        0 | 1 => (1usize, DecisionTreeBuilder::new(1).strategies()),
+        2 => {
+            let full = DecisionTreeBuilder::new(2).strategies();
+            let pick = rng.gen_range(0..full.len());
+            (
+                2usize,
+                StrategySet::new(2, vec![full.strategies()[pick].clone()]),
+            )
+        }
+        _ => (2usize, random_subset(&mut rng, 2)),
+    };
+    // 1-layer ranges in half the variants (anywhere in the model).
+    let layer_range = if variant % 2 == 0 {
+        let start = rng.gen_range(0..n_layers);
+        start..start + 1
+    } else {
+        0..n_layers
+    };
+    let stage_batch = (group as u64) << rng.gen_range(0..=1);
+    let usable_budget = rng.gen_range(1u64..=40) * 32 * MIB;
+    // Sometimes coarser than the budget itself: e_max collapses to 0.
+    let granularity = [16 * MIB, 2048 * MIB][rng.gen_range(0usize..2)];
+    Instance {
+        estimator,
+        model,
+        layer_range,
+        set,
+        stage_batch,
+        micro_batches: 1,
+        act_stash_batch: stage_batch,
         usable_budget,
         granularity,
     }
@@ -107,14 +274,16 @@ fn draw_instance(seed: u64) -> Instance {
 fn brute_force(inst: &Instance) -> Option<f64> {
     let est = &inst.estimator;
     let model = &inst.model;
-    let n_layers = model.n_layers();
+    let layers: Vec<usize> = inst.layer_range.clone().collect();
+    let n_layers = layers.len();
     let n = inst.set.len();
     let micro = (inst.stage_batch / inst.micro_batches as u64).max(1);
 
     let mut cost = vec![vec![0.0f64; n]; n_layers];
     let mut units = vec![vec![0u64; n]; n_layers];
     let mut reserve = 0u64;
-    for (li, layer) in model.layers.iter().enumerate() {
+    for (li, &l) in layers.iter().enumerate() {
+        let layer = &model.layers[l];
         for (si, s) in inst.set.iter().enumerate() {
             let c = est.layer_cost(layer, model.dtype, s, micro, 0).unwrap();
             cost[li][si] = c.total_with_micro_batches(est.config(), inst.micro_batches);
@@ -130,7 +299,7 @@ fn brute_force(inst: &Instance) -> Option<f64> {
             for (si, s) in inst.set.iter().enumerate() {
                 r_li[pi][si] = est
                     .transformation_cost(
-                        &model.layers[li - 1],
+                        &model.layers[layers[li - 1]],
                         model.dtype,
                         p,
                         s,
@@ -176,8 +345,8 @@ fn brute_force(inst: &Instance) -> Option<f64> {
 
 fn query<'a>(inst: &'a Instance) -> StageDpQuery<'a> {
     StageDpQuery {
-        layer_start: 0,
-        layer_end: inst.model.n_layers(),
+        layer_start: inst.layer_range.start,
+        layer_end: inst.layer_range.end,
         base_device: 0,
         set: &inst.set,
         stage_batch: inst.stage_batch,
@@ -216,96 +385,196 @@ fn assert_same_result(a: &Option<DpResult>, b: &Option<DpResult>, what: &str, se
     }
 }
 
+/// Every `(family_offset, count)` block of seeds in the suite.
+const FAMILIES: [(&str, u64, u64); 4] = [
+    ("base", 0, 220),
+    ("npo2", 1_000, 90),
+    ("mixed", 2_000, 60),
+    ("degenerate", 3_000, 40),
+];
+
+fn draw(seed: u64) -> Instance {
+    match seed {
+        0..=999 => draw_base(seed),
+        1_000..=1_999 => draw_npo2(seed),
+        2_000..=2_999 => draw_mixed(seed),
+        _ => draw_degenerate(seed),
+    }
+}
+
 #[test]
-fn every_dp_path_matches_brute_force_on_200_seeded_instances() {
-    const INSTANCES: u64 = 220;
+fn every_dp_path_matches_brute_force_on_410_seeded_instances() {
+    let mut total = 0usize;
     let mut feasible = 0usize;
     let mut infeasible = 0usize;
-    // One long-lived engine and cache across all instances — exactly the
-    // plan-service situation, and the harshest test of context keying:
-    // entries interned for one instance must never leak into another.
+    // One long-lived engine, cache and arena across all instances —
+    // exactly the plan-service situation, and the harshest test of
+    // context keying and scratch reuse: entries interned (or arena rows
+    // written) for one instance must never leak into another.
     let engine = IncrementalEngine::new();
     let cache = DpCache::new();
+    let mut arena = DpArena::new();
+    let arena_dp = ArenaStageDp::new();
 
-    for seed in 0..INSTANCES {
-        let inst = draw_instance(seed);
-        let q = query(&inst);
+    for &(_family, offset, count) in &FAMILIES {
+        for seed in offset..offset + count {
+            total += 1;
+            let inst = draw(seed);
+            let q = query(&inst);
 
-        let serial = dp_search_with_micro_batches(
-            &inst.estimator,
-            &inst.model,
-            0..inst.model.n_layers(),
-            0,
-            &inst.set,
-            inst.stage_batch,
-            inst.usable_budget,
-            inst.granularity,
-            inst.micro_batches,
-            inst.act_stash_batch,
-        )
-        .unwrap();
-
-        // Incremental path, cold then replayed from the intern table.
-        let bound = engine.bind(&inst.estimator, &inst.model);
-        let incremental = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
-        let replayed = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
-        assert_same_result(&serial, &incremental, "incremental", seed);
-        assert_same_result(&serial, &replayed, "incremental replay", seed);
-
-        // Memoizing path, cold then warm.
-        let ctx = cache.intern(&context_fingerprint(&inst.estimator, &inst.model));
-        let cached_dp = CachedStageDp::new(&cache, ctx);
-        let cached = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
-        let warm = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
-        assert_same_result(&serial, &cached, "cached", seed);
-        assert_same_result(&serial, &warm, "warm cache", seed);
-
-        // The production stack: whole-query memoization over the
-        // incremental engine.
-        let composed_dp = CachedStageDp::over(&cache, ctx, &bound);
-        let composed = composed_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
-        assert_same_result(&serial, &composed, "cache∘incremental", seed);
-
-        // The explicit solver, for completeness of the trait plumbing.
-        let direct = DirectStageDp
-            .solve(&inst.estimator, &inst.model, &q)
+            let serial = dp_search_with_micro_batches(
+                &inst.estimator,
+                &inst.model,
+                inst.layer_range.clone(),
+                0,
+                &inst.set,
+                inst.stage_batch,
+                inst.usable_budget,
+                inst.granularity,
+                inst.micro_batches,
+                inst.act_stash_batch,
+            )
             .unwrap();
-        assert_same_result(&serial, &direct, "DirectStageDp", seed);
 
-        // And the oracle itself.
-        let oracle = brute_force(&inst);
-        match (&serial, oracle) {
-            (Some(dp), Some(bf)) => {
-                feasible += 1;
-                assert!(
-                    (dp.cost - bf).abs() <= 1e-9 * bf.max(1.0),
-                    "seed {seed}: dp {} vs brute force {bf}",
-                    dp.cost
-                );
+            // Arena path: the cold hot path with dominance prefilter and
+            // reachable-memory windows, on a shared (reused) arena.
+            let arena_result = dp_search_arena(
+                &inst.estimator,
+                &inst.model,
+                inst.layer_range.clone(),
+                0,
+                &inst.set,
+                inst.stage_batch,
+                inst.usable_budget,
+                inst.granularity,
+                inst.micro_batches,
+                inst.act_stash_batch,
+                &DirectCosts,
+                &mut arena,
+            )
+            .unwrap();
+            assert_same_result(&serial, &arena_result, "arena", seed);
+
+            // Parallel-worker path: `ArenaStageDp` through the
+            // thread-local arena, the exact solver the work-stealing
+            // sweep's workers run.
+            let worker = arena_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+            assert_same_result(&serial, &worker, "parallel worker", seed);
+
+            // Incremental path, cold then replayed from the intern table.
+            let bound = engine.bind(&inst.estimator, &inst.model);
+            let incremental = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
+            let replayed = bound.solve(&inst.estimator, &inst.model, &q).unwrap();
+            assert_same_result(&serial, &incremental, "incremental", seed);
+            assert_same_result(&serial, &replayed, "incremental replay", seed);
+
+            // Memoizing path, cold then warm.
+            let ctx = cache.intern(&context_fingerprint(&inst.estimator, &inst.model));
+            let cached_dp = CachedStageDp::new(&cache, ctx);
+            let cached = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+            let warm = cached_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+            assert_same_result(&serial, &cached, "cached", seed);
+            assert_same_result(&serial, &warm, "warm cache", seed);
+
+            // The production stack: whole-query memoization over the
+            // incremental engine.
+            let composed_dp = CachedStageDp::over(&cache, ctx, &bound);
+            let composed = composed_dp.solve(&inst.estimator, &inst.model, &q).unwrap();
+            assert_same_result(&serial, &composed, "cache∘incremental", seed);
+
+            // The explicit solver, for completeness of the trait plumbing.
+            let direct = DirectStageDp
+                .solve(&inst.estimator, &inst.model, &q)
+                .unwrap();
+            assert_same_result(&serial, &direct, "DirectStageDp", seed);
+
+            // And the oracle itself.
+            let oracle = brute_force(&inst);
+            match (&serial, oracle) {
+                (Some(dp), Some(bf)) => {
+                    feasible += 1;
+                    assert!(
+                        (dp.cost - bf).abs() <= 1e-9 * bf.max(1.0),
+                        "seed {seed}: dp {} vs brute force {bf}",
+                        dp.cost
+                    );
+                }
+                (None, None) => infeasible += 1,
+                (dp, bf) => panic!(
+                    "seed {seed}: feasibility diverged (dp {}, oracle {})",
+                    dp.is_some(),
+                    bf.is_some()
+                ),
             }
-            (None, None) => infeasible += 1,
-            (dp, bf) => panic!(
-                "seed {seed}: feasibility diverged (dp {}, oracle {})",
-                dp.is_some(),
-                bf.is_some()
-            ),
         }
     }
 
+    assert!(total >= 400, "oracle wall shrank: {total} instances");
     // The draw must exercise both sides of the memory boundary, or the
     // suite silently stops testing half the contract.
     assert!(
-        feasible >= 40 && infeasible >= 40,
+        feasible >= 80 && infeasible >= 80,
         "skewed instance draw: {feasible} feasible, {infeasible} infeasible"
+    );
+    assert!(arena.solves() > 0, "arena path never exercised");
+    assert_eq!(
+        arena_dp.solves(),
+        total,
+        "parallel worker path must run every instance"
     );
     let counters = engine.counters();
     assert!(
         counters.intern_hits > 0,
         "replays must hit the table: {counters:?}"
     );
+    assert!(
+        counters.arena_solves > 0,
+        "the incremental engine must route solves through the arena: {counters:?}"
+    );
     // Replaying an infeasible query is answered by the ledger alone.
     assert!(
         counters.warm_start_prunes >= infeasible,
         "infeasible replays must short-circuit: {counters:?}"
     );
+}
+
+/// Thread-local arenas must not interact: the same query solved
+/// concurrently from many threads, against the serial answer.
+#[test]
+fn parallel_thread_arenas_agree_with_serial() {
+    let insts: Vec<Instance> = (0..16).map(|i| draw(i * 7)).collect();
+    let serials: Vec<Option<DpResult>> = insts
+        .iter()
+        .map(|inst| {
+            dp_search_with_micro_batches(
+                &inst.estimator,
+                &inst.model,
+                inst.layer_range.clone(),
+                0,
+                &inst.set,
+                inst.stage_batch,
+                inst.usable_budget,
+                inst.granularity,
+                inst.micro_batches,
+                inst.act_stash_batch,
+            )
+            .unwrap()
+        })
+        .collect();
+    let dp = ArenaStageDp::new();
+    std::thread::scope(|scope| {
+        for chunk in insts.chunks(4).zip(serials.chunks(4)) {
+            let (insts, serials) = chunk;
+            let dp = &dp;
+            scope.spawn(move || {
+                for (i, inst) in insts.iter().enumerate() {
+                    let got = dp
+                        .solve(&inst.estimator, &inst.model, &query(inst))
+                        .unwrap();
+                    assert_same_result(&serials[i], &got, "threaded arena", i as u64);
+                }
+            });
+        }
+    });
+    assert_eq!(dp.solves(), 16);
 }
