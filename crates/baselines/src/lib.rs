@@ -272,6 +272,7 @@ impl BaselinePlanner {
                     device_base: i,
                     device_count: 1,
                     layer_strategies: vec![IntraStageStrategy::single_device(); end - start],
+                    layer_recompute: Vec::new(),
                 })
                 .collect();
             // Tune micro-batches against per-stage costs (the paper
@@ -370,6 +371,7 @@ impl BaselinePlanner {
                     device_base: i * group,
                     device_count: group,
                     layer_strategies: vec![stage_strategy.clone(); end - start],
+                    layer_recompute: Vec::new(),
                 })
                 .collect();
             let mut stage_costs = Vec::with_capacity(stages.len());

@@ -31,6 +31,7 @@ fn pp_plan(model: &ModelSpec, batch: usize, micro_batches: usize) -> ParallelPla
             device_base: i,
             device_count: 1,
             layer_strategies: vec![IntraStageStrategy::single_device(); end - start],
+            layer_recompute: Vec::new(),
         })
         .collect();
     ParallelPlan {

@@ -1,0 +1,172 @@
+//! The BMW acceptance study: does per-layer recomputation plus
+//! memory-balanced partitioning unlock points the four-paradigm planner
+//! cannot train — or train shared points strictly faster?
+//!
+//! For every model × budget point on the 8× RTX TITAN testbed, prices the
+//! four knob corners (baseline / +recompute / +balanced / full BMW) and
+//! simulates the BMW winner to confirm it fits the budget end to end. The
+//! run **panics** — this is the `scripts/check.sh` gate — unless at least
+//! one point is infeasible (or strictly slower) for the baseline and
+//! feasible (or faster) under BMW. Results land in `BENCH_bmw.json` at
+//! the workspace root.
+
+use galvatron_bmw::{BmwPlanner, BmwVariant, VariantOutcome, VARIANTS};
+use galvatron_cluster::{rtx_titan_node, GIB};
+use galvatron_core::OptimizerConfig;
+use galvatron_model::{GptConfig, ModelSpec, PaperModel};
+use galvatron_sim::{Simulator, SimulatorConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const BUDGETS_GIB: [u64; 3] = [6, 8, 12];
+
+#[derive(Debug, Serialize)]
+struct VariantRow {
+    variant: String,
+    feasible: bool,
+    global_batch: usize,
+    pipeline_degree: usize,
+    throughput_samples_per_sec: f64,
+    recompute_layers: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct PointRow {
+    model: String,
+    budget_gib: u64,
+    variants: Vec<VariantRow>,
+    bmw_beats_baseline: bool,
+    bmw_simulated_fits: Option<bool>,
+}
+
+#[derive(Debug, Serialize)]
+struct BmwReport {
+    testbed: String,
+    max_batch: usize,
+    budgets_gib: Vec<u64>,
+    rows: Vec<PointRow>,
+    gate_points: Vec<String>,
+    seconds: f64,
+}
+
+fn config() -> OptimizerConfig {
+    // max_batch 32 keeps the study a smoke bench, same cap as the other
+    // check.sh gates.
+    OptimizerConfig {
+        max_batch: 32,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// The study grid: three paper models plus the GPT-2 XL decoder — the
+/// deep uniform stack where balanced partitioning shows the largest
+/// stage-memory skew.
+fn grid() -> Vec<ModelSpec> {
+    vec![
+        PaperModel::BertHuge32.spec(),
+        PaperModel::BertHuge48.spec(),
+        PaperModel::VitHuge48.spec(),
+        GptConfig::gpt2_1_5b().build("GPT2-XL-1.5B"),
+    ]
+}
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn row(v: &VariantOutcome) -> VariantRow {
+    VariantRow {
+        variant: v.variant.name().to_string(),
+        feasible: v.feasible,
+        global_batch: v.global_batch,
+        pipeline_degree: v.pipeline_degree,
+        throughput_samples_per_sec: v.throughput_samples_per_sec,
+        recompute_layers: v.recompute_layers,
+    }
+}
+
+fn main() {
+    let started = Instant::now();
+    let topology = rtx_titan_node(8);
+    let planner = BmwPlanner::new(config());
+
+    let mut rows = Vec::new();
+    let mut gate_points = Vec::new();
+    for model in grid() {
+        for budget_gib in BUDGETS_GIB {
+            let comparison = planner
+                .compare(&model, &topology, budget_gib * GIB)
+                .expect("testbed topology is well-formed");
+            let beats = comparison.bmw_strictly_beats_baseline();
+            // End-to-end confirmation: the BMW plan's per-layer recompute
+            // decisions fit the budget in the simulator, no global flag.
+            let bmw = comparison.get(BmwVariant::Bmw);
+            let simulated_fits = bmw.outcome.as_ref().map(|o| {
+                let report = Simulator::new(
+                    topology.clone(),
+                    SimulatorConfig::default().with_budget(budget_gib * GIB),
+                )
+                .execute(&model, &o.plan)
+                .expect("winning plan simulates");
+                !report.oom
+            });
+            if beats && simulated_fits != Some(false) {
+                gate_points.push(format!("{} @ {budget_gib}G", model.name));
+            }
+            let baseline = comparison.get(BmwVariant::Baseline);
+            println!(
+                "{:<14} @ {budget_gib:>2}G  baseline {:>7.2}/s  bmw {:>7.2}/s ({} ckpt layers)  {}",
+                model.name,
+                baseline.throughput_samples_per_sec,
+                bmw.throughput_samples_per_sec,
+                bmw.recompute_layers,
+                if beats { "BMW WINS" } else { "" }
+            );
+            rows.push(PointRow {
+                model: model.name.clone(),
+                budget_gib,
+                variants: VARIANTS.iter().map(|&v| row(comparison.get(v))).collect(),
+                bmw_beats_baseline: beats,
+                bmw_simulated_fits: simulated_fits,
+            });
+        }
+    }
+
+    let report = BmwReport {
+        testbed: "1x8 RTX TITAN (PCIe)".to_string(),
+        max_batch: config().max_batch,
+        budgets_gib: BUDGETS_GIB.to_vec(),
+        rows,
+        gate_points: gate_points.clone(),
+        seconds: started.elapsed().as_secs_f64(),
+    };
+    let path = workspace_root().join("BENCH_bmw.json");
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+    std::fs::write(&path, json).expect("write BENCH_bmw.json");
+    println!("wrote {}", path.display());
+
+    assert!(
+        !gate_points.is_empty(),
+        "gate failed: recompute + memory-balanced partitioning never beat \
+         the four-paradigm baseline (feasibility or throughput)"
+    );
+    println!(
+        "gate passed: BMW wins at {} point(s): {}",
+        gate_points.len(),
+        gate_points.join(", ")
+    );
+}

@@ -65,7 +65,7 @@
 //! instances.
 
 use crate::candidate::{StageDp, StageDpQuery};
-use crate::dp::{DpResult, StageCostProvider};
+use crate::dp::{DpResult, RecomputeMode, StageCostProvider};
 use galvatron_cluster::{ClusterError, DeviceId};
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
@@ -76,8 +76,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 const INF: f64 = f64::INFINITY;
 
-/// Hard cap on strategy-set size on the arena path (backpointers are
-/// `u8`, and the fused inner loop keeps one stack row of this width).
+/// Hard cap on per-layer *decision*-space size on the arena path
+/// (backpointers are `u8`, and the fused inner loop keeps one stack row of
+/// this width). A decision is `(strategy, recompute-plane)`, so with
+/// [`RecomputeMode::Auto`]'s two planes the strategy-set cap halves.
 const MAX_STRATEGIES: usize = 256;
 
 /// Reusable flat scratch for [`dp_search_arena`]. One arena serves any
@@ -149,9 +151,11 @@ pub fn with_thread_arena<R>(f: impl FnOnce(&mut DpArena) -> R) -> R {
 }
 
 /// The per-layer dominance mask for a stage solve, for differential
-/// testing: `mask[li][sj]` is `true` iff strategy `sj` is *removed* at
-/// stage layer `li` by the dominance prefilter. Uses the same kernel
-/// tables (and therefore the same provider calls) as [`dp_search_arena`].
+/// testing: `mask[li][dj]` is `true` iff decision `dj` (indexed
+/// `plane·|S| + s`, stash plane first) is *removed* at stage layer `li` by
+/// the dominance prefilter. Uses the same kernel tables (and therefore the
+/// same provider calls) as [`dp_search_arena`]. With
+/// [`RecomputeMode::Off`] decisions coincide with strategies.
 #[allow(clippy::too_many_arguments)]
 pub fn dominance_masks(
     estimator: &CostEstimator,
@@ -163,10 +167,11 @@ pub fn dominance_masks(
     granularity: u64,
     micro_batches: usize,
     act_stash_batch: u64,
+    recompute: RecomputeMode,
     provider: &dyn StageCostProvider,
 ) -> Result<Vec<Vec<bool>>, ClusterError> {
     let mut arena = DpArena::new();
-    let n_strats = set.len();
+    let n_dec = set.len() * recompute.planes().len();
     let tables = build_tables(
         estimator,
         model,
@@ -177,6 +182,7 @@ pub fn dominance_masks(
         granularity,
         micro_batches,
         act_stash_batch,
+        recompute,
         provider,
         &mut arena,
     )?;
@@ -186,8 +192,8 @@ pub fn dominance_masks(
     let mut out = Vec::with_capacity(n_layers);
     for li in 0..n_layers {
         let k = arena.layer_key[li] as usize;
-        let survivors = &arena.active[k * n_strats..k * n_strats + arena.active_len[k]];
-        let mut mask = vec![true; n_strats];
+        let survivors = &arena.active[k * n_dec..k * n_dec + arena.active_len[k]];
+        let mut mask = vec![true; n_dec];
         for &s in survivors {
             mask[s as usize] = false;
         }
@@ -215,18 +221,21 @@ fn build_tables(
     granularity: u64,
     micro_batches: usize,
     act_stash_batch: u64,
+    recompute: RecomputeMode,
     provider: &dyn StageCostProvider,
     arena: &mut DpArena,
 ) -> Result<Option<Tables>, ClusterError> {
     assert!(granularity > 0);
+    let planes = recompute.planes();
     let n_layers = layer_range.len();
     let n_strats = set.len();
+    let n_dec = n_strats * planes.len();
     if n_layers == 0 || n_strats == 0 {
         return Ok(None);
     }
     assert!(
-        n_strats <= u8::MAX as usize,
-        "arena DP caps strategy sets at {} (got {n_strats})",
+        n_dec <= u8::MAX as usize,
+        "arena DP caps the per-layer decision space at {} (got {n_dec})",
         u8::MAX
     );
 
@@ -250,23 +259,27 @@ fn build_tables(
     }
     let n_classes = arena.class_rep.len();
 
-    // Per-class cost and quantized-memory kernels, plus the transient
-    // reserve. The max over (class, strategy) equals the reference max
-    // over (layer, strategy): equal-kind layers report equal transients.
-    arena.cost.resize(n_classes * n_strats, 0.0);
-    arena.mem.resize(n_classes * n_strats, 0);
+    // Per-class cost and quantized-memory kernels over the full decision
+    // space (`d = plane·|S| + s`, stash plane first), plus the transient
+    // reserve. The max over (class, decision) equals the reference max
+    // over (layer, decision): equal-kind layers report equal transients.
+    arena.cost.resize(n_classes * n_dec, 0.0);
+    arena.mem.resize(n_classes * n_dec, 0);
     let micro = (stage_batch / micro_batches.max(1) as u64).max(1);
     let mut reserve = 0u64;
     for c in 0..n_classes {
         let l = arena.class_rep[c];
-        for (si, s) in set.iter().enumerate() {
-            let lc = provider.layer_cost(estimator, model, l, s, micro, base_device)?;
-            arena.cost[c * n_strats + si] =
-                lc.total_with_micro_batches(estimator.config(), micro_batches);
-            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
-            arena.mem[c * n_strats + si] =
-                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
-            reserve = reserve.max(m.transient);
+        for (plane, &rc) in planes.iter().enumerate() {
+            for (si, s) in set.iter().enumerate() {
+                let di = plane * n_strats + si;
+                let lc = provider.layer_cost_rc(estimator, model, l, s, micro, base_device, rc)?;
+                arena.cost[c * n_dec + di] =
+                    lc.total_with_micro_batches(estimator.config(), micro_batches);
+                let m = provider.layer_memory_rc(estimator, model, l, s, act_stash_batch, rc);
+                arena.mem[c * n_dec + di] =
+                    u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+                reserve = reserve.max(m.transient);
+            }
         }
     }
     // Transformation matrix per *predecessor* class: the boundary after
@@ -310,20 +323,29 @@ fn build_tables(
         arena.layer_key.push(k as u32);
     }
     let n_keys = arena.keys.len();
-    arena.active.resize(n_keys * n_strats, 0);
+    arena.active.resize(n_keys * n_dec, 0);
     arena.active_len.clear();
     arena.active_len.resize(n_keys, 0);
+    // Dominance over *decisions*: `di` removes `dj` (`di < dj` in
+    // plane-major order, stash plane first) when its cost, its quantized
+    // memory and — through the strategy parts, since `R` is blind to the
+    // recompute plane — every incoming and outgoing transformation are all
+    // `≤`. The memory axis is what keeps the lemma sound across planes: a
+    // stash decision usually beats its recompute twin on cost but loses on
+    // memory, so the pair survives together unless one is worse on both.
     for k in 0..n_keys {
         let (pc, c, has_next) = arena.keys[k];
         let c = c as usize;
-        let cost = &arena.cost[c * n_strats..(c + 1) * n_strats];
-        let mem = &arena.mem[c * n_strats..(c + 1) * n_strats];
+        let cost = &arena.cost[c * n_dec..(c + 1) * n_dec];
+        let mem = &arena.mem[c * n_dec..(c + 1) * n_dec];
         let mut len = 0usize;
-        for sj in 0..n_strats {
-            let dominated = (0..sj).any(|si| {
-                if !(cost[si] <= cost[sj] && mem[si] <= mem[sj]) {
+        for dj in 0..n_dec {
+            let sj = dj % n_strats;
+            let dominated = (0..dj).any(|di| {
+                if !(cost[di] <= cost[dj] && mem[di] <= mem[dj]) {
                     return false;
                 }
+                let si = di % n_strats;
                 if pc != u32::MAX {
                     let rin = &arena.r[(pc as usize) * n_strats * n_strats..];
                     if !(0..n_strats).all(|p| rin[p * n_strats + si] <= rin[p * n_strats + sj]) {
@@ -339,22 +361,24 @@ fn build_tables(
                 true
             });
             if !dominated {
-                arena.active[k * n_strats + len] = sj as u8;
+                arena.active[k * n_dec + len] = dj as u8;
                 len += 1;
             }
         }
-        debug_assert!(len >= 1, "the earliest strategy is never dominated");
+        debug_assert!(len >= 1, "the earliest decision is never dominated");
         arena.active_len[k] = len;
     }
     for &k in &arena.layer_key {
-        arena.dominated_slots += (n_strats - arena.active_len[k as usize]) as u64;
+        arena.dominated_slots += (n_dec - arena.active_len[k as usize]) as u64;
     }
 
     Ok(Some(Tables { n_layers, reserve }))
 }
 
 /// The arena fast path for
-/// [`dp_search_with_provider`](crate::dp::dp_search_with_provider): same
+/// [`dp_search_with_provider`](crate::dp::dp_search_with_provider) and its
+/// recompute-enabled generalization
+/// [`dp_search_with_recompute`](crate::dp::dp_search_with_recompute): same
 /// inputs, same provider contract, bit-identical output. See the module
 /// docs for why the answer cannot differ.
 #[allow(clippy::too_many_arguments)]
@@ -369,10 +393,13 @@ pub fn dp_search_arena(
     granularity: u64,
     micro_batches: usize,
     act_stash_batch: u64,
+    recompute: RecomputeMode,
     provider: &dyn StageCostProvider,
     arena: &mut DpArena,
 ) -> Result<Option<DpResult>, ClusterError> {
+    let planes = recompute.planes();
     let n_strats = set.len();
+    let n_dec = n_strats * planes.len();
     let tables = build_tables(
         estimator,
         model,
@@ -383,6 +410,7 @@ pub fn dp_search_arena(
         granularity,
         micro_batches,
         act_stash_batch,
+        recompute,
         provider,
         arena,
     )?;
@@ -390,6 +418,7 @@ pub fn dp_search_arena(
         return Ok(Some(DpResult {
             cost: 0.0,
             strategies: Vec::new(),
+            recompute: Vec::new(),
             memory_bytes: 0,
         }));
     };
@@ -401,7 +430,7 @@ pub fn dp_search_arena(
         .unwrap_or(usize::MAX)
         .min(1 << 22);
     let width = e_max + 1;
-    let cells = width * n_strats;
+    let cells = width * n_dec;
 
     // Reachable-memory windows over the surviving *placeable* strategies
     // (those whose quantized draw fits the budget at all — a strategy
@@ -423,11 +452,11 @@ pub fn dp_search_arena(
     for li in 0..n_layers {
         let c = arena.class_of[li] as usize;
         let k = arena.layer_key[li] as usize;
-        let act = &arena.active[k * n_strats..k * n_strats + arena.active_len[k]];
+        let act = &arena.active[k * n_dec..k * n_dec + arena.active_len[k]];
         let mut mn = u64::MAX;
         let mut mx = 0u64;
         for &s in act {
-            let m = arena.mem[c * n_strats + s as usize] as u64;
+            let m = arena.mem[c * n_dec + s as usize] as u64;
             if m > e_max as u64 {
                 continue;
             }
@@ -470,20 +499,20 @@ pub fn dp_search_arena(
     #[cfg(debug_assertions)]
     arena.choice[..n_layers * cells].fill(u8::MAX);
 
-    // Layer 0: every surviving strategy that fits seeds its "at most e"
+    // Layer 0: every surviving decision that fits seeds its "at most e"
     // suffix with its own cost.
     {
         let k0 = arena.layer_key[0] as usize;
         let c0 = arena.class_of[0] as usize;
         let hi0 = arena.hi[0];
-        arena.dp[arena.lo[0] * n_strats..(hi0 + 1) * n_strats].fill(INF);
+        arena.dp[arena.lo[0] * n_dec..(hi0 + 1) * n_dec].fill(INF);
         for i in 0..arena.active_len[k0] {
-            let si = arena.active[k0 * n_strats + i] as usize;
-            let need = arena.mem[c0 * n_strats + si] as usize;
+            let di = arena.active[k0 * n_dec + i] as usize;
+            let need = arena.mem[c0 * n_dec + di] as usize;
             if need <= e_max {
-                let v = arena.cost[c0 * n_strats + si];
+                let v = arena.cost[c0 * n_dec + di];
                 for e in need..=hi0 {
-                    arena.dp[e * n_strats + si] = v;
+                    arena.dp[e * n_dec + di] = v;
                 }
             }
         }
@@ -494,28 +523,29 @@ pub fn dp_search_arena(
         let hi_prev = arena.hi[li - 1];
         let lo_cur = arena.lo[li];
         let hi_cur = arena.hi[li];
-        arena.next[lo_cur * n_strats..(hi_cur + 1) * n_strats].fill(INF);
+        arena.next[lo_cur * n_dec..(hi_cur + 1) * n_dec].fill(INF);
         let c = arena.class_of[li] as usize;
         let pc = arena.class_of[li - 1] as usize;
         let k_cur = arena.layer_key[li] as usize;
         let k_prev = arena.layer_key[li - 1] as usize;
-        let act_cur = &arena.active[k_cur * n_strats..k_cur * n_strats + arena.active_len[k_cur]];
-        let act_prev =
-            &arena.active[k_prev * n_strats..k_prev * n_strats + arena.active_len[k_prev]];
+        let act_cur = &arena.active[k_cur * n_dec..k_cur * n_dec + arena.active_len[k_cur]];
+        let act_prev = &arena.active[k_prev * n_dec..k_prev * n_dec + arena.active_len[k_prev]];
         // Fused min-plus + scatter over the previous layer's reachable
-        // rows. Per row, g[s] = min over surviving predecessors p of
-        // dp[rem][p] + r[p][s], first-wins on ties — the same scan order
-        // (p ascending) and strict-< update as the reference per-cell
-        // loop, hoisted out of the `e` dimension and held in stack
-        // registers. Each finite g[s] immediately seeds
-        // next[rem + need(s)][s] = g[s] + cost(s); rows past `hi_prev`
+        // rows. Per row, g[d] = min over surviving predecessor decisions p
+        // of dp[rem][p] + r[strat(p)][strat(d)], first-wins on ties — the
+        // same scan order (p ascending) and strict-< update as the
+        // reference per-cell loop, hoisted out of the `e` dimension and
+        // held in stack registers. `R` is blind to the recompute plane, so
+        // decisions index the transformation matrix through their strategy
+        // parts. Each finite g[d] immediately seeds
+        // next[rem + need(d)][d] = g[d] + cost(d); rows past `hi_prev`
         // would all read the clamped `hi_prev` row, so that row's pass
         // additionally fills the `(hi_prev + need, hi_cur]` tail.
         let rbase = &arena.r[pc * n_strats * n_strats..(pc + 1) * n_strats * n_strats];
         let mut g_row = [INF; MAX_STRATEGIES];
         let mut gp_row = [u8::MAX; MAX_STRATEGIES];
         for rem in lo_prev..=hi_prev {
-            let row = rem * n_strats;
+            let row = rem * n_dec;
             for &s in act_cur {
                 g_row[s as usize] = INF;
             }
@@ -524,9 +554,10 @@ pub fn dp_search_arena(
                 if !prior.is_finite() {
                     continue;
                 }
-                let rrow = &rbase[(p as usize) * n_strats..(p as usize + 1) * n_strats];
+                let ps = p as usize % n_strats;
+                let rrow = &rbase[ps * n_strats..(ps + 1) * n_strats];
                 for &s in act_cur {
-                    let v = prior + rrow[s as usize];
+                    let v = prior + rrow[s as usize % n_strats];
                     if v < g_row[s as usize] {
                         g_row[s as usize] = v;
                         gp_row[s as usize] = p;
@@ -534,22 +565,22 @@ pub fn dp_search_arena(
                 }
             }
             for &s in act_cur {
-                let si = s as usize;
-                let v = g_row[si];
+                let di = s as usize;
+                let v = g_row[di];
                 if !v.is_finite() {
                     continue;
                 }
-                let need = arena.mem[c * n_strats + si] as usize;
-                let lcost = arena.cost[c * n_strats + si];
+                let need = arena.mem[c * n_dec + di] as usize;
+                let lcost = arena.cost[c * n_dec + di];
                 let e = rem + need;
                 if e <= hi_cur {
-                    arena.next[e * n_strats + si] = v + lcost;
-                    arena.choice[(li * width + e) * n_strats + si] = gp_row[si];
+                    arena.next[e * n_dec + di] = v + lcost;
+                    arena.choice[(li * width + e) * n_dec + di] = gp_row[di];
                 }
                 if rem == hi_prev {
                     for e in (hi_prev + need + 1)..=hi_cur {
-                        arena.next[e * n_strats + si] = v + lcost;
-                        arena.choice[(li * width + e) * n_strats + si] = gp_row[si];
+                        arena.next[e * n_dec + di] = v + lcost;
+                        arena.choice[(li * width + e) * n_dec + di] = gp_row[di];
                     }
                 }
             }
@@ -557,18 +588,18 @@ pub fn dp_search_arena(
         std::mem::swap(&mut arena.dp, &mut arena.next);
     }
 
-    // Terminal scan: strict-<, ascending set order — dominated strategies
-    // are INF here, and by the lemma they could never have been selected.
-    // Rows above `hi` are bit-equal to the row at `hi`, so scanning the
-    // clamped row is the reference's `e_max` scan.
+    // Terminal scan: strict-<, ascending decision order — dominated
+    // decisions are INF here, and by the lemma they could never have been
+    // selected. Rows above `hi` are bit-equal to the row at `hi`, so
+    // scanning the clamped row is the reference's `e_max` scan.
     let e_top = arena.hi[n_layers - 1];
     let mut best = INF;
-    let mut best_s = usize::MAX;
-    for si in 0..n_strats {
-        let v = arena.dp[e_top * n_strats + si];
+    let mut best_d = usize::MAX;
+    for di in 0..n_dec {
+        let v = arena.dp[e_top * n_dec + di];
         if v < best {
             best = v;
-            best_s = si;
+            best_d = di;
         }
     }
     if !best.is_finite() {
@@ -577,26 +608,33 @@ pub fn dp_search_arena(
 
     // Reconstruction, identical to the reference walk.
     let mut strategies_rev = Vec::with_capacity(n_layers);
-    let mut si = best_s;
+    let mut recompute_rev = Vec::with_capacity(n_layers);
+    let mut di = best_d;
     let mut e = e_max;
     let mut mem_total_units = 0u64;
     for li in (0..n_layers).rev() {
-        strategies_rev.push(set.strategies()[si].clone());
-        let need = arena.mem[arena.class_of[li] as usize * n_strats + si] as usize;
+        strategies_rev.push(set.strategies()[di % n_strats].clone());
+        recompute_rev.push(planes[di / n_strats]);
+        let need = arena.mem[arena.class_of[li] as usize * n_dec + di] as usize;
         mem_total_units += need as u64;
         if li == 0 {
             break;
         }
-        let parent = arena.choice[(li * width + e.min(arena.hi[li])) * n_strats + si];
+        let parent = arena.choice[(li * width + e.min(arena.hi[li])) * n_dec + di];
         debug_assert_ne!(parent, u8::MAX, "backpointer missing");
         e -= need;
-        si = parent as usize;
+        di = parent as usize;
     }
     strategies_rev.reverse();
+    recompute_rev.reverse();
+    if recompute_rev.iter().all(|&rc| !rc) {
+        recompute_rev = Vec::new();
+    }
 
     Ok(Some(DpResult {
         cost: best,
         strategies: strategies_rev,
+        recompute: recompute_rev,
         memory_bytes: mem_total_units * granularity + 2 * reserve,
     }))
 }
@@ -650,6 +688,7 @@ impl StageDp for ArenaStageDp {
                 q.granularity,
                 q.micro_batches,
                 q.act_stash_batch,
+                q.recompute,
                 &crate::dp::DirectCosts,
                 arena,
             )?;
@@ -721,6 +760,7 @@ mod tests {
                         32 * MIB,
                         micro_batches,
                         16,
+                        RecomputeMode::Off,
                         &DirectCosts,
                         &mut arena,
                     )
@@ -757,6 +797,7 @@ mod tests {
             MIB,
             1,
             8,
+            RecomputeMode::Off,
             &DirectCosts,
             &mut arena,
         )
@@ -776,6 +817,7 @@ mod tests {
             MIB,
             1,
             8,
+            RecomputeMode::Off,
             &DirectCosts,
             &mut arena,
         )
@@ -814,6 +856,7 @@ mod tests {
                 32 * MIB,
                 2,
                 16,
+                RecomputeMode::Off,
                 &DirectCosts,
             )
             .unwrap();
@@ -846,6 +889,7 @@ mod tests {
             granularity: 32 * MIB,
             micro_batches: 2,
             act_stash_batch: 16,
+            recompute: RecomputeMode::Off,
         };
         let direct = crate::candidate::DirectStageDp
             .solve(&est, &model, &q)

@@ -13,9 +13,9 @@
 //! path uses [`DirectStageDp`] (compute every time), the parallel planner
 //! substitutes a shared memoization cache.
 
-use crate::dp::{dp_search_with_micro_batches, DpResult};
+use crate::dp::{dp_search_with_recompute, DirectCosts, DpResult, RecomputeMode};
 use crate::optimizer::OptimizerConfig;
-use crate::partition::PipelinePartitioner;
+use crate::partition::{partition_memory_balanced, PipelinePartitioner};
 use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
@@ -95,6 +95,8 @@ pub struct StageDpQuery<'a> {
     pub micro_batches: usize,
     /// Samples whose activations are simultaneously stashed.
     pub act_stash_batch: u64,
+    /// Which per-layer recomputation planes the Eq. 1 DP may choose from.
+    pub recompute: RecomputeMode,
 }
 
 /// How a candidate evaluation obtains per-stage DP results. The parallel
@@ -121,7 +123,7 @@ impl StageDp for DirectStageDp {
         model: &ModelSpec,
         q: &StageDpQuery<'_>,
     ) -> Result<Option<DpResult>, ClusterError> {
-        dp_search_with_micro_batches(
+        dp_search_with_recompute(
             estimator,
             model,
             q.layer_start..q.layer_end,
@@ -132,6 +134,8 @@ impl StageDp for DirectStageDp {
             q.granularity,
             q.micro_batches,
             q.act_stash_batch,
+            q.recompute,
+            &DirectCosts,
         )
     }
 }
@@ -206,7 +210,15 @@ pub fn stage_bound_sets(
     };
     let mut bound_sets: Vec<Vec<(usize, usize)>> = Vec::new();
     for partitioner in partitioners {
-        let bounds = partitioner.partition_with_capacities(model, pp, capacities.as_deref());
+        // The memory-balanced guideline is schedule-aware: the configured
+        // schedule's in-flight depth shapes the per-stage stash factors.
+        // It only enters the enumeration when explicitly configured, so
+        // default sweeps are unchanged.
+        let bounds = if partitioner == PipelinePartitioner::MemoryBalanced {
+            partition_memory_balanced(model, pp, config.schedule, capacities.as_deref())
+        } else {
+            partitioner.partition_with_capacities(model, pp, capacities.as_deref())
+        };
         if !bound_sets.contains(&bounds) {
             bound_sets.push(bounds);
         }
@@ -280,10 +292,13 @@ pub fn evaluate_candidate(
 
     let mut dp_invocations = 0usize;
     let mut dp_cells = 0usize;
-    let mut stage_strategies = Vec::with_capacity(pp);
+    let mut stage_results = Vec::with_capacity(pp);
+    // A decision cell is a `(layer, strategy, recompute-plane)` triple; with
+    // recomputation off this is exactly the historical strategy count.
+    let n_planes = config.recompute.planes().len();
     for (i, &(start, end)) in spec.bounds.iter().enumerate() {
         dp_invocations += 1;
-        dp_cells += (end - start) * set.len();
+        dp_cells += (end - start) * set.len() * n_planes;
         let in_flight = config.schedule.in_flight(i, pp, micro_batches) as u64;
         let act_stash = (micro as u64 * in_flight).min(batch as u64);
         let query = StageDpQuery {
@@ -296,9 +311,10 @@ pub fn evaluate_candidate(
             granularity: config.memory_granularity,
             micro_batches,
             act_stash_batch: act_stash,
+            recompute: config.recompute,
         };
         match dp.solve(estimator, model, &query)? {
-            Some(result) => stage_strategies.push(result.strategies),
+            Some(result) => stage_results.push(result),
             None => {
                 return Ok(CandidateOutcome {
                     result: CandidateResult::Infeasible,
@@ -312,14 +328,15 @@ pub fn evaluate_candidate(
     let stages: Vec<StagePlan> = spec
         .bounds
         .iter()
-        .zip(stage_strategies)
+        .zip(stage_results)
         .enumerate()
-        .map(|(i, (&(start, end), strategies))| StagePlan {
+        .map(|(i, (&(start, end), result))| StagePlan {
             layer_start: start,
             layer_end: end,
             device_base: i * group,
             device_count: group,
-            layer_strategies: strategies,
+            layer_strategies: result.strategies,
+            layer_recompute: result.recompute,
         })
         .collect();
     let plan = ParallelPlan {

@@ -24,7 +24,76 @@ use galvatron_cluster::{ClusterError, DeviceId};
 use galvatron_estimator::{CostEstimator, LayerCost, LayerMemory};
 use galvatron_model::ModelSpec;
 use galvatron_strategy::{IntraStageStrategy, StrategySet};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
+
+/// How the DP treats per-layer activation recomputation — the fifth
+/// decision dimension (Galvatron-BMW direction).
+///
+/// `Off` restricts every layer to the stash plane and is bit-identical to
+/// the pre-recompute solver; `On` forces every layer onto the recompute
+/// plane; `Auto` lets the DP choose per layer, trading the 4/3 recompute
+/// ratio (backward replays the forward) against activation memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RecomputeMode {
+    /// Stash every layer's activations (the historical behaviour).
+    #[default]
+    Off,
+    /// Recompute every layer during backward.
+    On,
+    /// Choose per layer inside the DP.
+    Auto,
+}
+
+impl RecomputeMode {
+    /// The recompute planes scanned per layer, in tie-break order. The
+    /// stash plane comes first so all-stash assignments win cost ties under
+    /// the solver's first-wins strict-`<` rule, keeping plans byte-identical
+    /// whenever recompute never strictly helps.
+    pub fn planes(self) -> &'static [bool] {
+        match self {
+            RecomputeMode::Off => &[false],
+            RecomputeMode::On => &[true],
+            RecomputeMode::Auto => &[false, true],
+        }
+    }
+
+    /// Whether this is the historical stash-only mode. Takes a reference
+    /// so it doubles as a `skip_serializing_if` predicate (keeping default
+    /// configs byte-identical to their pre-recompute serialization).
+    pub fn is_off(&self) -> bool {
+        matches!(self, RecomputeMode::Off)
+    }
+
+    /// Stable one-byte encoding for cache keys and fingerprints.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            RecomputeMode::Off => 0,
+            RecomputeMode::On => 1,
+            RecomputeMode::Auto => 2,
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<RecomputeMode> {
+        match s {
+            "off" => Some(RecomputeMode::Off),
+            "on" => Some(RecomputeMode::On),
+            "auto" => Some(RecomputeMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecomputeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecomputeMode::Off => "off",
+            RecomputeMode::On => "on",
+            RecomputeMode::Auto => "auto",
+        })
+    }
+}
 
 /// Where the DP obtains its three cost kernels — per-layer cost `c(l, s)`,
 /// per-layer memory `O(l, s)` and the Slice-Gather transformation
@@ -78,6 +147,61 @@ pub trait StageCostProvider {
         stage_batch: u64,
         base: DeviceId,
     ) -> Result<f64, ClusterError>;
+
+    /// `c(l, s, rc)` — [`StageCostProvider::layer_cost`] extended with the
+    /// per-layer recompute decision (the fifth DP dimension). The default
+    /// routes `recompute = false` through the historical kernel (bit-identity
+    /// for [`RecomputeMode::Off`]) and prices the recompute plane directly
+    /// via the estimator; interning providers override to memoize both.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_cost_rc(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        micro: u64,
+        base: DeviceId,
+        recompute: bool,
+    ) -> Result<LayerCost, ClusterError> {
+        if recompute {
+            estimator.layer_cost_with_recompute(
+                &model.layers[layer],
+                model.dtype,
+                strategy,
+                micro,
+                base,
+                true,
+            )
+        } else {
+            self.layer_cost(estimator, model, layer, strategy, micro, base)
+        }
+    }
+
+    /// `O(l, s, rc)` — [`StageCostProvider::layer_memory`] extended with the
+    /// per-layer recompute decision; same default-routing contract as
+    /// [`StageCostProvider::layer_cost_rc`].
+    fn layer_memory_rc(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        act_stash_batch: u64,
+        recompute: bool,
+    ) -> LayerMemory {
+        if recompute {
+            estimator.layer_memory_with_recompute(
+                &model.layers[layer],
+                model.dtype,
+                strategy,
+                act_stash_batch,
+                true,
+            )
+        } else {
+            self.layer_memory(estimator, model, layer, strategy, act_stash_batch)
+        }
+    }
 }
 
 /// The pass-through [`StageCostProvider`]: every kernel evaluation calls
@@ -137,6 +261,11 @@ pub struct DpResult {
     pub cost: f64,
     /// The chosen strategy per layer (in stage order).
     pub strategies: Vec<IntraStageStrategy>,
+    /// The chosen recompute decision per layer (in stage order). Empty
+    /// means "all stash" — both the [`RecomputeMode::Off`] answer and any
+    /// enlarged-space answer where no layer recomputes normalize to empty,
+    /// so results compare equal across modes when the decisions agree.
+    pub recompute: Vec<bool>,
     /// Persistent memory of the chosen assignment, bytes per device
     /// (quantized accounting).
     pub memory_bytes: u64,
@@ -225,32 +354,80 @@ pub fn dp_search_with_provider(
     act_stash_batch: u64,
     provider: &dyn StageCostProvider,
 ) -> Result<Option<DpResult>, ClusterError> {
+    dp_search_with_recompute(
+        estimator,
+        model,
+        layer_range,
+        base_device,
+        set,
+        stage_batch,
+        usable_budget,
+        granularity,
+        micro_batches,
+        act_stash_batch,
+        RecomputeMode::Off,
+        provider,
+    )
+}
+
+/// [`dp_search_with_provider`] over the enlarged decision space
+/// `(strategy, recompute)`. Decisions are indexed `d = plane·|S| + s` with
+/// the stash plane first, so under the solver's first-wins strict-`<`
+/// tie-breaking an all-stash assignment wins whenever recompute does not
+/// strictly improve the objective; with [`RecomputeMode::Off`] the decision
+/// space degenerates to the historical per-strategy scan and the answer is
+/// bit-identical to the pre-recompute solver. The transformation kernel `R`
+/// depends only on the strategy components (recomputation changes what a
+/// layer stashes, not how activations are laid out across devices), so the
+/// `R` table stays `|S|²` and decisions index it through their strategy
+/// part.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_search_with_recompute(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    base_device: DeviceId,
+    set: &StrategySet,
+    stage_batch: u64,
+    usable_budget: u64,
+    granularity: u64,
+    micro_batches: usize,
+    act_stash_batch: u64,
+    recompute: RecomputeMode,
+    provider: &dyn StageCostProvider,
+) -> Result<Option<DpResult>, ClusterError> {
     assert!(granularity > 0);
+    let planes = recompute.planes();
     let layers: Vec<usize> = layer_range.collect();
     let n_layers = layers.len();
     let n_strats = set.len();
+    let n_dec = n_strats * planes.len();
     if n_layers == 0 || n_strats == 0 {
         return Ok(Some(DpResult {
             cost: 0.0,
             strategies: Vec::new(),
+            recompute: Vec::new(),
             memory_bytes: 0,
         }));
     }
 
-    // Per-layer, per-strategy cost and quantized memory; plus the transient
+    // Per-layer, per-decision cost and quantized memory; plus the transient
     // reserve (see module docs).
-    let mut cost = vec![vec![0.0f64; n_strats]; n_layers];
-    let mut mem_units = vec![vec![0u32; n_strats]; n_layers];
+    let mut cost = vec![vec![0.0f64; n_dec]; n_layers];
+    let mut mem_units = vec![vec![0u32; n_dec]; n_layers];
     let mut reserve = 0u64;
     let micro = (stage_batch / micro_batches.max(1) as u64).max(1);
     for (li, &l) in layers.iter().enumerate() {
-        for (si, s) in set.iter().enumerate() {
-            let c = provider.layer_cost(estimator, model, l, s, micro, base_device)?;
-            cost[li][si] = c.total_with_micro_batches(estimator.config(), micro_batches);
-            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
-            mem_units[li][si] =
-                u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
-            reserve = reserve.max(m.transient);
+        for (plane, &rc) in planes.iter().enumerate() {
+            for (si, s) in set.iter().enumerate() {
+                let di = plane * n_strats + si;
+                let c = provider.layer_cost_rc(estimator, model, l, s, micro, base_device, rc)?;
+                cost[li][di] = c.total_with_micro_batches(estimator.config(), micro_batches);
+                let m = provider.layer_memory_rc(estimator, model, l, s, act_stash_batch, rc);
+                mem_units[li][di] =
+                    u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+                reserve = reserve.max(m.transient);
+            }
         }
     }
     // ZeRO-3 prefetch keeps up to two layers' unsharded parameters resident.
@@ -260,6 +437,7 @@ pub fn dp_search_with_provider(
         .min(1 << 22);
 
     // Transformation costs between consecutive layers: r[li][s_prev][s_next].
+    // Strategy-indexed: decisions map through `d % n_strats`.
     let mut r = vec![vec![vec![0.0f64; n_strats]; n_strats]; n_layers];
     for (li, &l) in layers.iter().enumerate().skip(1) {
         for (pi, p) in set.iter().enumerate() {
@@ -277,55 +455,60 @@ pub fn dp_search_with_provider(
         }
     }
 
-    // dp[e][s]: min time of the processed prefix using at most `e` memory
-    // units, last layer on strategy `s`. Backpointers for reconstruction.
+    // dp[e][d]: min time of the processed prefix using at most `e` memory
+    // units, last layer on decision `d`. Backpointers for reconstruction.
     const INF: f64 = f64::INFINITY;
     let width = e_max + 1;
-    let mut dp = vec![INF; width * n_strats];
-    let mut choice: Vec<u8> = vec![u8::MAX; n_layers * width * n_strats];
-    debug_assert!(n_strats <= u8::MAX as usize);
+    let mut dp = vec![INF; width * n_dec];
+    let mut choice: Vec<u8> = vec![u8::MAX; n_layers * width * n_dec];
+    assert!(
+        n_dec <= u8::MAX as usize,
+        "decision space exceeds u8 backpointers ({n_dec} decisions)"
+    );
 
     // Layer 0.
-    for si in 0..n_strats {
-        let need = mem_units[0][si] as usize;
+    for di in 0..n_dec {
+        let need = mem_units[0][di] as usize;
         if need <= e_max {
             for e in need..=e_max {
-                let v = cost[0][si];
-                if v < dp[e * n_strats + si] {
-                    dp[e * n_strats + si] = v;
+                let v = cost[0][di];
+                if v < dp[e * n_dec + di] {
+                    dp[e * n_dec + di] = v;
                 }
             }
         }
     }
 
-    let mut next = vec![INF; width * n_strats];
+    let mut next = vec![INF; width * n_dec];
     for li in 1..n_layers {
         next.iter_mut().for_each(|v| *v = INF);
-        for si in 0..n_strats {
-            let need = mem_units[li][si] as usize;
+        for di in 0..n_dec {
+            let need = mem_units[li][di] as usize;
             if need > e_max {
                 continue;
             }
+            let rrow = &r[li][..];
+            let si = di % n_strats;
             for e in need..=e_max {
                 let rem = e - need;
                 let mut best = INF;
                 let mut best_prev = u8::MAX;
-                for pi in 0..n_strats {
-                    let prior = dp[rem * n_strats + pi];
+                for pd in 0..n_dec {
+                    let prior = dp[rem * n_dec + pd];
                     if prior.is_finite() {
-                        let total = prior + r[li][pi][si];
+                        let total = prior + rrow[pd % n_strats][si];
                         if total < best {
                             best = total;
-                            best_prev = pi as u8;
+                            best_prev = pd as u8;
                         }
                     }
                 }
                 if best.is_finite() {
-                    let v = best + cost[li][si];
-                    let slot = e * n_strats + si;
+                    let v = best + cost[li][di];
+                    let slot = e * n_dec + di;
                     if v < next[slot] {
                         next[slot] = v;
-                        choice[(li * width + e) * n_strats + si] = best_prev;
+                        choice[(li * width + e) * n_dec + di] = best_prev;
                     }
                 }
             }
@@ -335,12 +518,12 @@ pub fn dp_search_with_provider(
 
     // Pick the best terminal state.
     let mut best = INF;
-    let mut best_s = usize::MAX;
-    for si in 0..n_strats {
-        let v = dp[e_max * n_strats + si];
+    let mut best_d = usize::MAX;
+    for di in 0..n_dec {
+        let v = dp[e_max * n_dec + di];
         if v < best {
             best = v;
-            best_s = si;
+            best_d = di;
         }
     }
     if !best.is_finite() {
@@ -352,35 +535,33 @@ pub fn dp_search_with_provider(
     // semantics, the terminal state at e_max is reachable along a path whose
     // per-layer memory draws sum to ≤ e_max; recompute the draw as we go.
     let mut strategies_rev = Vec::with_capacity(n_layers);
-    let mut si = best_s;
+    let mut recompute_rev = Vec::with_capacity(n_layers);
+    let mut mem_total_units = 0u64;
+    let mut di = best_d;
     let mut e = e_max;
     for li in (0..n_layers).rev() {
-        strategies_rev.push(set.strategies()[si].clone());
+        strategies_rev.push(set.strategies()[di % n_strats].clone());
+        recompute_rev.push(planes[di / n_strats]);
+        mem_total_units += mem_units[li][di] as u64;
         if li == 0 {
             break;
         }
-        let need = mem_units[li][si] as usize;
-        let parent = choice[(li * width + e) * n_strats + si];
+        let need = mem_units[li][di] as usize;
+        let parent = choice[(li * width + e) * n_dec + di];
         debug_assert_ne!(parent, u8::MAX, "backpointer missing");
         e -= need;
-        si = parent as usize;
+        di = parent as usize;
     }
     strategies_rev.reverse();
-
-    // Quantized persistent memory of the chosen assignment.
-    let mut mem_total_units = 0u64;
-    for (li, s) in strategies_rev.iter().enumerate() {
-        let idx = set
-            .strategies()
-            .iter()
-            .position(|x| x == s)
-            .expect("strategy from set");
-        mem_total_units += mem_units[li][idx] as u64;
+    recompute_rev.reverse();
+    if recompute_rev.iter().all(|&rc| !rc) {
+        recompute_rev = Vec::new();
     }
 
     Ok(Some(DpResult {
         cost: best,
         strategies: strategies_rev,
+        recompute: recompute_rev,
         memory_bytes: mem_total_units * granularity + 2 * reserve,
     }))
 }
@@ -430,7 +611,38 @@ pub fn dp_feasible_with_provider(
     act_stash_batch: u64,
     provider: &dyn StageCostProvider,
 ) -> bool {
+    dp_feasible_with_recompute(
+        estimator,
+        model,
+        layer_range,
+        set,
+        usable_budget,
+        granularity,
+        act_stash_batch,
+        RecomputeMode::Off,
+        provider,
+    )
+}
+
+/// [`dp_feasible_with_provider`] over the enlarged `(strategy, recompute)`
+/// decision space: the per-layer minimum draw ranges over every decision
+/// the corresponding [`dp_search_with_recompute`] would scan, so the screen
+/// stays exact for every mode (with [`RecomputeMode::Off`] it is the
+/// historical check bit for bit).
+#[allow(clippy::too_many_arguments)]
+pub fn dp_feasible_with_recompute(
+    estimator: &CostEstimator,
+    model: &ModelSpec,
+    layer_range: Range<usize>,
+    set: &StrategySet,
+    usable_budget: u64,
+    granularity: u64,
+    act_stash_batch: u64,
+    recompute: RecomputeMode,
+    provider: &dyn StageCostProvider,
+) -> bool {
     assert!(granularity > 0);
+    let planes = recompute.planes();
     let layers: Vec<usize> = layer_range.collect();
     if layers.is_empty() || set.is_empty() {
         return true;
@@ -439,11 +651,13 @@ pub fn dp_feasible_with_provider(
     let mut min_units: Vec<u64> = Vec::with_capacity(layers.len());
     for &l in &layers {
         let mut best = u32::MAX;
-        for s in set.iter() {
-            let m = provider.layer_memory(estimator, model, l, s, act_stash_batch);
-            let units = u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
-            reserve = reserve.max(m.transient);
-            best = best.min(units);
+        for &rc in planes {
+            for s in set.iter() {
+                let m = provider.layer_memory_rc(estimator, model, l, s, act_stash_batch, rc);
+                let units = u32::try_from(m.persistent().div_ceil(granularity)).unwrap_or(u32::MAX);
+                reserve = reserve.max(m.transient);
+                best = best.min(units);
+            }
         }
         min_units.push(best as u64);
     }

@@ -24,6 +24,12 @@ use galvatron_model::ModelSpec;
 use galvatron_strategy::{DecisionTreeBuilder, IntraStageStrategy, ParallelPlan};
 use serde::Serialize;
 
+/// `skip_serializing_if` predicate: omit `recompute` when false so
+/// stash-only explanations serialize exactly as they did pre-BMW.
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 /// One layer's share of the plan, with the decision margin.
 #[derive(Debug, Clone, Serialize)]
 pub struct LayerExplanation {
@@ -33,6 +39,11 @@ pub struct LayerExplanation {
     pub name: String,
     /// Chosen strategy, rendered (e.g. `dp2·tp4` forms).
     pub strategy: String,
+    /// Whether the plan recomputes this layer's activations during backward
+    /// (the fifth DP dimension). When set, `total_seconds` and the memory
+    /// columns are priced with the recompute kernels the DP used.
+    #[serde(skip_serializing_if = "is_false")]
+    pub recompute: bool,
     /// The DP's `c(l, s)`: wall-clock seconds for this layer across the
     /// stage's micro-batches, overlap model applied.
     pub total_seconds: f64,
@@ -131,11 +142,21 @@ pub fn explain_plan(
         let act_stash = (micro_u64 * in_flight).min(batch);
         let base = stage.device_base;
 
-        // c(l, s) + R over the chain, per the DP's conventions.
-        let layer_total = |l: usize, s: &IntraStageStrategy| -> Result<f64, ClusterError> {
-            let c = estimator.layer_cost(&model.layers[l], model.dtype, s, micro_u64, base)?;
-            Ok(c.total_with_micro_batches(estimator.config(), m))
-        };
+        // c(l, s) + R over the chain, per the DP's conventions. Alternatives
+        // are priced under the chosen layer's recompute plane, so runner-up
+        // margins compare strategies, not checkpointing decisions.
+        let layer_total =
+            |l: usize, s: &IntraStageStrategy, rc: bool| -> Result<f64, ClusterError> {
+                let c = estimator.layer_cost_with_recompute(
+                    &model.layers[l],
+                    model.dtype,
+                    s,
+                    micro_u64,
+                    base,
+                    rc,
+                )?;
+                Ok(c.total_with_micro_batches(estimator.config(), m))
+            };
         let transform = |l: usize,
                          prev: &IntraStageStrategy,
                          next: &IntraStageStrategy|
@@ -148,10 +169,19 @@ pub fn explain_plan(
         for (off, chosen) in stage.layer_strategies.iter().enumerate() {
             let l = stage.layer_start + off;
             let layer = &model.layers[l];
-            let c = estimator.layer_cost(layer, model.dtype, chosen, micro_u64, base)?;
+            let rc = stage.recompute_of(off);
+            let c = estimator.layer_cost_with_recompute(
+                layer,
+                model.dtype,
+                chosen,
+                micro_u64,
+                base,
+                rc,
+            )?;
             let total = c.total_with_micro_batches(estimator.config(), m);
             let mf = m as f64;
-            let mem = estimator.layer_memory(layer, model.dtype, chosen, act_stash);
+            let mem =
+                estimator.layer_memory_with_recompute(layer, model.dtype, chosen, act_stash, rc);
             let prev = (off > 0).then(|| &stage.layer_strategies[off - 1]);
             let next = stage.layer_strategies.get(off + 1);
             let transform_seconds = match prev {
@@ -163,7 +193,7 @@ pub fn explain_plan(
             // chain(s) = c(l,s) + R(prev→s) + R(s→next): the terms of the
             // DP objective that depend on this layer's choice alone.
             let chain = |s: &IntraStageStrategy| -> Result<f64, ClusterError> {
-                let mut t = layer_total(l, s)?;
+                let mut t = layer_total(l, s, rc)?;
                 if let Some(p) = prev {
                     t += transform(l - 1, p, s)?;
                 }
@@ -185,6 +215,7 @@ pub fn explain_plan(
                 layer: l,
                 name: layer.name.clone(),
                 strategy: chosen.to_string(),
+                recompute: rc,
                 total_seconds: total,
                 compute_seconds: mf * (c.forward_compute + c.backward_compute),
                 comm_seconds: mf
@@ -267,11 +298,16 @@ impl PlanExplanation {
                     (Some(s), Some(margin)) => format!("{s} ({:+.3})", margin * 1e3),
                     _ => "-".to_string(),
                 };
+                let strategy = if l.recompute {
+                    format!("{}+ckpt", l.strategy)
+                } else {
+                    l.strategy.clone()
+                };
                 out.push_str(&format!(
                     "  {:<5} {:<10} {:<22} {:>10.3} {:>10.3} {:>9.3} {:>9.3} {:>9.1}  {}\n",
                     l.layer,
                     l.name,
-                    l.strategy,
+                    strategy,
                     l.total_seconds * 1e3,
                     l.compute_seconds * 1e3,
                     l.comm_seconds * 1e3,
@@ -371,6 +407,41 @@ mod tests {
         for l in ex.stages.iter().flat_map(|s| &s.layers) {
             assert!(text.contains(&l.name), "missing layer {}", l.name);
         }
+    }
+
+    #[test]
+    fn recompute_layers_are_marked_and_priced() {
+        let model = bert(4);
+        let (_, plan, config) = explain_best(&model, 16 * GIB);
+        let topo = rtx_titan_node(8);
+        let estimator = CostEstimator::new(topo, config.estimator.clone());
+
+        let base = explain_plan(&estimator, &model, &plan, &config).unwrap();
+        let mut ckpt_plan = plan.clone();
+        for stage in &mut ckpt_plan.stages {
+            stage.layer_recompute = vec![true; stage.n_layers()];
+        }
+        let ckpt = explain_plan(&estimator, &model, &ckpt_plan, &config).unwrap();
+
+        for (b, c) in base
+            .stages
+            .iter()
+            .flat_map(|s| &s.layers)
+            .zip(ckpt.stages.iter().flat_map(|s| &s.layers))
+        {
+            assert!(!b.recompute && c.recompute);
+            // Replayed forward makes the layer strictly slower and strictly
+            // lighter than its stash twin.
+            assert!(c.total_seconds > b.total_seconds);
+            assert!(c.persistent_bytes < b.persistent_bytes);
+        }
+        assert!(ckpt.render().contains("+ckpt"));
+        assert!(!base.render().contains("+ckpt"));
+        // Stash-only JSON is unchanged from the pre-recompute schema.
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("\"recompute\""));
+        let json = serde_json::to_string(&ckpt).unwrap();
+        assert!(json.contains("\"recompute\":true"));
     }
 
     #[test]

@@ -39,7 +39,7 @@
 
 use crate::arena::{dp_search_arena, with_thread_arena};
 use crate::candidate::{StageDp, StageDpQuery};
-use crate::dp::{dp_feasible_with_provider, DpResult, StageCostProvider};
+use crate::dp::{dp_feasible_with_recompute, DpResult, RecomputeMode, StageCostProvider};
 use galvatron_cluster::{ClusterError, DeviceId};
 use galvatron_estimator::{CostEstimator, LayerCost, LayerMemory};
 use galvatron_model::ModelSpec;
@@ -74,6 +74,9 @@ struct CostKey {
     strat: u32,
     micro: u64,
     base: u32,
+    /// Recompute plane of the decision; stash (`false`) entries are keyed
+    /// exactly as before the BMW extension.
+    recompute: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -82,6 +85,7 @@ struct MemKey {
     layer: u32,
     strat: u32,
     act_stash: u64,
+    recompute: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -102,6 +106,10 @@ struct LedgerKey {
     set: u32,
     usable_budget: u64,
     granularity: u64,
+    /// [`RecomputeMode::as_u8`] — the available planes change the
+    /// cheapest-memory assignment, so feasibility windows never cross
+    /// modes.
+    recompute: u8,
 }
 
 /// An interned value plus its last-touch stamp (a tick of the table-wide
@@ -485,6 +493,7 @@ impl BoundIncrementalDp<'_> {
         set_id: u32,
         budget: u64,
         gran: u64,
+        recompute: RecomputeMode,
     ) -> LedgerKey {
         LedgerKey {
             ctx: self.ctx,
@@ -493,6 +502,7 @@ impl BoundIncrementalDp<'_> {
             set: set_id,
             usable_budget: budget,
             granularity: gran,
+            recompute: recompute.as_u8(),
         }
     }
 
@@ -509,15 +519,16 @@ impl BoundIncrementalDp<'_> {
         usable_budget: u64,
         granularity: u64,
         act_stash_batch: u64,
+        recompute: RecomputeMode,
     ) -> bool {
         let set_id = self.engine.table.intern_set(set);
-        let key = self.ledger_key(&layer_range, set_id, usable_budget, granularity);
+        let key = self.ledger_key(&layer_range, set_id, usable_budget, granularity, recompute);
         if let Some(answer) = self.engine.ledger.lookup(&key, act_stash_batch) {
             self.engine.ledger.hits.fetch_add(1, Ordering::Relaxed);
             return answer;
         }
         self.engine.ledger.misses.fetch_add(1, Ordering::Relaxed);
-        let answer = dp_feasible_with_provider(
+        let answer = dp_feasible_with_recompute(
             estimator,
             model,
             layer_range,
@@ -525,6 +536,7 @@ impl BoundIncrementalDp<'_> {
             usable_budget,
             granularity,
             act_stash_batch,
+            recompute,
             self,
         );
         self.engine.ledger.record(&key, act_stash_batch, answer);
@@ -548,6 +560,7 @@ impl StageCostProvider for BoundIncrementalDp<'_> {
             strat: self.engine.table.intern_strategy(strategy),
             micro,
             base: base as u32,
+            recompute: false,
         };
         if let Some(found) = self.engine.table.costs.get(&key) {
             self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
@@ -558,6 +571,81 @@ impl StageCostProvider for BoundIncrementalDp<'_> {
             estimator.layer_cost(&model.layers[layer], model.dtype, strategy, micro, base)?;
         self.engine.table.costs.insert(key, computed);
         Ok(computed)
+    }
+
+    fn layer_cost_rc(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        micro: u64,
+        base: DeviceId,
+        recompute: bool,
+    ) -> Result<LayerCost, ClusterError> {
+        if !recompute {
+            // Keyed identically to the pre-BMW table, so stash-plane entries
+            // are shared with historical queries.
+            return self.layer_cost(estimator, model, layer, strategy, micro, base);
+        }
+        let key = CostKey {
+            ctx: self.ctx,
+            layer: layer as u32,
+            strat: self.engine.table.intern_strategy(strategy),
+            micro,
+            base: base as u32,
+            recompute: true,
+        };
+        if let Some(found) = self.engine.table.costs.get(&key) {
+            self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.engine.table.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = estimator.layer_cost_with_recompute(
+            &model.layers[layer],
+            model.dtype,
+            strategy,
+            micro,
+            base,
+            true,
+        )?;
+        self.engine.table.costs.insert(key, computed);
+        Ok(computed)
+    }
+
+    fn layer_memory_rc(
+        &self,
+        estimator: &CostEstimator,
+        model: &ModelSpec,
+        layer: usize,
+        strategy: &IntraStageStrategy,
+        act_stash_batch: u64,
+        recompute: bool,
+    ) -> LayerMemory {
+        if !recompute {
+            return self.layer_memory(estimator, model, layer, strategy, act_stash_batch);
+        }
+        let key = MemKey {
+            ctx: self.ctx,
+            layer: layer as u32,
+            strat: self.engine.table.intern_strategy(strategy),
+            act_stash: act_stash_batch,
+            recompute: true,
+        };
+        if let Some(found) = self.engine.table.mems.get(&key) {
+            self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        self.engine.table.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = estimator.layer_memory_with_recompute(
+            &model.layers[layer],
+            model.dtype,
+            strategy,
+            act_stash_batch,
+            true,
+        );
+        self.engine.table.mems.insert(key, computed);
+        computed
     }
 
     fn layer_memory(
@@ -573,6 +661,7 @@ impl StageCostProvider for BoundIncrementalDp<'_> {
             layer: layer as u32,
             strat: self.engine.table.intern_strategy(strategy),
             act_stash: act_stash_batch,
+            recompute: false,
         };
         if let Some(found) = self.engine.table.mems.get(&key) {
             self.engine.table.hits.fetch_add(1, Ordering::Relaxed);
@@ -630,7 +719,7 @@ impl StageDp for BoundIncrementalDp<'_> {
     ) -> Result<Option<DpResult>, ClusterError> {
         let range = q.layer_start..q.layer_end;
         let set_id = self.engine.table.intern_set(q.set);
-        let key = self.ledger_key(&range, set_id, q.usable_budget, q.granularity);
+        let key = self.ledger_key(&range, set_id, q.usable_budget, q.granularity, q.recompute);
         // Monotone-memory warm start: a stash already known infeasible at a
         // smaller batch cannot become feasible at a larger one, so skip the
         // whole solve. (`Some(true)` still requires the full solve — the
@@ -656,6 +745,7 @@ impl StageDp for BoundIncrementalDp<'_> {
                 q.granularity,
                 q.micro_batches,
                 q.act_stash_batch,
+                q.recompute,
                 self,
                 arena,
             )?;
@@ -709,6 +799,7 @@ mod tests {
             granularity: 32 * MIB,
             micro_batches: 2,
             act_stash_batch: stash,
+            recompute: RecomputeMode::Off,
         }
     }
 
@@ -810,6 +901,7 @@ mod tests {
                     budget,
                     granularity,
                     stash,
+                    RecomputeMode::Off,
                 );
                 assert_eq!(got, expected, "budget {budget} stash {stash}");
             }

@@ -32,8 +32,9 @@ pub use candidate::{
     CandidateOutcome, CandidateResult, CandidateSpec, DirectStageDp, StageDp, StageDpQuery,
 };
 pub use dp::{
-    dp_feasible, dp_feasible_with_provider, dp_search, dp_search_with_micro_batches,
-    dp_search_with_provider, DirectCosts, DpResult, StageCostProvider,
+    dp_feasible, dp_feasible_with_provider, dp_feasible_with_recompute, dp_search,
+    dp_search_with_micro_batches, dp_search_with_provider, dp_search_with_recompute, DirectCosts,
+    DpResult, RecomputeMode, StageCostProvider,
 };
 pub use explain::{explain_plan, LayerExplanation, PlanExplanation, StageExplanation};
 pub use incremental::{
@@ -41,4 +42,4 @@ pub use incremental::{
     IncrementalEngine,
 };
 pub use optimizer::{GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, SearchStats};
-pub use partition::PipelinePartitioner;
+pub use partition::{partition_memory_balanced, PipelinePartitioner};

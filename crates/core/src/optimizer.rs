@@ -11,6 +11,7 @@ use crate::candidate::{
     evaluate_candidate, micro_batch_candidates, stage_bound_sets, strategy_sets, CandidateResult,
     CandidateSpec, DirectStageDp, StageDp,
 };
+use crate::dp::RecomputeMode;
 use crate::incremental::IncrementalEngine;
 use crate::partition::PipelinePartitioner;
 use galvatron_cluster::{ClusterError, ClusterTopology, MIB};
@@ -51,6 +52,14 @@ pub struct OptimizerConfig {
     /// evaluates GPipe; 1F1B (PipeDream-flush) is the implemented
     /// future-work extension — same bubble, smaller activation stash.
     pub schedule: PipelineSchedule,
+    /// Per-layer activation recomputation planes the Eq. 1 DP chooses from
+    /// (the BMW fifth dimension). [`RecomputeMode::Off`] — the default, and
+    /// bit-identical to the historical four-dimension search — stashes
+    /// every activation; `On` checkpoints every layer; `Auto` lets the DP
+    /// pick per layer, trading the 4/3 recompute ratio against stash
+    /// memory.
+    #[serde(default, skip_serializing_if = "RecomputeMode::is_off")]
+    pub recompute: RecomputeMode,
     /// Label stamped on emitted plans.
     pub origin: String,
 }
@@ -76,6 +85,7 @@ impl Default for OptimizerConfig {
             max_pp_degree: None,
             takeaway3: true,
             schedule: PipelineSchedule::GPipe,
+            recompute: RecomputeMode::Off,
             origin: "Galvatron".to_string(),
         }
     }

@@ -7,7 +7,14 @@
 //! linear-partition problem, solved exactly by DP).
 
 use galvatron_model::ModelSpec;
+use galvatron_strategy::PipelineSchedule;
 use serde::{Deserialize, Serialize};
+
+/// Reference per-stage sample count used by [`PipelinePartitioner::MemoryBalanced`]
+/// to weigh the activation stash against model state. Only the *relative*
+/// scale of the two terms matters for where the cuts land; 8 samples per
+/// micro-batch is the paper's common operating point.
+const REF_SAMPLES: f64 = 8.0;
 
 /// The load-balancing guideline used to cut the model into stages.
 ///
@@ -32,6 +39,14 @@ pub enum PipelinePartitioner {
     /// Balance forward FLOPs (even execution time) — Galvatron's default.
     #[default]
     ByFlops,
+    /// Balance estimated peak *memory* per stage: model state plus the
+    /// schedule-weighted activation stash. Under 1F1B, stage `k` of `P`
+    /// keeps up to `P − k` micro-batches of activations in flight, so the
+    /// memory-balanced cut hands early stages *fewer* layers — the BMW
+    /// memory-balanced pipeline guideline. Under GPipe every stage stashes
+    /// the full sweep and the guideline degenerates to balancing
+    /// `state + stash` uniformly.
+    MemoryBalanced,
 }
 
 impl PipelinePartitioner {
@@ -43,6 +58,12 @@ impl PipelinePartitioner {
             PipelinePartitioner::ByParams => l.param_bytes(model.dtype) as f64,
             PipelinePartitioner::ByActivation => l.activation_bytes_per_sample(model.dtype) as f64,
             PipelinePartitioner::ByFlops => l.forward_flops_per_sample(),
+            // The full-stash (stage-0) load; the stage-indexed DP in
+            // `partition_memory_balanced` scales the activation term down
+            // for deeper stages.
+            PipelinePartitioner::MemoryBalanced => {
+                state_bytes(model, layer) + REF_SAMPLES * activation_bytes(model, layer)
+            }
         }
     }
 
@@ -66,54 +87,136 @@ impl PipelinePartitioner {
         stages: usize,
         capacities: Option<&[f64]>,
     ) -> Vec<(usize, usize)> {
-        let n = model.n_layers();
-        assert!(stages >= 1 && stages <= n, "need 1..=n_layers stages");
-        if let Some(caps) = capacities {
-            assert_eq!(caps.len(), stages, "one capacity per stage");
-            assert!(caps.iter().all(|&c| c > 0.0), "capacities must be positive");
+        if self == PipelinePartitioner::MemoryBalanced {
+            // The schedule-aware entry point carries the in-flight depth;
+            // without one, GPipe's flat stash is the conservative default.
+            return partition_memory_balanced(model, stages, PipelineSchedule::GPipe, capacities);
         }
+        let n = model.n_layers();
+        check_partition_args(n, stages, capacities);
         if stages == 1 {
             return vec![(0, n)];
         }
         let cap = |k: usize| capacities.map_or(1.0, |c| c[k]);
         let weights: Vec<f64> = (0..n).map(|l| self.layer_weight(model, l)).collect();
-        let mut prefix = vec![0.0f64; n + 1];
-        for (i, w) in weights.iter().enumerate() {
-            prefix[i + 1] = prefix[i] + w;
-        }
-        let range = |a: usize, b: usize| prefix[b] - prefix[a];
+        let prefix = prefix_sums(&weights);
+        let load = |k: usize, a: usize, b: usize| (prefix[b] - prefix[a]) / cap(k);
+        linear_partition(n, stages, &load)
+    }
+}
 
-        // dp[k][i] = minimal max-stage-load splitting the first i layers
-        // into k stages; cut[k][i] = position of the last cut.
-        let mut dp = vec![vec![f64::INFINITY; n + 1]; stages + 1];
-        let mut cut = vec![vec![0usize; n + 1]; stages + 1];
-        for (i, slot) in dp[1].iter_mut().enumerate().skip(1) {
-            *slot = range(0, i) / cap(0);
-        }
-        for k in 2..=stages {
-            for i in k..=n {
-                for j in (k - 1)..i {
-                    let candidate = dp[k - 1][j].max(range(j, i) / cap(k - 1));
-                    if candidate < dp[k][i] {
-                        dp[k][i] = candidate;
-                        cut[k][i] = j;
-                    }
+/// Model-state bytes held per device for a layer, as the balanced-memory
+/// guideline prices them: parameters, gradients and two Adam moments, all at
+/// the model dtype — `4 × param_bytes` (the sharding paradigm divides every
+/// stage's state by the same group size, so the constant cancels in cuts).
+fn state_bytes(model: &ModelSpec, layer: usize) -> f64 {
+    4.0 * model.layers[layer].param_bytes(model.dtype) as f64
+}
+
+/// Stashed activation bytes per sample for a layer.
+fn activation_bytes(model: &ModelSpec, layer: usize) -> f64 {
+    model.layers[layer].activation_bytes_per_sample(model.dtype) as f64
+}
+
+fn check_partition_args(n: usize, stages: usize, capacities: Option<&[f64]>) {
+    assert!(stages >= 1 && stages <= n, "need 1..=n_layers stages");
+    if let Some(caps) = capacities {
+        assert_eq!(caps.len(), stages, "one capacity per stage");
+        assert!(caps.iter().all(|&c| c > 0.0), "capacities must be positive");
+    }
+}
+
+fn prefix_sums(weights: &[f64]) -> Vec<f64> {
+    let mut prefix = vec![0.0f64; weights.len() + 1];
+    for (i, w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    prefix
+}
+
+/// The classic stage-indexed linear-partition DP: split `0..n` into
+/// `stages` contiguous non-empty ranges minimising the maximum of
+/// `load(stage, start, end)`, which must be non-negative and monotone in
+/// `end − start` for fixed `stage`. First-wins strict-`<` cut selection.
+fn linear_partition(
+    n: usize,
+    stages: usize,
+    load: &dyn Fn(usize, usize, usize) -> f64,
+) -> Vec<(usize, usize)> {
+    // dp[k][i] = minimal max-stage-load splitting the first i layers
+    // into k stages; cut[k][i] = position of the last cut.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; stages + 1];
+    let mut cut = vec![vec![0usize; n + 1]; stages + 1];
+    for (i, slot) in dp[1].iter_mut().enumerate().skip(1) {
+        *slot = load(0, 0, i);
+    }
+    for k in 2..=stages {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                let candidate = dp[k - 1][j].max(load(k - 1, j, i));
+                if candidate < dp[k][i] {
+                    dp[k][i] = candidate;
+                    cut[k][i] = j;
                 }
             }
         }
-
-        let mut bounds = Vec::with_capacity(stages);
-        let mut end = n;
-        for k in (1..=stages).rev() {
-            let start = if k == 1 { 0 } else { cut[k][end] };
-            bounds.push((start, end));
-            end = start;
-        }
-        bounds.reverse();
-        debug_assert_eq!(bounds[0].0, 0);
-        debug_assert_eq!(bounds[stages - 1].1, n);
-        bounds
     }
+
+    let mut bounds = Vec::with_capacity(stages);
+    let mut end = n;
+    for k in (1..=stages).rev() {
+        let start = if k == 1 { 0 } else { cut[k][end] };
+        bounds.push((start, end));
+        end = start;
+    }
+    bounds.reverse();
+    debug_assert_eq!(bounds[0].0, 0);
+    debug_assert_eq!(bounds[stages - 1].1, n);
+    bounds
+}
+
+/// The memory-balanced pipeline cut (§3.3's "maximum memory usage"
+/// guideline, BMW's depth-aware form): stage `k`'s load is
+///
+/// ```text
+/// Σ_layers state_bytes  +  stash_factor(k) · REF_SAMPLES · Σ_layers act_bytes
+/// ```
+///
+/// where `stash_factor(k) = in_flight(k, P, P) / P` — the fraction of a
+/// full pipeline's micro-batches whose activations stage `k` holds at its
+/// peak under `schedule` (1 everywhere for GPipe; `(P − k)/P` for 1F1B).
+/// Early 1F1B stages stash the most, so they receive fewer layers.
+/// `capacities` rescales per-stage loads on heterogeneous clusters exactly
+/// as in [`PipelinePartitioner::partition_with_capacities`].
+pub fn partition_memory_balanced(
+    model: &ModelSpec,
+    stages: usize,
+    schedule: PipelineSchedule,
+    capacities: Option<&[f64]>,
+) -> Vec<(usize, usize)> {
+    let n = model.n_layers();
+    check_partition_args(n, stages, capacities);
+    if stages == 1 {
+        return vec![(0, n)];
+    }
+    let cap = |k: usize| capacities.map_or(1.0, |c| c[k]);
+    let state: Vec<f64> = (0..n).map(|l| state_bytes(model, l)).collect();
+    let act: Vec<f64> = (0..n).map(|l| activation_bytes(model, l)).collect();
+    let state_prefix = prefix_sums(&state);
+    let act_prefix = prefix_sums(&act);
+    // The reference micro-batch count is the pipeline depth itself: deep
+    // enough that 1F1B's in-flight cap `min(m, P − k)` is active on every
+    // stage, so the factors expose the full depth gradient.
+    let m_ref = stages;
+    let stash_factor: Vec<f64> = (0..stages)
+        .map(|k| schedule.in_flight(k, stages, m_ref) as f64 / m_ref as f64)
+        .collect();
+    let load = |k: usize, a: usize, b: usize| {
+        let state_w = state_prefix[b] - state_prefix[a];
+        let act_w = act_prefix[b] - act_prefix[a];
+        (state_w + stash_factor[k] * REF_SAMPLES * act_w) / cap(k)
+    };
+    linear_partition(n, stages, &load)
 }
 
 #[cfg(test)]
@@ -214,7 +317,83 @@ mod tests {
         assert!((dp_max - best).abs() < 1e-9 * best);
     }
 
+    /// The per-stage peak-memory estimate the balanced guideline targets:
+    /// model state plus the schedule-weighted activation stash, at the same
+    /// reference operating point the partitioner prices
+    /// (`REF_SAMPLES` samples, `m_ref = P` micro-batches).
+    fn stage_peak(model: &ModelSpec, range: (usize, usize), k: usize, p: usize) -> f64 {
+        let m_ref = p;
+        let factor = PipelineSchedule::OneFOneB.in_flight(k, p, m_ref) as f64 / m_ref as f64;
+        (range.0..range.1)
+            .map(|l| state_bytes(model, l) + factor * REF_SAMPLES * activation_bytes(model, l))
+            .sum()
+    }
+
+    fn peak_of(model: &ModelSpec, parts: &[(usize, usize)]) -> f64 {
+        parts
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| stage_peak(model, r, k, parts.len()))
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn balanced_cut_fits_budgets_the_uniform_cut_cannot() {
+        // The BMW witness: under 1F1B, stage 0 stashes the deepest, so the
+        // layer-uniform cut of a deep homogeneous stack front-loads peak
+        // memory. Any per-device budget between the two maxima is a point
+        // the uniform cut OOMs and the balanced cut trains.
+        let model = PaperModel::BertHuge48.spec();
+        let p = 4;
+        let uniform = PipelinePartitioner::ByLayerCount.partition(&model, p);
+        let balanced = partition_memory_balanced(&model, p, PipelineSchedule::OneFOneB, None);
+        let (u, b) = (peak_of(&model, &uniform), peak_of(&model, &balanced));
+        assert!(
+            b < u * 0.95,
+            "balanced peak {b:.3e} should undercut uniform peak {u:.3e} by >5%"
+        );
+        let budget = (u + b) / 2.0;
+        assert!(uniform
+            .iter()
+            .enumerate()
+            .any(|(k, &r)| { stage_peak(&model, r, k, p) > budget }));
+        assert!(balanced
+            .iter()
+            .enumerate()
+            .all(|(k, &r)| stage_peak(&model, r, k, p) <= budget));
+    }
+
     proptest! {
+        /// The balanced cut is the exact DP optimum of the peak objective,
+        /// so on any generated model/depth it never needs more memory than
+        /// the layer-uniform cut — and therefore fits every per-stage
+        /// budget the uniform cut fits.
+        #[test]
+        fn balanced_cut_never_peaks_above_the_uniform_cut(
+            layers in 4usize..24,
+            hidden_sel in 0usize..3,
+            p in 2usize..6,
+        ) {
+            let hidden = [256u64, 512, 1024][hidden_sel];
+            let model = galvatron_model::BertConfig {
+                layers,
+                hidden,
+                heads: hidden / 64,
+                seq: 128,
+                vocab: 4096,
+            }
+            .build("prop");
+            let p = p.min(model.n_layers());
+            let uniform = PipelinePartitioner::ByLayerCount.partition(&model, p);
+            let balanced =
+                partition_memory_balanced(&model, p, PipelineSchedule::OneFOneB, None);
+            let (u, b) = (peak_of(&model, &uniform), peak_of(&model, &balanced));
+            prop_assert!(
+                b <= u * (1.0 + 1e-9),
+                "balanced peak {} exceeds uniform peak {}", b, u
+            );
+        }
+
         #[test]
         fn more_stages_never_increase_the_bottleneck(p in 1usize..5) {
             let model = PaperModel::VitHuge32.spec();

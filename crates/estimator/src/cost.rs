@@ -167,6 +167,26 @@ impl LayerCostModel {
         samples_batch: u64,
         base: DeviceId,
     ) -> Result<LayerCost, ClusterError> {
+        self.layer_cost_with_recompute(topology, layer, dtype, strategy, samples_batch, base, false)
+    }
+
+    /// [`LayerCostModel::layer_cost`] with an explicit per-layer recompute
+    /// decision. `recompute = true` prices activation checkpointing for this
+    /// layer — the backward pass replays the forward (3× forward compute
+    /// instead of 2×, the 4/3 total ratio the simulator pins) — regardless
+    /// of the global [`EstimatorConfig::recompute_activations`] default,
+    /// which is kept as a back-compat whole-model override.
+    #[allow(clippy::too_many_arguments)]
+    pub fn layer_cost_with_recompute(
+        &self,
+        topology: &ClusterTopology,
+        layer: &LayerSpec,
+        dtype: DType,
+        strategy: &IntraStageStrategy,
+        samples_batch: u64,
+        base: DeviceId,
+        recompute: bool,
+    ) -> Result<LayerCost, ClusterError> {
         let dp = strategy.dp();
         let sdp = strategy.sdp();
         let tp = strategy.tp();
@@ -179,7 +199,7 @@ impl LayerCostModel {
         let flops = layer.forward_flops_per_sample() * samples / tp as f64;
         let rate = topology.group_sustained_flops(base, strategy.total_degree().max(1))?;
         let forward_compute = flops / rate + self.config.kernel_overhead;
-        let backward_factor = if self.config.recompute_activations {
+        let backward_factor = if recompute || self.config.recompute_activations {
             3.0
         } else {
             2.0

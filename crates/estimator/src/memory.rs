@@ -71,6 +71,22 @@ impl MemoryModel {
         strategy: &IntraStageStrategy,
         stage_batch: u64,
     ) -> LayerMemory {
+        self.layer_memory_with_recompute(layer, dtype, strategy, stage_batch, false)
+    }
+
+    /// [`MemoryModel::layer_memory`] with an explicit per-layer recompute
+    /// decision. `recompute = true` stashes only the layer-boundary input
+    /// for this layer (everything else is replayed during backward),
+    /// regardless of the global [`EstimatorConfig::recompute_activations`]
+    /// default, which remains a back-compat whole-model override.
+    pub fn layer_memory_with_recompute(
+        &self,
+        layer: &LayerSpec,
+        dtype: galvatron_model::DType,
+        strategy: &IntraStageStrategy,
+        stage_batch: u64,
+        recompute: bool,
+    ) -> LayerMemory {
         let tp = strategy.tp() as u64;
         let sdp = strategy.sdp() as u64;
         let data = strategy.data_degree() as u64;
@@ -83,7 +99,7 @@ impl MemoryModel {
             (layer.param_count() * self.config.optimizer_bytes_per_param).div_ceil(shard);
 
         let samples_per_device = stage_batch.div_ceil(data);
-        let activations = if self.config.recompute_activations {
+        let activations = if recompute || self.config.recompute_activations {
             // Only layer-boundary inputs are kept; everything else is
             // recomputed during backward.
             layer.output_bytes_per_sample(dtype) * samples_per_device

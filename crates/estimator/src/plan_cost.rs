@@ -125,6 +125,30 @@ impl CostEstimator {
             .layer_cost(&self.topology, layer, dtype, strategy, stage_batch, base)
     }
 
+    /// [`CostEstimator::layer_cost`] with an explicit per-layer recompute
+    /// decision (the fifth DP dimension): `recompute = true` prices the
+    /// backward-replay forward pass for this layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn layer_cost_with_recompute(
+        &self,
+        layer: &LayerSpec,
+        dtype: galvatron_model::DType,
+        strategy: &IntraStageStrategy,
+        stage_batch: u64,
+        base: DeviceId,
+        recompute: bool,
+    ) -> Result<LayerCost, ClusterError> {
+        self.cost_model.layer_cost_with_recompute(
+            &self.topology,
+            layer,
+            dtype,
+            strategy,
+            stage_batch,
+            base,
+            recompute,
+        )
+    }
+
     /// Per-layer memory — `O(l, s)` of Eq. 1.
     pub fn layer_memory(
         &self,
@@ -135,6 +159,25 @@ impl CostEstimator {
     ) -> LayerMemory {
         self.memory_model
             .layer_memory(layer, dtype, strategy, stage_batch)
+    }
+
+    /// [`CostEstimator::layer_memory`] with an explicit per-layer recompute
+    /// decision: `recompute = true` stashes only the layer-boundary input.
+    pub fn layer_memory_with_recompute(
+        &self,
+        layer: &LayerSpec,
+        dtype: galvatron_model::DType,
+        strategy: &IntraStageStrategy,
+        stage_batch: u64,
+        recompute: bool,
+    ) -> LayerMemory {
+        self.memory_model.layer_memory_with_recompute(
+            layer,
+            dtype,
+            strategy,
+            stage_batch,
+            recompute,
+        )
     }
 
     /// The Slice-Gather cost between two adjacent layers in a stage —
@@ -205,13 +248,15 @@ impl CostEstimator {
         for (offset, layer_idx) in (stage.layer_start..stage.layer_end).enumerate() {
             let layer = &model.layers[layer_idx];
             let strategy = &stage.layer_strategies[offset];
-            let micro_cost = self.cost_model.layer_cost(
+            let recompute = stage.recompute_of(offset);
+            let micro_cost = self.cost_model.layer_cost_with_recompute(
                 &self.topology,
                 layer,
                 model.dtype,
                 strategy,
                 micro,
                 stage.device_base,
+                recompute,
             )?;
 
             fwd_compute += mf * micro_cost.forward_compute;
@@ -233,9 +278,13 @@ impl CostEstimator {
 
             // Model state is batch-independent; the activation term uses
             // the schedule's in-flight stash.
-            let memory =
-                self.memory_model
-                    .layer_memory(layer, model.dtype, strategy, act_stash_batch);
+            let memory = self.memory_model.layer_memory_with_recompute(
+                layer,
+                model.dtype,
+                strategy,
+                act_stash_batch,
+                recompute,
+            );
             persistent += memory.persistent();
             max_transient = max_transient.max(memory.transient);
 
@@ -437,6 +486,7 @@ mod tests {
                     device_base: 0,
                     device_count: 4,
                     layer_strategies: vec![strat(&[(Paradigm::Data, 4)]); half],
+                    layer_recompute: Vec::new(),
                 },
                 StagePlan {
                     layer_start: half,
@@ -444,6 +494,7 @@ mod tests {
                     device_base: 4,
                     device_count: 4,
                     layer_strategies: vec![strat(&[(Paradigm::Data, 4)]); n - half],
+                    layer_recompute: Vec::new(),
                 },
             ],
         };
@@ -489,6 +540,7 @@ mod tests {
                     device_base: 0,
                     device_count: 4,
                     layer_strategies: vec![strat(&[(Paradigm::Data, 4)]); half],
+                    layer_recompute: Vec::new(),
                 },
                 StagePlan {
                     layer_start: half,
@@ -496,6 +548,7 @@ mod tests {
                     device_base: 4,
                     device_count: 4,
                     layer_strategies: vec![strat(&[(Paradigm::Data, 4)]); n - half],
+                    layer_recompute: Vec::new(),
                 },
             ],
         };

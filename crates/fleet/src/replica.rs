@@ -431,12 +431,33 @@ impl LineHandler for ReplicaHandler {
                 inline(WireResult::SlowTraces(shared.slow.drain()), false)
             }
             RequestBody::SnapshotPull { max_entries } => {
-                let entries = shared
+                let serve_started = Instant::now();
+                let serve_epoch = shared.obs.now_seconds();
+                let entries: Vec<CacheEntry> = shared
                     .cache
                     .export_recent(max_entries)
                     .into_iter()
                     .map(|(key, result)| CacheEntry { key, result })
                     .collect();
+                // A traced pull (warm-join) gets a `snapshot_serve` span
+                // parented under the puller's `snapshot_pull` context, so
+                // cache warming shows up in the joiner's trace tree.
+                if let Some((ctx, _)) = trace {
+                    let child = ctx.child("snapshot_serve", 0);
+                    let mut fields = link_fields(&SpanLink {
+                        trace_id: ctx.trace_id,
+                        span_id: child.span_id,
+                        parent_span_id: ctx.span_id,
+                    });
+                    fields.push(("instance".to_string(), shared.instance.clone().into()));
+                    fields.push(("entries".to_string(), (entries.len() as u64).into()));
+                    shared.obs.record_span(
+                        "snapshot_serve",
+                        serve_epoch,
+                        serve_started.elapsed().as_secs_f64(),
+                        fields,
+                    );
+                }
                 inline(WireResult::Snapshot(entries), false);
             }
             RequestBody::GossipPush { entries } => {
@@ -829,14 +850,34 @@ fn gossip_loop(
                 // Propagate the originating request's trace on the push:
                 // the receiver's gossip_receive span parents under this
                 // gossip_push context.
-                if let Some(ctx) = trace {
-                    client.set_trace(WireTraceContext::from_context(
-                        ctx.child("gossip_push", push_index as u64),
-                        false,
-                    ));
+                let push_ctx = trace.map(|ctx| ctx.child("gossip_push", push_index as u64));
+                if let Some(ctx) = push_ctx {
+                    client.set_trace(WireTraceContext::from_context(ctx, false));
                 }
+                let push_started = Instant::now();
+                let push_epoch = shared.obs.now_seconds();
                 match client.gossip_push(vec![entry.clone()]) {
-                    Ok(_) => {
+                    Ok(accepted) => {
+                        // The ack closes the loop: record the push (with
+                        // the receiver's accepted count) in the originating
+                        // request's tree; the receiver's gossip_receive
+                        // parents under this span.
+                        if let (Some(ctx), Some(push_ctx)) = (trace, push_ctx) {
+                            let mut fields = link_fields(&SpanLink {
+                                trace_id: push_ctx.trace_id,
+                                span_id: push_ctx.span_id,
+                                parent_span_id: ctx.span_id,
+                            });
+                            fields.push(("instance".to_string(), shared.instance.clone().into()));
+                            fields.push(("peer".to_string(), (peer_id as u64).into()));
+                            fields.push(("accepted".to_string(), accepted.into()));
+                            shared.obs.record_span(
+                                "gossip_push",
+                                push_epoch,
+                                push_started.elapsed().as_secs_f64(),
+                                fields,
+                            );
+                        }
                         pushed = true;
                         break;
                     }
@@ -980,7 +1021,27 @@ impl ReplicaHandle {
     /// running cold DP for questions the fleet has already answered.
     /// Returns how many entries were imported.
     pub fn warm_join(&self, peer: SocketAddr, max_entries: usize) -> std::io::Result<usize> {
+        self.warm_join_traced(peer, max_entries, None)
+    }
+
+    /// [`warm_join`](Self::warm_join) carrying a trace context: the pull is
+    /// sent with a `snapshot_pull` child context (the peer's
+    /// `snapshot_serve` span parents under it) and the import is recorded
+    /// as a `snapshot_pull` span in the caller's tree with the imported
+    /// count.
+    pub fn warm_join_traced(
+        &self,
+        peer: SocketAddr,
+        max_entries: usize,
+        trace: Option<TraceContext>,
+    ) -> std::io::Result<usize> {
         let mut client = PlanClient::connect(peer)?;
+        let pull_ctx = trace.map(|ctx| ctx.child("snapshot_pull", 0));
+        if let Some(ctx) = pull_ctx {
+            client.set_trace(WireTraceContext::from_context(ctx, false));
+        }
+        let pull_started = Instant::now();
+        let pull_epoch = self.shared.obs.now_seconds();
         let entries = client.snapshot_pull(max_entries)?;
         let imported = self.shared.cache.import(
             entries
@@ -988,6 +1049,21 @@ impl ReplicaHandle {
                 .map(|entry| (entry.key, entry.result))
                 .collect(),
         );
+        if let (Some(ctx), Some(pull_ctx)) = (trace, pull_ctx) {
+            let mut fields = link_fields(&SpanLink {
+                trace_id: pull_ctx.trace_id,
+                span_id: pull_ctx.span_id,
+                parent_span_id: ctx.span_id,
+            });
+            fields.push(("instance".to_string(), self.shared.instance.clone().into()));
+            fields.push(("imported".to_string(), (imported as u64).into()));
+            self.shared.obs.record_span(
+                "snapshot_pull",
+                pull_epoch,
+                pull_started.elapsed().as_secs_f64(),
+                fields,
+            );
+        }
         self.shared
             .warm_join_imported
             .fetch_add(imported as u64, Ordering::SeqCst);

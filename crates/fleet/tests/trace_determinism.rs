@@ -20,6 +20,7 @@ use galvatron_planner::PlannerConfig;
 use galvatron_serve::{PlanClient, PlanKey, WireResult, WireTraceContext};
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn sequential_planner() -> PlannerConfig {
     PlannerConfig {
@@ -140,6 +141,150 @@ fn traced_run() -> (String, u64) {
         records.extend(sink.records());
     }
     (structural_digest(&records), failovers)
+}
+
+/// Gossip acks and warm-join `SnapshotPull`s carry the trace: the sender
+/// records a `gossip_push` span (closed by the receiver's ack) under the
+/// originating `serve_request`, the receiver's `gossip_receive` parents
+/// under that push, and a traced warm-join yields `snapshot_pull` (joiner)
+/// → `snapshot_serve` (peer) under the caller's context.
+#[test]
+fn gossip_acks_and_warm_join_pulls_extend_the_span_tree() {
+    let n = 2usize;
+    let mut sinks: Vec<Arc<RingBufferSink>> = Vec::new();
+    let replicas: Vec<_> = (0..n)
+        .map(|id| {
+            let sink = Arc::new(RingBufferSink::new(1024));
+            sinks.push(sink.clone());
+            FleetReplica::start(
+                ReplicaConfig {
+                    id,
+                    workers: 1,
+                    gossip_fanout: 1,
+                    planner: sequential_planner(),
+                    ..ReplicaConfig::default()
+                },
+                Obs::new(Arc::new(MetricsRegistry::new()), sink),
+            )
+            .expect("bind replica")
+        })
+        .collect();
+    let members: Vec<(usize, SocketAddr)> = replicas.iter().map(|r| (r.id(), r.addr())).collect();
+    for replica in &replicas {
+        replica.set_peers(&members);
+    }
+
+    let topology = rtx_titan_node(8);
+    let mut ids = TraceIdGen::new(0x0bde_c0de_7ace);
+    let root = ids.next_context();
+    let mut client = PlanClient::connect(replicas[0].addr()).expect("connect replica 0");
+    client.set_trace(WireTraceContext::from_context(root, false));
+    let response = client
+        .plan("gossip-a@8g", bert(2, "gossip-a"), topology, 8 * GIB)
+        .expect("traced plan request");
+    assert!(matches!(response.result, WireResult::Plan(_)));
+
+    // Gossip is asynchronous: wait for the peer's gossip_receive span.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sinks
+        .iter()
+        .any(|s| s.records().iter().any(|r| r.name == "gossip_receive"))
+    {
+        assert!(Instant::now() < deadline, "gossip push never delivered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Warm-join a fresh replica from the computing one, trace attached.
+    let joiner_sink = Arc::new(RingBufferSink::new(1024));
+    sinks.push(joiner_sink.clone());
+    let joiner = FleetReplica::start(
+        ReplicaConfig {
+            id: n,
+            workers: 1,
+            gossip_fanout: 0,
+            planner: sequential_planner(),
+            ..ReplicaConfig::default()
+        },
+        Obs::new(Arc::new(MetricsRegistry::new()), joiner_sink),
+    )
+    .expect("bind joiner");
+    let join_root = ids.next_context();
+    let imported = joiner
+        .warm_join_traced(replicas[0].addr(), 8, Some(join_root))
+        .expect("traced warm join");
+    assert!(imported >= 1, "the fresh plan should warm the joiner");
+
+    joiner.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+
+    let mut records = Vec::new();
+    for sink in &sinks {
+        records.extend(sink.records());
+    }
+    // "trace span parent name" lines, filtered per span name.
+    let digest = structural_digest(&records);
+    let spans = |name: &str| -> Vec<(String, String, String)> {
+        digest
+            .lines()
+            .filter_map(|line| {
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next(), it.next(), it.next()) {
+                    (Some(t), Some(s), Some(p), Some(n)) if n == name => {
+                        Some((t.to_string(), s.to_string(), p.to_string()))
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    };
+
+    let serve: Vec<_> = spans("serve_request")
+        .into_iter()
+        .filter(|(t, _, _)| *t == root.trace_id.to_hex())
+        .collect();
+    assert_eq!(serve.len(), 1, "one traced serve_request:\n{digest}");
+    let pushes = spans("gossip_push");
+    assert_eq!(pushes.len(), 1, "one acked gossip push:\n{digest}");
+    assert_eq!(pushes[0].0, root.trace_id.to_hex());
+    assert_eq!(
+        pushes[0].2, serve[0].1,
+        "gossip_push parents under serve_request"
+    );
+    let receives = spans("gossip_receive");
+    assert_eq!(receives.len(), 1, "one traced gossip receive:\n{digest}");
+    assert_eq!(
+        receives[0].2, pushes[0].1,
+        "gossip_receive parents under the acked push"
+    );
+
+    let pulls = spans("snapshot_pull");
+    assert_eq!(pulls.len(), 1, "one traced snapshot pull:\n{digest}");
+    assert_eq!(pulls[0].0, join_root.trace_id.to_hex());
+    assert_eq!(
+        pulls[0].2,
+        join_root.span_id.to_hex(),
+        "snapshot_pull parents under the warm-join caller"
+    );
+    let serves = spans("snapshot_serve");
+    assert_eq!(serves.len(), 1, "one traced snapshot serve:\n{digest}");
+    assert_eq!(
+        serves[0].2, pulls[0].1,
+        "snapshot_serve parents under the joiner's pull"
+    );
+
+    // The ack payload rides on the sender's span.
+    let accepted = records
+        .iter()
+        .find(|r| r.name == "gossip_push")
+        .and_then(|r| {
+            r.fields
+                .iter()
+                .find(|(k, _)| k == "accepted")
+                .map(|(_, v)| v.clone())
+        });
+    assert!(accepted.is_some(), "gossip_push records the acked count");
 }
 
 /// Two seeded runs — same request script, same kill, same trace seeds —

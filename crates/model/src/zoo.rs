@@ -144,6 +144,19 @@ pub struct GptConfig {
 }
 
 impl GptConfig {
+    /// The GPT-2 XL (1.5B-parameter) configuration — the motivating model
+    /// scale of the paper's introduction, and the decoder-only point of the
+    /// BMW recompute benchmark grid.
+    pub fn gpt2_1_5b() -> Self {
+        GptConfig {
+            layers: 48,
+            hidden: 1600,
+            heads: 25,
+            seq: 1024,
+            vocab: 50257,
+        }
+    }
+
     /// Build the layer sequence. Causal self-attention has the same shape
     /// accounting as bidirectional (masked entries are still materialised in
     /// a dense implementation), so GPT layers reuse the encoder accounting.
@@ -791,17 +804,15 @@ mod tests {
 
     #[test]
     fn gpt_builds_and_scales() {
-        let gpt2_xl = GptConfig {
-            layers: 48,
-            hidden: 1600,
-            heads: 25,
-            seq: 1024,
-            vocab: 50257,
-        }
-        .build("GPT2-XL");
         // GPT-2 XL is the paper's motivating 1.5B model (§1).
+        let gpt2_xl = GptConfig::gpt2_1_5b().build("GPT2-XL");
         let params = gpt2_xl.total_param_count() as f64;
         assert!((params / 1.5e9 - 1.0).abs() < 0.15, "params {params}");
+        assert_eq!(gpt2_xl.transformer_layer_count(), 48);
+        // Long-context decoder stash: more than 3 MB/sample per layer, the
+        // pressure the recompute dimension trades away.
+        let per_layer = gpt2_xl.layers[1].activation_bytes_per_sample(DType::F32);
+        assert!(per_layer > 3 << 20, "stash {per_layer} B/sample");
     }
 
     #[test]

@@ -49,6 +49,9 @@ struct StageDpKey {
     granularity: u64,
     micro_batches: usize,
     act_stash_batch: u64,
+    /// [`RecomputeMode::as_u8`](galvatron_core::RecomputeMode::as_u8) —
+    /// answers under different recompute planes never alias.
+    recompute: u8,
 }
 
 /// Cache hit/miss counters.
@@ -248,6 +251,7 @@ impl StageDp for CachedStageDp<'_> {
             granularity: query.granularity,
             micro_batches: query.micro_batches,
             act_stash_batch: query.act_stash_batch,
+            recompute: query.recompute.as_u8(),
         };
         if let Some(found) = self.cache.get(&key) {
             return Ok(found);
@@ -332,6 +336,7 @@ mod tests {
             granularity: 1 << 24,
             micro_batches: 1,
             act_stash_batch: 8,
+            recompute: 0,
         };
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), None);
@@ -354,6 +359,7 @@ mod tests {
             granularity: 1 << 24,
             micro_batches: 1,
             act_stash_batch: 8,
+            recompute: 0,
         }
     }
 

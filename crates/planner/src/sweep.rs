@@ -30,9 +30,9 @@ use crossbeam::deque::{Injector, Steal};
 use galvatron_cluster::{ClusterError, ClusterTopology};
 use galvatron_core::optimizer::batch_candidates;
 use galvatron_core::{
-    dp_feasible, evaluate_candidate, micro_batch_candidates, runnable_set, stage_bound_sets,
-    strategy_sets, ArenaStageDp, BoundIncrementalDp, CandidateResult, CandidateSpec,
-    IncrementalEngine, OptimizerConfig, SearchStats, StageDp,
+    dp_feasible_with_recompute, evaluate_candidate, micro_batch_candidates, runnable_set,
+    stage_bound_sets, strategy_sets, ArenaStageDp, BoundIncrementalDp, CandidateResult,
+    CandidateSpec, DirectCosts, IncrementalEngine, OptimizerConfig, SearchStats, StageDp,
 };
 use galvatron_estimator::CostEstimator;
 use galvatron_model::ModelSpec;
@@ -140,8 +140,9 @@ fn enumerate(
                                 stage_budgets[i],
                                 config.memory_granularity,
                                 act_stash,
+                                config.recompute,
                             ),
-                            None => dp_feasible(
+                            None => dp_feasible_with_recompute(
                                 estimator,
                                 model,
                                 start..end,
@@ -149,6 +150,8 @@ fn enumerate(
                                 stage_budgets[i],
                                 config.memory_granularity,
                                 act_stash,
+                                config.recompute,
+                                &DirectCosts,
                             ),
                         }
                     });

@@ -220,10 +220,17 @@ impl<'a> Builder<'a> {
 
     /// Per-device activation stash bytes for one micro-batch of a layer.
     /// With recomputation only the layer-boundary input survives until
-    /// backward.
-    fn act_bytes_per_micro(&self, layer: &LayerSpec, strategy: &IntraStageStrategy) -> i64 {
+    /// backward. `recompute` is the plan's per-layer decision; the global
+    /// [`SimulatorConfig::recompute_activations`] override forces it on
+    /// everywhere (back-compat for pre-BMW configs).
+    fn act_bytes_per_micro(
+        &self,
+        layer: &LayerSpec,
+        strategy: &IntraStageStrategy,
+        recompute: bool,
+    ) -> i64 {
         let samples = (self.micro_size / strategy.data_degree()).max(1) as u64;
-        let per_sample = if self.config.recompute_activations {
+        let per_sample = if recompute || self.config.recompute_activations {
             layer.output_bytes_per_sample(self.model.dtype)
         } else {
             layer.activation_bytes_tp(self.model.dtype, strategy.tp() as u64)
@@ -344,7 +351,11 @@ impl<'a> Builder<'a> {
                     let mut task = compute_task(s, work, prio, format!("fwd L{l} µ{k}"));
                     task.mem_on_start.push(MemDelta {
                         stage: s,
-                        bytes: self.act_bytes_per_micro(&layer, &strategy),
+                        bytes: self.act_bytes_per_micro(
+                            &layer,
+                            &strategy,
+                            stage.recompute_of(offset),
+                        ),
                     });
                     if strategy.sdp() > 1 {
                         // Free the gathered parameters after this
@@ -439,19 +450,21 @@ impl<'a> Builder<'a> {
                         None
                     };
 
-                    // Backward is 2× forward; with recomputation the layer's
-                    // forward is replayed first (§5.1 leaves this off).
-                    let backward_factor = if self.config.recompute_activations {
-                        3.0
-                    } else {
-                        2.0
-                    };
+                    // Backward is 2× forward; with recomputation (this
+                    // layer's plan decision, or the global back-compat
+                    // override) the layer's forward is replayed first.
+                    let recompute = stage.recompute_of(offset) || self.config.recompute_activations;
+                    let backward_factor = if recompute { 3.0 } else { 2.0 };
                     let work = backward_factor * self.fwd_work(s, &layer, &strategy);
                     let prio = self.next_priority();
                     let mut task = compute_task(s, work, prio, format!("bwd L{l} µ{k}"));
                     task.mem_on_finish.push(MemDelta {
                         stage: s,
-                        bytes: -self.act_bytes_per_micro(&layer, &strategy),
+                        bytes: -self.act_bytes_per_micro(
+                            &layer,
+                            &strategy,
+                            stage.recompute_of(offset),
+                        ),
                     });
                     if strategy.sdp() > 1 {
                         task.mem_on_finish.push(MemDelta {

@@ -21,10 +21,15 @@ pub struct SimulatorConfig {
     pub memory_budget: Option<u64>,
     /// Optimizer-state bytes per parameter (Adam: 8).
     pub optimizer_bytes_per_param: u64,
-    /// Recompute activations during backward instead of stashing them
-    /// (disabled in the paper's evaluation, §5.1; implemented as the
-    /// documented extension). Backward compute grows by one forward pass;
-    /// the stash shrinks to layer boundaries.
+    /// **Deprecated global override**: recompute *every* layer's
+    /// activations during backward instead of stashing them (disabled in
+    /// the paper's evaluation, §5.1). Since the BMW extension the plan
+    /// itself carries per-layer recompute decisions
+    /// ([`StagePlan::layer_recompute`](galvatron_strategy::StagePlan)),
+    /// which the simulator honours layer by layer; this bool remains as a
+    /// back-compat blanket override OR-ed over every layer. Backward
+    /// compute grows by one forward pass; the stash shrinks to layer
+    /// boundaries.
     pub recompute_activations: bool,
 }
 

@@ -18,6 +18,13 @@ pub struct StagePlan {
     pub device_count: usize,
     /// One strategy per layer in `layer_start..layer_end`.
     pub layer_strategies: Vec<IntraStageStrategy>,
+    /// Per-layer activation-recomputation decisions (the fifth DP
+    /// dimension): `true` means the layer stashes only its boundary input
+    /// and replays the forward during backward. Empty means "all stash" —
+    /// the pre-recompute default — so plans that never recompute serialize
+    /// byte-identically to the old schema.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub layer_recompute: Vec<bool>,
 }
 
 impl StagePlan {
@@ -34,6 +41,17 @@ impl StagePlan {
             None
         }
     }
+
+    /// Whether the layer at in-stage `offset` recomputes its activations.
+    /// An empty decision vector means every layer stashes.
+    pub fn recompute_of(&self, offset: usize) -> bool {
+        self.layer_recompute.get(offset).copied().unwrap_or(false)
+    }
+
+    /// Whether any layer of this stage recomputes.
+    pub fn any_recompute(&self) -> bool {
+        self.layer_recompute.iter().any(|&r| r)
+    }
 }
 
 /// Errors validating a plan against a model and cluster.
@@ -48,6 +66,11 @@ pub enum PlanError {
     DeviceCoverage,
     /// A stage's strategy list length mismatches its layer range.
     StrategyCount {
+        /// The offending stage index.
+        stage: usize,
+    },
+    /// A stage's recompute list is neither empty nor one entry per layer.
+    RecomputeCount {
         /// The offending stage index.
         stage: usize,
     },
@@ -77,6 +100,9 @@ impl fmt::Display for PlanError {
             PlanError::DeviceCoverage => write!(f, "stage device groups do not tile the cluster"),
             PlanError::StrategyCount { stage } => {
                 write!(f, "stage {stage} has a strategy-count mismatch")
+            }
+            PlanError::RecomputeCount { stage } => {
+                write!(f, "stage {stage} has a recompute-count mismatch")
             }
             PlanError::StrategySpan { stage, layer } => write!(
                 f,
@@ -170,6 +196,7 @@ impl ParallelPlan {
                 device_base: 0,
                 device_count: n_devices,
                 layer_strategies: vec![strategy; n_layers],
+                layer_recompute: Vec::new(),
             }],
         }
     }
@@ -220,6 +247,10 @@ impl ParallelPlan {
             if stage.layer_strategies.len() != stage.n_layers() {
                 return Err(PlanError::StrategyCount { stage: i });
             }
+            if !stage.layer_recompute.is_empty() && stage.layer_recompute.len() != stage.n_layers()
+            {
+                return Err(PlanError::RecomputeCount { stage: i });
+            }
             for (j, strat) in stage.layer_strategies.iter().enumerate() {
                 if strat.total_degree() != per_stage {
                     return Err(PlanError::StrategySpan { stage: i, layer: j });
@@ -267,8 +298,11 @@ impl ParallelPlan {
                 stage.layer_end
             ));
             let mut runs: Vec<(String, usize)> = Vec::new();
-            for s in &stage.layer_strategies {
-                let label = s.label();
+            for (j, s) in stage.layer_strategies.iter().enumerate() {
+                let mut label = s.label();
+                if stage.recompute_of(j) {
+                    label.push_str("+ckpt");
+                }
                 match runs.last_mut() {
                     Some((last, count)) if *last == label => *count += 1,
                     _ => runs.push((label, 1)),
@@ -312,6 +346,7 @@ mod tests {
                     device_base: 0,
                     device_count: 4,
                     layer_strategies: vec![strat(&[(Paradigm::Data, 4)]); 3],
+                    layer_recompute: Vec::new(),
                 },
                 StagePlan {
                     layer_start: 3,
@@ -323,6 +358,7 @@ mod tests {
                         strat(&[(Paradigm::Data, 2), (Paradigm::Tensor, 2)]),
                         strat(&[(Paradigm::Tensor, 4)]),
                     ],
+                    layer_recompute: Vec::new(),
                 },
             ],
         }

@@ -103,6 +103,18 @@ echo "    cluster-advisor sweep is non-deterministic)"
 cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-hetero --bin galvatron-hetero
 test -s BENCH_hetero.json || { echo "BENCH_hetero.json missing" >&2; exit 1; }
 
+echo "==> bmw crate suites (knob corners, 6 GiB unlock, determinism) + per-layer"
+echo "    recompute extension (On ≡ global flag bit-for-bit, Auto never loses)"
+cargo test "${CARGO_FLAGS[@]}" -p galvatron-bmw -q
+cargo test "${CARGO_FLAGS[@]}" --test recompute_extension -q
+
+echo "==> bmw acceptance bench (fails unless recompute + memory-balanced stages"
+echo "    beat the four-paradigm baseline — feasibility or throughput — at >=1"
+echo "    model x budget point, every winner re-simulated against its budget)"
+# Writes BENCH_bmw.json at the workspace root.
+cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-bmw --bin galvatron-bmw
+test -s BENCH_bmw.json || { echo "BENCH_bmw.json missing" >&2; exit 1; }
+
 echo "==> serve load bench (fails below 5x warm-over-cold, herd >1 compute, or no shed)"
 # Writes BENCH_serve.json at the workspace root.
 cargo run "${CARGO_FLAGS[@]}" --release -q -p galvatron-fleet --bin galvatron-bench-serve

@@ -3,6 +3,12 @@
 # golden-plan snapshots, and the differential fuzz harness cranked to
 # PROPTEST_CASES=2048, all in release mode.
 #
+# Since the BMW extension the fuzzed instance space includes the
+# recompute dimension: every case draws a RecomputeMode (off/on/auto)
+# and the brute-force reference enumerates both per-layer planes, so
+# the serial/arena/cached/incremental equivalences are stressed over
+# the enlarged (strategy, recompute) decision space too.
+#
 # Prints exactly ONE summary line on stdout, e.g.
 #   oracle-stress: ok cases=2048 suites=4 seconds=37
 # (all cargo output goes to stderr), so scripts/check.sh --full — or a cron

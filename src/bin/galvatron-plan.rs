@@ -25,6 +25,8 @@ struct Options {
     max_batch: usize,
     restrict: Option<String>,
     objective: Objective,
+    recompute: RecomputeMode,
+    partitioner: PipelinePartitioner,
     jobs: usize,
     simulate: bool,
     explain: bool,
@@ -42,6 +44,8 @@ impl Default for Options {
             max_batch: 512,
             restrict: None,
             objective: Objective::Time,
+            recompute: RecomputeMode::Off,
+            partitioner: PipelinePartitioner::default(),
             jobs: 0,
             simulate: false,
             explain: false,
@@ -71,6 +75,12 @@ OPTIONS:
     --objective <OBJ>    time (max throughput on the full cluster) | cost
                          (max throughput per dollar over island-aligned
                          sub-cluster deployments)  [time]
+    --recompute <MODE>   off (stash every activation) | on (checkpoint every
+                         layer) | auto (per-layer DP decision — the BMW
+                         fifth dimension)  [off]
+    --partitioner <P>    pipeline stage split: flops | layers | params |
+                         activation | balanced (peak-memory-balanced BMW
+                         guideline)  [flops]
     --jobs <N>           planner worker threads (0 = all cores)  [0]
     --simulate           execute the plan on the discrete-event simulator
     --explain            per-layer table: chosen strategy, compute/comm/memory
@@ -110,6 +120,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "time" => Objective::Time,
                     "cost" => Objective::Cost,
                     other => return Err(format!("--objective must be time or cost, got {other}")),
+                }
+            }
+            "--recompute" => {
+                let v = value("--recompute")?;
+                opts.recompute = RecomputeMode::parse(&v)
+                    .ok_or_else(|| format!("--recompute must be off, on or auto, got {v}"))?
+            }
+            "--partitioner" => {
+                opts.partitioner = match value("--partitioner")?.as_str() {
+                    "flops" => PipelinePartitioner::ByFlops,
+                    "layers" => PipelinePartitioner::ByLayerCount,
+                    "params" => PipelinePartitioner::ByParams,
+                    "activation" => PipelinePartitioner::ByActivation,
+                    "balanced" => PipelinePartitioner::MemoryBalanced,
+                    other => {
+                        return Err(format!(
+                            "--partitioner must be flops, layers, params, activation \
+                             or balanced, got {other}"
+                        ))
+                    }
                 }
             }
             "--jobs" => {
@@ -180,6 +210,8 @@ fn planner_for(opts: &Options) -> ParallelPlanner {
     let mut config = OptimizerConfig {
         max_batch: opts.max_batch,
         sub_step_batches: true,
+        recompute: opts.recompute,
+        partitioner: opts.partitioner,
         ..OptimizerConfig::default()
     };
     match opts.restrict.as_deref() {
@@ -439,8 +471,8 @@ mod tests {
     fn full_argument_set_parses() {
         let opts = parse_args(&argv(
             "--model vit-huge-32 --cluster a100-64 --budget-gb 8 --max-batch 64 \
-             --restrict dp-tp --simulate --explain --trace t.json --json p.json \
-             --metrics-out m.prom",
+             --restrict dp-tp --recompute auto --partitioner balanced --simulate \
+             --explain --trace t.json --json p.json --metrics-out m.prom",
         ))
         .unwrap();
         assert_eq!(opts.model, "vit-huge-32");
@@ -448,6 +480,8 @@ mod tests {
         assert_eq!(opts.budget_gb, 8);
         assert_eq!(opts.max_batch, 64);
         assert_eq!(opts.restrict.as_deref(), Some("dp-tp"));
+        assert_eq!(opts.recompute, RecomputeMode::Auto);
+        assert_eq!(opts.partitioner, PipelinePartitioner::MemoryBalanced);
         assert!(opts.simulate);
         assert!(opts.explain);
         assert_eq!(opts.trace_path.as_deref(), Some("t.json"));
@@ -462,6 +496,34 @@ mod tests {
         assert!(parse_args(&argv("--restrict everything")).is_err());
         assert!(parse_args(&argv("--model")).is_err());
         assert!(parse_args(&argv("--metrics-out")).is_err());
+        assert!(parse_args(&argv("--recompute sometimes")).is_err());
+        assert!(parse_args(&argv("--partitioner vibes")).is_err());
+    }
+
+    #[test]
+    fn bmw_flags_configure_the_optimizer() {
+        // The defaults stay bit-identical to the historical planner.
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts.recompute, RecomputeMode::Off);
+        assert_eq!(opts.partitioner, PipelinePartitioner::ByFlops);
+        let planner = planner_for(&opts);
+        assert_eq!(planner.config().optimizer.recompute, RecomputeMode::Off);
+
+        let opts = parse_args(&argv("--recompute on --partitioner params")).unwrap();
+        let planner = planner_for(&opts);
+        assert_eq!(planner.config().optimizer.recompute, RecomputeMode::On);
+        assert_eq!(
+            planner.config().optimizer.partitioner,
+            PipelinePartitioner::ByParams
+        );
+
+        let opts = parse_args(&argv("--recompute auto --partitioner balanced")).unwrap();
+        let planner = planner_for(&opts);
+        assert_eq!(planner.config().optimizer.recompute, RecomputeMode::Auto);
+        assert_eq!(
+            planner.config().optimizer.partitioner,
+            PipelinePartitioner::MemoryBalanced
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub mod prelude {
     };
     pub use galvatron_core::{
         explain_plan, GalvatronOptimizer, OptimizeOutcome, OptimizerConfig, PipelinePartitioner,
-        PlanExplanation,
+        PlanExplanation, RecomputeMode,
     };
     pub use galvatron_elastic::{
         ElasticConfig, ElasticOutcome, ElasticRuntime, FaultEvent, FaultKind, FaultSchedule,

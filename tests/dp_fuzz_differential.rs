@@ -22,7 +22,7 @@
 
 use galvatron_cluster::{island_cluster, mixed_a100_rtx_cluster, rtx_titan_node, DeviceType, MIB};
 use galvatron_core::{
-    dominance_masks, dp_search_arena, dp_search_with_micro_batches, DirectCosts, DpArena,
+    dominance_masks, dp_search_arena, dp_search_with_recompute, DirectCosts, DpArena, RecomputeMode,
 };
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::BertConfig;
@@ -48,6 +48,16 @@ struct Case {
     knobs: u32,
     /// Usable budget in 16 MiB units.
     budget_16m: u64,
+    /// Recompute planes: 0 = off, 1 = on, 2 = auto (per-layer choice).
+    recompute: u8,
+}
+
+fn recompute_mode(case: &Case) -> RecomputeMode {
+    match case.recompute % 3 {
+        0 => RecomputeMode::Off,
+        1 => RecomputeMode::On,
+        _ => RecomputeMode::Auto,
+    }
 }
 
 fn build(
@@ -129,7 +139,8 @@ struct Params {
 /// human-readable divergence description otherwise.
 fn check(case: &Case) -> Result<(), String> {
     let (est, model, set, p) = build(case);
-    let reference = dp_search_with_micro_batches(
+    let mode = recompute_mode(case);
+    let reference = dp_search_with_recompute(
         &est,
         &model,
         p.layer_range.clone(),
@@ -140,6 +151,8 @@ fn check(case: &Case) -> Result<(), String> {
         p.granularity,
         p.micro_batches,
         p.act_stash_batch,
+        mode,
+        &DirectCosts,
     )
     .map_err(|e| format!("reference errored: {e:?}"))?;
     let mut arena = DpArena::new();
@@ -154,6 +167,7 @@ fn check(case: &Case) -> Result<(), String> {
         p.granularity,
         p.micro_batches,
         p.act_stash_batch,
+        mode,
         &DirectCosts,
         &mut arena,
     )
@@ -175,6 +189,12 @@ fn check(case: &Case) -> Result<(), String> {
                 return Err(format!(
                     "memory bytes diverged: {} vs {}",
                     a.memory_bytes, b.memory_bytes
+                ));
+            }
+            if a.recompute != b.recompute {
+                return Err(format!(
+                    "recompute planes diverged: {:?} vs {:?}",
+                    a.recompute, b.recompute
                 ));
             }
         }
@@ -200,18 +220,28 @@ fn check(case: &Case) -> Result<(), String> {
             p.granularity,
             p.micro_batches,
             p.act_stash_batch,
+            mode,
             &DirectCosts,
         )
         .map_err(|e| format!("dominance_masks errored: {e:?}"))?;
+        let planes = mode.planes();
+        let n_strats = set.len();
         for (li, chosen) in reference.strategies.iter().enumerate() {
             let si = set
                 .strategies()
                 .iter()
                 .position(|s| s == chosen)
                 .expect("optimum strategy is in the set");
-            if masks.get(li).is_some_and(|m| m[si]) {
+            let rc = reference.recompute.get(li).copied().unwrap_or(false);
+            let plane = planes
+                .iter()
+                .position(|&p| p == rc)
+                .expect("optimum plane is scanned");
+            let di = plane * n_strats + si;
+            if masks.get(li).is_some_and(|m| m[di]) {
                 return Err(format!(
-                    "dominance filter removed the optimal strategy {chosen:?} at layer {li}"
+                    "dominance filter removed the optimal decision {chosen:?} \
+                     (recompute {rc}) at layer {li}"
                 ));
             }
         }
@@ -279,6 +309,12 @@ fn shrink_candidates(case: &Case) -> Vec<Case> {
             ..case.clone()
         });
     }
+    if !case.recompute.is_multiple_of(3) {
+        out.push(Case {
+            recompute: 0,
+            ..case.clone()
+        });
+    }
     out
 }
 
@@ -321,14 +357,14 @@ fn cases() -> u32 {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     (
-        (0u8..3, 0u8..3, 1u8..5),
+        (0u8..3, 0u8..3, 1u8..5, 0u8..3),
         0u8..4,
         any::<u32>(),
         any::<u32>(),
         1u64..281,
     )
         .prop_map(
-            |((topo, group_log2, encoders), shape, keep_mask, knobs, budget_16m)| Case {
+            |((topo, group_log2, encoders, recompute), shape, keep_mask, knobs, budget_16m)| Case {
                 topo,
                 group_log2,
                 encoders,
@@ -336,6 +372,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                 keep_mask,
                 knobs,
                 budget_16m,
+                recompute,
             },
         )
 }
@@ -371,6 +408,7 @@ fn shrinker_reaches_a_one_minimal_case() {
         keep_mask: 0xdead_beef,
         knobs: 0b1111,
         budget_16m: 200,
+        recompute: 2,
     };
     // All single-step simplifications of a passing case must also pass
     // (sanity: shrink_candidates only simplifies).

@@ -35,8 +35,9 @@ use galvatron_cluster::{
     island_cluster, mixed_a100_rtx_cluster, rtx_titan_node, ClusterTopology, DeviceType, MIB,
 };
 use galvatron_core::{
-    dp_search_arena, dp_search_with_micro_batches, ArenaStageDp, DirectCosts, DirectStageDp,
-    DpArena, DpResult, IncrementalEngine, StageDp, StageDpQuery,
+    dp_search_arena, dp_search_with_micro_batches, dp_search_with_recompute, ArenaStageDp,
+    DirectCosts, DirectStageDp, DpArena, DpResult, IncrementalEngine, RecomputeMode, StageDp,
+    StageDpQuery,
 };
 use galvatron_estimator::{CostEstimator, EstimatorConfig};
 use galvatron_model::{BertConfig, ModelSpec};
@@ -58,6 +59,7 @@ struct Instance {
     act_stash_batch: u64,
     usable_budget: u64,
     granularity: u64,
+    recompute: RecomputeMode,
 }
 
 fn tiny_model(rng: &mut StdRng, seed: u64) -> ModelSpec {
@@ -125,6 +127,7 @@ fn draw_base(seed: u64) -> Instance {
         act_stash_batch,
         usable_budget,
         granularity,
+        recompute: RecomputeMode::Off,
     }
 }
 
@@ -173,6 +176,7 @@ fn draw_npo2(seed: u64) -> Instance {
         act_stash_batch: stage_batch,
         usable_budget,
         granularity,
+        recompute: RecomputeMode::Off,
     }
 }
 
@@ -219,6 +223,7 @@ fn draw_mixed(seed: u64) -> Instance {
         act_stash_batch: stage_batch,
         usable_budget,
         granularity,
+        recompute: RecomputeMode::Off,
     }
 }
 
@@ -265,6 +270,48 @@ fn draw_degenerate(seed: u64) -> Instance {
         act_stash_batch: stage_batch,
         usable_budget,
         granularity,
+        recompute: RecomputeMode::Off,
+    }
+}
+
+/// Family **recompute**: the BMW fifth dimension — base-style draws with
+/// the recompute planes forced `On` or left to the DP (`Auto`), on
+/// deliberately tight budgets so checkpointing is frequently the only
+/// feasible (or the strictly cheaper) choice. Brute force enumerates the
+/// full `(strategy × plane)^layers` decision space.
+fn draw_recompute(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let group = [2usize, 4][rng.gen_range(0usize..2)];
+    let estimator = CostEstimator::new(rtx_titan_node(4), EstimatorConfig::default());
+    let model = tiny_model(&mut rng, seed);
+    let set = random_subset(&mut rng, group);
+    let stage_batch = (group as u64) << rng.gen_range(0..=2);
+    let micro_batches = if stage_batch >= 2 * group as u64 && rng.gen_range(0..2) == 1 {
+        2
+    } else {
+        1
+    };
+    // Skew low: the interesting instances sit on the feasibility boundary
+    // where the stash plane alone does not fit.
+    let usable_budget = if rng.gen_range(0u32..3) == 0 {
+        rng.gen_range(1u64..=68) * 64 * MIB
+    } else {
+        rng.gen_range(1u64..=32) * 16 * MIB
+    };
+    let granularity = [16 * MIB, 64 * MIB][rng.gen_range(0usize..2)];
+    let recompute = [RecomputeMode::On, RecomputeMode::Auto][rng.gen_range(0usize..2)];
+    let n_layers = model.n_layers();
+    Instance {
+        estimator,
+        model,
+        layer_range: 0..n_layers,
+        set,
+        stage_batch,
+        micro_batches,
+        act_stash_batch: stage_batch,
+        usable_budget,
+        granularity,
+        recompute,
     }
 }
 
@@ -276,7 +323,12 @@ fn brute_force(inst: &Instance) -> Option<f64> {
     let model = &inst.model;
     let layers: Vec<usize> = inst.layer_range.clone().collect();
     let n_layers = layers.len();
-    let n = inst.set.len();
+    let n_strats = inst.set.len();
+    let planes = inst.recompute.planes();
+    // A decision is a `(strategy, recompute-plane)` pair, plane-major like
+    // the solver's own indexing; with recompute off this is the historical
+    // strategy enumeration.
+    let n = n_strats * planes.len();
     let micro = (inst.stage_batch / inst.micro_batches as u64).max(1);
 
     let mut cost = vec![vec![0.0f64; n]; n_layers];
@@ -284,16 +336,28 @@ fn brute_force(inst: &Instance) -> Option<f64> {
     let mut reserve = 0u64;
     for (li, &l) in layers.iter().enumerate() {
         let layer = &model.layers[l];
-        for (si, s) in inst.set.iter().enumerate() {
-            let c = est.layer_cost(layer, model.dtype, s, micro, 0).unwrap();
-            cost[li][si] = c.total_with_micro_batches(est.config(), inst.micro_batches);
-            let m = est.layer_memory(layer, model.dtype, s, inst.act_stash_batch);
-            units[li][si] = m.persistent().div_ceil(inst.granularity);
-            reserve = reserve.max(m.transient);
+        for (plane, &rc) in planes.iter().enumerate() {
+            for (si, s) in inst.set.iter().enumerate() {
+                let di = plane * n_strats + si;
+                let c = est
+                    .layer_cost_with_recompute(layer, model.dtype, s, micro, 0, rc)
+                    .unwrap();
+                cost[li][di] = c.total_with_micro_batches(est.config(), inst.micro_batches);
+                let m = est.layer_memory_with_recompute(
+                    layer,
+                    model.dtype,
+                    s,
+                    inst.act_stash_batch,
+                    rc,
+                );
+                units[li][di] = m.persistent().div_ceil(inst.granularity);
+                reserve = reserve.max(m.transient);
+            }
         }
     }
     let e_max = (inst.usable_budget.saturating_sub(2 * reserve) / inst.granularity).min(1 << 22);
-    let mut r = vec![vec![vec![0.0f64; n]; n]; n_layers];
+    // R depends only on the strategy parts of the adjacent decisions.
+    let mut r = vec![vec![vec![0.0f64; n_strats]; n_strats]; n_layers];
     for (li, r_li) in r.iter_mut().enumerate().skip(1) {
         for (pi, p) in inst.set.iter().enumerate() {
             for (si, s) in inst.set.iter().enumerate() {
@@ -316,11 +380,11 @@ fn brute_force(inst: &Instance) -> Option<f64> {
     loop {
         let mut mem = 0u64;
         let mut time = 0.0f64;
-        for (li, &si) in assignment.iter().enumerate() {
-            mem += units[li][si];
-            time += cost[li][si];
+        for (li, &di) in assignment.iter().enumerate() {
+            mem += units[li][di];
+            time += cost[li][di];
             if li > 0 {
-                time += r[li][assignment[li - 1]][si];
+                time += r[li][assignment[li - 1] % n_strats][di % n_strats];
             }
         }
         if mem <= e_max {
@@ -354,6 +418,7 @@ fn query<'a>(inst: &'a Instance) -> StageDpQuery<'a> {
         granularity: inst.granularity,
         micro_batches: inst.micro_batches,
         act_stash_batch: inst.act_stash_batch,
+        recompute: inst.recompute,
     }
 }
 
@@ -376,6 +441,10 @@ fn assert_same_result(a: &Option<DpResult>, b: &Option<DpResult>, what: &str, se
                 a.memory_bytes, b.memory_bytes,
                 "seed {seed}: {what} memory diverged"
             );
+            assert_eq!(
+                a.recompute, b.recompute,
+                "seed {seed}: {what} recompute planes diverged"
+            );
         }
         _ => panic!(
             "seed {seed}: {what} feasibility diverged ({} vs {})",
@@ -386,11 +455,12 @@ fn assert_same_result(a: &Option<DpResult>, b: &Option<DpResult>, what: &str, se
 }
 
 /// Every `(family_offset, count)` block of seeds in the suite.
-const FAMILIES: [(&str, u64, u64); 4] = [
+const FAMILIES: [(&str, u64, u64); 5] = [
     ("base", 0, 220),
     ("npo2", 1_000, 90),
     ("mixed", 2_000, 60),
     ("degenerate", 3_000, 40),
+    ("recompute", 4_000, 80),
 ];
 
 fn draw(seed: u64) -> Instance {
@@ -398,7 +468,8 @@ fn draw(seed: u64) -> Instance {
         0..=999 => draw_base(seed),
         1_000..=1_999 => draw_npo2(seed),
         2_000..=2_999 => draw_mixed(seed),
-        _ => draw_degenerate(seed),
+        3_000..=3_999 => draw_degenerate(seed),
+        _ => draw_recompute(seed),
     }
 }
 
@@ -422,7 +493,7 @@ fn every_dp_path_matches_brute_force_on_410_seeded_instances() {
             let inst = draw(seed);
             let q = query(&inst);
 
-            let serial = dp_search_with_micro_batches(
+            let serial = dp_search_with_recompute(
                 &inst.estimator,
                 &inst.model,
                 inst.layer_range.clone(),
@@ -433,6 +504,8 @@ fn every_dp_path_matches_brute_force_on_410_seeded_instances() {
                 inst.granularity,
                 inst.micro_batches,
                 inst.act_stash_batch,
+                inst.recompute,
+                &DirectCosts,
             )
             .unwrap();
 
@@ -449,6 +522,7 @@ fn every_dp_path_matches_brute_force_on_410_seeded_instances() {
                 inst.granularity,
                 inst.micro_batches,
                 inst.act_stash_batch,
+                inst.recompute,
                 &DirectCosts,
                 &mut arena,
             )

@@ -128,6 +128,7 @@ fn heterogeneous_beats_naive_equal_partitioning() {
                 device_base: i * 4,
                 device_count: 4,
                 layer_strategies: vec![dp4.clone(); b - a],
+                layer_recompute: Vec::new(),
             })
             .collect(),
     };

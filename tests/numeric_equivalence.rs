@@ -56,6 +56,7 @@ fn all_22_candidate_strategies_are_gradient_equivalent() {
                         device_base: i * group,
                         device_count: group,
                         layer_strategies: vec![strategy.clone(); per],
+                        layer_recompute: Vec::new(),
                     })
                     .collect();
                 let plan = ParallelPlan {
@@ -107,6 +108,7 @@ fn mixed_per_layer_strategies_exercise_slice_gather() {
                 mk(&[(Paradigm::ShardedData, 4), (Paradigm::Tensor, 2)]),
                 mk(&[(Paradigm::Data, 2), (Paradigm::Tensor, 4)]),
             ],
+            layer_recompute: Vec::new(),
         }],
     };
     let parallel = execute_parallel(&model, &plan, &x).unwrap();
@@ -136,6 +138,7 @@ fn pipelined_micro_batched_plans_are_gradient_equivalent() {
                     device_base: i * 2,
                     device_count: 2,
                     layer_strategies: vec![IntraStageStrategy::pure(Paradigm::Data, 2).unwrap(); 1],
+                    layer_recompute: Vec::new(),
                 })
                 .collect(),
         };

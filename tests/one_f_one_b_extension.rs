@@ -25,6 +25,7 @@ fn pipeline_plan(
             device_base: i,
             device_count: 1,
             layer_strategies: vec![IntraStageStrategy::single_device(); end - start],
+            layer_recompute: Vec::new(),
         })
         .collect();
     ParallelPlan {

@@ -80,6 +80,46 @@ fn estimator_and_simulator_agree_on_recompute() {
 }
 
 #[test]
+fn per_layer_plan_decisions_match_the_global_override_bit_for_bit() {
+    // Satellite regression for the deprecated `SimulatorConfig`
+    // `recompute_activations` bool: marking every layer in the plan is the
+    // same execution as flipping the global override, to the last bit.
+    let topo = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::VitHuge32.spec();
+    let plan = ParallelPlan::uniform(
+        "sdp8",
+        model.n_layers(),
+        8,
+        galvatron::strategy::IntraStageStrategy::pure(Paradigm::ShardedData, 8).unwrap(),
+        64,
+    );
+
+    let mut per_layer = plan.clone();
+    for stage in &mut per_layer.stages {
+        stage.layer_recompute = vec![true; stage.n_layers()];
+    }
+    let from_plan = Simulator::new(topo.clone(), SimulatorConfig::deterministic())
+        .execute(&model, &per_layer)
+        .unwrap();
+
+    let cfg = SimulatorConfig {
+        recompute_activations: true,
+        ..SimulatorConfig::deterministic()
+    };
+    let from_global = Simulator::new(topo, cfg).execute(&model, &plan).unwrap();
+
+    assert_eq!(
+        from_plan.iteration_time.to_bits(),
+        from_global.iteration_time.to_bits()
+    );
+    assert_eq!(from_plan.peak_memory(), from_global.peak_memory());
+    assert_eq!(
+        from_plan.compute_work.to_bits(),
+        from_global.compute_work.to_bits()
+    );
+}
+
+#[test]
 fn recompute_unlocks_infeasible_budgets() {
     // BERT-Huge-48 cannot train under 6 GiB/device without recomputation;
     // with it, the planner finds a plan and the simulator confirms it fits.
@@ -121,4 +161,70 @@ fn recompute_unlocks_infeasible_budgets() {
         .unwrap();
     assert!(!report.oom);
     assert!(report.throughput > 0.0);
+}
+
+#[test]
+fn per_layer_dp_dimension_unlocks_infeasible_budgets() {
+    // Same 6 GiB cliff as above, but solved through the fifth DP dimension:
+    // the planner itself decides which layers recompute, no estimator-wide
+    // override involved, and the plan carries the decisions.
+    let topo = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::BertHuge48.spec();
+    let budget = 6 * GIB;
+
+    let outcome = GalvatronOptimizer::new(OptimizerConfig {
+        recompute: RecomputeMode::Auto,
+        max_batch: 32,
+        ..OptimizerConfig::default()
+    })
+    .optimize(&model, &topo, budget)
+    .unwrap()
+    .expect("the recompute dimension makes 6 GiB feasible");
+
+    let marked: usize = outcome
+        .plan
+        .stages
+        .iter()
+        .map(|s| s.layer_recompute.iter().filter(|&&r| r).count())
+        .sum();
+    assert!(marked > 0, "the winning plan should recompute some layers");
+
+    // The simulator honours the per-layer decisions without any global flag.
+    let report = Simulator::new(topo, SimulatorConfig::default().with_budget(budget))
+        .execute(&model, &outcome.plan)
+        .unwrap();
+    assert!(!report.oom);
+    assert!(report.throughput > 0.0);
+}
+
+#[test]
+fn auto_recompute_never_loses_to_stash_only() {
+    // Auto searches both planes, so at a budget where stash-only is already
+    // feasible the winner can only match or beat it.
+    let topo = TestbedPreset::RtxTitan8.topology();
+    let model = PaperModel::BertHuge32.spec();
+    let budget = 10 * GIB;
+
+    let stash = GalvatronOptimizer::new(OptimizerConfig {
+        max_batch: 16,
+        ..OptimizerConfig::default()
+    })
+    .optimize(&model, &topo, budget)
+    .unwrap()
+    .expect("stash-only baseline feasible");
+    let auto = GalvatronOptimizer::new(OptimizerConfig {
+        recompute: RecomputeMode::Auto,
+        max_batch: 16,
+        ..OptimizerConfig::default()
+    })
+    .optimize(&model, &topo, budget)
+    .unwrap()
+    .expect("auto at least matches stash-only");
+
+    assert!(
+        auto.throughput_samples_per_sec >= stash.throughput_samples_per_sec * (1.0 - 1e-9),
+        "auto {:.3} vs stash {:.3} samples/s",
+        auto.throughput_samples_per_sec,
+        stash.throughput_samples_per_sec
+    );
 }

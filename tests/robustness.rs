@@ -70,6 +70,7 @@ fn build_plan(
             layer_strategies: (a..b)
                 .map(|_| feasible[next() % feasible.len()].clone())
                 .collect(),
+            layer_recompute: Vec::new(),
         })
         .collect();
     ParallelPlan {

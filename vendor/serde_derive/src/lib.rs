@@ -5,7 +5,8 @@
 //! structs with named fields, tuple structs (newtype structs are
 //! transparent, wider tuples are arrays), unit structs, and enums with
 //! unit / newtype / struct variants (externally tagged, like real serde).
-//! The only field attribute honoured is `#[serde(default)]`; any other
+//! The field attributes honoured are `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]` (in any combination); any other
 //! `#[serde(...)]` attribute is a compile error rather than a silent
 //! behaviour change.
 
@@ -30,6 +31,25 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&self.field)` is true.
+    skip_if: Option<String>,
+}
+
+/// Field-level `#[serde(...)]` attribute content.
+#[derive(Default)]
+struct FieldAttr {
+    default: bool,
+    skip_if: Option<String>,
+}
+
+impl FieldAttr {
+    fn merge(&mut self, other: FieldAttr) {
+        self.default |= other.default;
+        if other.skip_if.is_some() {
+            self.skip_if = other.skip_if;
+        }
+    }
 }
 
 enum Fields {
@@ -78,9 +98,9 @@ impl Cursor {
         self.i >= self.toks.len()
     }
 
-    /// Skip one `#[...]` attribute if present; report whether it contained
-    /// `serde(default)` and reject any other `serde(...)` content.
-    fn skip_attr(&mut self) -> Option<bool> {
+    /// Skip one `#[...]` attribute if present; report any recognised
+    /// `serde(...)` content and reject unrecognised `serde(...)` content.
+    fn skip_attr(&mut self) -> Option<FieldAttr> {
         match self.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
             _ => return None,
@@ -96,29 +116,52 @@ impl Cursor {
             Some(TokenTree::Ident(id)) if id.to_string() == "serde"
         );
         if !is_serde {
-            return Some(false);
+            return Some(FieldAttr::default());
         }
         let args = match inner.get(1) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
             other => panic!("serde derive: malformed #[serde ...] attribute: {other:?}"),
         };
-        let words: Vec<String> = args.into_iter().map(|t| t.to_string()).collect();
-        if words == ["default"] {
-            Some(true)
-        } else {
-            panic!(
-                "serde derive stub: unsupported #[serde({})] — only #[serde(default)] is implemented",
-                words.join("")
-            );
+        let toks: Vec<TokenTree> = args.into_iter().collect();
+        let mut attr = FieldAttr::default();
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    attr.default = true;
+                    i += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                    let lit = match (toks.get(i + 1), toks.get(i + 2)) {
+                        (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                            if p.as_char() == '=' =>
+                        {
+                            l.to_string()
+                        }
+                        other => panic!(
+                            "serde derive stub: malformed skip_serializing_if: {other:?}"
+                        ),
+                    };
+                    // The literal arrives with its surrounding quotes.
+                    attr.skip_if = Some(lit.trim_matches('"').to_string());
+                    i += 3;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => panic!(
+                    "serde derive stub: unsupported #[serde(...)] token {other:?} — only \
+                     `default` and `skip_serializing_if = \"path\"` are implemented"
+                ),
+            }
         }
+        Some(attr)
     }
 
-    /// Skip attributes (returning whether any was `serde(default)`), then
+    /// Skip attributes (merging any recognised `serde(...)` content), then
     /// skip a visibility qualifier if present.
-    fn skip_attrs_and_vis(&mut self) -> bool {
-        let mut default = false;
-        while let Some(d) = self.skip_attr() {
-            default |= d;
+    fn skip_attrs_and_vis(&mut self) -> FieldAttr {
+        let mut attr = FieldAttr::default();
+        while let Some(a) = self.skip_attr() {
+            attr.merge(a);
         }
         if let Some(TokenTree::Ident(id)) = self.peek() {
             if id.to_string() == "pub" {
@@ -130,7 +173,7 @@ impl Cursor {
                 }
             }
         }
-        default
+        attr
     }
 
     fn expect_ident(&mut self, what: &str) -> String {
@@ -198,7 +241,7 @@ fn parse_named_fields(body: TokenStream) -> Fields {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let default = c.skip_attrs_and_vis();
+        let attr = c.skip_attrs_and_vis();
         if c.at_end() {
             break;
         }
@@ -208,7 +251,11 @@ fn parse_named_fields(body: TokenStream) -> Fields {
             other => panic!("serde derive: expected ':' after field `{name}`, got {other:?}"),
         }
         c.skip_type();
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attr.default,
+            skip_if: attr.skip_if,
+        });
     }
     Fields::Named(fields)
 }
@@ -269,11 +316,18 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
 fn named_to_map(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
     let mut out = String::from("{ let mut __m = ::serde::value::Map::new(); ");
     for f in fields {
-        out.push_str(&format!(
+        let insert = format!(
             "__m.insert(\"{n}\", ::serde::Serialize::__to_value(&{a})); ",
             n = f.name,
             a = access(&f.name)
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!(
+                "if !{path}(&{a}) {{ {insert} }} ",
+                a = access(&f.name)
+            )),
+            None => out.push_str(&insert),
+        }
     }
     out.push_str("::serde::value::Value::Object(__m) }");
     out
